@@ -1,0 +1,61 @@
+//! Criterion benchmark: the distribution DP's `O(q²·|T|)` scaling in grid
+//! rank and tree size (supports experiment E8).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tce_core::dist::{optimize_distribution, Machine};
+use tce_core::ir::{IndexSet, IndexSpace, OpTree, TensorDecl, TensorTable};
+use tce_core::par::ProcessorGrid;
+
+/// Chain of `n` matrix products (n+1 index vars, n internal nodes).
+fn chain_tree(n: usize) -> (IndexSpace, OpTree) {
+    let mut space = IndexSpace::new();
+    let r = space.add_range("N", 16);
+    let vars: Vec<_> = (0..=n).map(|q| space.add_var(&format!("x{q}"), r)).collect();
+    let mut tensors = TensorTable::new();
+    let mut tree = OpTree::new();
+    let mut acc = None;
+    for q in 0..n {
+        let t = tensors.add(TensorDecl::dense(&format!("M{q}"), vec![r, r]));
+        let leaf = tree.leaf_input(t, vec![vars[q], vars[q + 1]]);
+        acc = Some(match acc {
+            None => leaf,
+            Some(prev) => tree.contract(prev, leaf, IndexSet::from_vars([vars[0], vars[q + 1]])),
+        });
+    }
+    (space, tree)
+}
+
+fn bench(c: &mut Criterion) {
+    // q-scaling: grid rank 1 → 2 (tuple count explodes with rank).
+    let (space, tree) = chain_tree(2);
+    let mut g = c.benchmark_group("dist_dp_grid_rank");
+    for dims in [vec![4usize], vec![2, 2], vec![2, 2, 2]] {
+        let machine = Machine {
+            grid: ProcessorGrid::new(dims.clone()),
+            word_cost: 1,
+        };
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{dims:?}")),
+            &machine,
+            |b, m| b.iter(|| optimize_distribution(black_box(&tree), &space, m)),
+        );
+    }
+    g.finish();
+
+    // |T|-scaling: chain length at fixed 1-D grid.
+    let mut g2 = c.benchmark_group("dist_dp_tree_size");
+    for n in [2usize, 3, 4] {
+        let (space, tree) = chain_tree(n);
+        let machine = Machine {
+            grid: ProcessorGrid::new(vec![4]),
+            word_cost: 1,
+        };
+        g2.bench_with_input(BenchmarkId::from_parameter(n), &tree, |b, t| {
+            b.iter(|| optimize_distribution(black_box(t), &space, &machine))
+        });
+    }
+    g2.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion benchmark: the execution substrate — naive vs blocked-GEMM
+//! vs parallel contraction kernels, and the loop-program interpreter vs
+//! the array-at-a-time tree executor.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::HashMap;
+use tce_core::exec::{parallel_contract, Interpreter, NoSink};
+use tce_core::ir::{IndexSpace, IndexVar};
+use tce_core::scenarios::section2_source;
+use tce_core::tensor::{contract_gemm, contract_naive, BinaryContraction, Tensor};
+use tce_core::{synthesize, SynthesisConfig};
+
+fn setup(n: usize) -> (IndexSpace, [IndexVar; 3]) {
+    let mut sp = IndexSpace::new();
+    let r = sp.add_range("N", n);
+    let i = sp.add_var("i", r);
+    let j = sp.add_var("j", r);
+    let k = sp.add_var("k", r);
+    (sp, [i, j, k])
+}
+
+fn bench(c: &mut Criterion) {
+    let n = 96usize;
+    let (sp, [i, j, k]) = setup(n);
+    let spec = BinaryContraction {
+        a: vec![i, k],
+        b: vec![k, j],
+        out: vec![i, j],
+    };
+    let a = Tensor::random(&[n, n], 1);
+    let b = Tensor::random(&[n, n], 2);
+
+    let mut g = c.benchmark_group("contract_kernels_96");
+    g.sample_size(20);
+    g.bench_function("naive", |bch| {
+        bch.iter(|| contract_naive(black_box(&spec), &sp, &a, &b))
+    });
+    g.bench_function("gemm_blocked", |bch| {
+        bch.iter(|| contract_gemm(black_box(&spec), &sp, &a, &b))
+    });
+    for threads in [2usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("parallel", threads),
+            &threads,
+            |bch, &t| bch.iter(|| parallel_contract(black_box(&spec), &sp, &a, &b, t)),
+        );
+    }
+    g.finish();
+
+    // Interpreter vs tree executor on the synthesized §2 program.
+    let syn = synthesize(&section2_source(6), &SynthesisConfig::default()).unwrap();
+    let plan = &syn.plans[0];
+    let space = &syn.program.space;
+    let shape = [6usize; 4];
+    let data: Vec<Tensor> = (0..4).map(|s| Tensor::random(&shape, s as u64)).collect();
+    let mut inputs = HashMap::new();
+    for (q, nm) in ["A", "B", "C", "D"].iter().enumerate() {
+        inputs.insert(syn.program.tensors.by_name(nm).unwrap(), &data[q]);
+    }
+    let mut g2 = c.benchmark_group("section2_execution");
+    g2.sample_size(20);
+    g2.bench_function("interpreter_fused", |bch| {
+        bch.iter(|| {
+            let mut it = Interpreter::new(&plan.built.program, space, &inputs, &HashMap::new());
+            it.run(&mut NoSink);
+            black_box(it.stats.contraction_flops)
+        })
+    });
+    g2.bench_function("tree_executor_gemm", |bch| {
+        bch.iter(|| {
+            black_box(tce_core::exec::execute_tree(
+                &plan.tree,
+                space,
+                &inputs,
+                &HashMap::new(),
+                1,
+            ))
+        })
+    });
+    g2.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

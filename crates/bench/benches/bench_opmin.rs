@@ -1,0 +1,65 @@
+//! Criterion benchmark: operation-minimization search procedures
+//! (supports experiment E1 — the cost of the "Algebraic Transformations"
+//! stage itself).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tce_core::ir::{IndexSet, IndexSpace, Leaf, TensorDecl, TensorTable};
+use tce_core::opmin::{optimize_branch_bound, optimize_exhaustive, optimize_subset_dp, OpMinProblem};
+use tce_core::scenarios::section2_source;
+
+/// The §2 four-factor problem.
+fn section2_problem() -> (IndexSpace, OpMinProblem) {
+    let prog = tce_core::lang::compile(&section2_source(10)).unwrap();
+    let stmt = &prog.stmts[0];
+    let p = OpMinProblem::from_term(stmt.lhs.index_set(), &stmt.terms[0]).unwrap();
+    (prog.space, p)
+}
+
+/// A dense chain of `n` matrices (worst-case-ish fully-connected chain).
+fn chain_problem(n: usize) -> (IndexSpace, OpMinProblem) {
+    let mut space = IndexSpace::new();
+    let r = space.add_range("N", 16);
+    let vars: Vec<_> = (0..=n).map(|q| space.add_var(&format!("x{q}"), r)).collect();
+    let mut tensors = TensorTable::new();
+    let factors = (0..n)
+        .map(|q| {
+            let t = tensors.add(TensorDecl::dense(&format!("M{q}"), vec![r, r]));
+            Leaf::Input {
+                tensor: t,
+                indices: vec![vars[q], vars[q + 1]],
+            }
+        })
+        .collect();
+    let output = IndexSet::from_vars([vars[0], vars[n]]);
+    (space, OpMinProblem { output, factors })
+}
+
+fn bench(c: &mut Criterion) {
+    let (space, p) = section2_problem();
+    let mut g = c.benchmark_group("opmin_section2");
+    g.bench_function("subset_dp", |b| {
+        b.iter(|| optimize_subset_dp(black_box(&p), &space))
+    });
+    g.bench_function("branch_bound", |b| {
+        b.iter(|| optimize_branch_bound(black_box(&p), &space))
+    });
+    g.bench_function("exhaustive", |b| {
+        b.iter(|| optimize_exhaustive(black_box(&p), &space))
+    });
+    g.finish();
+
+    let mut g2 = c.benchmark_group("opmin_chain_scaling");
+    for n in [4usize, 6, 8] {
+        let (space, p) = chain_problem(n);
+        g2.bench_function(format!("subset_dp_n{n}"), |b| {
+            b.iter(|| optimize_subset_dp(black_box(&p), &space))
+        });
+        g2.bench_function(format!("branch_bound_n{n}"), |b| {
+            b.iter(|| optimize_branch_bound(black_box(&p), &space))
+        });
+    }
+    g2.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

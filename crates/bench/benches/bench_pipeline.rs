@@ -1,0 +1,43 @@
+//! Criterion benchmark: the whole synthesis pipeline (supports
+//! experiment E11 — the cost of planning itself, which the paper argues
+//! replaces weeks-to-months of manual development).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tce_core::dist::Machine;
+use tce_core::locality::MemoryHierarchy;
+use tce_core::par::ProcessorGrid;
+use tce_core::scenarios::section2_source;
+use tce_core::{synthesize, SynthesisConfig};
+
+fn bench(c: &mut Criterion) {
+    let src = section2_source(8);
+    c.bench_function("synthesize_section2_basic", |b| {
+        b.iter(|| synthesize(black_box(&src), &SynthesisConfig::default()).unwrap())
+    });
+
+    let full = SynthesisConfig {
+        memory_limit: u128::MAX,
+        cache_elements: Some(512),
+        hierarchy: MemoryHierarchy::cache_and_disk(512, 1 << 24),
+        machine: Some(Machine {
+            grid: ProcessorGrid::new(vec![2, 2]),
+            word_cost: 1,
+        }),
+    };
+    c.bench_function("synthesize_section2_all_stages", |b| {
+        b.iter(|| synthesize(black_box(&src), &full).unwrap())
+    });
+
+    let mm = "
+        range N = 32;
+        index i, j, k : N;
+        tensor A(N, N); tensor B(N, N); tensor S(N, N);
+        S[i,j] = sum[k] A[i,k] * B[k,j];
+    ";
+    c.bench_function("synthesize_matmul", |b| {
+        b.iter(|| synthesize(black_box(mm), &SynthesisConfig::default()).unwrap())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

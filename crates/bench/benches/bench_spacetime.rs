@@ -1,0 +1,50 @@
+//! Criterion benchmark: the space-time pareto DP, the tile search, and
+//! the *executed* Fig-4 program across block sizes (supports experiments
+//! E4/E5 — the measured counterpart of the paper's recomputation-vs-reuse
+//! trade-off).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::HashMap;
+use tce_core::exec::{Interpreter, NoSink};
+use tce_core::scenarios::A3AScenario;
+use tce_core::spacetime::{search_tiles, spacetime_dp};
+
+fn bench(c: &mut Criterion) {
+    let sc = A3AScenario::new(6, 3, 200);
+
+    c.bench_function("spacetime_dp_a3a", |b| {
+        b.iter(|| spacetime_dp(black_box(&sc.tree), &sc.space, usize::MAX))
+    });
+
+    let front = spacetime_dp(&sc.tree, &sc.space, usize::MAX);
+    let cfg = front.min_mem().unwrap().tag.clone();
+    c.bench_function("tile_search_a3a", |b| {
+        b.iter(|| search_tiles(black_box(&sc.tree), &sc.space, &cfg, 1000))
+    });
+
+    // Executed Fig-4 sweep: wall-clock per block size.  The paper's
+    // performance curve (improve → level → deteriorate) appears here as
+    // integral-flops amortization; the memory-pressure penalty is modeled
+    // separately (E5 uses the LRU simulator for it).
+    let sc2 = A3AScenario::new(6, 2, 300);
+    let amps = sc2.amplitudes(5);
+    let mut inputs = HashMap::new();
+    inputs.insert(sc2.tensors.by_name("T").unwrap(), &amps);
+    let funcs = sc2.functions();
+    let mut g = c.benchmark_group("fig4_execution_by_block");
+    g.sample_size(10);
+    for bb in [1usize, 2, 3, 6] {
+        let p = sc2.fig4_program(bb);
+        g.bench_with_input(BenchmarkId::from_parameter(bb), &p, |b, p| {
+            b.iter(|| {
+                let mut interp = Interpreter::new(p, &sc2.space, &inputs, &funcs);
+                interp.run(&mut NoSink);
+                black_box(interp.output().get(&[]))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! E1 — §2 operation minimization: `4·N¹⁰` direct vs `6·N⁶` optimized.
+//!
+//! Paper claim: the direct translation of
+//! `S_abij = Σ_cdefkl A_acik·B_befl·C_dfjk·D_cdel` costs `4·N¹⁰`
+//! operations; the algebraic transformation finds a sequence costing
+//! `6·N⁶`.  This harness verifies both formulas at several extents,
+//! confirms all three search procedures agree, and *measures* the flops of
+//! executing both forms at a small extent.
+
+use std::collections::HashMap;
+use tce_bench::tables::{fmt_u, Table};
+use tce_core::opmin::{optimize_branch_bound, optimize_exhaustive, optimize_subset_dp, OpMinProblem};
+use tce_core::scenarios::section2_source;
+use tce_core::tensor::{EinsumSpec, Tensor};
+use tce_core::{synthesize, SynthesisConfig};
+
+fn main() {
+    println!("E1: operation minimization on the §2 example\n");
+    let mut t = Table::new(&[
+        "N", "direct 4N^10", "optimal (DP)", "branch&bound", "exhaustive", "ratio",
+    ]);
+    for n in [4usize, 6, 8, 10, 16, 30] {
+        let prog = tce_core::lang::compile(&section2_source(n)).unwrap();
+        let stmt = &prog.stmts[0];
+        let direct = stmt.direct_op_count(&prog.space);
+        let problem = OpMinProblem::from_term(stmt.lhs.index_set(), &stmt.terms[0]).unwrap();
+        let dp = optimize_subset_dp(&problem, &prog.space);
+        let bb = optimize_branch_bound(&problem, &prog.space);
+        let ex = optimize_exhaustive(&problem, &prog.space);
+        assert_eq!(dp.contraction_ops, bb.contraction_ops);
+        assert_eq!(dp.contraction_ops, ex.contraction_ops);
+        assert_eq!(direct, 4 * (n as u128).pow(10), "paper formula 4N^10");
+        assert_eq!(dp.contraction_ops, 6 * (n as u128).pow(6), "paper formula 6N^6");
+        t.row(&[
+            n.to_string(),
+            fmt_u(direct),
+            fmt_u(dp.contraction_ops),
+            fmt_u(bb.contraction_ops),
+            fmt_u(ex.contraction_ops),
+            format!("{:.0}x", direct as f64 / dp.contraction_ops as f64),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // Measured execution at N = 4: interpreter flop counters for the
+    // synthesized form; the direct form's naive einsum op count.
+    let n = 4usize;
+    let syn = synthesize(&section2_source(n), &SynthesisConfig::default()).unwrap();
+    let plan = &syn.plans[0];
+    let space = &syn.program.space;
+    let shape = [n; 4];
+    let data: Vec<Tensor> = (0..4).map(|s| Tensor::random(&shape, s as u64)).collect();
+    let mut inputs = HashMap::new();
+    for (q, nm) in ["A", "B", "C", "D"].iter().enumerate() {
+        inputs.insert(syn.program.tensors.by_name(nm).unwrap(), &data[q]);
+    }
+    let mut interp =
+        tce_core::exec::Interpreter::new(&plan.built.program, space, &inputs, &HashMap::new());
+    interp.run(&mut tce_core::exec::NoSink);
+    let v = |nm: &str| space.var_by_name(nm).unwrap();
+    let spec = EinsumSpec::new(
+        vec![v("a"), v("b"), v("i"), v("j")],
+        vec![
+            vec![v("a"), v("c"), v("i"), v("k")],
+            vec![v("b"), v("e"), v("f"), v("l")],
+            vec![v("d"), v("f"), v("j"), v("k")],
+            vec![v("c"), v("d"), v("e"), v("l")],
+        ],
+        space.parse_set("c,d,e,f,k,l").unwrap(),
+    )
+    .unwrap();
+    println!("measured at N = {n}:");
+    println!("  direct loop nest executes {} multiply/adds", fmt_u(spec.naive_ops(space)));
+    println!(
+        "  synthesized program executes {} flops (model: {})",
+        fmt_u(interp.stats.contraction_flops),
+        fmt_u(plan.tree_ops)
+    );
+    assert_eq!(interp.stats.contraction_flops, plan.tree_ops);
+    // Values agree between the two forms.
+    let reference = spec.eval(space, &[&data[0], &data[1], &data[2], &data[3]]);
+    assert!(interp.output().approx_eq(&reference, 1e-9));
+    println!("  results identical (max diff < 1e-9)\nE1 OK");
+}

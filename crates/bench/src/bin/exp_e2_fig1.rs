@@ -1,0 +1,88 @@
+//! E2 — paper Fig. 1: loop fusion for memory reduction.
+//!
+//! Claims reproduced:
+//! * the formula sequence of Fig. 1(a) is exactly the optimizer's output;
+//! * fusion reduces `T1` to a scalar and `T2` to a 2-D array "without
+//!   changing the number of operations";
+//! * the fused code (Fig. 1(c)) computes the same values as the unfused
+//!   code (Fig. 1(b)).
+
+use std::collections::HashMap;
+use tce_bench::tables::{fmt_u, Table};
+use tce_core::loops::{memory_report, op_counts, pretty, unfused_program};
+use tce_core::scenarios::section2_source;
+use tce_core::tensor::Tensor;
+use tce_core::{synthesize, SynthesisConfig};
+
+fn main() {
+    println!("E2: Fig. 1 — fusion for memory reduction\n");
+    let n = 6usize;
+    let syn = synthesize(&section2_source(n), &SynthesisConfig::default()).unwrap();
+    let plan = &syn.plans[0];
+    let space = &syn.program.space;
+
+    println!("Fig. 1(a) formula sequence:");
+    print!(
+        "{}",
+        plan.tree
+            .formula_sequence(space, "S", &|t| syn.program.tensors.get(t).name.clone())
+    );
+
+    let direct = unfused_program(&plan.tree, space, &syn.program.tensors, "S");
+    println!("\nFig. 1(b) unfused implementation:");
+    print!("{}", pretty(&direct.program));
+    println!("\nFig. 1(c) fused implementation:");
+    print!("{}", pretty(&plan.built.program));
+
+    let mem_unfused = memory_report(&direct.program, space);
+    let mem_fused = memory_report(&plan.built.program, space);
+    let ops_unfused = op_counts(&direct.program, space);
+    let ops_fused = op_counts(&plan.built.program, space);
+
+    let mut t = Table::new(&["variant", "T1 elems", "T2 elems", "temp total", "flops"]);
+    let find = |m: &tce_core::loops::MemoryReport, nm: &str| {
+        m.arrays
+            .iter()
+            .find(|(n, _, _)| n == nm)
+            .map(|(_, e, _)| *e)
+            .unwrap()
+    };
+    t.row(&[
+        "unfused (Fig 1b)".into(),
+        fmt_u(find(&mem_unfused, "T1")),
+        fmt_u(find(&mem_unfused, "T2")),
+        fmt_u(mem_unfused.temp_elements),
+        fmt_u(ops_unfused.total()),
+    ]);
+    t.row(&[
+        "fused (Fig 1c)".into(),
+        fmt_u(find(&mem_fused, "T1")),
+        fmt_u(find(&mem_fused, "T2")),
+        fmt_u(mem_fused.temp_elements),
+        fmt_u(ops_fused.total()),
+    ]);
+    println!("\n{}", t.render());
+
+    // Paper claims.
+    assert_eq!(find(&mem_fused, "T1"), 1, "T1 reduced to a scalar");
+    assert_eq!(find(&mem_fused, "T2"), (n as u128).pow(2), "T2 reduced to 2-D");
+    assert_eq!(ops_fused.total(), ops_unfused.total(), "op count unchanged");
+
+    // Execute both and compare.
+    let shape = [n; 4];
+    let data: Vec<Tensor> = (0..4).map(|s| Tensor::random(&shape, 100 + s as u64)).collect();
+    let mut inputs = HashMap::new();
+    for (q, nm) in ["A", "B", "C", "D"].iter().enumerate() {
+        inputs.insert(syn.program.tensors.by_name(nm).unwrap(), &data[q]);
+    }
+    let run = |p: &tce_core::loops::LoopProgram| {
+        let mut i = tce_core::exec::Interpreter::new(p, space, &inputs, &HashMap::new());
+        i.run(&mut tce_core::exec::NoSink);
+        i.output().clone()
+    };
+    let a = run(&direct.program);
+    let b = run(&plan.built.program);
+    println!("fused vs unfused max diff: {:.3e}", a.max_abs_diff(&b));
+    assert!(a.approx_eq(&b, 1e-9));
+    println!("E2 OK");
+}

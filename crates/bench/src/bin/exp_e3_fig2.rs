@@ -1,0 +1,84 @@
+//! E3 — paper Fig. 2: the unfused operation-minimal form of the A3A
+//! component, with its space/time table.
+//!
+//! Claims reproduced (symbolically at paper scale, measured at reduced
+//! scale): space `{X: V⁴, T1: V³O, T2: V³O, Y: V⁴, E: 1}` and time
+//! `{X: V⁴O², T1/T2: C_i·V³O, Y: V⁵O, E: V⁴}`.
+
+use std::collections::HashMap;
+use tce_bench::tables::{fmt_u, Table};
+use tce_core::exec::{Interpreter, NoSink};
+use tce_core::loops::{memory_report, pretty};
+use tce_core::scenarios::A3AScenario;
+
+fn main() {
+    println!("E3: Fig. 2 — unfused operation-minimal A3A component\n");
+
+    // Paper scale, analytic.
+    let paper = A3AScenario::new(5000, 100, 1000);
+    println!("analytic table at paper scale (V = 5000, O = 100, C_i = 1000):");
+    let mut t = Table::new(&["array", "space", "time"]);
+    for (name, space, time) in paper.fig2_table() {
+        t.row(&[name.to_string(), fmt_u(space), fmt_u(time)]);
+    }
+    println!("{}", t.render());
+    // The paper: "With O=100 and V=5000, the size of T1, T2 is O(10^14)
+    // bytes and the size of X, Y is O(10^15) bytes."
+    let t1_bytes = 8.0 * paper.fig2_table()[1].1 as f64;
+    let x_bytes = 8.0 * paper.fig2_table()[0].1 as f64;
+    println!("T1/T2 ≈ {t1_bytes:.1e} bytes (paper: O(10^14)); X/Y ≈ {x_bytes:.1e} bytes (paper: O(10^15))\n");
+    assert!((1e13..1e15).contains(&t1_bytes));
+    assert!((1e14..1e16).contains(&x_bytes));
+
+    // Reduced scale, measured.
+    let sc = A3AScenario::new(6, 3, 200);
+    let built = sc.fig2_program();
+    println!("unfused pseudocode at V = 6, O = 3:");
+    print!("{}", pretty(&built.program));
+
+    let amps = sc.amplitudes(1);
+    let mut inputs = HashMap::new();
+    inputs.insert(sc.tensors.by_name("T").unwrap(), &amps);
+    let funcs = sc.functions();
+    let mut interp = Interpreter::new(&built.program, &sc.space, &inputs, &funcs);
+    interp.run(&mut NoSink);
+
+    let table = sc.fig2_table();
+    let mem = memory_report(&built.program, &sc.space);
+    let mut m = Table::new(&["array", "space (model)", "space (measured)", "time (model)"]);
+    // Array names in the built program: X is T1..? — report by formula rows
+    // and totals.
+    let expect_mem: u128 = table[..4].iter().map(|r| r.1).sum::<u128>() + 1;
+    for (name, space, time) in &table {
+        m.row(&[name.to_string(), fmt_u(*space), "-".into(), fmt_u(*time)]);
+    }
+    println!("\n{}", m.render());
+    println!(
+        "measured temp elements: {} (model {})",
+        fmt_u(mem.temp_elements),
+        fmt_u(expect_mem)
+    );
+    assert_eq!(mem.temp_elements, expect_mem);
+    println!(
+        "measured integral flops: {} (model T1+T2 = {})",
+        fmt_u(interp.stats.func_flops),
+        fmt_u(table[1].2 + table[2].2)
+    );
+    assert_eq!(interp.stats.func_flops, table[1].2 + table[2].2);
+    println!(
+        "measured contraction flops: {} (model 2·(X+Y+E) = {})",
+        fmt_u(interp.stats.contraction_flops),
+        fmt_u(2 * (table[0].2 + table[3].2 + table[4].2))
+    );
+    assert_eq!(
+        interp.stats.contraction_flops,
+        2 * (table[0].2 + table[3].2 + table[4].2)
+    );
+
+    // Numerical ground truth.
+    let expect = sc.reference_energy(&amps);
+    let got = interp.output().get(&[]);
+    println!("energy: {got:.6} (reference {expect:.6})");
+    assert!((got - expect).abs() < 1e-9 * expect.abs().max(1.0));
+    println!("E3 OK");
+}

@@ -1,0 +1,122 @@
+//! E5 — paper Fig. 4 + §3 discussion: tiling and partial fusion.
+//!
+//! Claims reproduced:
+//! * the Fig. 4 table — space `{X: B⁴, T1: B², T2: B², Y: B⁴}` and
+//!   integral time `C_i·(V/B)²·V³·O` — both analytically and by executing
+//!   the tiled program at every `B`;
+//! * "as `B` is increased, performance will improve and then level off
+//!   and then deteriorate": the weighted cost under a two-level hierarchy
+//!   is non-monotone in `B` with an interior optimum;
+//! * the space-time tile search picks the largest block that fits the
+//!   memory limit.
+
+use std::collections::HashMap;
+use tce_bench::tables::{fmt_u, Table};
+use tce_core::exec::{CacheSink, Interpreter, LruCache, NoSink};
+use tce_core::scenarios::A3AScenario;
+use tce_core::spacetime::{search_tiles, spacetime_dp, tiled_memory, tiled_ops, Blocks};
+
+fn main() {
+    println!("E5: Fig. 4 — tiling and partial fusion\n");
+    let sc = A3AScenario::new(8, 3, 500);
+    let amps = sc.amplitudes(3);
+    let mut inputs = HashMap::new();
+    inputs.insert(sc.tensors.by_name("T").unwrap(), &amps);
+    let funcs = sc.functions();
+    let expect = sc.reference_energy(&amps);
+
+    // Fast-memory level for the sweep: holds the B=4 working set but not
+    // the B=8 one.
+    let fast_elems = 700usize;
+    println!("V = 8, O = 3, C_i = 500; fast memory = {fast_elems} elements, miss cost 100\n");
+
+    let mut t = Table::new(&[
+        "B",
+        "mem model",
+        "mem measured",
+        "iflops model",
+        "iflops measured",
+        "misses",
+        "weighted cost",
+    ]);
+    let mut costs = Vec::new();
+    for bb in [1usize, 2, 4, 8] {
+        let table = sc.fig4_table(bb);
+        let mem_model: u128 = table[..4].iter().map(|r| r.1).sum::<u128>() + 1;
+        let iflops_model = table[1].2 + table[2].2;
+
+        let p = sc.fig4_program(bb);
+        let mut interp = Interpreter::new(&p, &sc.space, &inputs, &funcs);
+        interp.run(&mut NoSink);
+        assert!((interp.output().get(&[]) - expect).abs() < 1e-9 * expect.abs().max(1.0));
+        let mem_meas = interp.allocated_temp_elements();
+        let iflops_meas = interp.stats.func_flops;
+        assert_eq!(mem_meas, mem_model, "B = {bb}");
+        assert_eq!(iflops_meas, iflops_model, "B = {bb}");
+
+        let sizes: Vec<usize> = p.arrays.iter().map(|a| a.elements(&sc.space) as usize).collect();
+        let mut sink = CacheSink::new(LruCache::new(fast_elems, 1), &sizes);
+        let mut interp2 = Interpreter::new(&p, &sc.space, &inputs, &funcs);
+        interp2.run(&mut sink);
+        let misses = sink.cache.misses;
+        let cost = interp.stats.total_flops() as f64 + 100.0 * misses as f64;
+        costs.push((bb, cost));
+        t.row(&[
+            bb.to_string(),
+            fmt_u(mem_model),
+            fmt_u(mem_meas),
+            fmt_u(iflops_model),
+            fmt_u(iflops_meas),
+            fmt_u(misses as u128),
+            format!("{cost:.3e}"),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // Shape claim: improve → (level off) → deteriorate.
+    let best = costs
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap()
+        .0;
+    println!("optimal B under the hierarchy: {best}");
+    assert!(
+        costs.first().unwrap().1 > costs.iter().map(|c| c.1).fold(f64::MAX, f64::min),
+        "B = 1 must not be optimal (improvement phase exists)"
+    );
+    assert!(
+        costs.last().unwrap().1 > costs.iter().map(|c| c.1).fold(f64::MAX, f64::min),
+        "B = V must not be optimal (deterioration phase exists)"
+    );
+
+    // The space-time optimizer's own tile search.
+    let front = spacetime_dp(&sc.tree, &sc.space, usize::MAX);
+    let cfg = &front.min_mem().unwrap().tag;
+    for limit in [10u128, 50, 600, 10_000] {
+        match search_tiles(&sc.tree, &sc.space, cfg, limit) {
+            Some(r) => {
+                let bmax = r.blocks.values().copied().max().unwrap_or(1);
+                println!(
+                    "memory limit {limit:>6}: tile search picks max B = {bmax}, mem {} ops {}",
+                    fmt_u(r.memory),
+                    fmt_u(r.ops)
+                );
+                assert!(r.memory <= limit);
+                // Cross-check the analytic helpers on the chosen blocks.
+                assert_eq!(r.memory, tiled_memory(&sc.tree, &sc.space, cfg, &r.blocks));
+                assert_eq!(r.ops, tiled_ops(&sc.tree, &sc.space, cfg, &r.blocks));
+            }
+            None => println!("memory limit {limit:>6}: infeasible"),
+        }
+    }
+    // Larger limits must never increase the optimal recomputation cost.
+    let mut last = u128::MAX;
+    for limit in [10u128, 50, 600, 10_000, u128::MAX] {
+        if let Some(r) = search_tiles(&sc.tree, &sc.space, cfg, limit) {
+            assert!(r.ops <= last);
+            last = r.ops;
+        }
+    }
+    let _ = Blocks::new();
+    println!("E5 OK");
+}

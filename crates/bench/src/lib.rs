@@ -1,0 +1,8 @@
+//! # tce-bench — experiment harnesses and benchmarks
+//!
+//! One binary per paper artifact (`exp_e1_opmin` … `exp_e11_pipeline`;
+//! see DESIGN.md's experiment index and EXPERIMENTS.md for recorded
+//! outcomes) plus Criterion micro-benchmarks of the optimizers and
+//! kernels.
+
+pub mod tables;

@@ -1,0 +1,196 @@
+//! `tce` — command-line driver for the synthesis system.
+//!
+//! ```text
+//! tce SPEC.tce [--memory-limit N] [--cache N] [--grid PxQx…]
+//!              [--word-cost N] [--execute] [--seed S]
+//! ```
+//!
+//! Reads a tensor-contraction specification, runs the full optimization
+//! pipeline (paper Fig. 5), prints the per-stage report for every term,
+//! and — with `--execute` — runs the synthesized statement sequence on
+//! deterministic random inputs, printing a summary of every result tensor.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use tce_core::dist::Machine;
+use tce_core::locality::MemoryHierarchy;
+use tce_core::par::ProcessorGrid;
+use tce_core::tensor::{IntegralFn, Tensor};
+use tce_core::{synthesize, SynthesisConfig};
+
+struct Args {
+    spec_path: String,
+    memory_limit: u128,
+    cache: Option<u128>,
+    grid: Option<Vec<usize>>,
+    word_cost: u128,
+    execute: bool,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        spec_path: String::new(),
+        memory_limit: u128::MAX,
+        cache: None,
+        grid: None,
+        word_cost: 100,
+        execute: false,
+        seed: 42,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--memory-limit" => {
+                args.memory_limit = it
+                    .next()
+                    .ok_or("--memory-limit needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --memory-limit: {e}"))?;
+            }
+            "--cache" => {
+                args.cache = Some(
+                    it.next()
+                        .ok_or("--cache needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --cache: {e}"))?,
+                );
+            }
+            "--grid" => {
+                let spec = it.next().ok_or("--grid needs a value like 2x4")?;
+                let dims: Result<Vec<usize>, _> =
+                    spec.split('x').map(|d| d.parse::<usize>()).collect();
+                args.grid = Some(dims.map_err(|e| format!("bad --grid: {e}"))?);
+            }
+            "--word-cost" => {
+                args.word_cost = it
+                    .next()
+                    .ok_or("--word-cost needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --word-cost: {e}"))?;
+            }
+            "--execute" => args.execute = true,
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--help" | "-h" => {
+                return Err("usage: tce SPEC.tce [--memory-limit N] [--cache N] \
+                            [--grid PxQ] [--word-cost N] [--execute] [--seed S]"
+                    .to_string())
+            }
+            other if args.spec_path.is_empty() && !other.starts_with('-') => {
+                args.spec_path = other.to_string();
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    if args.spec_path.is_empty() {
+        return Err("no specification file given (try --help)".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let src = match std::fs::read_to_string(&args.spec_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", args.spec_path);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let cfg = SynthesisConfig {
+        memory_limit: args.memory_limit,
+        cache_elements: args.cache,
+        hierarchy: MemoryHierarchy::cache_and_disk(args.cache.unwrap_or(64 * 1024), 1 << 30),
+        machine: args.grid.clone().map(|dims| Machine {
+            grid: ProcessorGrid::new(dims),
+            word_cost: args.word_cost,
+        }),
+    };
+    let syn = match synthesize(&src, &cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for plan in &syn.plans {
+        println!("{}", plan.report(&syn.program.space, &syn.program));
+    }
+
+    if args.execute {
+        // Bind every tensor that is read before it is written.
+        let mut written: Vec<bool> = vec![false; syn.program.tensors.len()];
+        let mut needed: Vec<tce_core::ir::TensorId> = Vec::new();
+        for stmt in &syn.program.stmts {
+            for term in &stmt.terms {
+                for f in &term.factors {
+                    if let tce_core::ir::Factor::Tensor(r) = f {
+                        if !written[r.tensor.0 as usize]
+                            && !needed.contains(&r.tensor)
+                        {
+                            needed.push(r.tensor);
+                        }
+                    }
+                }
+            }
+            written[stmt.lhs.tensor.0 as usize] = true;
+        }
+        let mut owned: Vec<(tce_core::ir::TensorId, Tensor)> = Vec::new();
+        for id in needed {
+            let decl = syn.program.tensors.get(id);
+            let shape: Vec<usize> = decl
+                .dims
+                .iter()
+                .map(|&r| syn.program.space.range_extent(r))
+                .collect();
+            owned.push((id, Tensor::random(&shape, args.seed ^ id.0 as u64)));
+        }
+        let inputs: HashMap<_, _> = owned.iter().map(|(id, t)| (*id, t)).collect();
+        // Bind every declared function with a deterministic integral.
+        let mut funcs: HashMap<String, IntegralFn> = HashMap::new();
+        for plan in &syn.plans {
+            for node in &plan.tree.nodes {
+                if let tce_core::ir::OpKind::Leaf(tce_core::ir::Leaf::Func {
+                    name,
+                    cost_per_eval,
+                    ..
+                }) = &node.kind
+                {
+                    let seed = name.bytes().fold(args.seed, |h, b| {
+                        h.wrapping_mul(131).wrapping_add(b as u64)
+                    });
+                    funcs
+                        .entry(name.clone())
+                        .or_insert_with(|| IntegralFn::new(*cost_per_eval, seed));
+                }
+            }
+        }
+
+        println!("== execution (seed {}) ==", args.seed);
+        let results = syn.execute(&inputs, &funcs);
+        for (id, t) in &results {
+            let name = &syn.program.tensors.get(*id).name;
+            println!(
+                "  {name}: shape {:?}, |sum| = {:.6e}",
+                t.shape(),
+                t.sum().abs()
+            );
+        }
+        println!("OK");
+    }
+    ExitCode::SUCCESS
+}

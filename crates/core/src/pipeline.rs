@@ -1,0 +1,777 @@
+//! The synthesis pipeline (paper §4, Fig. 5).
+//!
+//! Wires the stages together exactly as the paper's block diagram:
+//!
+//! ```text
+//! high-level language → algebraic transformations (operation minimization)
+//!   → memory minimization (loop fusion)
+//!   → space-time trade-off (redundant loops + tiling)   [if over limit]
+//!   → data locality optimization (blocking + tile search)
+//!   → data distribution & partitioning                  [if a grid given]
+//!   → loop program (+ interpreter execution / verification)
+//! ```
+//!
+//! The feedback edge of Fig. 5 (space-time failing back to memory
+//! minimization) is realized by the pareto frontier: the space-time DP
+//! explores every fusion alternative jointly with recomputation, so
+//! "seeking a different solution" is a frontier lookup rather than an
+//! iterative loop.
+
+use std::collections::HashMap;
+use tce_dist::{optimize_distribution, DistPlan, Machine};
+use tce_fusion::{fused_program, memmin_dp, MemMinResult};
+use tce_ir::{Assignment, CostPoly, IndexSpace, OpTree, Product, Program, TensorId};
+use tce_lang::LangError;
+use tce_locality::{perfect_nests, search_nest_tiles, MemoryHierarchy, TileSearchResult};
+use tce_loops::{memory_report, op_counts, pretty, BuiltProgram};
+use tce_opmin::{optimize_assignment, optimize_pareto, OpMinProblem};
+use tce_spacetime::{spacetime_optimize, SpaceTimeConfig, TilingResult};
+use tce_tensor::{IntegralFn, Tensor};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct SynthesisConfig {
+    /// Memory limit for temporaries, in elements (the paper's disk
+    /// capacity bound that triggers the space-time stage).
+    pub memory_limit: u128,
+    /// Cache size in elements for the locality stage (`None` disables
+    /// blocking).
+    pub cache_elements: Option<u128>,
+    /// Memory hierarchy for reporting multi-level access costs.
+    pub hierarchy: MemoryHierarchy,
+    /// Target parallel machine (`None` = sequential).
+    pub machine: Option<Machine>,
+}
+
+impl Default for SynthesisConfig {
+    fn default() -> Self {
+        Self {
+            memory_limit: u128::MAX,
+            cache_elements: None,
+            hierarchy: MemoryHierarchy::cache_and_disk(64 * 1024, 1 << 30),
+            machine: None,
+        }
+    }
+}
+
+/// The synthesized plan for one product term of one statement.
+#[derive(Debug, Clone)]
+pub struct TermPlan {
+    /// Which statement (source order).
+    pub stmt_index: usize,
+    /// Which term within the statement.
+    pub term_index: usize,
+    /// Term coefficient.
+    pub coeff: f64,
+    /// Operation count of the direct (unoptimized) translation.
+    pub direct_ops: u128,
+    /// The chosen contraction tree.
+    pub tree: OpTree,
+    /// Position of the chosen tree on the (ops, intermediate-size) pareto
+    /// frontier: 0 = operation-minimal; larger = the Fig. 5 feedback loop
+    /// fell back to a costlier association with smaller intermediates to
+    /// satisfy the memory limit.
+    pub tree_rank: usize,
+    /// Operation count of the tree (leaf + contraction flops).
+    pub tree_ops: u128,
+    /// Symbolic operation count.
+    pub tree_ops_poly: CostPoly,
+    /// Memory-minimization outcome (pure fusion).
+    pub memmin: MemMinResult,
+    /// Space-time outcome, engaged when fusion alone exceeds the limit.
+    pub spacetime: Option<(SpaceTimeConfig, TilingResult)>,
+    /// The executable fused loop program (memory-minimal fusion).
+    pub built: BuiltProgram,
+    /// Locality stage outcome per perfect nest of the fused program.
+    pub locality: Vec<TileSearchResult>,
+    /// Distribution plan (when a machine was configured).
+    pub distribution: Option<DistPlan>,
+}
+
+/// Result of synthesizing a whole program.
+#[derive(Debug, Clone)]
+pub struct Synthesis {
+    /// The validated input program.
+    pub program: Program,
+    /// One plan per (statement, term).
+    pub plans: Vec<TermPlan>,
+    /// Common-subexpression statistics per multi-term statement.
+    pub cse: Vec<CseSummary>,
+}
+
+/// Sharing statistics for one statement's terms (the distributivity-aware
+/// part of the paper's Algebraic Transformations module: identical
+/// intermediates across terms are evaluated once).
+#[derive(Debug, Clone)]
+pub struct CseSummary {
+    /// Statement index.
+    pub stmt_index: usize,
+    /// Flops when terms are evaluated independently.
+    pub ops_independent: u128,
+    /// Flops when common subexpressions are shared.
+    pub ops_with_cse: u128,
+    /// Distinct intermediates after sharing.
+    pub unique_intermediates: usize,
+    /// Intermediates before sharing.
+    pub total_intermediates: usize,
+}
+
+impl Synthesis {
+    /// Execute the whole statement sequence in source order: each
+    /// statement's terms run through their synthesized loop programs, are
+    /// scaled by their coefficients and summed; `=` overwrites the target
+    /// tensor, `+=` accumulates into it.  Earlier results feed later
+    /// statements — the paper's "sequence of tensor contraction
+    /// expressions".  Returns the value of every assigned tensor.
+    ///
+    /// # Panics
+    /// Panics if an external input binding is missing or mis-shaped.
+    pub fn execute(
+        &self,
+        external_inputs: &HashMap<TensorId, &Tensor>,
+        funcs: &HashMap<String, IntegralFn>,
+    ) -> HashMap<TensorId, Tensor> {
+        let space = &self.program.space;
+        let mut computed: HashMap<TensorId, Tensor> = HashMap::new();
+        for (si, stmt) in self.program.stmts.iter().enumerate() {
+            let target = stmt.lhs.tensor;
+            let shape: Vec<usize> =
+                stmt.lhs.indices.iter().map(|&v| space.extent(v)).collect();
+            let mut acc = if stmt.accumulate {
+                computed
+                    .get(&target)
+                    .cloned()
+                    .unwrap_or_else(|| Tensor::zeros(&shape))
+            } else {
+                Tensor::zeros(&shape)
+            };
+            for plan in self.plans.iter().filter(|p| p.stmt_index == si) {
+                // Bind inputs: computed values shadow external bindings.
+                let mut inputs: HashMap<TensorId, &Tensor> = external_inputs.clone();
+                for (id, t) in &computed {
+                    inputs.insert(*id, t);
+                }
+                let term_value = plan.execute(space, &inputs, funcs);
+                // The plan's output dims are the LHS indices in canonical
+                // (ascending-id) order; permute to the declared order.
+                let canon: Vec<tce_ir::IndexVar> = stmt.lhs.index_set().iter().collect();
+                let perm: Vec<usize> = stmt
+                    .lhs
+                    .indices
+                    .iter()
+                    .map(|v| canon.iter().position(|c| c == v).unwrap())
+                    .collect();
+                let reordered = term_value.permute(&perm);
+                acc.axpy(plan.coeff, &reordered);
+            }
+            computed.insert(target, acc);
+        }
+        computed
+    }
+}
+
+/// Errors from the pipeline.
+#[derive(Debug, Clone)]
+pub enum SynthesisError {
+    /// Front-end failure.
+    Lang(LangError),
+    /// Semantic failure in a later stage.
+    Stage(String),
+}
+
+impl std::fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthesisError::Lang(e) => write!(f, "language error: {e}"),
+            SynthesisError::Stage(s) => write!(f, "synthesis error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {}
+
+impl From<LangError> for SynthesisError {
+    fn from(e: LangError) -> Self {
+        SynthesisError::Lang(e)
+    }
+}
+
+/// Compile source text and run the full pipeline.
+pub fn synthesize(src: &str, cfg: &SynthesisConfig) -> Result<Synthesis, SynthesisError> {
+    let program = tce_lang::compile(src)?;
+    synthesize_program(program, cfg)
+}
+
+/// Run the pipeline on an already-lowered program.
+pub fn synthesize_program(
+    program: Program,
+    cfg: &SynthesisConfig,
+) -> Result<Synthesis, SynthesisError> {
+    program.validate().map_err(SynthesisError::Stage)?;
+    let mut plans = Vec::new();
+    let mut cse = Vec::new();
+    for (si, stmt) in program.stmts.iter().enumerate() {
+        for (ti, term) in stmt.terms.iter().enumerate() {
+            plans.push(plan_term(&program, cfg, si, ti, stmt, term)?);
+        }
+        if stmt.terms.len() > 1 {
+            let m = optimize_assignment(stmt, &program.space).map_err(SynthesisError::Stage)?;
+            cse.push(CseSummary {
+                stmt_index: si,
+                ops_independent: m.ops_independent,
+                ops_with_cse: m.ops_with_cse,
+                unique_intermediates: m.unique_intermediates,
+                total_intermediates: m.total_intermediates,
+            });
+        }
+    }
+    Ok(Synthesis { program, plans, cse })
+}
+
+fn plan_term(
+    program: &Program,
+    cfg: &SynthesisConfig,
+    stmt_index: usize,
+    term_index: usize,
+    stmt: &Assignment,
+    term: &Product,
+) -> Result<TermPlan, SynthesisError> {
+    let space = &program.space;
+    // Stage 1: algebraic transformation — the pareto frontier of tree
+    // shapes over (operations, largest intermediate).  The first point is
+    // operation-minimal; later points realize the Fig. 5 feedback edge
+    // ("causing it to seek a different solution") when the memory stages
+    // cannot satisfy the limit on the cheaper trees.
+    let problem =
+        OpMinProblem::from_term(stmt.lhs.index_set(), term).map_err(SynthesisError::Stage)?;
+    let frontier = optimize_pareto(&problem, space);
+
+    type Chosen = (usize, OpTree, MemMinResult, Option<(SpaceTimeConfig, TilingResult)>);
+    let mut chosen: Option<Chosen> = None;
+    for (rank, pt) in frontier.iter().enumerate() {
+        let mut tree = pt.tree.clone();
+        // A single-factor identity term (e.g. `+ F[a,i]`) optimizes to a
+        // bare leaf; wrap it as `leaf · 1` so there is a producer nest to
+        // emit (a copy).
+        if matches!(tree.node(tree.root).kind, tce_ir::OpKind::Leaf(_)) {
+            let leaf = tree.root;
+            let keep = tree.node(leaf).indices;
+            let one = tree.leaf_one();
+            tree.contract(leaf, one, keep);
+        }
+        let tree = tree;
+        tree.validate().map_err(SynthesisError::Stage)?;
+        // Stage 2: memory minimization (fusion).
+        let memmin = memmin_dp(&tree, space);
+        if memmin.memory <= cfg.memory_limit {
+            chosen = Some((rank, tree, memmin, None));
+            break;
+        }
+        // Stage 3: space-time trade-off.
+        if let Some(r) = spacetime_optimize(&tree, space, cfg.memory_limit) {
+            chosen = Some((rank, tree, memmin, Some(r)));
+            break;
+        }
+    }
+    let Some((tree_rank, tree, memmin, spacetime)) = chosen else {
+        return Err(SynthesisError::Stage(format!(
+            "statement {stmt_index} term {term_index}: no tree shape admits a \
+             fusion/recomputation configuration within {} elements",
+            cfg.memory_limit
+        )));
+    };
+
+    // Executable code: the memory-minimal pure-fusion program when it
+    // fits; otherwise the chosen fusion/recomputation configuration,
+    // emitted untiled (its memory is ≤ the tiled plan's, so it always
+    // fits the limit; the tiled plan's analytics accompany the report).
+    let result_name = program.tensors.get(stmt.lhs.tensor).name.clone();
+    let built = match &spacetime {
+        Some((st_cfg, _)) => {
+            tce_spacetime::spacetime_program(&tree, space, &program.tensors, st_cfg, &result_name)
+                .map_err(SynthesisError::Stage)?
+        }
+        None => fused_program(&tree, space, &program.tensors, &memmin.config, &result_name),
+    };
+
+    // Stage 4: data locality (blocking of perfect nests).
+    let locality = match cfg.cache_elements {
+        Some(cache) => perfect_nests(&built.program)
+            .iter()
+            .map(|nest| search_nest_tiles(&built.program, space, nest, cache))
+            .collect(),
+        None => Vec::new(),
+    };
+
+    // Stage 5: data distribution.
+    let distribution = cfg
+        .machine
+        .as_ref()
+        .map(|m| optimize_distribution(&tree, space, m));
+
+    Ok(TermPlan {
+        stmt_index,
+        term_index,
+        coeff: term.coeff,
+        direct_ops: stmt.direct_op_count(space),
+        tree_ops: tree.total_ops(space),
+        tree_ops_poly: tree.total_ops_poly(space),
+        tree,
+        tree_rank,
+        memmin,
+        spacetime,
+        built,
+        locality,
+        distribution,
+    })
+}
+
+impl TermPlan {
+    /// Human-readable stage-by-stage report.
+    pub fn report(&self, space: &IndexSpace, program: &Program) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== statement {} term {} (coeff {}) ==",
+            self.stmt_index, self.term_index, self.coeff
+        );
+        let _ = writeln!(out, "direct translation ops : {}", self.direct_ops);
+        let _ = writeln!(
+            out,
+            "operation-minimal ops  : {}  ({})",
+            self.tree_ops,
+            self.tree_ops_poly.display(space)
+        );
+        let _ = writeln!(
+            out,
+            "formula sequence:\n{}",
+            self.tree.formula_sequence(space, "OUT", &|t: TensorId| program
+                .tensors
+                .get(t)
+                .name
+                .clone())
+        );
+        if self.tree_rank > 0 {
+            let _ = writeln!(
+                out,
+                "NOTE: fell back to pareto tree #{} (costlier association with \
+                 smaller intermediates) to satisfy the memory limit",
+                self.tree_rank
+            );
+        }
+        let _ = writeln!(out, "memory-minimal temporaries: {} elements", self.memmin.memory);
+        if let Some((st, tiles)) = &self.spacetime {
+            let _ = writeln!(
+                out,
+                "space-time: memory {} elements, ops {} (recomputation indices: {})",
+                tiles.memory,
+                tiles.ops,
+                space.set_to_string(st.recomputation_indices())
+            );
+        }
+        // Symmetry-aware input storage (the high-level language's symmetry
+        // declarations reduce what must be stored/read).
+        for node in &self.tree.nodes {
+            if let tce_ir::OpKind::Leaf(tce_ir::Leaf::Input { tensor, .. }) = &node.kind {
+                let decl = program.tensors.get(*tensor);
+                if !decl.symmetry.is_empty() {
+                    let _ = writeln!(
+                        out,
+                        "input `{}`: {} dense elements, {} unique under its declared symmetry",
+                        decl.name,
+                        decl.dense_elements(space),
+                        decl.unique_elements(space)
+                    );
+                }
+            }
+        }
+        let mem = memory_report(&self.built.program, space);
+        let ops = op_counts(&self.built.program, space);
+        let _ = writeln!(
+            out,
+            "fused program: {} temp elements, {} flops",
+            mem.temp_elements,
+            ops.total()
+        );
+        for (i, loc) in self.locality.iter().enumerate() {
+            let _ = writeln!(out, "locality nest {i}: modeled misses {}", loc.cost);
+        }
+        if let Some(plan) = &self.distribution {
+            let _ = writeln!(out, "distribution cost: {}", plan.total_cost);
+        }
+        let _ = writeln!(out, "pseudocode:\n{}", pretty(&self.built.program));
+        out
+    }
+
+    /// Execute the fused program against bound inputs and functions.
+    pub fn execute(
+        &self,
+        space: &IndexSpace,
+        inputs: &HashMap<TensorId, &Tensor>,
+        funcs: &HashMap<String, IntegralFn>,
+    ) -> Tensor {
+        let mut interp =
+            tce_exec::Interpreter::new(&self.built.program, space, inputs, funcs);
+        interp.run(&mut tce_exec::NoSink);
+        interp.output().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SECTION2: &str = "
+        range N = 6;
+        index a, b, c, d, e, f, i, j, k, l : N;
+        tensor A(N, N, N, N);
+        tensor B(N, N, N, N);
+        tensor C(N, N, N, N);
+        tensor D(N, N, N, N);
+        tensor S(N, N, N, N);
+        S[a,b,i,j] = sum[c,d,e,f,k,l] A[a,c,i,k] * B[b,e,f,l] * C[d,f,j,k] * D[c,d,e,l];
+    ";
+
+    #[test]
+    fn pipeline_reproduces_section2_numbers() {
+        let syn = synthesize(SECTION2, &SynthesisConfig::default()).unwrap();
+        assert_eq!(syn.plans.len(), 1);
+        let plan = &syn.plans[0];
+        assert_eq!(plan.direct_ops, 4 * 6u128.pow(10));
+        assert_eq!(plan.tree_ops, 6 * 6u128.pow(6));
+        // Fusion: T1 scalar + T2 2-D.
+        assert_eq!(plan.memmin.memory, 1 + 36);
+        assert!(plan.spacetime.is_none());
+        let report = plan.report(&syn.program.space, &syn.program);
+        assert!(report.contains("6·N^6"));
+    }
+
+    #[test]
+    fn pipeline_executes_correctly() {
+        // N = 4 keeps the 10-deep reference einsum (N^10 points) fast.
+        let syn = synthesize(&SECTION2.replace("N = 6", "N = 4"), &SynthesisConfig::default())
+            .unwrap();
+        let plan = &syn.plans[0];
+        let space = &syn.program.space;
+        let shape = [4usize; 4];
+        let ta = Tensor::random(&shape, 1);
+        let tb = Tensor::random(&shape, 2);
+        let tc = Tensor::random(&shape, 3);
+        let td = Tensor::random(&shape, 4);
+        let mut inputs = HashMap::new();
+        for (nm, t) in [("A", &ta), ("B", &tb), ("C", &tc), ("D", &td)] {
+            inputs.insert(syn.program.tensors.by_name(nm).unwrap(), t);
+        }
+        let got = plan.execute(space, &inputs, &HashMap::new());
+        // Reference through the direct einsum.
+        let v = |n: &str| space.var_by_name(n).unwrap();
+        let spec = tce_tensor::EinsumSpec::new(
+            vec![v("a"), v("b"), v("i"), v("j")],
+            vec![
+                vec![v("a"), v("c"), v("i"), v("k")],
+                vec![v("b"), v("e"), v("f"), v("l")],
+                vec![v("d"), v("f"), v("j"), v("k")],
+                vec![v("c"), v("d"), v("e"), v("l")],
+            ],
+            space.parse_set("c,d,e,f,k,l").unwrap(),
+        )
+        .unwrap();
+        let expect = spec.eval(space, &[&ta, &tb, &tc, &td]);
+        assert!(got.approx_eq(&expect, 1e-9));
+    }
+
+    #[test]
+    fn spacetime_engages_when_memory_tight() {
+        // Limit below the memory-minimal footprint forces stage 3.
+        let src = "
+            range V = 4; range O = 2;
+            index a, c, e, f, b1 : V; index k : O;
+            tensor E();
+            function f1(V, V, V, O) cost 100;
+            function f2(V, V, V, O) cost 100;
+            function fx(V, V, V, V) cost 1;
+            E = sum[a,c,e,f,b1,k] f1(c,e,b1,k) * f2(a,f,b1,k) * fx(a,e,c,f);
+        ";
+        let cfg = SynthesisConfig {
+            memory_limit: 50,
+            ..SynthesisConfig::default()
+        };
+        let syn = synthesize(src, &cfg).unwrap();
+        let plan = &syn.plans[0];
+        if plan.memmin.memory > 50 {
+            let (_, tiles) = plan.spacetime.as_ref().expect("space-time engaged");
+            assert!(tiles.memory <= 50);
+        }
+    }
+
+    #[test]
+    fn infeasible_limit_reports_error() {
+        let src = "
+            range N = 8;
+            index i, j, k : N;
+            tensor A(N, N); tensor B(N, N); tensor C(N, N); tensor S(N, N);
+            S[i,j] = sum[k] A[i,k] * B[k,j];
+        ";
+        let cfg = SynthesisConfig {
+            memory_limit: 0,
+            ..SynthesisConfig::default()
+        };
+        // Single contraction has no temporaries at all — always fits.
+        assert!(synthesize(src, &cfg).is_ok());
+    }
+
+    #[test]
+    fn locality_and_distribution_stages_populate() {
+        let src = "
+            range N = 16;
+            index i, j, k : N;
+            tensor A(N, N); tensor B(N, N); tensor S(N, N);
+            S[i,j] = sum[k] A[i,k] * B[k,j];
+        ";
+        let cfg = SynthesisConfig {
+            cache_elements: Some(128),
+            machine: Some(Machine::new(tce_par::ProcessorGrid::new(vec![2, 2]))),
+            ..SynthesisConfig::default()
+        };
+        let syn = synthesize(src, &cfg).unwrap();
+        let plan = &syn.plans[0];
+        assert!(!plan.locality.is_empty());
+        assert!(plan.distribution.is_some());
+        let report = plan.report(&syn.program.space, &syn.program);
+        assert!(report.contains("locality nest 0"));
+        assert!(report.contains("distribution cost"));
+    }
+
+    #[test]
+    fn multi_term_statements_get_one_plan_each() {
+        let src = "
+            range N = 4;
+            index i, j, k : N;
+            tensor A(N, N); tensor B(N, N); tensor S(N, N);
+            S[i,j] = sum[k] A[i,k] * B[k,j] - 2 * B[i,k] * A[k,j];
+        ";
+        let syn = synthesize(src, &SynthesisConfig::default()).unwrap();
+        assert_eq!(syn.plans.len(), 2);
+        assert_eq!(syn.plans[1].coeff, -2.0);
+    }
+
+    #[test]
+    fn statement_sequence_executes_with_dataflow() {
+        // Two statements: T = A·B, then S = T·A + 2·T, exercising
+        // intermediate dataflow, multi-term summation and coefficients.
+        let src = "
+            range N = 5;
+            index i, j, k : N;
+            tensor A(N, N); tensor B(N, N); tensor T(N, N); tensor S(N, N);
+            T[i,j] = sum[k] A[i,k] * B[k,j];
+            S[i,j] = sum[k] T[i,k] * A[k,j] + 2 * T[i,j] * B[i,j];
+        ";
+        let syn = synthesize(src, &SynthesisConfig::default()).unwrap();
+        assert_eq!(syn.plans.len(), 3);
+        let a = Tensor::random(&[5, 5], 1);
+        let b = Tensor::random(&[5, 5], 2);
+        let mut ext = HashMap::new();
+        ext.insert(syn.program.tensors.by_name("A").unwrap(), &a);
+        ext.insert(syn.program.tensors.by_name("B").unwrap(), &b);
+        let out = syn.execute(&ext, &HashMap::new());
+        let s_id = syn.program.tensors.by_name("S").unwrap();
+        let got = &out[&s_id];
+        // Reference by hand.
+        let mut t = Tensor::zeros(&[5, 5]);
+        for i in 0..5 {
+            for j in 0..5 {
+                for k in 0..5 {
+                    t.add_assign_at(&[i, j], a.get(&[i, k]) * b.get(&[k, j]));
+                }
+            }
+        }
+        let mut expect = Tensor::zeros(&[5, 5]);
+        for i in 0..5 {
+            for j in 0..5 {
+                for k in 0..5 {
+                    expect.add_assign_at(&[i, j], t.get(&[i, k]) * a.get(&[k, j]));
+                }
+                expect.add_assign_at(&[i, j], 2.0 * t.get(&[i, j]) * b.get(&[i, j]));
+            }
+        }
+        assert!(got.approx_eq(&expect, 1e-9), "diff {:e}", got.max_abs_diff(&expect));
+        // T is also reported.
+        let t_id = syn.program.tensors.by_name("T").unwrap();
+        assert!(out[&t_id].approx_eq(&t, 1e-9));
+    }
+
+    #[test]
+    fn accumulate_statement_adds_to_previous_value() {
+        let src = "
+            range N = 4;
+            index i, k : N;
+            tensor A(N, N); tensor S(N);
+            S[i] = sum[k] A[i,k] * A[i,k];
+            S[i] += sum[k] A[k,i] * A[k,i];
+        ";
+        let syn = synthesize(src, &SynthesisConfig::default()).unwrap();
+        let a = Tensor::random(&[4, 4], 9);
+        let mut ext = HashMap::new();
+        ext.insert(syn.program.tensors.by_name("A").unwrap(), &a);
+        let out = syn.execute(&ext, &HashMap::new());
+        let s = &out[&syn.program.tensors.by_name("S").unwrap()];
+        for i in 0..4 {
+            let mut expect = 0.0;
+            for k in 0..4 {
+                expect += a.get(&[i, k]).powi(2) + a.get(&[k, i]).powi(2);
+            }
+            assert!((s.get(&[i]) - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn per_term_summation_convention() {
+        // The second term does not mention k; it must NOT be scaled by
+        // extent(k) (per-term Σ convention).
+        let src = "
+            range N = 4;
+            index i, k : N;
+            tensor A(N, N); tensor B(N); tensor S(N);
+            S[i] = sum[k] A[i,k] * A[i,k] + B[i] * B[i];
+        ";
+        let syn = synthesize(src, &SynthesisConfig::default()).unwrap();
+        let a = Tensor::random(&[4, 4], 1);
+        let b = Tensor::random(&[4], 2);
+        let mut ext = HashMap::new();
+        ext.insert(syn.program.tensors.by_name("A").unwrap(), &a);
+        ext.insert(syn.program.tensors.by_name("B").unwrap(), &b);
+        let out = syn.execute(&ext, &HashMap::new());
+        let s = &out[&syn.program.tensors.by_name("S").unwrap()];
+        for i in 0..4 {
+            let mut expect = b.get(&[i]).powi(2); // NOT ×4
+            for k in 0..4 {
+                expect += a.get(&[i, k]).powi(2);
+            }
+            assert!((s.get(&[i]) - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_factor_copy_term_executes() {
+        // `+ F[a,i]` — a bare copy term (wrapped as leaf·1 internally).
+        let src = "
+            range N = 4;
+            index i, k : N;
+            tensor A(N, N); tensor F(N); tensor S(N);
+            S[i] = sum[k] A[i,k] * A[k,i] + F[i];
+        ";
+        let syn = synthesize(src, &SynthesisConfig::default()).unwrap();
+        let a = Tensor::random(&[4, 4], 3);
+        let f = Tensor::random(&[4], 4);
+        let mut ext = HashMap::new();
+        ext.insert(syn.program.tensors.by_name("A").unwrap(), &a);
+        ext.insert(syn.program.tensors.by_name("F").unwrap(), &f);
+        let out = syn.execute(&ext, &HashMap::new());
+        let s = &out[&syn.program.tensors.by_name("S").unwrap()];
+        for i in 0..4 {
+            let mut expect = f.get(&[i]);
+            for k in 0..4 {
+                expect += a.get(&[i, k]) * a.get(&[k, i]);
+            }
+            assert!((s.get(&[i]) - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn permuted_lhs_order_is_respected() {
+        // LHS declared [j, i] while canonical order is [i, j]: execute()
+        // must permute the plan output.
+        let src = "
+            range N = 3; range M = 4;
+            index i : N; index j : M; index k : N;
+            tensor A(N, N); tensor B(N, M); tensor S(M, N);
+            S[j,i] = sum[k] A[i,k] * B[k,j];
+        ";
+        let syn = synthesize(src, &SynthesisConfig::default()).unwrap();
+        let a = Tensor::random(&[3, 3], 3);
+        let b = Tensor::random(&[3, 4], 4);
+        let mut ext = HashMap::new();
+        ext.insert(syn.program.tensors.by_name("A").unwrap(), &a);
+        ext.insert(syn.program.tensors.by_name("B").unwrap(), &b);
+        let out = syn.execute(&ext, &HashMap::new());
+        let s = &out[&syn.program.tensors.by_name("S").unwrap()];
+        assert_eq!(s.shape(), &[4, 3]);
+        for j in 0..4 {
+            for i in 0..3 {
+                let mut expect = 0.0;
+                for k in 0..3 {
+                    expect += a.get(&[i, k]) * b.get(&[k, j]);
+                }
+                assert!((s.get(&[j, i]) - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn feedback_falls_back_to_smaller_intermediate_tree() {
+        // Four skewed factors where the op-minimal association needs a
+        // large intermediate; under a tight limit the pipeline must pick a
+        // later pareto tree (or recompute) and still fit.
+        let src = "
+            range B = 30; range S = 2;
+            index i : B; index j, k : S; index l : B;
+            tensor A(B, S); tensor P(S, S); tensor Q(S, B); tensor OUT(B, B);
+            OUT[i,l] = sum[j,k] A[i,j] * P[j,k] * Q[k,l];
+        ";
+        let roomy = synthesize(src, &SynthesisConfig::default()).unwrap();
+        assert_eq!(roomy.plans[0].tree_rank, 0);
+        let tight = SynthesisConfig {
+            memory_limit: 8,
+            ..SynthesisConfig::default()
+        };
+        let constrained = synthesize(src, &tight).unwrap();
+        let plan = &constrained.plans[0];
+        // Whatever route it took, the executable program fits the limit.
+        let mem = memory_report(&plan.built.program, &constrained.program.space);
+        let out_elems = 30u128 * 30;
+        assert!(mem.temp_elements - out_elems <= 8);
+        // And still computes the right thing.
+        let a = Tensor::random(&[30, 2], 1);
+        let p = Tensor::random(&[2, 2], 2);
+        let q = Tensor::random(&[2, 30], 3);
+        let mut inputs = HashMap::new();
+        inputs.insert(constrained.program.tensors.by_name("A").unwrap(), &a);
+        inputs.insert(constrained.program.tensors.by_name("P").unwrap(), &p);
+        inputs.insert(constrained.program.tensors.by_name("Q").unwrap(), &q);
+        let got = plan.execute(&constrained.program.space, &inputs, &HashMap::new());
+        let expect = roomy.plans[0].execute(&roomy.program.space, &inputs, &HashMap::new());
+        assert!(got.approx_eq(&expect, 1e-9));
+    }
+
+    #[test]
+    fn cse_summary_reports_sharing() {
+        let src = "
+            range N = 5; index i, j, k : N;
+            tensor A(N, N); tensor B(N, N); tensor S(N, N);
+            S[i,j] = sum[k] A[i,k] * B[k,j] + A[i,k] * B[k,j];
+        ";
+        let syn = synthesize(src, &SynthesisConfig::default()).unwrap();
+        assert_eq!(syn.cse.len(), 1);
+        let c = &syn.cse[0];
+        assert_eq!(c.total_intermediates, 2);
+        assert_eq!(c.unique_intermediates, 1);
+        assert_eq!(c.ops_with_cse * 2, c.ops_independent);
+        // Single-term statements produce no summary.
+        let syn2 = synthesize(
+            "range N = 4; index i, k : N; tensor A(N, N); tensor S(N);
+             S[i] = sum[k] A[i,k] * A[i,k];",
+            &SynthesisConfig::default(),
+        )
+        .unwrap();
+        assert!(syn2.cse.is_empty());
+    }
+
+    #[test]
+    fn language_errors_propagate() {
+        assert!(matches!(
+            synthesize("range ;", &SynthesisConfig::default()),
+            Err(SynthesisError::Lang(_))
+        ));
+    }
+}

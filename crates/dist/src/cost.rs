@@ -1,0 +1,279 @@
+//! Communication and computation cost models (paper §7).
+//!
+//! * [`move_cost`] — `MoveCost(v, β, α)`: elements that must change
+//!   processor when redistributing an array from β to α.  Computed
+//!   *exactly*: for every processor, the elements it needs under α minus
+//!   those it already holds under β (ownership factorizes over array
+//!   dimensions, so each processor's count is a product of per-dimension
+//!   range intersections).  This reproduces the paper's examples — e.g.
+//!   `T1: ⟨1,t,j⟩ → ⟨j,t,1⟩` requires movement while `T2: ⟨j,*,1⟩ →
+//!   ⟨j,t,1⟩` does not, "each processor just needs to give up part of the
+//!   t-dimension".
+//! * [`calc_cost`] — per-processor computation time of a node evaluated
+//!   under a loop-space distribution γ (distributed loop dimensions are
+//!   divided by the grid extent; replication does not speed anything up).
+//! * [`reduce_cost`] — combining partial sums when a summation index was
+//!   distributed: local volume × ⌈log₂ p⌉ per summation grid dimension,
+//!   doubled when the result is replicated instead of collapsed.
+
+use crate::tuple::{DistEntry, DistTuple};
+use tce_ir::{IndexSet, IndexSpace, IndexVar};
+use tce_par::ProcessorGrid;
+
+/// Exact redistribution volume (total elements received over all
+/// processors) for an array with ordered dims `dims`, moving from
+/// distribution `beta` to `alpha`.
+pub fn move_cost(
+    dims: &[IndexVar],
+    space: &IndexSpace,
+    grid: &ProcessorGrid,
+    beta: &DistTuple,
+    alpha: &DistTuple,
+) -> u128 {
+    let set = IndexSet::from_vars(dims.iter().copied());
+    let mut total = 0u128;
+    for id in grid.processors() {
+        let z = grid.coords(id);
+        if !alpha.holds(set, &z) {
+            continue;
+        }
+        let mut need = 1u128;
+        for &v in dims {
+            need = need.saturating_mul(alpha.owned_range(v, space, grid, &z).len() as u128);
+        }
+        let have = if beta.holds(set, &z) {
+            let mut inter = 1u128;
+            for &v in dims {
+                let a = alpha.owned_range(v, space, grid, &z);
+                let b = beta.owned_range(v, space, grid, &z);
+                let lo = a.start.max(b.start);
+                let hi = a.end.min(b.end);
+                inter = inter.saturating_mul(hi.saturating_sub(lo) as u128);
+            }
+            inter
+        } else {
+            0
+        };
+        total = total.saturating_add(need.saturating_sub(have));
+    }
+    total
+}
+
+/// Per-processor iteration points of a loop space `loops` under the
+/// distribution γ: distributed dimensions are block-divided, everything
+/// else is traversed in full.
+pub fn local_iteration_points(
+    loops: IndexSet,
+    space: &IndexSpace,
+    grid: &ProcessorGrid,
+    gamma: &DistTuple,
+) -> u128 {
+    let mut points = 1u128;
+    for v in loops.iter() {
+        let n = space.extent(v);
+        let mut local = n;
+        for (d, e) in gamma.0.iter().enumerate() {
+            if *e == DistEntry::Idx(v) {
+                local = n.div_ceil(grid.dims()[d]);
+                break;
+            }
+        }
+        points = points.saturating_mul(local as u128);
+    }
+    points
+}
+
+/// Per-processor computation time (flops) of a node whose loop space is
+/// `loops`, costing `flops_per_point` at each point, under γ.
+pub fn calc_cost(
+    loops: IndexSet,
+    flops_per_point: u128,
+    space: &IndexSpace,
+    grid: &ProcessorGrid,
+    gamma: &DistTuple,
+) -> u128 {
+    local_iteration_points(loops, space, grid, gamma).saturating_mul(flops_per_point)
+}
+
+/// How a distributed summation dimension is resolved after partial sums.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceMode {
+    /// Combine partial sums onto the first processor of each summation
+    /// grid dimension (tuple entry becomes `1`).
+    Combine,
+    /// Replicate the combined sums along each summation grid dimension
+    /// (tuple entry becomes `*`).
+    Replicate,
+}
+
+/// Cost (words) of reducing partial sums: for each grid dimension that
+/// carried a summation index, a tree combine of the local result volume —
+/// `volume × ⌈log₂ p_d⌉` — doubled for [`ReduceMode::Replicate`]
+/// (reduce + broadcast).
+pub fn reduce_cost(
+    result_indices: IndexSet,
+    sum_indices: IndexSet,
+    space: &IndexSpace,
+    grid: &ProcessorGrid,
+    gamma: &DistTuple,
+    mode: ReduceMode,
+) -> u128 {
+    let volume = local_iteration_points(result_indices, space, grid, gamma);
+    let mut cost = 0u128;
+    for (d, e) in gamma.0.iter().enumerate() {
+        if let DistEntry::Idx(v) = *e {
+            if sum_indices.contains(v) {
+                let p = grid.dims()[d] as u128;
+                if p > 1 {
+                    let rounds = 128 - (p - 1).leading_zeros() as u128; // ⌈log₂ p⌉
+                    cost = cost.saturating_add(volume.saturating_mul(rounds));
+                }
+            }
+        }
+    }
+    match mode {
+        ReduceMode::Combine => cost,
+        ReduceMode::Replicate => cost.saturating_mul(2),
+    }
+}
+
+/// The post-reduction distribution of a contraction's result: summation
+/// entries collapse to `1` (Combine) or `*` (Replicate); everything else
+/// is kept, normalized to the result's indices.
+pub fn after_reduction(
+    gamma: &DistTuple,
+    result_indices: IndexSet,
+    sum_indices: IndexSet,
+    mode: ReduceMode,
+) -> DistTuple {
+    DistTuple(
+        gamma
+            .0
+            .iter()
+            .map(|e| match *e {
+                DistEntry::Idx(v) if sum_indices.contains(v) => match mode {
+                    ReduceMode::Combine => DistEntry::One,
+                    ReduceMode::Replicate => DistEntry::Replicate,
+                },
+                DistEntry::Idx(v) if !result_indices.contains(v) => DistEntry::Replicate,
+                other => other,
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (IndexSpace, ProcessorGrid, IndexVar, IndexVar) {
+        let mut sp = IndexSpace::new();
+        let rn = sp.add_range("N", 16);
+        let j = sp.add_var("j", rn);
+        let t = sp.add_var("t", rn);
+        (sp, ProcessorGrid::new(vec![2, 4, 8]), j, t)
+    }
+
+    #[test]
+    fn paper_redistribution_examples() {
+        // §7: T1[j,t] from ⟨1,t,j⟩ to ⟨j,t,1⟩ "would have to be
+        // redistributed because the two distributions do not match. But for
+        // T2 to go from ⟨j,*,1⟩ to ⟨j,t,1⟩, each processor just needs to
+        // give up part of the t-dimension of the array and no
+        // inter-processor data movement is required."
+        let (sp, grid, j, t) = setup();
+        let dims = [j, t];
+        let t1_from = DistTuple(vec![DistEntry::One, DistEntry::Idx(t), DistEntry::Idx(j)]);
+        let t2_from = DistTuple(vec![DistEntry::Idx(j), DistEntry::Replicate, DistEntry::One]);
+        let to = DistTuple(vec![DistEntry::Idx(j), DistEntry::Idx(t), DistEntry::One]);
+        assert!(move_cost(&dims, &sp, &grid, &t1_from, &to) > 0);
+        assert_eq!(move_cost(&dims, &sp, &grid, &t2_from, &to), 0);
+    }
+
+    #[test]
+    fn identical_distribution_moves_nothing() {
+        let (sp, grid, j, t) = setup();
+        let dims = [j, t];
+        for tup in [
+            DistTuple::all_one(3),
+            DistTuple::all_replicate(3),
+            DistTuple(vec![DistEntry::Idx(j), DistEntry::Idx(t), DistEntry::One]),
+        ] {
+            assert_eq!(move_cost(&dims, &sp, &grid, &tup, &tup), 0);
+        }
+    }
+
+    #[test]
+    fn replication_from_single_copy_costs_extra_copies() {
+        // From everything-on-processor-0 to full replication: 63 of 64
+        // processors receive the whole 16×16 array.
+        let (sp, grid, j, t) = setup();
+        let dims = [j, t];
+        let from = DistTuple::all_one(3);
+        let to = DistTuple::all_replicate(3);
+        assert_eq!(move_cost(&dims, &sp, &grid, &from, &to), 63 * 256);
+    }
+
+    #[test]
+    fn gather_to_one_from_blocks() {
+        // From block-distributed over j (2 ways) to all-on-first: the
+        // first processor already holds half.
+        let (sp, grid, j, t) = setup();
+        let dims = [j, t];
+        let from = DistTuple(vec![DistEntry::Idx(j), DistEntry::One, DistEntry::One]);
+        let to = DistTuple::all_one(3);
+        assert_eq!(move_cost(&dims, &sp, &grid, &from, &to), 128);
+    }
+
+    #[test]
+    fn calc_cost_divides_distributed_dims_only() {
+        let (sp, grid, j, t) = setup();
+        let loops = IndexSet::from_vars([j, t]);
+        let seq = DistTuple::all_one(3);
+        assert_eq!(calc_cost(loops, 2, &sp, &grid, &seq), 2 * 256);
+        let dist_j = DistTuple(vec![DistEntry::Idx(j), DistEntry::One, DistEntry::One]);
+        assert_eq!(calc_cost(loops, 2, &sp, &grid, &dist_j), 2 * 128);
+        // j over p=2 (local 8) and t over p=4 (local 4): 2·8·4.
+        let dist_both = DistTuple(vec![DistEntry::Idx(j), DistEntry::Idx(t), DistEntry::One]);
+        assert_eq!(calc_cost(loops, 2, &sp, &grid, &dist_both), 2 * 8 * 4);
+        // Replication does not reduce per-processor time.
+        let rep = DistTuple::all_replicate(3);
+        assert_eq!(calc_cost(loops, 2, &sp, &grid, &rep), 2 * 256);
+    }
+
+    #[test]
+    fn reduce_cost_log_rounds() {
+        let (sp, grid, j, t) = setup();
+        let result = j.singleton();
+        let sums = t.singleton();
+        // t distributed along dim 1 (p=4): 2 rounds × local volume (j
+        // undistributed: 16).
+        let gamma = DistTuple(vec![DistEntry::One, DistEntry::Idx(t), DistEntry::One]);
+        assert_eq!(
+            reduce_cost(result, sums, &sp, &grid, &gamma, ReduceMode::Combine),
+            16 * 2
+        );
+        assert_eq!(
+            reduce_cost(result, sums, &sp, &grid, &gamma, ReduceMode::Replicate),
+            16 * 4
+        );
+        // No distributed sum index → free.
+        let gamma2 = DistTuple(vec![DistEntry::Idx(j), DistEntry::One, DistEntry::One]);
+        assert_eq!(
+            reduce_cost(result, sums, &sp, &grid, &gamma2, ReduceMode::Combine),
+            0
+        );
+    }
+
+    #[test]
+    fn after_reduction_rewrites_entries() {
+        let (_, _, j, t) = setup();
+        let gamma = DistTuple(vec![DistEntry::Idx(j), DistEntry::Idx(t), DistEntry::Replicate]);
+        let res = j.singleton();
+        let sums = t.singleton();
+        let a = after_reduction(&gamma, res, sums, ReduceMode::Combine);
+        assert_eq!(a.0, vec![DistEntry::Idx(j), DistEntry::One, DistEntry::Replicate]);
+        let b = after_reduction(&gamma, res, sums, ReduceMode::Replicate);
+        assert_eq!(b.0[1], DistEntry::Replicate);
+    }
+}

@@ -1,0 +1,326 @@
+//! Direct (array-at-a-time) execution of operator trees.
+//!
+//! Evaluates a formula sequence bottom-up, materializing every
+//! intermediate at full size — the execution model of the *unfused*
+//! operation-minimal form, but using the blocked GEMM contraction kernel
+//! and (optionally) the crossbeam thread pool, which is how the
+//! synthesized code's contractions actually run fast.  Serves both as a
+//! second semantic oracle for the loop-program interpreter and as the
+//! baseline executor for the benchmark harnesses.
+
+use std::collections::HashMap;
+use tce_ir::{IndexSpace, IndexVar, Leaf, NodeId, OpKind, OpTree, TensorId};
+use tce_par::{parallel_chunks_mut, parallel_for};
+use tce_tensor::{BinaryContraction, IntegralFn, Tensor};
+
+/// Evaluate `tree` bottom-up; returns the root value.
+///
+/// `threads = 1` runs sequentially; larger values parallelize function
+/// materialization and the batched GEMM row loop.
+pub fn execute_tree(
+    tree: &OpTree,
+    space: &IndexSpace,
+    inputs: &HashMap<TensorId, &Tensor>,
+    funcs: &HashMap<String, IntegralFn>,
+    threads: usize,
+) -> Tensor {
+    let mut values: Vec<Option<Tensor>> = vec![None; tree.len()];
+    for id in tree.postorder() {
+        let value = match &tree.node(id).kind {
+            OpKind::Leaf(Leaf::Input { tensor, indices }) => {
+                let t = inputs
+                    .get(tensor)
+                    .unwrap_or_else(|| panic!("no binding for input tensor {tensor:?}"));
+                let expect: Vec<usize> = indices.iter().map(|&v| space.extent(v)).collect();
+                assert_eq!(t.shape(), &expect[..], "input shape mismatch");
+                (*t).clone()
+            }
+            OpKind::Leaf(Leaf::One) => Tensor::from_elem(&[], 1.0),
+            OpKind::Leaf(Leaf::Func { name, indices, .. }) => {
+                let f = funcs
+                    .get(name)
+                    .unwrap_or_else(|| panic!("no binding for function `{name}`"));
+                materialize_func(f, indices, space, threads)
+            }
+            OpKind::Contract { left, right } => {
+                let lv = values[left.0 as usize].as_ref().expect("postorder");
+                let rv = values[right.0 as usize].as_ref().expect("postorder");
+                contract_node(tree, space, id, *left, *right, lv, rv, threads)
+            }
+        };
+        values[id.0 as usize] = Some(value);
+    }
+    values[tree.root.0 as usize].take().expect("root value")
+}
+
+/// Materialize a function leaf over its full index space, in parallel over
+/// the leading dimension blocks.
+fn materialize_func(
+    f: &IntegralFn,
+    indices: &[IndexVar],
+    space: &IndexSpace,
+    threads: usize,
+) -> Tensor {
+    let shape: Vec<usize> = indices.iter().map(|&v| space.extent(v)).collect();
+    let mut out = Tensor::zeros(&shape);
+    let total = out.len();
+    let rank = shape.len();
+    let shape_ref = &shape;
+    parallel_chunks_mut(out.data_mut(), threads, |start, chunk| {
+        let mut idx = vec![0usize; rank];
+        // Decode the starting flat offset.
+        let mut rem = start;
+        for d in (0..rank).rev() {
+            idx[d] = rem % shape_ref[d];
+            rem /= shape_ref[d];
+        }
+        for x in chunk.iter_mut() {
+            *x = f.eval(&idx);
+            Tensor::advance(&mut idx, shape_ref);
+        }
+        let _ = total;
+    });
+    out
+}
+
+/// Contract two materialized child values into the node's result, using
+/// the permute+GEMM path with the batch/M loop parallelized.
+#[allow(clippy::too_many_arguments)]
+fn contract_node(
+    tree: &OpTree,
+    space: &IndexSpace,
+    id: NodeId,
+    left: NodeId,
+    right: NodeId,
+    lv: &Tensor,
+    rv: &Tensor,
+    threads: usize,
+) -> Tensor {
+    let dims_of = |n: NodeId| -> Vec<IndexVar> {
+        match &tree.node(n).kind {
+            OpKind::Leaf(Leaf::Input { indices, .. }) | OpKind::Leaf(Leaf::Func { indices, .. }) => {
+                indices.clone()
+            }
+            _ => tree.node(n).indices.iter().collect(),
+        }
+    };
+    let spec = BinaryContraction {
+        a: dims_of(left),
+        b: dims_of(right),
+        out: tree.node(id).indices.iter().collect(),
+    };
+    if threads <= 1 {
+        return tce_tensor::contract_gemm(&spec, space, lv, rv);
+    }
+    // Parallel path: same layout preparation as contract_gemm but with the
+    // output rows distributed over the pool.
+    parallel_contract(&spec, space, lv, rv, threads)
+}
+
+/// Parallel permute+GEMM contraction: permutes to `[batch, M, K] ×
+/// [batch, K, N]`, then parallelizes over `batch × M` row blocks.
+pub fn parallel_contract(
+    spec: &BinaryContraction,
+    space: &IndexSpace,
+    a: &Tensor,
+    b: &Tensor,
+    threads: usize,
+) -> Tensor {
+    use tce_ir::IndexSet;
+    spec.validate().expect("invalid contraction");
+    let sa = IndexSet::from_vars(spec.a.iter().copied());
+    let sb = IndexSet::from_vars(spec.b.iter().copied());
+    let so = IndexSet::from_vars(spec.out.iter().copied());
+    // Summation indices exclusive to one operand cannot enter the shared K
+    // dimension; that case is rare (pure reductions) — delegate to the
+    // sequential kernel, which pre-reduces them.
+    if !sa.union(sb).minus(so).is_subset(sa.inter(sb)) {
+        return tce_tensor::contract_gemm(spec, space, a, b);
+    }
+    let contracted = spec.contracted();
+    let batch = so.inter(sa).inter(sb);
+    let m_set = so.inter(sa).minus(batch);
+    let n_set = so.inter(sb).minus(batch);
+    let batch_v: Vec<IndexVar> = batch.iter().collect();
+    let m_v: Vec<IndexVar> = m_set.iter().collect();
+    let n_v: Vec<IndexVar> = n_set.iter().collect();
+    let k_v: Vec<IndexVar> = contracted.iter().collect();
+    let perm_for = |dims: &[IndexVar], order: &[IndexVar]| -> Vec<usize> {
+        order
+            .iter()
+            .map(|v| dims.iter().position(|d| d == v).expect("index in operand"))
+            .collect()
+    };
+    let a_order: Vec<IndexVar> = batch_v.iter().chain(&m_v).chain(&k_v).copied().collect();
+    let b_order: Vec<IndexVar> = batch_v.iter().chain(&k_v).chain(&n_v).copied().collect();
+    let ap = a.permute(&perm_for(&spec.a, &a_order));
+    let bp = b.permute(&perm_for(&spec.b, &b_order));
+    let ext = |vs: &[IndexVar]| -> usize {
+        vs.iter().map(|&v| space.extent(v)).product::<usize>().max(1)
+    };
+    let (nb, m, n, k) = (ext(&batch_v), ext(&m_v), ext(&n_v), ext(&k_v));
+
+    let mut c_flat = vec![0.0f64; nb * m * n];
+    {
+        let ap_data = ap.data();
+        let bp_data = bp.data();
+        // One task per (batch, row-block): distribute the nb*m rows.
+        let rows = nb * m;
+        let c_cell = &parking_lot::Mutex::new(());
+        let _ = c_cell;
+        let c_ptr = SendPtr(c_flat.as_mut_ptr());
+        parallel_for(rows, threads, |range| {
+            for row in range {
+                let (bi, i) = (row / m, row % m);
+                let a_row = &ap_data[bi * m * k + i * k..bi * m * k + (i + 1) * k];
+                // SAFETY: each `row` writes a disjoint slice of C.
+                let c_row: &mut [f64] = unsafe {
+                    std::slice::from_raw_parts_mut(c_ptr.get().add(bi * m * n + i * n), n)
+                };
+                for (kk, &aik) in a_row.iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let b_row = &bp_data[bi * k * n + kk * n..bi * k * n + (kk + 1) * n];
+                    for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                        *cv += aik * bv;
+                    }
+                }
+            }
+        });
+    }
+    let c_order: Vec<IndexVar> = batch_v.iter().chain(&m_v).chain(&n_v).copied().collect();
+    let c_shape: Vec<usize> = c_order.iter().map(|&v| space.extent(v)).collect();
+    let c = Tensor::from_vec(&c_shape, c_flat);
+    let out_perm: Vec<usize> = spec
+        .out
+        .iter()
+        .map(|v| c_order.iter().position(|d| d == v).unwrap())
+        .collect();
+    c.permute(&out_perm)
+}
+
+/// Raw pointer wrapper that is `Send`/`Sync`; used only with provably
+/// disjoint row writes.
+struct SendPtr(*mut f64);
+
+impl SendPtr {
+    /// Accessor (also forces the closure to capture the whole wrapper
+    /// rather than the raw field under edition-2021 disjoint capture).
+    fn get(&self) -> *mut f64 {
+        self.0
+    }
+}
+
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tce_ir::{IndexSet, TensorDecl, TensorTable};
+
+    #[test]
+    fn tree_execution_matches_interpreter_path() {
+        // Same Fig 1 example as interp tests: execute_tree vs einsum.
+        let mut space = IndexSpace::new();
+        let n = space.add_range("N", 3);
+        let vs = space.add_vars("a b c d e f i j k l", n);
+        let (a, b, c, d, e, f, i, j, k, l) = (
+            vs[0], vs[1], vs[2], vs[3], vs[4], vs[5], vs[6], vs[7], vs[8], vs[9],
+        );
+        let mut tensors = TensorTable::new();
+        let ta = tensors.add(TensorDecl::dense("A", vec![n; 4]));
+        let tb = tensors.add(TensorDecl::dense("B", vec![n; 4]));
+        let tc = tensors.add(TensorDecl::dense("C", vec![n; 4]));
+        let td = tensors.add(TensorDecl::dense("D", vec![n; 4]));
+        let mut tree = OpTree::new();
+        let lb = tree.leaf_input(tb, vec![b, e, f, l]);
+        let ld = tree.leaf_input(td, vec![c, d, e, l]);
+        let t1 = tree.contract(lb, ld, IndexSet::from_vars([b, c, d, f]));
+        let lc = tree.leaf_input(tc, vec![d, f, j, k]);
+        let t2 = tree.contract(t1, lc, IndexSet::from_vars([b, c, j, k]));
+        let la = tree.leaf_input(ta, vec![a, c, i, k]);
+        tree.contract(t2, la, IndexSet::from_vars([a, b, i, j]));
+
+        let shape = [3usize; 4];
+        let va = Tensor::random(&shape, 11);
+        let vb = Tensor::random(&shape, 12);
+        let vc = Tensor::random(&shape, 13);
+        let vd = Tensor::random(&shape, 14);
+        let mut inputs = HashMap::new();
+        inputs.insert(ta, &va);
+        inputs.insert(tb, &vb);
+        inputs.insert(tc, &vc);
+        inputs.insert(td, &vd);
+
+        let seq = execute_tree(&tree, &space, &inputs, &HashMap::new(), 1);
+        let par = execute_tree(&tree, &space, &inputs, &HashMap::new(), 4);
+        assert!(seq.approx_eq(&par, 1e-9));
+
+        // Reference via einsum.
+        let spec = tce_tensor::EinsumSpec::new(
+            vec![a, b, i, j],
+            vec![
+                vec![a, c, i, k],
+                vec![b, e, f, l],
+                vec![d, f, j, k],
+                vec![c, d, e, l],
+            ],
+            IndexSet::from_vars([c, d, e, f, k, l]),
+        )
+        .unwrap();
+        let expect = spec.eval(&space, &[&va, &vb, &vc, &vd]);
+        assert!(seq.approx_eq(&expect, 1e-9));
+    }
+
+    #[test]
+    fn parallel_contract_matches_sequential() {
+        let mut space = IndexSpace::new();
+        let r = space.add_range("N", 9);
+        let i = space.add_var("i", r);
+        let j = space.add_var("j", r);
+        let k = space.add_var("k", r);
+        let spec = BinaryContraction {
+            a: vec![i, k],
+            b: vec![k, j],
+            out: vec![i, j],
+        };
+        let a = Tensor::random(&[9, 9], 21);
+        let b = Tensor::random(&[9, 9], 22);
+        let seq = tce_tensor::contract_gemm(&spec, &space, &a, &b);
+        let par = parallel_contract(&spec, &space, &a, &b, 4);
+        assert!(seq.approx_eq(&par, 1e-10));
+    }
+
+    #[test]
+    fn func_materialization_parallel_matches_sequential() {
+        let mut space = IndexSpace::new();
+        let r = space.add_range("N", 7);
+        let c = space.add_var("c", r);
+        let e = space.add_var("e", r);
+        let f = IntegralFn::new(50, 5);
+        let seq = materialize_func(&f, &[c, e], &space, 1);
+        let par = materialize_func(&f, &[c, e], &space, 4);
+        assert!(seq.approx_eq(&par, 0.0));
+        assert_eq!(seq.get(&[2, 3]), f.eval(&[2, 3]));
+    }
+
+    #[test]
+    fn one_leaf_reduction() {
+        let mut space = IndexSpace::new();
+        let r = space.add_range("N", 5);
+        let i = space.add_var("i", r);
+        let mut tensors = TensorTable::new();
+        let ta = tensors.add(TensorDecl::dense("A", vec![r]));
+        let mut tree = OpTree::new();
+        let la = tree.leaf_input(ta, vec![i]);
+        let one = tree.leaf_one();
+        tree.contract(la, one, IndexSet::EMPTY);
+        let va = Tensor::random(&[5], 31);
+        let mut inputs = HashMap::new();
+        inputs.insert(ta, &va);
+        let out = execute_tree(&tree, &space, &inputs, &HashMap::new(), 1);
+        assert!((out.get(&[]) - va.sum()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,600 @@
+//! Generation of fused loop programs from a fusion configuration.
+//!
+//! The legal configurations form laminar families of fusion-chain scopes
+//! (see [`crate::chains`]), which translate directly into a loop structure:
+//! every chain becomes one loop whose body contains the material of the
+//! nodes in its scope, nested according to scope inclusion (paper
+//! Fig. 1(c)).  Unfused producers become separate top-level nests emitted
+//! in evaluation order.
+//!
+//! Placement rules (derived in the module tests and verified end-to-end by
+//! the `tce-exec` interpreter against the reference einsum):
+//!
+//! * a node's statement sits inside every chain whose scope contains the
+//!   node, plus its own *private* loops (its loop indices not covered by
+//!   those chains);
+//! * the zero-initialization of a fused intermediate sits inside exactly
+//!   the chains running through the node's parent edge — i.e. it re-zeroes
+//!   once per iteration of the fused loops, just before the producer's
+//!   material;
+//! * within any loop body, components are ordered by the highest
+//!   evaluation rank they contain, which places every producer (and every
+//!   initialization) before its consumers.
+
+use crate::chains::{chains_of, Chain};
+use crate::config::{is_fusable_producer, FusionConfig};
+use std::collections::HashMap;
+use tce_ir::{IndexSet, IndexSpace, IndexVar, Leaf, NodeId, OpKind, OpTree, TensorTable};
+use tce_loops::{
+    ARef, ArrayId, ArrayKind, BuiltProgram, LoopProgram, LoopVarId, Stmt, Sub, VarRange,
+};
+
+/// Build the fused loop program for `tree` under `config`.
+///
+/// # Panics
+/// Panics if `config` is illegal for `tree` (check it first).
+pub fn fused_program(
+    tree: &OpTree,
+    space: &IndexSpace,
+    tensors: &TensorTable,
+    config: &FusionConfig,
+    result_name: &str,
+) -> BuiltProgram {
+    config
+        .check(tree)
+        .expect("fused_program requires a legal configuration");
+    fused_program_with_labels(tree, space, tensors, config, config, result_name)
+}
+
+/// Generalized emission: `chain_labels` defines the loop structure (its
+/// per-edge sets may include *redundant* indices that are not indices of
+/// the child — their chains wrap the child's nest and re-execute it, the
+/// space-time transformation of paper Fig. 3), while `array_config`
+/// defines the array dimensions (only genuinely fused dimensions are
+/// eliminated).  For plain fusion both are the same configuration.
+///
+/// The caller is responsible for legality: the chain scopes of
+/// `chain_labels` must be nested or disjoint
+/// ([`crate::chains::check_scopes`]).
+pub fn fused_program_with_labels(
+    tree: &OpTree,
+    space: &IndexSpace,
+    tensors: &TensorTable,
+    chain_labels: &FusionConfig,
+    array_config: &FusionConfig,
+    result_name: &str,
+) -> BuiltProgram {
+    let config = chain_labels;
+    let mut p = LoopProgram::new();
+    let mut index_var: HashMap<u8, LoopVarId> = HashMap::new();
+    let mut node_array: Vec<ArrayId> = vec![ArrayId(u32::MAX); tree.len()];
+    let parents = tree.parents();
+    let rank: Vec<usize> = {
+        let mut r = vec![0usize; tree.len()];
+        for (i, id) in tree.postorder().into_iter().enumerate() {
+            r[id.0 as usize] = i;
+        }
+        r
+    };
+
+    // --- declare loop variables (one per source index in use) ---
+    let mut all_indices = IndexSet::EMPTY;
+    for id in tree.postorder() {
+        all_indices = all_indices.union(tree.loop_indices(id));
+    }
+    for v in all_indices.iter() {
+        let lv = p.add_var(space.var_name(v), VarRange::Full(v));
+        index_var.insert(v.0, lv);
+    }
+
+    // --- declare arrays (dims reduced by each node's parent-edge fusion) ---
+    let mut temp_counter = 0usize;
+    let mut func_of: HashMap<u32, tce_loops::FuncId> = HashMap::new();
+    for id in tree.postorder() {
+        match &tree.node(id).kind {
+            OpKind::Leaf(Leaf::Input { tensor, indices }) => {
+                let dims = indices.iter().map(|&v| VarRange::Full(v)).collect();
+                node_array[id.0 as usize] =
+                    p.add_array(&tensors.get(*tensor).name, dims, ArrayKind::Input(*tensor));
+            }
+            OpKind::Leaf(Leaf::One) => {
+                node_array[id.0 as usize] = p.add_array("one", Vec::new(), ArrayKind::One);
+            }
+            OpKind::Leaf(Leaf::Func {
+                name,
+                cost_per_eval,
+                ..
+            }) => {
+                let f = p.add_func(name, *cost_per_eval);
+                func_of.insert(id.0, f);
+                temp_counter += 1;
+                let dims = remaining_dims(tree, array_config, id);
+                node_array[id.0 as usize] =
+                    p.add_array(&format!("T{temp_counter}"), dims, ArrayKind::Intermediate);
+            }
+            OpKind::Contract { .. } => {
+                let (name, kind) = if id == tree.root {
+                    (result_name.to_string(), ArrayKind::Output)
+                } else {
+                    temp_counter += 1;
+                    (format!("T{temp_counter}"), ArrayKind::Intermediate)
+                };
+                let dims = remaining_dims(tree, array_config, id);
+                node_array[id.0 as usize] = p.add_array(&name, dims, kind);
+            }
+        }
+    }
+
+    // --- fusion groups: connected components over fused edges ---
+    let mut group_of: Vec<usize> = (0..tree.len()).collect();
+    fn find(uf: &mut [usize], mut i: usize) -> usize {
+        while uf[i] != i {
+            uf[i] = uf[uf[i]];
+            i = uf[i];
+        }
+        i
+    }
+    for id in tree.postorder() {
+        if id != tree.root && !config.get(id).is_empty() {
+            let u = parents[id.0 as usize].unwrap();
+            let (a, b) = (find(&mut group_of, id.0 as usize), find(&mut group_of, u.0 as usize));
+            group_of[a] = b;
+        }
+    }
+
+    // Producers (nodes that emit code) grouped; group key = representative.
+    let mut groups: HashMap<usize, Vec<NodeId>> = HashMap::new();
+    for id in tree.postorder() {
+        if is_fusable_producer(tree, id) {
+            let g = find(&mut group_of, id.0 as usize);
+            groups.entry(g).or_default().push(id);
+        }
+    }
+    // Emit groups in order of their highest-rank member (the group's
+    // consumer-most node), which respects producer→consumer dependencies
+    // between groups.
+    let mut group_list: Vec<Vec<NodeId>> = groups.into_values().collect();
+    group_list.sort_by_key(|g| g.iter().map(|n| rank[n.0 as usize]).max().unwrap());
+
+    let chains = chains_of(tree, config);
+    for group in group_list {
+        emit_group(
+            tree, space, array_config, &chains, &group, &rank, &parents, &index_var,
+            &node_array, &func_of, &mut p,
+        );
+    }
+
+    let built = BuiltProgram {
+        program: p,
+        node_array,
+        index_var,
+    };
+    debug_assert!(built.program.validate().is_ok());
+    built
+}
+
+/// Remaining dimensions (canonical ascending order) of the array produced
+/// by `id` under `config`.
+fn remaining_dims(tree: &OpTree, config: &FusionConfig, id: NodeId) -> Vec<VarRange> {
+    config
+        .array_indices(tree, id)
+        .iter()
+        .map(VarRange::Full)
+        .collect()
+}
+
+/// An emission item: a statement (with private loops) or an array
+/// initialization, placed at a laminar position.
+struct Item {
+    /// (evaluation rank, 0 = init / 1 = statement) — unique, and ordering
+    /// by it places initializations and producers before consumers.
+    key: (usize, u8),
+    /// Chains that must be open around this item (indices).
+    chain_set: Vec<usize>,
+    /// Statement to emit (already including private loops).
+    stmt: Stmt,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_group(
+    tree: &OpTree,
+    space: &IndexSpace,
+    config: &FusionConfig,
+    all_chains: &[Chain],
+    group: &[NodeId],
+    rank: &[usize],
+    parents: &[Option<NodeId>],
+    index_var: &HashMap<u8, LoopVarId>,
+    node_array: &[ArrayId],
+    func_of: &HashMap<u32, tce_loops::FuncId>,
+    p: &mut LoopProgram,
+) {
+    let in_group = |n: NodeId| group.contains(&n);
+    // Chains relevant to this group (scope within the group's node set —
+    // chains never straddle groups because fused edges define both).
+    let chains: Vec<(usize, &Chain)> = all_chains
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.scope.iter().any(|&n| in_group(n)))
+        .collect();
+
+    let chain_contains = |ci: usize, n: NodeId| all_chains[ci].scope.contains(&n);
+
+    // --- build items ---
+    let mut items: Vec<Item> = Vec::new();
+    for &v in group {
+        let cv: Vec<usize> = chains
+            .iter()
+            .filter(|(ci, _)| chain_contains(*ci, v))
+            .map(|(ci, _)| *ci)
+            .collect();
+        let chain_indices: IndexSet =
+            IndexSet::from_vars(cv.iter().map(|&ci| all_chains[ci].index));
+        let private: Vec<IndexVar> = tree.loop_indices(v).minus(chain_indices).iter().collect();
+
+        // Statement.
+        let stmt = match &tree.node(v).kind {
+            OpKind::Contract { left, right } => Stmt::Accum {
+                lhs: ref_for(tree, config, v, node_array, index_var),
+                rhs: vec![
+                    ref_for(tree, config, *left, node_array, index_var),
+                    ref_for(tree, config, *right, node_array, index_var),
+                ],
+                coeff: 1.0,
+            },
+            OpKind::Leaf(Leaf::Func { indices, .. }) => Stmt::Eval {
+                lhs: ref_for(tree, config, v, node_array, index_var),
+                func: func_of[&v.0],
+                args: indices.iter().map(|iv| Sub::Var(index_var[&iv.0])).collect(),
+            },
+            OpKind::Leaf(_) => unreachable!("only producers are group members"),
+        };
+        let nested = if private.is_empty() {
+            stmt
+        } else {
+            tce_loops::nest(private.iter().map(|iv| index_var[&iv.0]).collect(), vec![stmt])
+        };
+        items.push(Item {
+            key: (rank[v.0 as usize], 1),
+            chain_set: cv.clone(),
+            stmt: nested,
+        });
+
+        // Initialization for accumulating intermediates (contractions).
+        if matches!(tree.node(v).kind, OpKind::Contract { .. }) {
+            // The chains through v's parent edge (those containing both
+            // endpoints) — the array is re-zeroed once per their
+            // iteration.  Empty (top of a group, or the root) → a single
+            // zero-fill before the group.
+            let init_chains: Vec<usize> = match parents[v.0 as usize] {
+                Some(u) if v != tree.root => cv
+                    .iter()
+                    .copied()
+                    .filter(|&ci| chain_contains(ci, u))
+                    .collect(),
+                _ => Vec::new(),
+            };
+            items.push(Item {
+                key: (rank[v.0 as usize], 0),
+                chain_set: init_chains,
+                stmt: Stmt::Init {
+                    array: node_array[v.0 as usize],
+                },
+            });
+        }
+    }
+    let _ = space;
+
+    // --- laminar forest over the group's chains ---
+    // Sort by descending scope size, then index id; each chain's parent is
+    // the smallest already-placed chain whose scope contains it.
+    let mut order: Vec<usize> = chains.iter().map(|(ci, _)| *ci).collect();
+    order.sort_by_key(|&ci| {
+        (
+            std::cmp::Reverse(all_chains[ci].scope.len()),
+            all_chains[ci].index,
+        )
+    });
+    // forest_parent[ci] = Some(parent chain) or None (root level).
+    let mut forest_parent: HashMap<usize, Option<usize>> = HashMap::new();
+    for (pos, &ci) in order.iter().enumerate() {
+        let mut best: Option<usize> = None;
+        for &cj in order[..pos].iter() {
+            let scope_i = &all_chains[ci].scope;
+            let scope_j = &all_chains[cj].scope;
+            if scope_i.iter().all(|n| scope_j.contains(n)) {
+                // cj contains ci; prefer the smallest container, breaking
+                // equal-scope ties toward the most recently placed (so
+                // equal scopes form a path, not siblings).
+                best = Some(match best {
+                    None => cj,
+                    // Later-placed equal scopes win, so equal scopes form a
+                    // path rather than siblings.
+                    Some(b) if scope_j.len() <= all_chains[b].scope.len() => cj,
+                    Some(b) => b,
+                });
+            }
+        }
+        forest_parent.insert(ci, best);
+    }
+
+    // Depth of each chain in the forest (for picking an item's innermost
+    // position).
+    let mut depth: HashMap<usize, usize> = HashMap::new();
+    for &ci in &order {
+        let mut d = 0;
+        let mut cur = forest_parent[&ci];
+        while let Some(c) = cur {
+            d += 1;
+            cur = forest_parent[&c];
+        }
+        depth.insert(ci, d);
+    }
+
+    // --- attach items and emit recursively ---
+    enum Node {
+        Chain(usize),
+        Item(usize),
+    }
+    // children of laminar position: key None = group root, Some(ci) = chain.
+    let mut children: HashMap<Option<usize>, Vec<Node>> = HashMap::new();
+    for &ci in &order {
+        children
+            .entry(forest_parent[&ci])
+            .or_default()
+            .push(Node::Chain(ci));
+    }
+    for (ii, item) in items.iter().enumerate() {
+        let pos = item
+            .chain_set
+            .iter()
+            .copied()
+            .max_by_key(|ci| depth[ci]);
+        children.entry(pos).or_default().push(Node::Item(ii));
+    }
+
+    // Max item key under each laminar position, for ordering.
+    fn max_key(
+        pos: Option<usize>,
+        children: &HashMap<Option<usize>, Vec<Node>>,
+        items: &[Item],
+    ) -> (usize, u8) {
+        let mut best = (0usize, 0u8);
+        if let Some(nodes) = children.get(&pos) {
+            for n in nodes {
+                let k = match n {
+                    Node::Item(ii) => items[*ii].key,
+                    Node::Chain(ci) => max_key(Some(*ci), children, items),
+                };
+                if k > best {
+                    best = k;
+                }
+            }
+        }
+        best
+    }
+
+    fn emit(
+        pos: Option<usize>,
+        children: &HashMap<Option<usize>, Vec<Node>>,
+        items: &[Item],
+        all_chains: &[Chain],
+        index_var: &HashMap<u8, LoopVarId>,
+    ) -> Vec<Stmt> {
+        let mut ordered: Vec<(&Node, (usize, u8))> = children
+            .get(&pos)
+            .map(|ns| {
+                ns.iter()
+                    .map(|n| {
+                        let k = match n {
+                            Node::Item(ii) => items[*ii].key,
+                            Node::Chain(ci) => max_key(Some(*ci), children, items),
+                        };
+                        (n, k)
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        ordered.sort_by_key(|&(_, k)| k);
+        let mut out = Vec::new();
+        for (n, _) in ordered {
+            match n {
+                Node::Item(ii) => out.push(items[*ii].stmt.clone()),
+                Node::Chain(ci) => {
+                    let var = index_var[&all_chains[*ci].index.0];
+                    let body = emit(Some(*ci), children, items, all_chains, index_var);
+                    out.push(Stmt::Loop { var, body });
+                }
+            }
+        }
+        out
+    }
+
+    let stmts = emit(None, &children, &items, all_chains, index_var);
+    p.body.extend(stmts);
+}
+
+/// Reference to the (possibly dimension-reduced) array of `id`, subscripted
+/// by the loop variables of its remaining indices (inputs keep their
+/// declared dimension order).
+fn ref_for(
+    tree: &OpTree,
+    config: &FusionConfig,
+    id: NodeId,
+    node_array: &[ArrayId],
+    index_var: &HashMap<u8, LoopVarId>,
+) -> ARef {
+    let subs: Vec<Sub> = match &tree.node(id).kind {
+        OpKind::Leaf(Leaf::Input { indices, .. }) => indices
+            .iter()
+            .map(|v| Sub::Var(index_var[&v.0]))
+            .collect(),
+        OpKind::Leaf(Leaf::One) => Vec::new(),
+        _ => config
+            .array_indices(tree, id)
+            .iter()
+            .map(|v| Sub::Var(index_var[&v.0]))
+            .collect(),
+    };
+    ARef {
+        array: node_array[id.0 as usize],
+        subs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memmin::memmin_dp;
+    use tce_ir::TensorDecl;
+    use tce_loops::{memory_report, op_counts, pretty, unfused_program};
+
+    fn fig1(n_ext: usize) -> (IndexSpace, TensorTable, OpTree, NodeId, NodeId) {
+        let mut space = IndexSpace::new();
+        let n = space.add_range("N", n_ext);
+        let vs = space.add_vars("a b c d e f i j k l", n);
+        let (a, b, c, d, e, f, i, j, k, l) = (
+            vs[0], vs[1], vs[2], vs[3], vs[4], vs[5], vs[6], vs[7], vs[8], vs[9],
+        );
+        let mut tensors = TensorTable::new();
+        let ta = tensors.add(TensorDecl::dense("A", vec![n; 4]));
+        let tb = tensors.add(TensorDecl::dense("B", vec![n; 4]));
+        let tc = tensors.add(TensorDecl::dense("C", vec![n; 4]));
+        let td = tensors.add(TensorDecl::dense("D", vec![n; 4]));
+        let mut tree = OpTree::new();
+        let lb = tree.leaf_input(tb, vec![b, e, f, l]);
+        let ld = tree.leaf_input(td, vec![c, d, e, l]);
+        let t1 = tree.contract(lb, ld, IndexSet::from_vars([b, c, d, f]));
+        let lc = tree.leaf_input(tc, vec![d, f, j, k]);
+        let t2 = tree.contract(t1, lc, IndexSet::from_vars([b, c, j, k]));
+        let la = tree.leaf_input(ta, vec![a, c, i, k]);
+        tree.contract(t2, la, IndexSet::from_vars([a, b, i, j]));
+        (space, tensors, tree, t1, t2)
+    }
+
+    #[test]
+    fn fig1c_structure_matches_paper() {
+        let (space, tensors, tree, t1, t2) = fig1(4);
+        let mut cfg = FusionConfig::unfused(&tree);
+        cfg.set(t1, space.parse_set("b,c,d,f").unwrap());
+        cfg.set(t2, space.parse_set("b,c").unwrap());
+        let built = fused_program(&tree, &space, &tensors, &cfg, "S");
+        built.program.validate().unwrap();
+        let text = pretty(&built.program);
+        // Paper Fig 1(c): S init at top; outer loops b, c; T1 a scalar
+        // re-initialized per (d,f) iteration; T2 a 2-D array per (b,c).
+        let expect = "\
+S = 0
+for b, c
+  T2 = 0
+  for d, f
+    T1 = 0
+    for e, l
+      T1 += B[b,e,f,l] * D[c,d,e,l]
+    for j, k
+      T2[j,k] += T1 * C[d,f,j,k]
+  for a, i, j, k
+    S[a,b,i,j] += T2[j,k] * A[a,c,i,k]
+";
+        assert_eq!(text, expect);
+    }
+
+    #[test]
+    fn unfused_config_matches_unfused_builder_semantics() {
+        // With the empty configuration, the fused builder must produce a
+        // program with the same ops and memory as the direct builder.
+        let (space, tensors, tree, _, _) = fig1(3);
+        let cfg = FusionConfig::unfused(&tree);
+        let fused = fused_program(&tree, &space, &tensors, &cfg, "S");
+        let direct = unfused_program(&tree, &space, &tensors, "S");
+        assert_eq!(
+            op_counts(&fused.program, &space),
+            op_counts(&direct.program, &space)
+        );
+        assert_eq!(
+            memory_report(&fused.program, &space).temp_elements,
+            memory_report(&direct.program, &space).temp_elements
+        );
+    }
+
+    #[test]
+    fn memmin_config_emits_with_reduced_memory_and_same_ops() {
+        let (space, tensors, tree, _, _) = fig1(5);
+        let r = memmin_dp(&tree, &space);
+        let built = fused_program(&tree, &space, &tensors, &r.config, "S");
+        built.program.validate().unwrap();
+        let mem = memory_report(&built.program, &space);
+        // temp = T1 + T2 + S(output, N^4).
+        assert_eq!(mem.temp_elements, r.memory + 5u128.pow(4));
+        let ops = op_counts(&built.program, &space);
+        assert_eq!(ops.contraction_flops, tree.total_ops(&space));
+    }
+
+    #[test]
+    fn func_leaf_fusion_emits_eval_inside_chain() {
+        // E = Σ_ce f1(c,e)·f2(c,e), fully fused: everything scalar.
+        let mut space = IndexSpace::new();
+        let n = space.add_range("V", 4);
+        let c = space.add_var("c", n);
+        let e = space.add_var("e", n);
+        let tensors = TensorTable::new();
+        let mut tree = OpTree::new();
+        let f1 = tree.leaf_func("f1", vec![c, e], 1000);
+        let f2 = tree.leaf_func("f2", vec![c, e], 1000);
+        tree.contract(f1, f2, IndexSet::EMPTY);
+        let mut cfg = FusionConfig::unfused(&tree);
+        cfg.set(f1, IndexSet::from_vars([c, e]));
+        cfg.set(f2, IndexSet::from_vars([c, e]));
+        let built = fused_program(&tree, &space, &tensors, &cfg, "E");
+        built.program.validate().unwrap();
+        let text = pretty(&built.program);
+        let expect = "\
+E = 0
+for c, e
+  T1 = f1(c, e)
+  T2 = f2(c, e)
+  E += T1 * T2
+";
+        assert_eq!(text, expect);
+        let mem = memory_report(&built.program, &space);
+        assert_eq!(mem.temp_elements, 3); // two scalars + scalar output
+    }
+
+    #[test]
+    fn split_emission_child_subset_of_parent() {
+        // R = Σ_xy (Σ_z A[x,z]B[z]) · C[x,y]: mid fused to root on {x};
+        // then a deeper producer fused on a subset is emitted between the
+        // openings of the root's fused loops.
+        let mut space = IndexSpace::new();
+        let n = space.add_range("N", 3);
+        let x = space.add_var("x", n);
+        let y = space.add_var("y", n);
+        let z = space.add_var("z", n);
+        let mut tensors = TensorTable::new();
+        let ta = tensors.add(TensorDecl::dense("A", vec![n, n]));
+        let tb = tensors.add(TensorDecl::dense("B", vec![n]));
+        let tc = tensors.add(TensorDecl::dense("C", vec![n, n]));
+        let mut tree = OpTree::new();
+        let la = tree.leaf_input(ta, vec![x, z]);
+        let lb = tree.leaf_input(tb, vec![z]);
+        let mid = tree.contract(la, lb, x.singleton()); // mid[x] = Σ_z A·B
+        let lc = tree.leaf_input(tc, vec![x, y]);
+        tree.contract(mid, lc, IndexSet::EMPTY); // R = Σ_xy mid·C
+        let mut cfg = FusionConfig::unfused(&tree);
+        cfg.set(mid, x.singleton());
+        cfg.check(&tree).unwrap();
+        let built = fused_program(&tree, &space, &tensors, &cfg, "R");
+        built.program.validate().unwrap();
+        let text = pretty(&built.program);
+        let expect = "\
+R = 0
+for x
+  T1 = 0
+  for z
+    T1 += A[x,z] * B[z]
+  for y
+    R += T1 * C[x,y]
+";
+        assert_eq!(text, expect);
+    }
+}

@@ -1,0 +1,46 @@
+//! # tce-fusion — loop fusion for memory minimization
+//!
+//! The paper's Memory Minimization module (§5): fusion graphs and chains,
+//! legality of fusion configurations, the bottom-up dynamic program that
+//! finds the configuration minimizing total intermediate storage (without
+//! changing the operation count), and code generation of the fused
+//! imperfectly-nested loop program.
+//!
+//! ```
+//! use tce_fusion::memmin_dp;
+//! use tce_ir::{IndexSet, IndexSpace, OpTree, TensorDecl, TensorTable};
+//!
+//! // T[i] = Σ_j A[i,j]·B[j]; S = Σ_i T[i]·C[i] — T fuses to a scalar.
+//! let mut sp = IndexSpace::new();
+//! let n = sp.add_range("N", 100);
+//! let i = sp.add_var("i", n);
+//! let j = sp.add_var("j", n);
+//! let mut tab = TensorTable::new();
+//! let a = tab.add(TensorDecl::dense("A", vec![n, n]));
+//! let b = tab.add(TensorDecl::dense("B", vec![n]));
+//! let c = tab.add(TensorDecl::dense("C", vec![n]));
+//! let mut tree = OpTree::new();
+//! let la = tree.leaf_input(a, vec![i, j]);
+//! let lb = tree.leaf_input(b, vec![j]);
+//! let t = tree.contract(la, lb, i.singleton());
+//! let lc = tree.leaf_input(c, vec![i]);
+//! tree.contract(t, lc, IndexSet::EMPTY);
+//! let r = memmin_dp(&tree, &sp);
+//! assert_eq!(r.memory, 1); // T reduced from 100 elements to a scalar
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod chains;
+pub mod codegen;
+pub mod config;
+pub mod graph;
+pub mod memmin;
+pub mod nest;
+
+pub use chains::{chains_of, check_chainwise, Chain};
+pub use codegen::fused_program;
+pub use config::{fusable_set, is_fusable_producer, FusionConfig};
+pub use graph::{FusionEdge, FusionGraph};
+pub use nest::{derive_child_states, encode_state, NestState};
+pub use memmin::{enumerate_legal_configs, memmin_bruteforce, memmin_dp, patterns_comparable, MemMinResult};

@@ -1,0 +1,314 @@
+//! Memory-minimization dynamic program.
+//!
+//! Finds the fusion configuration minimizing the total size of temporary
+//! intermediate arrays (paper §5) without changing the operation count.
+//! The paper describes a bottom-up DP over pareto-optimal
+//! (memory, constraint) pairs; here the "constraint" metric is made
+//! explicit as the DP state: `M(u, σ)` is the minimal temporary memory of
+//! the subtree rooted at `u` given that `u`'s parent edge fuses the
+//! indices of the *nesting state* `σ` (an ordered partition — see
+//! [`crate::nest`] for why the ordering is part of the state).  At each
+//! contraction node the children's fused sets `(c₁, c₂)` are enumerated
+//! subject to the chain-nesting legality captured by
+//! [`crate::nest::derive_child_states`].
+//!
+//! [`memmin_bruteforce`] enumerates every legal configuration outright
+//! (checked with the paper's global chain-scope condition) and is used as
+//! the oracle in tests.
+
+use crate::config::{fusable_set, is_fusable_producer, FusionConfig};
+use crate::nest::{derive_child_states, encode_state, NestState};
+use std::collections::HashMap;
+use tce_ir::{IndexSet, IndexSpace, Leaf, NodeId, OpKind, OpTree};
+
+/// Result of memory minimization.
+#[derive(Debug, Clone)]
+pub struct MemMinResult {
+    /// The chosen configuration.
+    pub config: FusionConfig,
+    /// Total temporary-array elements under the configuration.
+    pub memory: u128,
+}
+
+/// Pattern-comparability test for one node (parent set `p`, children sets
+/// `c1`, `c2`) — the order-insensitive *necessary* condition; the DPs use
+/// [`derive_child_states`] which additionally threads nesting order.
+pub fn patterns_comparable(p: IndexSet, c1: IndexSet, c2: IndexSet) -> bool {
+    let all = p.union(c1).union(c2);
+    let mut pats: Vec<u8> = Vec::with_capacity(all.len());
+    for x in all.iter() {
+        pats.push(
+            (p.contains(x) as u8) | ((c1.contains(x) as u8) << 1) | ((c2.contains(x) as u8) << 2),
+        );
+    }
+    for (i, &a) in pats.iter().enumerate() {
+        for &b in &pats[i + 1..] {
+            if a & b != a && a & b != b {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Exact memory minimization by dynamic programming over nesting states.
+///
+/// Complexity is exponential in the per-node index counts (subsets ×
+/// ordered partitions), which the paper notes "is small enough" in
+/// practical applications.
+pub fn memmin_dp(tree: &OpTree, space: &IndexSpace) -> MemMinResult {
+    // memo: (node, encoded state) → (memory, chosen c1, c2).
+    type Key = (u32, Vec<u64>);
+    let mut memo: HashMap<Key, (u128, IndexSet, IndexSet)> = HashMap::new();
+
+    fn solve(
+        tree: &OpTree,
+        space: &IndexSpace,
+        memo: &mut HashMap<(u32, Vec<u64>), (u128, IndexSet, IndexSet)>,
+        u: NodeId,
+        state: &NestState,
+    ) -> u128 {
+        let key = (u.0, encode_state(state));
+        if let Some(&(m, _, _)) = memo.get(&key) {
+            return m;
+        }
+        let p = state.iter().fold(IndexSet::EMPTY, |s, &c| s.union(c));
+        let own = |p: IndexSet| -> u128 {
+            if u == tree.root {
+                0
+            } else {
+                space.iteration_points(tree.node(u).indices.minus(p))
+            }
+        };
+        let result = match &tree.node(u).kind {
+            OpKind::Leaf(Leaf::Input { .. }) | OpKind::Leaf(Leaf::One) => {
+                (0u128, IndexSet::EMPTY, IndexSet::EMPTY)
+            }
+            OpKind::Leaf(Leaf::Func { .. }) => (own(p), IndexSet::EMPTY, IndexSet::EMPTY),
+            OpKind::Contract { left, right } => {
+                let (l, r) = (*left, *right);
+                let f1 = fusable_set(tree, l, u);
+                let f2 = fusable_set(tree, r, u);
+                let mut best = (u128::MAX, IndexSet::EMPTY, IndexSet::EMPTY);
+                for c1 in f1.subsets() {
+                    for c2 in f2.subsets() {
+                        let Some((s1, s2)) = derive_child_states(state, c1, c2) else {
+                            continue;
+                        };
+                        let m = solve(tree, space, memo, l, &s1)
+                            .saturating_add(solve(tree, space, memo, r, &s2));
+                        if m < best.0 {
+                            best = (m, c1, c2);
+                        }
+                    }
+                }
+                (own(p).saturating_add(best.0), best.1, best.2)
+            }
+        };
+        memo.insert(key, result);
+        result.0
+    }
+
+    let root_state: NestState = Vec::new();
+    let memory = solve(tree, space, &mut memo, tree.root, &root_state);
+
+    // Trace back the chosen children sets (re-deriving the states).
+    let mut config = FusionConfig::unfused(tree);
+    let mut stack: Vec<(NodeId, NestState)> = vec![(tree.root, root_state)];
+    while let Some((u, state)) = stack.pop() {
+        let p = state.iter().fold(IndexSet::EMPTY, |s, &c| s.union(c));
+        config.set(u, p);
+        if let OpKind::Contract { left, right } = tree.node(u).kind {
+            let &(_, c1, c2) = memo
+                .get(&(u.0, encode_state(&state)))
+                .expect("traceback state must have been solved");
+            let (s1, s2) = derive_child_states(&state, c1, c2)
+                .expect("chosen states must be derivable");
+            stack.push((left, s1));
+            stack.push((right, s2));
+        }
+    }
+    debug_assert!(config.check(tree).is_ok());
+    debug_assert_eq!(config.temp_memory(tree, space), memory);
+    MemMinResult { config, memory }
+}
+
+/// Enumerate every legal fusion configuration (oracle; exponential).
+pub fn enumerate_legal_configs(tree: &OpTree, space: &IndexSpace) -> Vec<(FusionConfig, u128)> {
+    let parents = tree.parents();
+    let edges: Vec<(NodeId, IndexSet)> = tree
+        .postorder()
+        .into_iter()
+        .filter(|&id| id != tree.root && is_fusable_producer(tree, id))
+        .map(|id| (id, fusable_set(tree, id, parents[id.0 as usize].unwrap())))
+        .collect();
+    let mut out = Vec::new();
+    let mut config = FusionConfig::unfused(tree);
+    fn rec(
+        tree: &OpTree,
+        space: &IndexSpace,
+        edges: &[(NodeId, IndexSet)],
+        i: usize,
+        config: &mut FusionConfig,
+        out: &mut Vec<(FusionConfig, u128)>,
+    ) {
+        if i == edges.len() {
+            if config.check(tree).is_ok() {
+                out.push((config.clone(), config.temp_memory(tree, space)));
+            }
+            return;
+        }
+        let (node, fs) = edges[i];
+        for c in fs.subsets() {
+            config.set(node, c);
+            rec(tree, space, edges, i + 1, config, out);
+        }
+        config.set(node, IndexSet::EMPTY);
+    }
+    rec(tree, space, &edges, 0, &mut config, &mut out);
+    out
+}
+
+/// Oracle: minimum temporary memory over all legal configurations.
+pub fn memmin_bruteforce(tree: &OpTree, space: &IndexSpace) -> MemMinResult {
+    let all = enumerate_legal_configs(tree, space);
+    let (config, memory) = all
+        .into_iter()
+        .min_by_key(|&(_, m)| m)
+        .expect("the unfused configuration is always legal");
+    MemMinResult { config, memory }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tce_ir::{TensorDecl, TensorTable};
+
+    fn fig1(n_ext: usize) -> (IndexSpace, OpTree, NodeId, NodeId) {
+        let mut space = IndexSpace::new();
+        let n = space.add_range("N", n_ext);
+        let vs = space.add_vars("a b c d e f i j k l", n);
+        let (a, b, c, d, e, f, i, j, k, l) = (
+            vs[0], vs[1], vs[2], vs[3], vs[4], vs[5], vs[6], vs[7], vs[8], vs[9],
+        );
+        let mut tensors = TensorTable::new();
+        let ta = tensors.add(TensorDecl::dense("A", vec![n; 4]));
+        let tb = tensors.add(TensorDecl::dense("B", vec![n; 4]));
+        let tc = tensors.add(TensorDecl::dense("C", vec![n; 4]));
+        let td = tensors.add(TensorDecl::dense("D", vec![n; 4]));
+        let mut tree = OpTree::new();
+        let lb = tree.leaf_input(tb, vec![b, e, f, l]);
+        let ld = tree.leaf_input(td, vec![c, d, e, l]);
+        let t1 = tree.contract(lb, ld, IndexSet::from_vars([b, c, d, f]));
+        let lc = tree.leaf_input(tc, vec![d, f, j, k]);
+        let t2 = tree.contract(t1, lc, IndexSet::from_vars([b, c, j, k]));
+        let la = tree.leaf_input(ta, vec![a, c, i, k]);
+        tree.contract(t2, la, IndexSet::from_vars([a, b, i, j]));
+        (space, tree, t1, t2)
+    }
+
+    #[test]
+    fn fig1_memmin_reduces_t1_to_scalar_t2_to_2d() {
+        // Paper §2: "T1 can be reduced to a scalar and T2 to a
+        // 2-dimensional array, without changing the number of operations."
+        let (space, tree, t1, t2) = fig1(10);
+        let r = memmin_dp(&tree, &space);
+        assert_eq!(r.memory, 1 + 100);
+        assert_eq!(r.config.array_indices(&tree, t1).len(), 0);
+        assert_eq!(r.config.array_indices(&tree, t2).len(), 2);
+        assert_eq!(
+            r.config.array_indices(&tree, t2),
+            space.parse_set("j,k").unwrap()
+        );
+        // Operation count is untouched by fusion (same tree).
+        assert_eq!(tree.total_ops(&space), 6 * 10u128.pow(6));
+    }
+
+    #[test]
+    fn fig1_dp_matches_bruteforce() {
+        let (space, tree, _, _) = fig1(5);
+        let dp = memmin_dp(&tree, &space);
+        let bf = memmin_bruteforce(&tree, &space);
+        assert_eq!(dp.memory, bf.memory);
+    }
+
+    #[test]
+    fn func_leaf_pair_fuses_to_scalars() {
+        let mut space = IndexSpace::new();
+        let n = space.add_range("V", 7);
+        let c = space.add_var("c", n);
+        let e = space.add_var("e", n);
+        let mut tree = OpTree::new();
+        let f1 = tree.leaf_func("f1", vec![c, e], 1000);
+        let f2 = tree.leaf_func("f2", vec![c, e], 1000);
+        tree.contract(f1, f2, IndexSet::EMPTY);
+        let r = memmin_dp(&tree, &space);
+        assert_eq!(r.memory, 2);
+        assert_eq!(r.config.get(f1), IndexSet::from_vars([c, e]));
+        assert_eq!(r.config.get(f2), IndexSet::from_vars([c, e]));
+    }
+
+    #[test]
+    fn randomized_dp_matches_bruteforce() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(55_2002);
+        for trial in 0..40 {
+            let mut space = IndexSpace::new();
+            let r1 = space.add_range("P", rng.gen_range(2..5));
+            let r2 = space.add_range("Q", rng.gen_range(2..9));
+            let vars: Vec<_> = (0..5)
+                .map(|q| space.add_var(&format!("x{q}"), if q % 2 == 0 { r1 } else { r2 }))
+                .collect();
+            let mut tensors = TensorTable::new();
+            let mut tree = OpTree::new();
+            let nleaves = rng.gen_range(3..=4);
+            let mut nodes: Vec<NodeId> = (0..nleaves)
+                .map(|li| {
+                    let arity = rng.gen_range(1..=3);
+                    let mut set = IndexSet::EMPTY;
+                    let mut idxs = Vec::new();
+                    for _ in 0..arity {
+                        let v = vars[rng.gen_range(0..vars.len())];
+                        if !set.contains(v) {
+                            set.insert(v);
+                            idxs.push(v);
+                        }
+                    }
+                    if rng.gen_bool(0.3) {
+                        tree.leaf_func(&format!("f{trial}_{li}"), idxs, 100)
+                    } else {
+                        let dims = idxs.iter().map(|&v| space.range_of(v)).collect();
+                        let t = tensors.add(TensorDecl::dense(&format!("T{trial}_{li}"), dims));
+                        tree.leaf_input(t, idxs)
+                    }
+                })
+                .collect();
+            while nodes.len() > 1 {
+                let a = nodes.swap_remove(rng.gen_range(0..nodes.len()));
+                let b = nodes.swap_remove(rng.gen_range(0..nodes.len()));
+                let combined = tree.node(a).indices.union(tree.node(b).indices);
+                let mut keep = IndexSet::EMPTY;
+                for v in combined.iter() {
+                    if rng.gen_bool(0.6) {
+                        keep.insert(v);
+                    }
+                }
+                nodes.push(tree.contract(a, b, keep));
+            }
+            let dp = memmin_dp(&tree, &space);
+            let bf = memmin_bruteforce(&tree, &space);
+            assert_eq!(dp.memory, bf.memory, "trial {trial}");
+            dp.config.check(&tree).unwrap();
+            assert_eq!(dp.config.temp_memory(&tree, &space), dp.memory);
+        }
+    }
+
+    #[test]
+    fn memmin_never_worse_than_unfused() {
+        let (space, tree, _, _) = fig1(6);
+        let unfused = FusionConfig::unfused(&tree).temp_memory(&tree, &space);
+        let r = memmin_dp(&tree, &space);
+        assert!(r.memory <= unfused);
+    }
+}

@@ -1,0 +1,172 @@
+//! Ordered nesting states for the fusion dynamic programs.
+//!
+//! The legality of a fusion configuration is the *global* chain-scope
+//! condition; a bottom-up DP therefore needs more state than the set of
+//! indices fused on the parent edge — it must know the *relative nesting*
+//! of the chains passing through that edge, because an ordering
+//! established at one node (chain `x` strictly enclosing chain `y`)
+//! constrains how far each may extend below.  (Example: fusing a node on
+//! `{x}` and its sibling subtree on `{x, y}` puts `y` strictly inside `x`;
+//! `y`'s chain may then not continue into any edge `x` does not.)
+//!
+//! A [`NestState`] is the ordered partition of the parent-edge fused set:
+//! classes of indices whose chains have identical scope so far, listed
+//! outermost first.  [`derive_child_states`] checks one node's choices
+//! against a state and produces the children's states; it is the complete
+//! local characterization of the chain condition (validated against the
+//! brute-force chain checker in tests).
+
+use tce_ir::IndexSet;
+
+/// Ordered partition of a fused set: classes outermost-first.
+pub type NestState = Vec<IndexSet>;
+
+/// Canonical encoding for memo keys.
+pub fn encode_state(state: &NestState) -> Vec<u64> {
+    state.iter().map(|s| s.0).collect()
+}
+
+/// Check the choices `(c1, c2)` for a node whose parent-edge fused set has
+/// nesting `state`, and derive the children's nesting states.  Returns
+/// `None` when the combination is illegal.
+///
+/// Legality:
+/// 1. membership patterns over the three incident edges must be pairwise
+///    comparable, and
+/// 2. a chain in an outer class may not have a pattern strictly contained
+///    in that of a chain in an inner class (the inherited nesting must be
+///    respected).
+pub fn derive_child_states(
+    state: &NestState,
+    c1: IndexSet,
+    c2: IndexSet,
+) -> Option<(NestState, NestState)> {
+    let p = state.iter().fold(IndexSet::EMPTY, |s, &c| s.union(c));
+    let all = p.union(c1).union(c2);
+    // Pattern bits: 1 = parent, 2 = left, 4 = right.
+    // Inherit index: class position for members of p, usize::MAX otherwise.
+    let mut vars: Vec<(tce_ir::IndexVar, u8, usize)> = Vec::with_capacity(all.len());
+    for x in all.iter() {
+        let pat = (p.contains(x) as u8)
+            | ((c1.contains(x) as u8) << 1)
+            | ((c2.contains(x) as u8) << 2);
+        let inherit = state
+            .iter()
+            .position(|cl| cl.contains(x))
+            .unwrap_or(usize::MAX);
+        vars.push((x, pat, inherit));
+    }
+    for (i, &(_, pa, ia)) in vars.iter().enumerate() {
+        for &(_, pb, ib) in &vars[i + 1..] {
+            // Comparability.
+            if pa & pb != pa && pa & pb != pb {
+                return None;
+            }
+            // Inherited nesting: outer class (smaller index) must have a
+            // superset pattern.
+            if ia < ib && pa & pb != pb {
+                return None; // pb ⊄ pa
+            }
+            if ib < ia && pa & pb != pa {
+                return None;
+            }
+        }
+    }
+    // Child states: group the fused indices of each child edge by
+    // (pattern, inherited class); order outermost-first = by pattern
+    // superset (popcount descending — patterns are comparable) then by
+    // inherited class.
+    let child_state = |c: IndexSet, edge_bit: u8| -> NestState {
+        let mut groups: Vec<(u8, usize, IndexSet)> = Vec::new();
+        for &(x, pat, inherit) in &vars {
+            if !c.contains(x) {
+                continue;
+            }
+            debug_assert!(pat & edge_bit != 0);
+            if let Some(g) = groups
+                .iter_mut()
+                .find(|(gp, gi, _)| *gp == pat && *gi == inherit)
+            {
+                g.2.insert(x);
+            } else {
+                groups.push((pat, inherit, x.singleton()));
+            }
+        }
+        groups.sort_by_key(|&(pat, inherit, _)| {
+            (std::cmp::Reverse(pat.count_ones()), inherit)
+        });
+        groups.into_iter().map(|(_, _, s)| s).collect()
+    };
+    Some((child_state(c1, 2), child_state(c2, 4)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tce_ir::IndexVar;
+
+    fn set(vars: &[u8]) -> IndexSet {
+        IndexSet::from_vars(vars.iter().map(|&v| IndexVar(v)))
+    }
+
+    #[test]
+    fn empty_everything_is_legal() {
+        let (s1, s2) = derive_child_states(&vec![], IndexSet::EMPTY, IndexSet::EMPTY).unwrap();
+        assert!(s1.is_empty() && s2.is_empty());
+    }
+
+    #[test]
+    fn incomparable_children_rejected() {
+        assert!(derive_child_states(&vec![], set(&[0]), set(&[1])).is_none());
+        // Equal or nested sibling sets are fine.
+        assert!(derive_child_states(&vec![], set(&[0]), set(&[0])).is_some());
+        assert!(derive_child_states(&vec![], set(&[0, 1]), set(&[0])).is_some());
+    }
+
+    #[test]
+    fn inherited_order_blocks_divergence() {
+        // Parent state: x0 strictly outside x1.  A child fusing x1 but not
+        // x0 would let x1's chain escape x0's scope: illegal.
+        let state = vec![set(&[0]), set(&[1])];
+        assert!(derive_child_states(&state, set(&[1]), IndexSet::EMPTY).is_none());
+        // Fusing both, or only the outer one, is fine.
+        assert!(derive_child_states(&state, set(&[0, 1]), IndexSet::EMPTY).is_some());
+        assert!(derive_child_states(&state, set(&[0]), IndexSet::EMPTY).is_some());
+    }
+
+    #[test]
+    fn same_class_may_diverge() {
+        // x0, x1 in one class (identical scopes so far): one may continue
+        // into a child without the other.
+        let state = vec![set(&[0, 1])];
+        let (s1, _) = derive_child_states(&state, set(&[1]), IndexSet::EMPTY).unwrap();
+        assert_eq!(s1, vec![set(&[1])]);
+    }
+
+    #[test]
+    fn child_state_orders_by_pattern_then_inheritance() {
+        // Parent state [x0 ⊃ x1]; both continue left, and a fresh x2 is
+        // fused on both children (pattern {L,R}).  x2's pattern {L,R} vs
+        // x0/x1's {P,L}: incomparable → illegal.
+        let state = vec![set(&[0]), set(&[1])];
+        assert!(derive_child_states(&state, set(&[0, 1, 2]), set(&[2])).is_none());
+        // Without the sibling use, x2 joins the left state innermost-last
+        // by inheritance order (fresh chains after inherited ones of equal
+        // pattern).
+        let (s1, _) = derive_child_states(&state, set(&[0, 1, 2]), IndexSet::EMPTY).unwrap();
+        assert_eq!(s1, vec![set(&[0]), set(&[1]), set(&[2])]);
+    }
+
+    #[test]
+    fn regression_chain_escape_case() {
+        // The proptest-found case: root fuses left on {x3} and right on
+        // {x3, x4} → right child state [x3 ⊃ x4]; the right node then
+        // fusing its own child on {x4} alone must be rejected.
+        let (_, right_state) =
+            derive_child_states(&vec![], set(&[3]), set(&[3, 4])).unwrap();
+        assert_eq!(right_state, vec![set(&[3]), set(&[4])]);
+        assert!(derive_child_states(&right_state, set(&[4]), IndexSet::EMPTY).is_none());
+        // Fusing {x3, x4} downward is fine.
+        assert!(derive_child_states(&right_state, set(&[3, 4]), IndexSet::EMPTY).is_some());
+    }
+}

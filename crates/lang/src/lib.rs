@@ -1,0 +1,34 @@
+//! # tce-lang — the high-level specification language
+//!
+//! Front end of the synthesis system (paper §4): a small declarative
+//! language for tensor contraction expressions with index-range, symmetry
+//! and sparsity declarations.  [`compile`] takes source text to a validated
+//! [`tce_ir::Program`] ready for the optimization pipeline.
+//!
+//! ```
+//! let prog = tce_lang::compile("
+//!     range N = 10;
+//!     index i, j, k : N;
+//!     tensor A(N, N); tensor B(N, N); tensor S(N, N);
+//!     S[i,j] = sum[k] A[i,k] * B[k,j];
+//! ").unwrap();
+//! assert_eq!(prog.stmts.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod lower;
+pub mod parser;
+pub mod token;
+pub mod unparse;
+
+pub use lower::lower;
+pub use parser::parse;
+pub use unparse::unparse;
+pub use token::{lex, LangError};
+
+/// Parse and lower in one step.
+pub fn compile(src: &str) -> Result<tce_ir::Program, LangError> {
+    lower(&parse(src)?)
+}

@@ -1,0 +1,345 @@
+//! Lexer for the tensor-contraction specification language.
+//!
+//! The input notation (paper §4, "High-level language") is a sequence of
+//! declarations and sum-of-products assignment statements:
+//!
+//! ```text
+//! range V = 3000;
+//! range O = 100;
+//! index a, b, c : V;
+//! index i, j : O;
+//! tensor A(V, O);
+//! function f1(V, O) cost 1000;
+//! S[a,i] = sum[b,j] A[a,b] * f1(b, j) * A[b, i];
+//! ```
+
+use std::fmt;
+
+/// A lexical token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords resolved by the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(u64),
+    /// Floating-point literal.
+    Float(f64),
+    /// `=`
+    Assign,
+    /// `+=`
+    PlusAssign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Int(n) => write!(f, "`{n}`"),
+            TokenKind::Float(x) => write!(f, "`{x}`"),
+            TokenKind::Assign => write!(f, "`=`"),
+            TokenKind::PlusAssign => write!(f, "`+=`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A lexing/parsing/lowering error with source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LangError {
+    /// Human-readable message.
+    pub msg: String,
+    /// 1-based line (0 if unknown).
+    pub line: u32,
+    /// 1-based column (0 if unknown).
+    pub col: u32,
+}
+
+impl LangError {
+    /// Error at a token position.
+    pub fn at(line: u32, col: u32, msg: impl Into<String>) -> Self {
+        Self {
+            msg: msg.into(),
+            line,
+            col,
+        }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "{}:{}: {}", self.line, self.col, self.msg)
+        } else {
+            write!(f, "{}", self.msg)
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+/// Tokenize `src`. Comments run from `#` or `//` to end of line.
+pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    let push = |kind: TokenKind, line: u32, col: u32, out: &mut Vec<Token>| {
+        out.push(Token { kind, line, col });
+    };
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let (tline, tcol) = (line, col);
+        match c {
+            '\n' => {
+                line += 1;
+                col = 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                col += 1;
+                i += 1;
+            }
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '+' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push(TokenKind::PlusAssign, tline, tcol, &mut out);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push(TokenKind::Plus, tline, tcol, &mut out);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '=' => {
+                push(TokenKind::Assign, tline, tcol, &mut out);
+                i += 1;
+                col += 1;
+            }
+            '-' => {
+                push(TokenKind::Minus, tline, tcol, &mut out);
+                i += 1;
+                col += 1;
+            }
+            '*' => {
+                push(TokenKind::Star, tline, tcol, &mut out);
+                i += 1;
+                col += 1;
+            }
+            '(' => {
+                push(TokenKind::LParen, tline, tcol, &mut out);
+                i += 1;
+                col += 1;
+            }
+            ')' => {
+                push(TokenKind::RParen, tline, tcol, &mut out);
+                i += 1;
+                col += 1;
+            }
+            '[' => {
+                push(TokenKind::LBracket, tline, tcol, &mut out);
+                i += 1;
+                col += 1;
+            }
+            ']' => {
+                push(TokenKind::RBracket, tline, tcol, &mut out);
+                i += 1;
+                col += 1;
+            }
+            ',' => {
+                push(TokenKind::Comma, tline, tcol, &mut out);
+                i += 1;
+                col += 1;
+            }
+            ':' => {
+                push(TokenKind::Colon, tline, tcol, &mut out);
+                i += 1;
+                col += 1;
+            }
+            ';' => {
+                push(TokenKind::Semi, tline, tcol, &mut out);
+                i += 1;
+                col += 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i + 1 < bytes.len()
+                    && bytes[i] == b'.'
+                    && (bytes[i + 1] as char).is_ascii_digit()
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &src[start..i];
+                col += (i - start) as u32;
+                if is_float {
+                    let x: f64 = text
+                        .parse()
+                        .map_err(|_| LangError::at(tline, tcol, "invalid float literal"))?;
+                    push(TokenKind::Float(x), tline, tcol, &mut out);
+                } else {
+                    let n: u64 = text
+                        .parse()
+                        .map_err(|_| LangError::at(tline, tcol, "integer literal too large"))?;
+                    push(TokenKind::Int(n), tline, tcol, &mut out);
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                col += (i - start) as u32;
+                push(TokenKind::Ident(text.to_string()), tline, tcol, &mut out);
+            }
+            other => {
+                return Err(LangError::at(
+                    tline,
+                    tcol,
+                    format!("unexpected character `{other}`"),
+                ));
+            }
+        }
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_declaration() {
+        let k = kinds("range V = 3000;");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("range".into()),
+                TokenKind::Ident("V".into()),
+                TokenKind::Assign,
+                TokenKind::Int(3000),
+                TokenKind::Semi,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_statement_symbols() {
+        let k = kinds("S[a,b] += 2.5 * A[a,b] + -1 * B[a,b];");
+        assert!(k.contains(&TokenKind::PlusAssign));
+        assert!(k.contains(&TokenKind::Float(2.5)));
+        assert!(k.contains(&TokenKind::Minus));
+        assert!(k.contains(&TokenKind::Star));
+    }
+
+    #[test]
+    fn skips_comments() {
+        let k = kinds("# a comment\nrange V = 10; // trailing\n");
+        assert_eq!(k.len(), 6); // range V = 10 ; EOF
+    }
+
+    #[test]
+    fn tracks_positions() {
+        let toks = lex("range V = 1;\nindex a : V;").unwrap();
+        let idx = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident("index".into()))
+            .unwrap();
+        assert_eq!(idx.line, 2);
+        assert_eq!(idx.col, 1);
+    }
+
+    #[test]
+    fn rejects_bad_char() {
+        let err = lex("range V = 1 @;").unwrap_err();
+        assert!(err.msg.contains("unexpected character"));
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn int_vs_float() {
+        assert_eq!(kinds("3")[0], TokenKind::Int(3));
+        assert_eq!(kinds("3.5")[0], TokenKind::Float(3.5));
+    }
+
+    #[test]
+    fn rejects_trailing_dot_as_unknown() {
+        let err = lex("3.").unwrap_err();
+        assert!(err.msg.contains("unexpected character"));
+    }
+}

@@ -1,0 +1,576 @@
+//! Loop blocking and the doubling tile-size search (paper §6).
+//!
+//! "Using this cost model, we can compute the total memory access cost for
+//! given tile sizes.  The procedure is repeated for different sets of tile
+//! sizes … In the end the lowest possible cost is chosen, thus determining
+//! the optimal tile sizes.  We define our tile size search space in the
+//! following way: if `Nᵢ` is a loop range, we use a tile size starting
+//! from `Tᵢ = 1` (no tiling), and successively increasing `Tᵢ` by doubling
+//! it until it reaches `Nᵢ`."
+//!
+//! Blocking is applied to perfectly nested contraction loops: the tiled
+//! loops' tile counters move outermost (in original order) and the
+//! intra-tile loops replace the originals, with every subscript rewritten
+//! to `tile·B + intra`.  The transformation is semantics-preserving
+//! (verified against the interpreter in `tce-exec` integration tests).
+
+use crate::model::access_cost;
+use std::collections::HashMap;
+use tce_ir::IndexSpace;
+use tce_loops::{ARef, LoopProgram, LoopVarId, Stmt, Sub, VarRange};
+
+/// A perfect nest found in a program: the position of its top-level
+/// statement and the loop variables outermost-first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PerfectNest {
+    /// Index into `LoopProgram::body`.
+    pub body_index: usize,
+    /// Loop variables, outermost first.
+    pub vars: Vec<LoopVarId>,
+}
+
+/// Find the maximal perfect nests among the program's top-level
+/// statements (a chain of single-statement loops ending in non-loop
+/// statements).
+pub fn perfect_nests(p: &LoopProgram) -> Vec<PerfectNest> {
+    let mut out = Vec::new();
+    for (i, s) in p.body.iter().enumerate() {
+        let mut vars = Vec::new();
+        let mut cur = s;
+        while let Stmt::Loop { var, body } = cur {
+            vars.push(*var);
+            if body.len() == 1 {
+                cur = &body[0];
+            } else {
+                break;
+            }
+        }
+        if !vars.is_empty() && !matches!(cur, Stmt::Loop { .. }) {
+            out.push(PerfectNest {
+                body_index: i,
+                vars,
+            });
+        }
+    }
+    out
+}
+
+/// Block the perfect nest at `nest.body_index` with the given tile sizes
+/// (`var → B`; absent or `B = 1` or `B = extent` leaves a loop untiled).
+/// Returns the transformed program.
+///
+/// # Panics
+/// Panics if the statement is not a perfect nest over `nest.vars` or a
+/// tiled variable's range is not `Full`.
+pub fn tile_nest(
+    p: &LoopProgram,
+    space: &IndexSpace,
+    nest: &PerfectNest,
+    blocks: &HashMap<LoopVarId, usize>,
+) -> LoopProgram {
+    let mut out = p.clone();
+
+    // Peel the nest to its innermost body.
+    let mut inner: Vec<Stmt> = {
+        let mut cur = p.body[nest.body_index].clone();
+        let mut depth = 0;
+        loop {
+            match cur {
+                Stmt::Loop { var, mut body } => {
+                    assert_eq!(var, nest.vars[depth], "nest shape mismatch");
+                    depth += 1;
+                    if depth == nest.vars.len() {
+                        break body;
+                    }
+                    assert_eq!(body.len(), 1, "not a perfect nest");
+                    cur = body.pop().unwrap();
+                }
+                _ => panic!("not a loop nest"),
+            }
+        }
+    };
+
+    // Declare tile/intra vars and build the substitution map.
+    let mut subst: HashMap<LoopVarId, Sub> = HashMap::new();
+    let mut tile_loops: Vec<LoopVarId> = Vec::new();
+    let mut inner_loops: Vec<LoopVarId> = Vec::new();
+    for &v in &nest.vars {
+        let b = blocks.get(&v).copied().unwrap_or(1);
+        let src = match out.var(v).range {
+            VarRange::Full(iv) => iv,
+            _ => panic!("can only tile Full-range loops"),
+        };
+        let extent = space.extent(src);
+        if b <= 1 || b >= extent {
+            inner_loops.push(v);
+            continue;
+        }
+        let name = out.var(v).name.clone();
+        let vt = out.add_var(&format!("{name}_t"), VarRange::Tile { index: src, block: b });
+        let vi = out.add_var(&format!("{name}_i"), VarRange::Intra { index: src, block: b });
+        subst.insert(v, Sub::Tiled { tile: vt, intra: vi, block: b });
+        tile_loops.push(vt);
+        inner_loops.push(vi);
+    }
+
+    // Rewrite subscripts in the innermost statements.
+    fn rewrite_sub(s: &mut Sub, subst: &HashMap<LoopVarId, Sub>) {
+        if let Sub::Var(v) = *s {
+            if let Some(rep) = subst.get(&v) {
+                *s = *rep;
+            }
+        }
+    }
+    fn rewrite_ref(r: &mut ARef, subst: &HashMap<LoopVarId, Sub>) {
+        for s in &mut r.subs {
+            rewrite_sub(s, subst);
+        }
+    }
+    fn rewrite(stmts: &mut [Stmt], subst: &HashMap<LoopVarId, Sub>) {
+        for s in stmts {
+            match s {
+                Stmt::Loop { body, .. } => rewrite(body, subst),
+                Stmt::Init { .. } => {}
+                Stmt::Accum { lhs, rhs, .. } => {
+                    rewrite_ref(lhs, subst);
+                    for r in rhs {
+                        rewrite_ref(r, subst);
+                    }
+                }
+                Stmt::Eval { lhs, args, .. } => {
+                    rewrite_ref(lhs, subst);
+                    for a in args {
+                        rewrite_sub(a, subst);
+                    }
+                }
+            }
+        }
+    }
+    rewrite(&mut inner, &subst);
+
+    // Rebuild: tile loops outermost (original order), then the
+    // intra/untiled loops in original order.
+    let all: Vec<LoopVarId> = tile_loops.into_iter().chain(inner_loops).collect();
+    out.body[nest.body_index] = tce_loops::nest(all, inner);
+    debug_assert!(out.validate().is_ok());
+    out
+}
+
+/// Outcome of the tile-size search for one nest.
+#[derive(Debug, Clone)]
+pub struct TileSearchResult {
+    /// Chosen tile size per loop variable of the nest.
+    pub blocks: HashMap<LoopVarId, usize>,
+    /// The blocked program.
+    pub program: LoopProgram,
+    /// Modeled access cost of the blocked program.
+    pub cost: u128,
+}
+
+/// Doubling candidates for one loop (`1, 2, 4, …, N`), per §6; for small
+/// extents this degenerates into the exhaustive search the paper mentions.
+fn candidates(extent: usize) -> Vec<usize> {
+    let mut out = vec![1usize];
+    let mut b = 2usize;
+    while b < extent {
+        out.push(b);
+        b *= 2;
+    }
+    if extent > 1 {
+        out.push(extent);
+    }
+    out
+}
+
+/// Search tile sizes for one perfect nest, minimizing the §6 cost model
+/// for a cache of `cache_elements`.
+pub fn search_nest_tiles(
+    p: &LoopProgram,
+    space: &IndexSpace,
+    nest: &PerfectNest,
+    cache_elements: u128,
+) -> TileSearchResult {
+    let extents: Vec<usize> = nest
+        .vars
+        .iter()
+        .map(|&v| p.var(v).extent(space))
+        .collect();
+    let mut best: Option<TileSearchResult> = None;
+    let mut blocks: HashMap<LoopVarId, usize> = HashMap::new();
+
+    #[allow(clippy::too_many_arguments)]
+    fn rec(
+        p: &LoopProgram,
+        space: &IndexSpace,
+        nest: &PerfectNest,
+        cache: u128,
+        extents: &[usize],
+        i: usize,
+        blocks: &mut HashMap<LoopVarId, usize>,
+        best: &mut Option<TileSearchResult>,
+    ) {
+        if i == nest.vars.len() {
+            let tiled = tile_nest(p, space, nest, blocks);
+            let cost = access_cost(&tiled, space, cache);
+            let better = best.as_ref().map(|b| cost < b.cost).unwrap_or(true);
+            if better {
+                *best = Some(TileSearchResult {
+                    blocks: blocks.clone(),
+                    program: tiled,
+                    cost,
+                });
+            }
+            return;
+        }
+        for b in candidates(extents[i]) {
+            blocks.insert(nest.vars[i], b);
+            rec(p, space, nest, cache, extents, i + 1, blocks, best);
+        }
+        blocks.remove(&nest.vars[i]);
+    }
+
+    rec(
+        p,
+        space,
+        nest,
+        cache_elements,
+        &extents,
+        0,
+        &mut blocks,
+        &mut best,
+    );
+    best.expect("search space is never empty")
+}
+
+/// Reorder the loops of a perfect nest (loop interchange).  All loops in
+/// the synthesized nests are fully permutable — statements are pure
+/// accumulations — so any order is legal; orders differ only in locality.
+///
+/// # Panics
+/// Panics if `order` is not a permutation of the nest's variables.
+pub fn permute_nest(p: &LoopProgram, nest: &PerfectNest, order: &[LoopVarId]) -> LoopProgram {
+    assert_eq!(order.len(), nest.vars.len(), "order length mismatch");
+    for v in order {
+        assert!(nest.vars.contains(v), "order must permute the nest's loops");
+    }
+    let mut sorted = order.to_vec();
+    sorted.sort();
+    let mut nv = nest.vars.clone();
+    nv.sort();
+    assert_eq!(sorted, nv, "order must be a permutation");
+
+    let mut out = p.clone();
+    // Peel to the innermost statements.
+    let inner: Vec<Stmt> = {
+        let mut cur = p.body[nest.body_index].clone();
+        let mut depth = 0;
+        loop {
+            match cur {
+                Stmt::Loop { mut body, .. } => {
+                    depth += 1;
+                    if depth == nest.vars.len() {
+                        break body;
+                    }
+                    cur = body.pop().unwrap();
+                }
+                _ => unreachable!("perfect nest"),
+            }
+        }
+    };
+    out.body[nest.body_index] = tce_loops::nest(order.to_vec(), inner);
+    debug_assert!(out.validate().is_ok());
+    out
+}
+
+/// Search all loop orders of a perfect nest (≤ 7 loops) for the one with
+/// the lowest §6 access cost.  Returns the reordered program.
+pub fn search_loop_order(
+    p: &LoopProgram,
+    space: &IndexSpace,
+    nest: &PerfectNest,
+    cache_elements: u128,
+) -> (LoopProgram, Vec<LoopVarId>, u128) {
+    assert!(nest.vars.len() <= 7, "factorial search limited to 7 loops");
+    let mut order = nest.vars.clone();
+    let mut best_order = order.clone();
+    let mut best_cost = u128::MAX;
+    // Heap's algorithm over permutations.
+    fn heaps(
+        k: usize,
+        order: &mut Vec<LoopVarId>,
+        visit: &mut dyn FnMut(&[LoopVarId]),
+    ) {
+        if k <= 1 {
+            visit(order);
+            return;
+        }
+        for i in 0..k {
+            heaps(k - 1, order, visit);
+            if k.is_multiple_of(2) {
+                order.swap(i, k - 1);
+            } else {
+                order.swap(0, k - 1);
+            }
+        }
+    }
+    let n = order.len();
+    let mut visit = |cand: &[LoopVarId]| {
+        let prog = permute_nest(p, nest, cand);
+        let cost = access_cost(&prog, space, cache_elements);
+        if cost < best_cost {
+            best_cost = cost;
+            best_order = cand.to_vec();
+        }
+    };
+    heaps(n, &mut order, &mut visit);
+    let program = permute_nest(p, nest, &best_order);
+    (program, best_order, best_cost)
+}
+
+/// Outcome of the hierarchy-weighted tile search.
+#[derive(Debug, Clone)]
+pub struct HierarchyTileResult {
+    /// Chosen tile size per loop variable of the nest.
+    pub blocks: HashMap<LoopVarId, usize>,
+    /// The blocked program.
+    pub program: LoopProgram,
+    /// Weighted multi-level cost of the blocked program.
+    pub cost: f64,
+}
+
+/// Tile-size search minimizing the *weighted multi-level* cost — the §6
+/// model applied "at different levels of the memory hierarchy" (cache,
+/// physical memory, disk) simultaneously, each level's misses weighted by
+/// its latency.  A single tiling must serve all levels; the optimum
+/// typically blocks for the small level while keeping footprints within
+/// the large one.
+pub fn search_nest_tiles_hierarchy(
+    p: &LoopProgram,
+    space: &IndexSpace,
+    nest: &PerfectNest,
+    hierarchy: &crate::model::MemoryHierarchy,
+) -> HierarchyTileResult {
+    let extents: Vec<usize> = nest
+        .vars
+        .iter()
+        .map(|&v| p.var(v).extent(space))
+        .collect();
+    let mut best: Option<HierarchyTileResult> = None;
+    let mut blocks: HashMap<LoopVarId, usize> = HashMap::new();
+
+    #[allow(clippy::too_many_arguments)]
+    fn rec(
+        p: &LoopProgram,
+        space: &IndexSpace,
+        nest: &PerfectNest,
+        hierarchy: &crate::model::MemoryHierarchy,
+        extents: &[usize],
+        i: usize,
+        blocks: &mut HashMap<LoopVarId, usize>,
+        best: &mut Option<HierarchyTileResult>,
+    ) {
+        if i == nest.vars.len() {
+            let tiled = tile_nest(p, space, nest, blocks);
+            let cost = hierarchy.cost(&tiled, space);
+            let better = best.as_ref().map(|b| cost < b.cost).unwrap_or(true);
+            if better {
+                *best = Some(HierarchyTileResult {
+                    blocks: blocks.clone(),
+                    program: tiled,
+                    cost,
+                });
+            }
+            return;
+        }
+        for b in candidates(extents[i]) {
+            blocks.insert(nest.vars[i], b);
+            rec(p, space, nest, hierarchy, extents, i + 1, blocks, best);
+        }
+        blocks.remove(&nest.vars[i]);
+    }
+
+    rec(
+        p, space, nest, hierarchy, &extents, 0, &mut blocks, &mut best,
+    );
+    best.expect("search space is never empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tce_loops::ArrayKind;
+
+    fn matmul(n: usize) -> (IndexSpace, LoopProgram, PerfectNest) {
+        let mut space = IndexSpace::new();
+        let r = space.add_range("N", n);
+        let (i, j, k) = (
+            space.add_var("i", r),
+            space.add_var("j", r),
+            space.add_var("k", r),
+        );
+        let mut p = LoopProgram::new();
+        let vi = p.add_var("i", VarRange::Full(i));
+        let vj = p.add_var("j", VarRange::Full(j));
+        let vk = p.add_var("k", VarRange::Full(k));
+        let a = p.add_array("A", vec![VarRange::Full(i), VarRange::Full(k)], ArrayKind::Intermediate);
+        let b = p.add_array("B", vec![VarRange::Full(k), VarRange::Full(j)], ArrayKind::Intermediate);
+        let c = p.add_array("C", vec![VarRange::Full(i), VarRange::Full(j)], ArrayKind::Output);
+        let stmt = Stmt::Accum {
+            lhs: ARef { array: c, subs: vec![Sub::Var(vi), Sub::Var(vj)] },
+            rhs: vec![
+                ARef { array: a, subs: vec![Sub::Var(vi), Sub::Var(vk)] },
+                ARef { array: b, subs: vec![Sub::Var(vk), Sub::Var(vj)] },
+            ],
+            coeff: 1.0,
+        };
+        p.body.push(tce_loops::nest(vec![vi, vj, vk], vec![stmt]));
+        let nest = PerfectNest { body_index: 0, vars: vec![vi, vj, vk] };
+        (space, p, nest)
+    }
+
+    #[test]
+    fn finds_the_perfect_nest() {
+        let (_, p, nest) = matmul(8);
+        let found = perfect_nests(&p);
+        assert_eq!(found, vec![nest]);
+    }
+
+    #[test]
+    fn tiling_preserves_structure_and_validates() {
+        let (space, p, nest) = matmul(8);
+        let mut blocks = HashMap::new();
+        blocks.insert(nest.vars[1], 4usize); // tile j
+        blocks.insert(nest.vars[2], 4usize); // tile k
+        let tiled = tile_nest(&p, &space, &nest, &blocks);
+        tiled.validate().unwrap();
+        // Two new tile loops outermost, then i, j_i, k_i.
+        let text = tce_loops::pretty(&tiled);
+        assert!(text.contains("for j_t, k_t, i, j_i, k_i"), "{text}");
+        assert!(text.contains("A[i,k_t*4+k_i]"), "{text}");
+    }
+
+    #[test]
+    fn degenerate_blocks_leave_program_unchanged() {
+        let (space, p, nest) = matmul(8);
+        let mut blocks = HashMap::new();
+        blocks.insert(nest.vars[0], 1usize);
+        blocks.insert(nest.vars[1], 8usize); // == extent
+        let tiled = tile_nest(&p, &space, &nest, &blocks);
+        assert_eq!(tiled, p);
+    }
+
+    #[test]
+    fn blocking_lowers_modeled_cost_for_small_cache() {
+        let (space, p, nest) = matmul(32);
+        // Cache far too small for any full row set at N=32 (footprint
+        // 3·1024); pick blocks of 8: working set per block step ≈ 3·64.
+        let cache = 256u128;
+        let untiled = access_cost(&p, &space, cache);
+        let r = search_nest_tiles(&p, &space, &nest, cache);
+        assert!(
+            r.cost < untiled,
+            "blocked {} vs untiled {untiled}",
+            r.cost
+        );
+        // The chosen blocks keep the blocked working set within cache:
+        // at least one variable actually tiled.
+        assert!(r.blocks.values().any(|&b| b > 1 && b < 32));
+    }
+
+    #[test]
+    fn search_never_beats_exhaustive_small_case() {
+        // For a tiny nest the doubling search IS exhaustive over
+        // {1,2,4,…,N}; verify the returned cost equals the brute-force min
+        // over that grid.
+        let (space, p, nest) = matmul(8);
+        let cache = 48u128;
+        let r = search_nest_tiles(&p, &space, &nest, cache);
+        let grid = [1usize, 2, 4, 8];
+        let mut best = u128::MAX;
+        for bi in grid {
+            for bj in grid {
+                for bk in grid {
+                    let mut blocks = HashMap::new();
+                    blocks.insert(nest.vars[0], bi);
+                    blocks.insert(nest.vars[1], bj);
+                    blocks.insert(nest.vars[2], bk);
+                    let t = tile_nest(&p, &space, &nest, &blocks);
+                    best = best.min(access_cost(&t, &space, cache));
+                }
+            }
+        }
+        assert_eq!(r.cost, best);
+    }
+
+    #[test]
+    fn hierarchy_search_weighs_both_levels() {
+        use crate::model::MemoryHierarchy;
+        let (space, p, nest) = matmul(32);
+        // Tiny cache, memory that holds everything: the weighted optimum
+        // must do at least as well as optimizing either level alone.
+        let hier = MemoryHierarchy::cache_and_disk(64, 100_000);
+        let r = search_nest_tiles_hierarchy(&p, &space, &nest, &hier);
+        let untiled = hier.cost(&p, &space);
+        assert!(r.cost <= untiled);
+        // Against the single-level (cache-only) pick, the weighted cost of
+        // the hierarchy result is no worse by construction.
+        let cache_only = search_nest_tiles(&p, &space, &nest, 64);
+        assert!(r.cost <= hier.cost(&cache_only.program, &space) + 1e-9);
+        r.program.validate().unwrap();
+    }
+
+    #[test]
+    fn permute_nest_reorders_loops() {
+        let (space, p, nest) = matmul(8);
+        let order = vec![nest.vars[1], nest.vars[2], nest.vars[0]]; // j,k,i
+        let q = permute_nest(&p, &nest, &order);
+        let text = tce_loops::pretty(&q);
+        assert!(text.contains("for j, k, i"), "{text}");
+        // Same cost model at whole-program footprint scope when fitting.
+        assert_eq!(
+            access_cost(&p, &space, 10_000),
+            access_cost(&q, &space, 10_000)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn permute_nest_rejects_bad_order() {
+        let (space, p, nest) = matmul(4);
+        let _ = space;
+        permute_nest(&p, &nest, &[nest.vars[0], nest.vars[0], nest.vars[1]]);
+    }
+
+    #[test]
+    fn order_search_finds_better_order_for_small_cache() {
+        let (space, p, nest) = matmul(16);
+        // Cache holds a couple of rows but not B: the best orders keep
+        // B's row reuse in an inner position.
+        let cache = 40u128;
+        let base = access_cost(&p, &space, cache);
+        let (best_prog, order, cost) = search_loop_order(&p, &space, &nest, cache);
+        assert!(cost <= base);
+        assert_eq!(order.len(), 3);
+        best_prog.validate().unwrap();
+        // Exhaustiveness: no permutation beats the returned cost.
+        let perms = [
+            [0usize, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0],
+        ];
+        for perm in perms {
+            let cand: Vec<_> = perm.iter().map(|&q| nest.vars[q]).collect();
+            let prog = permute_nest(&p, &nest, &cand);
+            assert!(access_cost(&prog, &space, cache) >= cost);
+        }
+    }
+
+    #[test]
+    fn order_plus_tiling_composes() {
+        let (space, p, nest) = matmul(16);
+        let cache = 48u128;
+        let (ordered, order, _) = search_loop_order(&p, &space, &nest, cache);
+        let nest2 = PerfectNest { body_index: nest.body_index, vars: order };
+        let tiled = search_nest_tiles(&ordered, &space, &nest2, cache);
+        assert!(tiled.cost <= access_cost(&ordered, &space, cache));
+        tiled.program.validate().unwrap();
+    }
+}

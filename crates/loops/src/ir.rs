@@ -1,0 +1,365 @@
+//! Imperfectly-nested loop IR.
+//!
+//! The output representation of the synthesis pipeline: explicit loop nests
+//! over declared loop variables, with statements that initialize arrays,
+//! accumulate products (`lhs += Π rhs`), or evaluate primitive functions
+//! (`lhs = f(args)`).  Fusion produces imperfect nesting (paper Fig. 1(c));
+//! tiling splits an index loop into a tile/intra-tile pair (Fig. 4), with
+//! references to the original index written as `tile·B + intra`.
+//!
+//! The IR is deliberately *concrete*: every analysis the paper's cost
+//! models need (array space, operation counts, distinct-elements-accessed)
+//! is computed by walking this structure, and `tce-exec` interprets it
+//! directly against real data to verify that every transformation is
+//! semantics-preserving.
+
+use tce_ir::{IndexSpace, IndexVar, TensorId};
+
+/// Identifier of a loop variable within one [`LoopProgram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LoopVarId(pub u32);
+
+/// Identifier of an array within one [`LoopProgram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArrayId(pub u32);
+
+/// Identifier of a primitive function within one [`LoopProgram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(pub u32);
+
+/// How a loop variable ranges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarRange {
+    /// The full extent of a source index variable.
+    Full(IndexVar),
+    /// Tile counter of a source index tiled with `block`:
+    /// extent `⌈extent(index) / block⌉`.
+    Tile {
+        /// The tiled source index.
+        index: IndexVar,
+        /// Block size.
+        block: usize,
+    },
+    /// Intra-tile offset of a source index tiled with `block`: extent
+    /// `block`.
+    Intra {
+        /// The tiled source index.
+        index: IndexVar,
+        /// Block size.
+        block: usize,
+    },
+}
+
+/// A declared loop variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopVarInfo {
+    /// Display name (`a`, `a_t`, `a_i`, …).
+    pub name: String,
+    /// Range.
+    pub range: VarRange,
+}
+
+impl LoopVarInfo {
+    /// Numeric extent under the current index-space extents.
+    pub fn extent(&self, space: &IndexSpace) -> usize {
+        match self.range {
+            VarRange::Full(v) => space.extent(v),
+            VarRange::Tile { index, block } => space.extent(index).div_ceil(block),
+            VarRange::Intra { block, .. } => block,
+        }
+    }
+
+    /// The source index this variable ranges over.
+    pub fn source_index(&self) -> IndexVar {
+        match self.range {
+            VarRange::Full(v) | VarRange::Tile { index: v, .. } | VarRange::Intra { index: v, .. } => v,
+        }
+    }
+}
+
+/// A subscript expression of an array reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sub {
+    /// The value of one loop variable.
+    Var(LoopVarId),
+    /// `tile·block + intra` — reconstructs an original index from its tiled
+    /// pair (used to subscript full-size input arrays inside tiled code).
+    Tiled {
+        /// Tile-counter variable.
+        tile: LoopVarId,
+        /// Intra-tile variable.
+        intra: LoopVarId,
+        /// Block size (must equal the pair's declared block).
+        block: usize,
+    },
+}
+
+/// What an array is, for reporting and for binding at execution time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrayKind {
+    /// A program input, bound to a tensor declaration.
+    Input(TensorId),
+    /// A temporary produced and consumed inside the program.
+    Intermediate,
+    /// The program result.
+    Output,
+    /// The scalar constant 1 (multiplicative identity; rank 0, no storage
+    /// of interest).
+    One,
+}
+
+/// A declared array.  After fusion some dimensions of an intermediate are
+/// eliminated; `dims` lists the *remaining* dimensions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayInfo {
+    /// Display name.
+    pub name: String,
+    /// Extent of each remaining dimension, as a loop-variable range (so a
+    /// tile-local buffer dimension has extent `block`).
+    pub dims: Vec<VarRange>,
+    /// Role.
+    pub kind: ArrayKind,
+}
+
+impl ArrayInfo {
+    /// Number of elements under the current extents.
+    pub fn elements(&self, space: &IndexSpace) -> u128 {
+        self.dims.iter().fold(1u128, |acc, d| {
+            let e = match *d {
+                VarRange::Full(v) => space.extent(v),
+                VarRange::Tile { index, block } => space.extent(index).div_ceil(block),
+                VarRange::Intra { block, .. } => block,
+            };
+            acc.saturating_mul(e as u128)
+        })
+    }
+}
+
+/// A declared primitive function (the paper's `f1`, `f2`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncInfo {
+    /// Name.
+    pub name: String,
+    /// Arithmetic cost per evaluation (`C_i`).
+    pub cost_per_eval: u64,
+}
+
+/// An array reference `array[subs…]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ARef {
+    /// Referenced array.
+    pub array: ArrayId,
+    /// One subscript per remaining dimension.
+    pub subs: Vec<Sub>,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `for var { body }`
+    Loop {
+        /// Loop variable.
+        var: LoopVarId,
+        /// Body statements.
+        body: Vec<Stmt>,
+    },
+    /// Zero-fill an array (or the portion addressed by its remaining dims).
+    Init {
+        /// Target array.
+        array: ArrayId,
+    },
+    /// `lhs += coeff · Π rhs` — one multiply-accumulate per enclosing
+    /// iteration.
+    Accum {
+        /// Target reference.
+        lhs: ARef,
+        /// Multiplied operands.
+        rhs: Vec<ARef>,
+        /// Scalar coefficient.
+        coeff: f64,
+    },
+    /// `lhs = f(args…)` — one function evaluation per enclosing iteration.
+    Eval {
+        /// Target reference.
+        lhs: ARef,
+        /// Evaluated function.
+        func: FuncId,
+        /// Argument subscripts (original-index values).
+        args: Vec<Sub>,
+    },
+}
+
+/// A complete loop program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LoopProgram {
+    /// Loop variables.
+    pub vars: Vec<LoopVarInfo>,
+    /// Arrays.
+    pub arrays: Vec<ArrayInfo>,
+    /// Primitive functions.
+    pub funcs: Vec<FuncInfo>,
+    /// Top-level statements.
+    pub body: Vec<Stmt>,
+}
+
+impl LoopProgram {
+    /// Empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a loop variable.
+    pub fn add_var(&mut self, name: &str, range: VarRange) -> LoopVarId {
+        let id = LoopVarId(self.vars.len() as u32);
+        self.vars.push(LoopVarInfo {
+            name: name.to_string(),
+            range,
+        });
+        id
+    }
+
+    /// Declare an array.
+    pub fn add_array(&mut self, name: &str, dims: Vec<VarRange>, kind: ArrayKind) -> ArrayId {
+        let id = ArrayId(self.arrays.len() as u32);
+        self.arrays.push(ArrayInfo {
+            name: name.to_string(),
+            dims,
+            kind,
+        });
+        id
+    }
+
+    /// Declare a primitive function.
+    pub fn add_func(&mut self, name: &str, cost_per_eval: u64) -> FuncId {
+        let id = FuncId(self.funcs.len() as u32);
+        self.funcs.push(FuncInfo {
+            name: name.to_string(),
+            cost_per_eval,
+        });
+        id
+    }
+
+    /// Variable info.
+    pub fn var(&self, id: LoopVarId) -> &LoopVarInfo {
+        &self.vars[id.0 as usize]
+    }
+
+    /// Array info.
+    pub fn array(&self, id: ArrayId) -> &ArrayInfo {
+        &self.arrays[id.0 as usize]
+    }
+
+    /// Function info.
+    pub fn func(&self, id: FuncId) -> &FuncInfo {
+        &self.funcs[id.0 as usize]
+    }
+
+    /// Validate structural well-formedness:
+    /// * every referenced id exists;
+    /// * subscript arity matches array rank;
+    /// * every subscript variable is bound by an enclosing loop;
+    /// * no variable is bound twice on a path;
+    /// * `Tiled` subscripts pair a `Tile` and an `Intra` var of the same
+    ///   source index and block.
+    pub fn validate(&self) -> Result<(), String> {
+        fn check_sub(p: &LoopProgram, s: &Sub, bound: &[bool]) -> Result<(), String> {
+            match *s {
+                Sub::Var(v) => {
+                    if v.0 as usize >= p.vars.len() {
+                        return Err("unknown loop variable".into());
+                    }
+                    if !bound[v.0 as usize] {
+                        return Err(format!(
+                            "loop variable `{}` used outside its loop",
+                            p.var(v).name
+                        ));
+                    }
+                }
+                Sub::Tiled { tile, intra, block } => {
+                    for v in [tile, intra] {
+                        if v.0 as usize >= p.vars.len() {
+                            return Err("unknown loop variable".into());
+                        }
+                        if !bound[v.0 as usize] {
+                            return Err(format!(
+                                "loop variable `{}` used outside its loop",
+                                p.var(v).name
+                            ));
+                        }
+                    }
+                    match (p.var(tile).range, p.var(intra).range) {
+                        (
+                            VarRange::Tile { index: i1, block: b1 },
+                            VarRange::Intra { index: i2, block: b2 },
+                        ) if i1 == i2 && b1 == b2 && b1 == block => {}
+                        _ => return Err("malformed tiled subscript pair".into()),
+                    }
+                }
+            }
+            Ok(())
+        }
+
+        fn check_ref(p: &LoopProgram, r: &ARef, bound: &[bool]) -> Result<(), String> {
+            if r.array.0 as usize >= p.arrays.len() {
+                return Err("unknown array".into());
+            }
+            let rank = p.array(r.array).dims.len();
+            if r.subs.len() != rank {
+                return Err(format!(
+                    "array `{}` has rank {rank}, referenced with {} subscripts",
+                    p.array(r.array).name,
+                    r.subs.len()
+                ));
+            }
+            for s in &r.subs {
+                check_sub(p, s, bound)?;
+            }
+            Ok(())
+        }
+
+        fn walk(p: &LoopProgram, stmts: &[Stmt], bound: &mut Vec<bool>) -> Result<(), String> {
+            for s in stmts {
+                match s {
+                    Stmt::Loop { var, body } => {
+                        if var.0 as usize >= p.vars.len() {
+                            return Err("unknown loop variable".into());
+                        }
+                        if bound[var.0 as usize] {
+                            return Err(format!(
+                                "loop variable `{}` bound twice on a path",
+                                p.var(*var).name
+                            ));
+                        }
+                        bound[var.0 as usize] = true;
+                        walk(p, body, bound)?;
+                        bound[var.0 as usize] = false;
+                    }
+                    Stmt::Init { array } => {
+                        if array.0 as usize >= p.arrays.len() {
+                            return Err("unknown array".into());
+                        }
+                    }
+                    Stmt::Accum { lhs, rhs, .. } => {
+                        check_ref(p, lhs, bound)?;
+                        for r in rhs {
+                            check_ref(p, r, bound)?;
+                        }
+                    }
+                    Stmt::Eval { lhs, func, args } => {
+                        check_ref(p, lhs, bound)?;
+                        if func.0 as usize >= p.funcs.len() {
+                            return Err("unknown function".into());
+                        }
+                        for a in args {
+                            check_sub(p, a, bound)?;
+                        }
+                    }
+                }
+            }
+            Ok(())
+        }
+
+        let mut bound = vec![false; self.vars.len()];
+        walk(self, &self.body, &mut bound)
+    }
+}

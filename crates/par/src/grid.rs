@@ -1,0 +1,154 @@
+//! Logical multi-dimensional processor grids.
+//!
+//! §7 of the paper views the parallel machine as an n-dimensional grid of
+//! `p₁ × p₂ × … × pₙ` processors; arrays are distributed or replicated
+//! along grid dimensions and each processor owns the block
+//! `myrange(z, N, p) = (z−1)·N/p + 1 … z·N/p` of a distributed dimension.
+//! This module provides the grid arithmetic (0-based) shared by the
+//! distribution cost models and the simulated distributed machine.
+
+/// A logical n-dimensional processor grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessorGrid {
+    dims: Vec<usize>,
+}
+
+impl ProcessorGrid {
+    /// Create a grid; every dimension must be ≥ 1.
+    pub fn new(dims: Vec<usize>) -> Self {
+        assert!(!dims.is_empty(), "grid needs at least one dimension");
+        assert!(dims.iter().all(|&d| d >= 1), "grid dims must be ≥ 1");
+        Self { dims }
+    }
+
+    /// Grid dimensions.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of grid dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total processor count.
+    pub fn num_processors(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Coordinates of a linear processor id (row-major).
+    pub fn coords(&self, mut id: usize) -> Vec<usize> {
+        assert!(id < self.num_processors(), "processor id out of range");
+        let mut c = vec![0usize; self.dims.len()];
+        for d in (0..self.dims.len()).rev() {
+            c[d] = id % self.dims[d];
+            id /= self.dims[d];
+        }
+        c
+    }
+
+    /// Linear id of coordinates (row-major).
+    pub fn id_of(&self, coords: &[usize]) -> usize {
+        assert_eq!(coords.len(), self.dims.len());
+        let mut id = 0usize;
+        for (d, &c) in coords.iter().enumerate() {
+            assert!(c < self.dims[d], "coordinate out of range");
+            id = id * self.dims[d] + c;
+        }
+        id
+    }
+
+    /// Iterate over all processor ids.
+    pub fn processors(&self) -> impl Iterator<Item = usize> {
+        0..self.num_processors()
+    }
+}
+
+/// The paper's `myrange(z, N, p)` block ownership, 0-based: processor `z`
+/// of `p` along a dimension of extent `n` owns this half-open range.
+/// Extents that do not divide evenly give the first `n mod p` processors
+/// one extra element (so every element is owned exactly once).
+pub fn myrange(z: usize, n: usize, p: usize) -> std::ops::Range<usize> {
+    assert!(z < p, "processor index out of range");
+    let base = n / p;
+    let extra = n % p;
+    let start = z * base + z.min(extra);
+    let len = base + usize::from(z < extra);
+    start..start + len
+}
+
+/// Inverse of [`myrange`]: which processor (of `p`) owns element `i` of a
+/// dimension with extent `n`.
+pub fn owner_of(i: usize, n: usize, p: usize) -> usize {
+    assert!(i < n, "element out of range");
+    let base = n / p;
+    let extra = n % p;
+    let boundary = extra * (base + 1);
+    if i < boundary {
+        i / (base + 1)
+    } else {
+        extra + (i - boundary) / base.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_2x4x8() {
+        // "suppose 64 processors form a 2×4×8 array" (§7).
+        let g = ProcessorGrid::new(vec![2, 4, 8]);
+        assert_eq!(g.num_processors(), 64);
+        assert_eq!(g.rank(), 3);
+        assert_eq!(g.coords(0), vec![0, 0, 0]);
+        assert_eq!(g.coords(63), vec![1, 3, 7]);
+        for id in g.processors() {
+            assert_eq!(g.id_of(&g.coords(id)), id);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn coords_rejects_bad_id() {
+        ProcessorGrid::new(vec![2, 2]).coords(4);
+    }
+
+    #[test]
+    fn myrange_partitions_exactly() {
+        for n in [0usize, 1, 10, 17, 64] {
+            for p in [1usize, 2, 3, 5, 8] {
+                let mut covered = vec![false; n];
+                for z in 0..p {
+                    for i in myrange(z, n, p) {
+                        assert!(!covered[i], "element {i} owned twice");
+                        covered[i] = true;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c), "n={n} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn myrange_even_division_matches_paper_formula() {
+        // With p | N the paper's (z−1)·N/p+1 … z·N/p (1-based) becomes
+        // z·N/p .. (z+1)·N/p.
+        let (n, p) = (100, 4);
+        for z in 0..p {
+            assert_eq!(myrange(z, n, p), (z * n / p)..((z + 1) * n / p));
+        }
+    }
+
+    #[test]
+    fn owner_of_inverts_myrange() {
+        for n in [1usize, 7, 16, 33] {
+            for p in [1usize, 2, 4, 5] {
+                for i in 0..n {
+                    let z = owner_of(i, n, p);
+                    assert!(myrange(z, n, p).contains(&i), "n={n} p={p} i={i}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # tce-par — parallel substrate
+//!
+//! Shared-memory data-parallel primitives (scoped block-partitioned
+//! parallel-for/reduce on crossbeam, [`pool`]) and logical processor-grid
+//! arithmetic with the paper's `myrange` block ownership ([`grid`]).
+//! `tce-exec` uses the pool to run synthesized contractions in parallel;
+//! `tce-dist` uses the grid both for its communication cost model and for
+//! the simulated distributed machine that validates it.
+//!
+//! ```
+//! use tce_par::{myrange, parallel_reduce, ProcessorGrid};
+//!
+//! let total = parallel_reduce(1000, 4, 0u64, |r| r.map(|i| i as u64).sum(), |a, b| a + b);
+//! assert_eq!(total, 999 * 1000 / 2);
+//! let grid = ProcessorGrid::new(vec![2, 4, 8]);
+//! assert_eq!(grid.num_processors(), 64);
+//! assert_eq!(myrange(1, 100, 4), 25..50);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod grid;
+pub mod pool;
+
+pub use grid::{myrange, owner_of, ProcessorGrid};
+pub use pool::{
+    block_ranges, default_threads, parallel_chunks_mut, parallel_for, parallel_reduce,
+    SharedCounter,
+};

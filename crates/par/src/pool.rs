@@ -1,0 +1,224 @@
+//! Data-parallel execution primitives built on crossbeam's scoped threads.
+//!
+//! The paper assumes a data-parallel model in which "each operation in the
+//! operation sequence is distributed across the entire parallel machine"
+//! (§7).  This module supplies the shared-memory realization used by the
+//! executor: block-partitioned parallel-for and parallel-reduce over
+//! slices, with a configurable thread count.  No work stealing — tensor
+//! contraction iterations are uniform, so static block partitioning is the
+//! right schedule and keeps the substrate small and auditable.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use: the `TCE_THREADS` environment variable
+/// if set, otherwise the machine's available parallelism (at least 1).
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("TCE_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Split `n` items into `parts` contiguous ranges of near-equal length
+/// (the paper's `myrange(z, N, p)` block partitioning, 0-based).
+pub fn block_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.max(1);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Run `f(range)` in parallel over a block partition of `0..n` with
+/// `threads` workers.  `f` must be `Sync` (it receives disjoint ranges).
+pub fn parallel_for<F>(n: usize, threads: usize, f: F)
+where
+    F: Fn(std::ops::Range<usize>) + Sync,
+{
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 {
+        f(0..n);
+        return;
+    }
+    let ranges = block_ranges(n, threads);
+    crossbeam::scope(|s| {
+        for r in ranges {
+            let f = &f;
+            s.spawn(move |_| f(r));
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Parallel map-reduce over a block partition of `0..n`: each worker folds
+/// its range with `fold`, partial results are combined with `combine`.
+pub fn parallel_reduce<T, F, C>(n: usize, threads: usize, identity: T, fold: F, combine: C) -> T
+where
+    T: Send,
+    F: Fn(std::ops::Range<usize>) -> T + Sync,
+    C: Fn(T, T) -> T,
+{
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 {
+        return combine(identity, fold(0..n));
+    }
+    let ranges = block_ranges(n, threads);
+    let partials: Vec<T> = crossbeam::scope(|s| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| {
+                let fold = &fold;
+                s.spawn(move |_| fold(r))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+    .expect("scope failed");
+    partials.into_iter().fold(identity, combine)
+}
+
+/// Apply `f` to disjoint mutable chunks of `data` in parallel — the
+/// write-side primitive for partitioned output arrays.
+pub fn parallel_chunks_mut<T, F>(data: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = data.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 {
+        f(0, data);
+        return;
+    }
+    let ranges = block_ranges(n, threads);
+    crossbeam::scope(|s| {
+        let mut rest = data;
+        let mut offset = 0usize;
+        for r in ranges {
+            let (head, tail) = rest.split_at_mut(r.len());
+            rest = tail;
+            let f = &f;
+            let start = offset;
+            offset += r.len();
+            s.spawn(move |_| f(start, head));
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// A monotone counter shared across workers (used by the executor to count
+/// operations without locks on the hot path — each worker batches locally
+/// and flushes once).
+#[derive(Debug, Default)]
+pub struct SharedCounter(AtomicUsize);
+
+impl SharedCounter {
+    /// New counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: usize) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> usize {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_ranges_cover_exactly() {
+        for n in [0usize, 1, 7, 100, 101] {
+            for p in [1usize, 2, 3, 8, 150] {
+                let rs = block_ranges(n, p);
+                assert_eq!(rs.len(), p);
+                assert_eq!(rs.first().unwrap().start, 0);
+                assert_eq!(rs.last().unwrap().end, n);
+                for w in rs.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                }
+                // Balanced: lengths differ by at most one.
+                let lens: Vec<usize> = rs.iter().map(|r| r.len()).collect();
+                let (mn, mx) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+                assert!(mx - mn <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_for_touches_every_index_once() {
+        let n = 1000;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(n, 4, |r| {
+            for i in r {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_reduce_sums() {
+        let n = 10_000usize;
+        let total = parallel_reduce(n, 8, 0u64, |r| r.map(|i| i as u64).sum::<u64>(), |a, b| a + b);
+        assert_eq!(total, (n as u64 - 1) * n as u64 / 2);
+        // Single-threaded path agrees.
+        let t1 = parallel_reduce(n, 1, 0u64, |r| r.map(|i| i as u64).sum::<u64>(), |a, b| a + b);
+        assert_eq!(t1, total);
+    }
+
+    #[test]
+    fn parallel_chunks_mut_writes_disjointly() {
+        let mut data = vec![0usize; 997];
+        parallel_chunks_mut(&mut data, 5, |start, chunk| {
+            for (i, x) in chunk.iter_mut().enumerate() {
+                *x = start + i;
+            }
+        });
+        for (i, x) in data.iter().enumerate() {
+            assert_eq!(*x, i);
+        }
+    }
+
+    #[test]
+    fn zero_length_work_is_safe() {
+        parallel_for(0, 4, |r| assert!(r.is_empty()));
+        let mut empty: Vec<u8> = Vec::new();
+        parallel_chunks_mut(&mut empty, 4, |_, _| {});
+        let s = parallel_reduce(0, 4, 0u32, |_| 1u32, |a, b| a + b);
+        // fold runs once over the empty range on the 1-thread path.
+        assert!(s <= 1);
+    }
+
+    #[test]
+    fn shared_counter_accumulates_across_threads() {
+        let c = SharedCounter::new();
+        parallel_for(100, 4, |r| c.add(r.len()));
+        assert_eq!(c.get(), 100);
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

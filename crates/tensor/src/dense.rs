@@ -1,0 +1,378 @@
+//! Dense multi-dimensional arrays with row-major strides.
+//!
+//! This is the storage substrate the synthesized programs run on.  It is
+//! deliberately simple — contiguous `Vec<f64>` plus a shape/stride header —
+//! because the framework's interest is in *which* loops run, not in exotic
+//! layouts.  Higher-level kernels ([`crate::contract`], [`crate::einsum`])
+//! and the loop-IR interpreter in `tce-exec` build on the indexing methods
+//! here.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A dense row-major tensor of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    strides: Vec<usize>,
+    data: Vec<f64>,
+}
+
+fn row_major_strides(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; shape.len()];
+    for i in (0..shape.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * shape[i + 1];
+    }
+    strides
+}
+
+impl Tensor {
+    /// A tensor of zeros. A rank-0 tensor (empty shape) is a scalar with one
+    /// element.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let len = shape.iter().product::<usize>().max(1);
+        Self {
+            strides: row_major_strides(shape),
+            shape: shape.to_vec(),
+            data: vec![0.0; len],
+        }
+    }
+
+    /// A tensor filled with `value`.
+    pub fn from_elem(shape: &[usize], value: f64) -> Self {
+        let mut t = Self::zeros(shape);
+        t.data.fill(value);
+        t
+    }
+
+    /// Build from a function of the multi-index.
+    pub fn from_fn(shape: &[usize], mut f: impl FnMut(&[usize]) -> f64) -> Self {
+        let mut t = Self::zeros(shape);
+        let mut idx = vec![0usize; shape.len()];
+        for off in 0..t.data.len() {
+            t.data[off] = f(&idx);
+            Self::advance(&mut idx, shape);
+        }
+        t
+    }
+
+    /// Deterministic pseudo-random tensor in `[-1, 1)` for tests and
+    /// benchmarks.
+    pub fn random(shape: &[usize], seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = Self::zeros(shape);
+        for x in &mut t.data {
+            *x = rng.gen_range(-1.0..1.0);
+        }
+        t
+    }
+
+    /// Wrap an existing buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` does not match the shape's element count.
+    pub fn from_vec(shape: &[usize], data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.iter().product::<usize>().max(1),
+            "buffer length does not match shape"
+        );
+        Self {
+            strides: row_major_strides(shape),
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// Shape.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Row-major strides.
+    #[inline]
+    pub fn strides(&self) -> &[usize] {
+        &self.strides
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements (1 for a scalar).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Always false — tensors hold at least one element.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Flat data slice.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat data slice.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Flat offset of a multi-index.
+    ///
+    /// # Panics
+    /// Debug-asserts the index is within bounds; the final slice access is
+    /// always bounds-checked.
+    #[inline]
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        debug_assert_eq!(idx.len(), self.shape.len());
+        let mut off = 0usize;
+        for (d, &i) in idx.iter().enumerate() {
+            debug_assert!(i < self.shape[d], "index {i} out of bounds in dim {d}");
+            off += i * self.strides[d];
+        }
+        off
+    }
+
+    /// Element read.
+    #[inline]
+    pub fn get(&self, idx: &[usize]) -> f64 {
+        self.data[self.offset(idx)]
+    }
+
+    /// Element write.
+    #[inline]
+    pub fn set(&mut self, idx: &[usize], v: f64) {
+        let off = self.offset(idx);
+        self.data[off] = v;
+    }
+
+    /// Element accumulate.
+    #[inline]
+    pub fn add_assign_at(&mut self, idx: &[usize], v: f64) {
+        let off = self.offset(idx);
+        self.data[off] += v;
+    }
+
+    /// Reset all elements to zero.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Return a copy with dimensions permuted: `out[i…] = self[perm(i…)]`,
+    /// where output dimension `d` is input dimension `perm[d]`.
+    ///
+    /// # Panics
+    /// Panics if `perm` is not a permutation of `0..rank`.
+    pub fn permute(&self, perm: &[usize]) -> Tensor {
+        assert_eq!(perm.len(), self.rank(), "permutation length mismatch");
+        let mut seen = vec![false; self.rank()];
+        for &p in perm {
+            assert!(p < self.rank() && !seen[p], "invalid permutation");
+            seen[p] = true;
+        }
+        let new_shape: Vec<usize> = perm.iter().map(|&p| self.shape[p]).collect();
+        let mut out = Tensor::zeros(&new_shape);
+        let mut idx = vec![0usize; new_shape.len()];
+        let mut src = vec![0usize; new_shape.len()];
+        for off in 0..out.data.len() {
+            for (d, &p) in perm.iter().enumerate() {
+                src[p] = idx[d];
+            }
+            out.data[off] = self.get(&src);
+            Self::advance(&mut idx, &new_shape);
+        }
+        out
+    }
+
+    /// Maximum absolute difference to another tensor of the same shape.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f64 {
+        assert_eq!(self.shape, other.shape, "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Approximate equality within `tol` (elementwise absolute).
+    pub fn approx_eq(&self, other: &Tensor, tol: f64) -> bool {
+        self.shape == other.shape && self.max_abs_diff(other) <= tol
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// `self += alpha · other` (shapes must match).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn axpy(&mut self, alpha: f64, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Advance a row-major odometer; wraps to all-zeros after the last
+    /// index. Public so kernels and the interpreter share one implementation.
+    #[inline]
+    pub fn advance(idx: &mut [usize], shape: &[usize]) {
+        for d in (0..shape.len()).rev() {
+            idx[d] += 1;
+            if idx[d] < shape[d] {
+                return;
+            }
+            idx[d] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_scalar() {
+        let t = Tensor::zeros(&[2, 3]);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.rank(), 2);
+        assert_eq!(t.strides(), &[3, 1]);
+        let s = Tensor::zeros(&[]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(&[]), 0.0);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut t = Tensor::zeros(&[2, 3, 4]);
+        t.set(&[1, 2, 3], 7.5);
+        assert_eq!(t.get(&[1, 2, 3]), 7.5);
+        assert_eq!(t.get(&[0, 0, 0]), 0.0);
+        t.add_assign_at(&[1, 2, 3], 0.5);
+        assert_eq!(t.get(&[1, 2, 3]), 8.0);
+    }
+
+    #[test]
+    fn from_fn_row_major_order() {
+        let t = Tensor::from_fn(&[2, 3], |idx| (idx[0] * 3 + idx[1]) as f64);
+        assert_eq!(t.data(), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(t.get(&[1, 2]), 5.0);
+    }
+
+    #[test]
+    fn from_vec_checks_len() {
+        let t = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.get(&[1, 0]), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_rejects_bad_len() {
+        Tensor::from_vec(&[2, 2], vec![1.0]);
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        let a = Tensor::random(&[3, 3], 42);
+        let b = Tensor::random(&[3, 3], 42);
+        let c = Tensor::random(&[3, 3], 43);
+        assert_eq!(a, b);
+        assert!(a.max_abs_diff(&c) > 0.0);
+        assert!(a.data().iter().all(|x| (-1.0..1.0).contains(x)));
+    }
+
+    #[test]
+    fn permute_transpose() {
+        let t = Tensor::from_fn(&[2, 3], |idx| (idx[0] * 10 + idx[1]) as f64);
+        let tt = t.permute(&[1, 0]);
+        assert_eq!(tt.shape(), &[3, 2]);
+        for i in 0..2 {
+            for j in 0..3 {
+                assert_eq!(t.get(&[i, j]), tt.get(&[j, i]));
+            }
+        }
+    }
+
+    #[test]
+    fn permute_rank3_cycle() {
+        let t = Tensor::random(&[2, 3, 4], 7);
+        let p = t.permute(&[2, 0, 1]); // out[x,y,z] = in[y,z,x]
+        assert_eq!(p.shape(), &[4, 2, 3]);
+        for x in 0..4 {
+            for y in 0..2 {
+                for z in 0..3 {
+                    assert_eq!(p.get(&[x, y, z]), t.get(&[y, z, x]));
+                }
+            }
+        }
+        // Round-trip through the inverse permutation.
+        let back = p.permute(&[1, 2, 0]);
+        assert!(back.approx_eq(&t, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid permutation")]
+    fn permute_rejects_duplicates() {
+        Tensor::zeros(&[2, 2]).permute(&[0, 0]);
+    }
+
+    #[test]
+    fn approx_eq_and_diff() {
+        let a = Tensor::from_elem(&[2, 2], 1.0);
+        let mut b = a.clone();
+        b.set(&[1, 1], 1.1);
+        assert!((a.max_abs_diff(&b) - 0.1).abs() < 1e-12);
+        assert!(a.approx_eq(&b, 0.2));
+        assert!(!a.approx_eq(&b, 0.05));
+        assert!(!a.approx_eq(&Tensor::zeros(&[2, 3]), 1.0));
+    }
+
+    #[test]
+    fn advance_odometer() {
+        let shape = [2, 2];
+        let mut idx = vec![0, 0];
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            seen.push(idx.clone());
+            Tensor::advance(&mut idx, &shape);
+        }
+        assert_eq!(seen, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
+        assert_eq!(idx, vec![0, 0]); // wrapped
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::from_elem(&[2, 2], 1.0);
+        let b = Tensor::from_fn(&[2, 2], |i| (i[0] * 2 + i[1]) as f64);
+        a.axpy(2.0, &b);
+        assert_eq!(a.data(), &[1.0, 3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn axpy_rejects_shape_mismatch() {
+        let mut a = Tensor::zeros(&[2]);
+        a.axpy(1.0, &Tensor::zeros(&[3]));
+    }
+
+    #[test]
+    fn sum_and_fill() {
+        let mut t = Tensor::from_elem(&[3, 3], 2.0);
+        assert_eq!(t.sum(), 18.0);
+        t.fill_zero();
+        assert_eq!(t.sum(), 0.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Synthetic "expensive integral" functions.
+//!
+//! The paper's motivating A3A example (§3) recomputes two-electron
+//! integrals `f1(c,e,b,k)` and `f2(a,f,b,k)` whose evaluation costs `C_i`
+//! ≈ 1000 arithmetic operations each; the whole space-time trade-off of
+//! Figs. 2–4 revolves around how often these get recomputed.  Real integral
+//! evaluation needs a Gaussian basis set we do not have, so this module
+//! substitutes a *deterministic* function with a tunable arithmetic cost:
+//! it produces the same value for the same arguments (so recomputation is
+//! semantically transparent, exactly like the real integrals) and performs
+//! `cost` floating-point operations per call (so measured time scales the
+//! way the paper's `C_i` terms predict).  See DESIGN.md "Substitutions".
+
+/// A deterministic synthetic integral generator.
+#[derive(Debug, Clone)]
+pub struct IntegralFn {
+    /// Arithmetic work per evaluation (the paper's `C_i`).
+    pub cost: u64,
+    /// Distinguishes `f1` from `f2` etc. — different seeds give different
+    /// (but individually reproducible) value streams.
+    pub seed: u64,
+}
+
+impl IntegralFn {
+    /// Create a generator with the given per-evaluation cost and seed.
+    pub fn new(cost: u64, seed: u64) -> Self {
+        Self { cost, seed }
+    }
+
+    /// Evaluate at an integer multi-index.  Performs `self.cost` iterations
+    /// of a floating-point recurrence seeded by a hash of the arguments, so
+    /// (a) equal arguments always give equal results, (b) the work is not
+    /// optimized away, and (c) results land in roughly `[-1, 1]`.
+    pub fn eval(&self, args: &[usize]) -> f64 {
+        let mut h = self.seed ^ 0x9e37_79b9_7f4a_7c15;
+        for &a in args {
+            h ^= (a as u64).wrapping_add(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(h << 6)
+                .wrapping_add(h >> 2);
+        }
+        // splitmix64 finalizer: spreads low-bit argument differences over
+        // the whole word before the high bits are taken below.
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^= h >> 31;
+        // Map hash into (0,1) and run a cheap chaotic recurrence `cost`
+        // times. The logistic map keeps values bounded while defeating
+        // constant-folding.
+        let mut x = ((h >> 11) as f64) / ((1u64 << 53) as f64);
+        x = 0.1 + 0.8 * x;
+        for _ in 0..self.cost {
+            x = 3.75 * x * (1.0 - x);
+        }
+        2.0 * x - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_arguments() {
+        let f = IntegralFn::new(100, 1);
+        let a = f.eval(&[1, 2, 3, 4]);
+        let b = f.eval(&[1, 2, 3, 4]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinguishes_arguments_and_seeds() {
+        let f1 = IntegralFn::new(100, 1);
+        let f2 = IntegralFn::new(100, 2);
+        assert_ne!(f1.eval(&[0, 0, 0, 0]), f1.eval(&[0, 0, 0, 1]));
+        assert_ne!(f1.eval(&[3, 1, 4, 1]), f2.eval(&[3, 1, 4, 1]));
+    }
+
+    #[test]
+    fn values_bounded() {
+        let f = IntegralFn::new(1000, 7);
+        for i in 0..50 {
+            let v = f.eval(&[i, i * 2, i + 5]);
+            assert!((-1.0..=1.0).contains(&v), "value {v} out of range");
+        }
+    }
+
+    #[test]
+    fn zero_cost_still_deterministic() {
+        let f = IntegralFn::new(0, 3);
+        assert_eq!(f.eval(&[5]), f.eval(&[5]));
+    }
+
+    #[test]
+    fn cost_scales_work() {
+        // Not a timing assertion (too flaky); just check that different
+        // costs produce different values (the recurrence actually ran).
+        let cheap = IntegralFn::new(10, 1);
+        let dear = IntegralFn::new(1000, 1);
+        assert_ne!(cheap.eval(&[1, 2]), dear.eval(&[1, 2]));
+    }
+}

@@ -1,0 +1,40 @@
+//! # tce-tensor — dense tensor substrate
+//!
+//! Storage and kernels the synthesized tensor-contraction programs execute
+//! on: dense row-major tensors ([`dense`]), a naive reference einsum used
+//! as the correctness oracle ([`einsum`]), binary-contraction kernels
+//! including a cache-blocked GEMM path ([`contract`]), and the synthetic
+//! expensive-integral functions standing in for the paper's `f1`/`f2`
+//! two-electron integrals ([`integrals`]).
+//!
+//! ```
+//! use tce_tensor::{contract_gemm, BinaryContraction, Tensor};
+//! use tce_ir::IndexSpace;
+//!
+//! let mut sp = IndexSpace::new();
+//! let n = sp.add_range("N", 4);
+//! let i = sp.add_var("i", n);
+//! let j = sp.add_var("j", n);
+//! let k = sp.add_var("k", n);
+//! let spec = BinaryContraction { a: vec![i, k], b: vec![k, j], out: vec![i, j] };
+//! let a = Tensor::random(&[4, 4], 1);
+//! let b = Tensor::random(&[4, 4], 2);
+//! let c = contract_gemm(&spec, &sp, &a, &b);
+//! assert_eq!(c.shape(), &[4, 4]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod contract;
+pub mod dense;
+pub mod einsum;
+pub mod integrals;
+pub mod packed;
+pub mod sparse;
+
+pub use contract::{contract_gemm, contract_naive, gemm_blocked, BinaryContraction};
+pub use dense::Tensor;
+pub use einsum::EinsumSpec;
+pub use integrals::IntegralFn;
+pub use packed::PackedSymmetric;
+pub use sparse::{contract_sparse_dense, sparse_contraction_ops, SparseTensor};

@@ -1,0 +1,266 @@
+//! Packed storage for (anti)symmetric dimension pairs.
+//!
+//! The language's symmetry declarations (paper §4) promise storage and
+//! work savings: a symmetric pair of dimensions over extent `n` has only
+//! `n(n+1)/2` unique elements (`n(n−1)/2` antisymmetric).  This module
+//! provides the packed-triangle storage realizing that saving for one
+//! declared pair, with pack/unpack round-trips against dense tensors —
+//! the executable counterpart of
+//! [`tce_ir::TensorDecl::unique_elements`].
+
+use crate::dense::Tensor;
+
+/// A tensor with one (anti)symmetric dimension pair stored packed.
+///
+/// Layout: the two symmetric dimensions `(p, q)` (with `p < q` after
+/// normalization) collapse into a single packed axis of length
+/// `n(n+1)/2` (symmetric) or `n(n−1)/2` (antisymmetric); other dimensions
+/// keep their order around it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedSymmetric {
+    /// Full (unpacked) shape.
+    shape: Vec<usize>,
+    /// The two symmetric dimension positions, `pair.0 < pair.1`.
+    pair: (usize, usize),
+    /// Antisymmetric pairs negate under swap and have zero diagonal.
+    antisymmetric: bool,
+    /// Packed data: outer dims (all except the pair, original order) ×
+    /// packed axis (innermost).
+    data: Vec<f64>,
+    /// Shape of the outer (unpacked) dims in order.
+    outer_shape: Vec<usize>,
+    /// Length of the packed axis.
+    packed_len: usize,
+}
+
+/// Position of `(i, j)` with `i ≤ j` in a row-major upper triangle of an
+/// `n × n` symmetric matrix.
+fn tri_index(i: usize, j: usize, n: usize) -> usize {
+    debug_assert!(i <= j && j < n);
+    // Rows 0..i contribute n, n−1, …, n−i+1 entries: i·n − i(i−1)/2.
+    i * n - i * i.saturating_sub(1) / 2 + (j - i)
+}
+
+/// Strictly-upper-triangle position of `(i, j)` with `i < j`.
+fn strict_tri_index(i: usize, j: usize, n: usize) -> usize {
+    debug_assert!(i < j && j < n);
+    i * (2 * n - i - 1) / 2 + (j - i - 1)
+}
+
+impl PackedSymmetric {
+    /// Pack a dense tensor whose dims `pair` are (anti)symmetric.
+    ///
+    /// # Panics
+    /// Panics if the pair is invalid, the two dims have different extents,
+    /// or the tensor violates the claimed symmetry beyond `tol`.
+    #[allow(clippy::needless_range_loop)]
+    pub fn pack(t: &Tensor, pair: (usize, usize), antisymmetric: bool, tol: f64) -> Self {
+        let (p, q) = if pair.0 < pair.1 {
+            pair
+        } else {
+            (pair.1, pair.0)
+        };
+        assert!(q < t.rank() && p != q, "invalid symmetric pair");
+        let n = t.shape()[p];
+        assert_eq!(n, t.shape()[q], "symmetric dims must have equal extents");
+
+        let outer_shape: Vec<usize> = t
+            .shape()
+            .iter()
+            .enumerate()
+            .filter(|(d, _)| *d != p && *d != q)
+            .map(|(_, &e)| e)
+            .collect();
+        let packed_len = if antisymmetric {
+            n * (n - 1) / 2
+        } else {
+            n * (n + 1) / 2
+        };
+        let outer_total: usize = outer_shape.iter().product::<usize>().max(1);
+        let mut data = vec![0.0f64; outer_total * packed_len];
+
+        let mut full_idx = vec![0usize; t.rank()];
+        let mut outer_idx = vec![0usize; outer_shape.len()];
+        for outer_off in 0..outer_total {
+            // Decode outer index.
+            let mut rem = outer_off;
+            for d in (0..outer_shape.len()).rev() {
+                outer_idx[d] = rem % outer_shape[d];
+                rem /= outer_shape[d];
+            }
+            // Scatter outer into full (skipping p, q).
+            let mut od = 0;
+            for d in 0..t.rank() {
+                if d != p && d != q {
+                    full_idx[d] = outer_idx[od];
+                    od += 1;
+                }
+            }
+            for i in 0..n {
+                for j in i..n {
+                    full_idx[p] = i;
+                    full_idx[q] = j;
+                    let upper = t.get(&full_idx);
+                    full_idx[p] = j;
+                    full_idx[q] = i;
+                    let lower = t.get(&full_idx);
+                    if antisymmetric {
+                        assert!(
+                            (upper + lower).abs() <= tol,
+                            "tensor is not antisymmetric at ({i},{j})"
+                        );
+                        if i == j {
+                            assert!(upper.abs() <= tol, "antisymmetric diagonal must vanish");
+                            continue;
+                        }
+                        data[outer_off * packed_len + strict_tri_index(i, j, n)] = upper;
+                    } else {
+                        assert!(
+                            (upper - lower).abs() <= tol,
+                            "tensor is not symmetric at ({i},{j})"
+                        );
+                        data[outer_off * packed_len + tri_index(i, j, n)] = upper;
+                    }
+                }
+            }
+        }
+        Self {
+            shape: t.shape().to_vec(),
+            pair: (p, q),
+            antisymmetric,
+            data,
+            outer_shape,
+            packed_len,
+        }
+    }
+
+    /// Stored elements (the unique count).
+    pub fn stored_elements(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Full dense element count.
+    pub fn dense_elements(&self) -> usize {
+        self.shape.iter().product::<usize>().max(1)
+    }
+
+    /// Element read with symmetry applied (sign under swap for
+    /// antisymmetric pairs; zero diagonal).
+    pub fn get(&self, idx: &[usize]) -> f64 {
+        assert_eq!(idx.len(), self.shape.len());
+        let (p, q) = self.pair;
+        let n = self.shape[p];
+        let (i, j) = (idx[p], idx[q]);
+        let mut outer_off = 0usize;
+        for (d, &x) in idx.iter().enumerate() {
+            if d != p && d != q {
+                outer_off = outer_off * self.shape[d] + x;
+            }
+        }
+        if self.antisymmetric {
+            if i == j {
+                return 0.0;
+            }
+            let (a, b, sign) = if i < j { (i, j, 1.0) } else { (j, i, -1.0) };
+            sign * self.data[outer_off * self.packed_len + strict_tri_index(a, b, n)]
+        } else {
+            let (a, b) = if i <= j { (i, j) } else { (j, i) };
+            self.data[outer_off * self.packed_len + tri_index(a, b, n)]
+        }
+    }
+
+    /// Reconstruct the dense tensor.
+    pub fn unpack(&self) -> Tensor {
+        Tensor::from_fn(&self.shape, |idx| self.get(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn symmetric_tensor(n: usize, outer: usize, seed: u64) -> Tensor {
+        let raw = Tensor::random(&[outer, n, n], seed);
+        Tensor::from_fn(&[outer, n, n], |idx| {
+            let (o, i, j) = (idx[0], idx[1], idx[2]);
+            raw.get(&[o, i, j]) + raw.get(&[o, j, i])
+        })
+    }
+
+    fn antisymmetric_tensor(n: usize, outer: usize, seed: u64) -> Tensor {
+        let raw = Tensor::random(&[outer, n, n], seed);
+        Tensor::from_fn(&[outer, n, n], |idx| {
+            let (o, i, j) = (idx[0], idx[1], idx[2]);
+            raw.get(&[o, i, j]) - raw.get(&[o, j, i])
+        })
+    }
+
+    #[test]
+    fn symmetric_roundtrip_and_size() {
+        let n = 6;
+        let t = symmetric_tensor(n, 3, 1);
+        let p = PackedSymmetric::pack(&t, (1, 2), false, 1e-12);
+        assert_eq!(p.stored_elements(), 3 * n * (n + 1) / 2);
+        assert_eq!(p.dense_elements(), 3 * n * n);
+        assert!(p.unpack().approx_eq(&t, 0.0));
+    }
+
+    #[test]
+    fn antisymmetric_roundtrip_and_size() {
+        let n = 5;
+        let t = antisymmetric_tensor(n, 2, 2);
+        let p = PackedSymmetric::pack(&t, (2, 1), true, 1e-12);
+        assert_eq!(p.stored_elements(), 2 * n * (n - 1) / 2);
+        assert!(p.unpack().approx_eq(&t, 0.0));
+        // Swap sign.
+        assert_eq!(p.get(&[0, 2, 4]), -p.get(&[0, 4, 2]));
+        assert_eq!(p.get(&[1, 3, 3]), 0.0);
+    }
+
+    #[test]
+    fn matches_ir_unique_elements() {
+        use tce_ir::{IndexSpace, SymmetryGroup, TensorDecl};
+        let mut sp = IndexSpace::new();
+        let v = sp.add_range("V", 6);
+        let o = sp.add_range("O", 3);
+        let mut decl = TensorDecl::dense("X", vec![o, v, v]);
+        decl.symmetry.push(SymmetryGroup {
+            positions: vec![1, 2],
+            antisymmetric: false,
+        });
+        let t = symmetric_tensor(6, 3, 3);
+        let p = PackedSymmetric::pack(&t, (1, 2), false, 1e-12);
+        assert_eq!(p.stored_elements() as u128, decl.unique_elements(&sp));
+        decl.symmetry[0].antisymmetric = true;
+        let ta = antisymmetric_tensor(6, 3, 4);
+        let pa = PackedSymmetric::pack(&ta, (1, 2), true, 1e-12);
+        assert_eq!(pa.stored_elements() as u128, decl.unique_elements(&sp));
+    }
+
+    #[test]
+    #[should_panic(expected = "not symmetric")]
+    fn pack_rejects_asymmetric_data() {
+        let t = Tensor::random(&[4, 4], 5);
+        PackedSymmetric::pack(&t, (0, 1), false, 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal extents")]
+    fn pack_rejects_ragged_pair() {
+        let t = Tensor::zeros(&[3, 4]);
+        PackedSymmetric::pack(&t, (0, 1), false, 1e-12);
+    }
+
+    #[test]
+    fn pair_dims_anywhere() {
+        // Pair in positions (0, 2) with a middle dim.
+        let n = 4;
+        let raw = Tensor::random(&[n, 3, n], 6);
+        let t = Tensor::from_fn(&[n, 3, n], |idx| {
+            raw.get(&[idx[0], idx[1], idx[2]]) + raw.get(&[idx[2], idx[1], idx[0]])
+        });
+        let p = PackedSymmetric::pack(&t, (0, 2), false, 1e-12);
+        assert_eq!(p.stored_elements(), 3 * n * (n + 1) / 2);
+        assert!(p.unpack().approx_eq(&t, 0.0));
+    }
+}

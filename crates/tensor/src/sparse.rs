@@ -1,0 +1,273 @@
+//! Sparse tensor storage and sparse-dense contraction.
+//!
+//! The high-level language declares "symmetry and sparsity of matrices"
+//! (paper §4) as optimization-relevant facts.  This module provides the
+//! storage substrate for sparse operands — sorted-COO over the row-major
+//! flat offset — a sparse×dense contraction kernel, and the first-order
+//! cost model (operations scale with the sparse operand's density) that
+//! the reports use.  Fill-in of *intermediates* is not modeled: a
+//! contraction result is materialized dense, which is the conservative
+//! choice the paper's framework also makes (sparsity annotations inform
+//! costs; storage stays dense).
+
+use crate::contract::BinaryContraction;
+use crate::dense::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tce_ir::{IndexSet, IndexSpace, IndexVar};
+
+/// A sparse tensor in coordinate form, sorted by row-major flat offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseTensor {
+    shape: Vec<usize>,
+    /// `(flat offset, value)`, strictly increasing offsets, no explicit
+    /// zeros.
+    entries: Vec<(usize, f64)>,
+}
+
+impl SparseTensor {
+    /// Build from a dense tensor, dropping entries with `|x| ≤ threshold`.
+    pub fn from_dense(t: &Tensor, threshold: f64) -> Self {
+        let entries = t
+            .data()
+            .iter()
+            .enumerate()
+            .filter(|(_, &x)| x.abs() > threshold)
+            .map(|(off, &x)| (off, x))
+            .collect();
+        Self {
+            shape: t.shape().to_vec(),
+            entries,
+        }
+    }
+
+    /// A random sparse tensor with approximately the given density.
+    pub fn random(shape: &[usize], density: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&density), "density in [0, 1]");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let total: usize = shape.iter().product::<usize>().max(1);
+        let mut entries = Vec::new();
+        for off in 0..total {
+            if rng.gen_bool(density) {
+                entries.push((off, rng.gen_range(-1.0..1.0)));
+            }
+        }
+        Self {
+            shape: shape.to_vec(),
+            entries,
+        }
+    }
+
+    /// Shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of stored (nonzero) entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Fraction of stored entries.
+    pub fn density(&self) -> f64 {
+        let total: usize = self.shape.iter().product::<usize>().max(1);
+        self.nnz() as f64 / total as f64
+    }
+
+    /// Densify.
+    pub fn to_dense(&self) -> Tensor {
+        let mut t = Tensor::zeros(&self.shape);
+        for &(off, v) in &self.entries {
+            t.data_mut()[off] = v;
+        }
+        t
+    }
+
+    /// Element read (zero when absent).
+    pub fn get(&self, idx: &[usize]) -> f64 {
+        let off = Tensor::zeros(&self.shape).offset(idx);
+        match self.entries.binary_search_by_key(&off, |e| e.0) {
+            Ok(pos) => self.entries[pos].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterate `(multi-index, value)` over stored entries.
+    pub fn iter_entries(&self) -> impl Iterator<Item = (Vec<usize>, f64)> + '_ {
+        let shape = self.shape.clone();
+        self.entries.iter().map(move |&(mut off, v)| {
+            let mut idx = vec![0usize; shape.len()];
+            for d in (0..shape.len()).rev() {
+                idx[d] = off % shape[d];
+                off /= shape[d];
+            }
+            (idx, v)
+        })
+    }
+}
+
+/// Sparse×dense contraction: `out[o…] = Σ a[ia…]·b[ib…]` where `a` is
+/// sparse.  Work is `nnz(a) · Π extents(loops ∖ dims(a))` — proportional
+/// to the sparse operand's density, which is the point of declaring it.
+pub fn contract_sparse_dense(
+    spec: &BinaryContraction,
+    space: &IndexSpace,
+    a: &SparseTensor,
+    b: &Tensor,
+) -> Tensor {
+    spec.validate().expect("invalid contraction");
+    let sa = IndexSet::from_vars(spec.a.iter().copied());
+    let sb = IndexSet::from_vars(spec.b.iter().copied());
+    let so = IndexSet::from_vars(spec.out.iter().copied());
+    // Loop indices not bound by a's entry.
+    let free: Vec<IndexVar> = sa.union(sb).union(so).minus(sa).iter().collect();
+    let free_shape: Vec<usize> = free.iter().map(|&v| space.extent(v)).collect();
+    let out_shape: Vec<usize> = spec.out.iter().map(|&v| space.extent(v)).collect();
+    let mut out = Tensor::zeros(&out_shape);
+
+    // Position of each var: either in a's dims (bound per entry) or in the
+    // free odometer.
+    let mut env = vec![0usize; IndexSet::MAX_VARS];
+    let total_free: usize = free_shape.iter().product::<usize>().max(1);
+    let mut b_idx = vec![0usize; spec.b.len()];
+    let mut o_idx = vec![0usize; spec.out.len()];
+    for (a_idx, a_val) in a.iter_entries() {
+        for (d, &v) in spec.a.iter().enumerate() {
+            env[v.0 as usize] = a_idx[d];
+        }
+        let mut f_idx = vec![0usize; free.len()];
+        for _ in 0..total_free {
+            for (d, &v) in free.iter().enumerate() {
+                env[v.0 as usize] = f_idx[d];
+            }
+            for (d, &v) in spec.b.iter().enumerate() {
+                b_idx[d] = env[v.0 as usize];
+            }
+            for (d, &v) in spec.out.iter().enumerate() {
+                o_idx[d] = env[v.0 as usize];
+            }
+            out.add_assign_at(&o_idx, a_val * b.get(&b_idx));
+            Tensor::advance(&mut f_idx, &free_shape);
+        }
+    }
+    out
+}
+
+/// First-order operation estimate for a contraction with a sparse left
+/// operand of the given density: `2 · density · Π extents(loop space)`.
+pub fn sparse_contraction_ops(spec: &BinaryContraction, space: &IndexSpace, density: f64) -> f64 {
+    let sa = IndexSet::from_vars(spec.a.iter().copied());
+    let sb = IndexSet::from_vars(spec.b.iter().copied());
+    2.0 * density * space.iteration_points(sa.union(sb)) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space2() -> (IndexSpace, IndexVar, IndexVar, IndexVar) {
+        let mut sp = IndexSpace::new();
+        let r = sp.add_range("N", 6);
+        let i = sp.add_var("i", r);
+        let j = sp.add_var("j", r);
+        let k = sp.add_var("k", r);
+        (sp, i, j, k)
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let t = Tensor::random(&[4, 5], 1);
+        let s = SparseTensor::from_dense(&t, 0.0);
+        assert_eq!(s.nnz(), 20);
+        assert!(s.to_dense().approx_eq(&t, 0.0));
+        // Thresholding drops small entries.
+        let s2 = SparseTensor::from_dense(&t, 0.5);
+        assert!(s2.nnz() < 20);
+        assert!((s2.density() - s2.nnz() as f64 / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn get_and_iter_agree() {
+        let s = SparseTensor::random(&[3, 4], 0.4, 7);
+        let d = s.to_dense();
+        for i in 0..3 {
+            for j in 0..4 {
+                assert_eq!(s.get(&[i, j]), d.get(&[i, j]));
+            }
+        }
+        let mut count = 0;
+        for (idx, v) in s.iter_entries() {
+            assert_eq!(d.get(&idx), v);
+            assert_ne!(v, 0.0);
+            count += 1;
+        }
+        assert_eq!(count, s.nnz());
+    }
+
+    #[test]
+    fn sparse_dense_matmul_matches_dense() {
+        let (sp, i, j, k) = space2();
+        let spec = BinaryContraction {
+            a: vec![i, k],
+            b: vec![k, j],
+            out: vec![i, j],
+        };
+        let a_dense = Tensor::random(&[6, 6], 2);
+        let a = SparseTensor::from_dense(&a_dense, 0.6); // ~40% kept
+        let b = Tensor::random(&[6, 6], 3);
+        let got = contract_sparse_dense(&spec, &sp, &a, &b);
+        let expect = crate::contract_naive(&spec, &sp, &a.to_dense(), &b);
+        assert!(got.approx_eq(&expect, 1e-10));
+    }
+
+    #[test]
+    fn sparse_with_batch_and_outer_dims() {
+        let (sp, i, j, k) = space2();
+        // out[i,j,k] = a[i,k]·b[j] (outer product with batch k).
+        let spec = BinaryContraction {
+            a: vec![i, k],
+            b: vec![j],
+            out: vec![i, j, k],
+        };
+        let a = SparseTensor::random(&[6, 6], 0.3, 4);
+        let b = Tensor::random(&[6], 5);
+        let got = contract_sparse_dense(&spec, &sp, &a, &b);
+        let expect = crate::contract_naive(&spec, &sp, &a.to_dense(), &b);
+        assert!(got.approx_eq(&expect, 1e-10));
+    }
+
+    #[test]
+    fn empty_sparse_gives_zero() {
+        let (sp, i, j, k) = space2();
+        let spec = BinaryContraction {
+            a: vec![i, k],
+            b: vec![k, j],
+            out: vec![i, j],
+        };
+        let a = SparseTensor::random(&[6, 6], 0.0, 1);
+        assert_eq!(a.nnz(), 0);
+        let b = Tensor::random(&[6, 6], 2);
+        let got = contract_sparse_dense(&spec, &sp, &a, &b);
+        assert_eq!(got.sum(), 0.0);
+    }
+
+    #[test]
+    fn cost_model_scales_with_density() {
+        let (sp, i, j, k) = space2();
+        let spec = BinaryContraction {
+            a: vec![i, k],
+            b: vec![k, j],
+            out: vec![i, j],
+        };
+        let dense_ops = spec.flops(&sp) as f64;
+        assert_eq!(sparse_contraction_ops(&spec, &sp, 1.0), dense_ops);
+        assert_eq!(sparse_contraction_ops(&spec, &sp, 0.25), dense_ops / 4.0);
+        assert_eq!(sparse_contraction_ops(&spec, &sp, 0.0), 0.0);
+    }
+
+    #[test]
+    fn density_bounds_checked() {
+        let r = std::panic::catch_unwind(|| SparseTensor::random(&[2, 2], 1.5, 1));
+        assert!(r.is_err());
+    }
+}

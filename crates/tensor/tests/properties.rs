@@ -1,0 +1,167 @@
+//! Property tests for the tensor substrate: kernel agreement, einsum
+//! algebra, and permutation invariances.
+
+use proptest::prelude::*;
+use tce_ir::{IndexSet, IndexSpace, IndexVar};
+use tce_tensor::{contract_gemm, contract_naive, BinaryContraction, EinsumSpec, Tensor};
+
+/// Random binary-contraction instances over up to 4 shared index
+/// variables with small extents.
+#[derive(Debug, Clone)]
+struct Instance {
+    space: IndexSpace,
+    spec: BinaryContraction,
+    a: Tensor,
+    b: Tensor,
+}
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (
+        proptest::collection::vec(2usize..4, 4),            // extents
+        proptest::collection::vec(0usize..4, 1..4),         // a dims
+        proptest::collection::vec(0usize..4, 1..4),         // b dims
+        proptest::collection::vec(any::<bool>(), 4),        // keep in out?
+        0u64..1000,
+    )
+        .prop_map(|(extents, da, db, keep, seed)| {
+            let mut space = IndexSpace::new();
+            let vars: Vec<IndexVar> = extents
+                .iter()
+                .enumerate()
+                .map(|(q, &e)| {
+                    let r = space.add_range(&format!("R{q}"), e);
+                    space.add_var(&format!("x{q}"), r)
+                })
+                .collect();
+            let dedup = |picks: &[usize]| -> Vec<IndexVar> {
+                let mut seen = IndexSet::EMPTY;
+                let mut out = Vec::new();
+                for &q in picks {
+                    if !seen.contains(vars[q]) {
+                        seen.insert(vars[q]);
+                        out.push(vars[q]);
+                    }
+                }
+                out
+            };
+            let a_dims = dedup(&da);
+            let b_dims = dedup(&db);
+            let union: IndexSet = IndexSet::from_vars(a_dims.iter().copied())
+                .union(IndexSet::from_vars(b_dims.iter().copied()));
+            let out: Vec<IndexVar> = union
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| keep[*i % keep.len()])
+                .map(|(_, v)| v)
+                .collect();
+            let shape = |dims: &[IndexVar]| -> Vec<usize> {
+                dims.iter().map(|&v| space.extent(v)).collect()
+            };
+            let a = Tensor::random(&shape(&a_dims), seed);
+            let b = Tensor::random(&shape(&b_dims), seed + 1);
+            Instance {
+                space,
+                spec: BinaryContraction {
+                    a: a_dims,
+                    b: b_dims,
+                    out,
+                },
+                a,
+                b,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The blocked-GEMM path agrees with the naive kernel on arbitrary
+    /// contractions (including exclusive summation indices and batch
+    /// dims).
+    #[test]
+    fn gemm_equals_naive(inst in arb_instance()) {
+        let naive = contract_naive(&inst.spec, &inst.space, &inst.a, &inst.b);
+        let fast = contract_gemm(&inst.spec, &inst.space, &inst.a, &inst.b);
+        prop_assert!(naive.approx_eq(&fast, 1e-9),
+            "diff {:e}", naive.max_abs_diff(&fast));
+    }
+
+    /// Contraction is bilinear: scaling an operand scales the result.
+    #[test]
+    fn contraction_is_bilinear(inst in arb_instance(), alpha in -3.0f64..3.0) {
+        let base = contract_naive(&inst.spec, &inst.space, &inst.a, &inst.b);
+        let mut a2 = Tensor::zeros(inst.a.shape());
+        a2.axpy(alpha, &inst.a);
+        let scaled = contract_naive(&inst.spec, &inst.space, &a2, &inst.b);
+        let mut expect = Tensor::zeros(base.shape());
+        expect.axpy(alpha, &base);
+        prop_assert!(scaled.approx_eq(&expect, 1e-9));
+    }
+
+    /// Swapping the operands (and their index lists) leaves the result
+    /// unchanged — commutativity of the elementwise product.
+    #[test]
+    fn contraction_commutes(inst in arb_instance()) {
+        let forward = contract_naive(&inst.spec, &inst.space, &inst.a, &inst.b);
+        let swapped = BinaryContraction {
+            a: inst.spec.b.clone(),
+            b: inst.spec.a.clone(),
+            out: inst.spec.out.clone(),
+        };
+        let backward = contract_naive(&swapped, &inst.space, &inst.b, &inst.a);
+        prop_assert!(forward.approx_eq(&backward, 1e-12));
+    }
+
+    /// Permuting an operand's dimensions together with its index list is
+    /// a no-op.
+    #[test]
+    fn operand_layout_invariance(inst in arb_instance(), rot in 0usize..3) {
+        if inst.spec.a.len() < 2 {
+            return Ok(());
+        }
+        let k = inst.spec.a.len();
+        let perm: Vec<usize> = (0..k).map(|i| (i + rot) % k).collect();
+        let a_rot = inst.a.permute(&perm);
+        let dims_rot: Vec<IndexVar> = perm.iter().map(|&p| inst.spec.a[p]).collect();
+        let spec2 = BinaryContraction {
+            a: dims_rot,
+            b: inst.spec.b.clone(),
+            out: inst.spec.out.clone(),
+        };
+        let base = contract_naive(&inst.spec, &inst.space, &inst.a, &inst.b);
+        let rotated = contract_naive(&spec2, &inst.space, &a_rot, &inst.b);
+        prop_assert!(base.approx_eq(&rotated, 1e-12));
+    }
+
+    /// The einsum over two operands equals the binary contraction.
+    #[test]
+    fn einsum_agrees_with_contraction(inst in arb_instance()) {
+        let sa = IndexSet::from_vars(inst.spec.a.iter().copied());
+        let sb = IndexSet::from_vars(inst.spec.b.iter().copied());
+        let so = IndexSet::from_vars(inst.spec.out.iter().copied());
+        let sum = sa.union(sb).minus(so);
+        let spec = EinsumSpec::new(
+            inst.spec.out.clone(),
+            vec![inst.spec.a.clone(), inst.spec.b.clone()],
+            sum,
+        )
+        .unwrap();
+        let e = spec.eval(&inst.space, &[&inst.a, &inst.b]);
+        let k = contract_naive(&inst.spec, &inst.space, &inst.a, &inst.b);
+        prop_assert!(e.approx_eq(&k, 1e-9));
+    }
+
+    /// Tensor permutation round-trips through its inverse.
+    #[test]
+    fn permutation_roundtrip(seed in 0u64..500, rot in 1usize..4) {
+        let t = Tensor::random(&[2, 3, 4, 2], seed);
+        let k = 4usize;
+        let perm: Vec<usize> = (0..k).map(|i| (i + rot) % k).collect();
+        let mut inv = vec![0usize; k];
+        for (i, &p) in perm.iter().enumerate() {
+            inv[p] = i;
+        }
+        let back = t.permute(&perm).permute(&inv);
+        prop_assert!(back.approx_eq(&t, 0.0));
+    }
+}

@@ -1,0 +1,99 @@
+//! The A3A energy component of paper §3: memory/recomputation trade-off.
+//!
+//! Reproduces the storyline of Figs. 2–4: the unfused operation-minimal
+//! form needs astronomically large temporaries; full fusion reduces every
+//! temporary to a scalar but recomputes the expensive integrals `f1`/`f2`
+//! ~V² times; tiling with block size `B` interpolates — and as `B` grows,
+//! performance first improves, then levels off, then deteriorates once
+//! the `B⁴` buffers fall out of the fast memory level.
+//!
+//! ```sh
+//! cargo run --release --example a3a_spacetime
+//! ```
+
+use std::collections::HashMap;
+use tce_core::exec::{CacheSink, Interpreter, LruCache, NoSink};
+use tce_core::scenarios::A3AScenario;
+use tce_core::spacetime::spacetime_dp;
+
+fn main() {
+    // Paper-scale estimate (V = 5000, O = 100): sizes only, no execution.
+    let paper = A3AScenario::new(5000, 100, 1000);
+    println!("== paper scale (V = 5000, O = 100, C_i = 1000) ==");
+    println!("Fig. 2 (unfused, operation-minimal):");
+    println!("{:>4} {:>24} {:>28}", "arr", "space (elements)", "time (flops)");
+    for (name, space, time) in paper.fig2_table() {
+        println!("{name:>4} {space:>24} {time:>28}");
+    }
+    println!("  → T1/T2 are ~{:.1e} bytes, X/Y ~{:.1e} bytes: impractical, as the paper notes.",
+        8.0 * paper.fig2_table()[1].1 as f64,
+        8.0 * paper.fig2_table()[0].1 as f64);
+
+    println!("\nFig. 3 (fully fused, B = 1): all temporaries scalars;");
+    let fig3 = paper.fig4_table(1);
+    println!(
+        "  integral time grows to {:.3e} flops ({}x the unfused form)",
+        fig3[1].2 as f64,
+        fig3[1].2 / paper.fig2_table()[1].2
+    );
+
+    // Small scale: run the space-time DP and execute the tiled programs.
+    let sc = A3AScenario::new(8, 3, 500);
+    println!("\n== executable scale (V = 8, O = 3, C_i = 500) ==");
+
+    println!("\nspace-time pareto frontier (memory elements, flops):");
+    let front = spacetime_dp(&sc.tree, &sc.space, usize::MAX);
+    for p in front.points() {
+        println!("  mem {:>8}  ops {:>12}", p.mem, p.ops);
+    }
+
+    // Tile-size sweep on the executable Fig-4 program, with a simulated
+    // two-level hierarchy: a "fast memory" of 600 elements (everything
+    // beyond pays a 100× miss penalty).
+    println!("\ntile sweep (measured by the loop-program interpreter):");
+    println!(
+        "{:>3} {:>10} {:>12} {:>12} {:>14} {:>14}",
+        "B", "temp elems", "func flops", "flops", "slow misses", "weighted cost"
+    );
+    let amps = sc.amplitudes(7);
+    let mut inputs = HashMap::new();
+    inputs.insert(sc.tensors.by_name("T").unwrap(), &amps);
+    let funcs = sc.functions();
+    let mut rows = Vec::new();
+    for bb in [1usize, 2, 4, 8] {
+        let p = sc.fig4_program(bb);
+        let mut interp = Interpreter::new(&p, &sc.space, &inputs, &funcs);
+        interp.run(&mut NoSink);
+        let stats = interp.stats;
+        // Re-run through the LRU "fast memory" simulator.
+        let sizes: Vec<usize> = p
+            .arrays
+            .iter()
+            .map(|a| a.elements(&sc.space) as usize)
+            .collect();
+        let mut sink = CacheSink::new(LruCache::new(600, 1), &sizes);
+        let mut interp2 = Interpreter::new(&p, &sc.space, &inputs, &funcs);
+        interp2.run(&mut sink);
+        let misses = sink.cache.misses;
+        // Weighted cost: flops + 100 × slow-level misses.
+        let cost = stats.total_flops() as f64 + 100.0 * misses as f64;
+        println!(
+            "{bb:>3} {:>10} {:>12} {:>12} {:>14} {:>14.0}",
+            interp.allocated_temp_elements(),
+            stats.func_flops,
+            stats.total_flops(),
+            misses,
+            cost
+        );
+        rows.push((bb, cost));
+    }
+    let best = rows
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap();
+    println!(
+        "\noptimal block size under this hierarchy: B = {} — performance improves, \
+         levels off, then deteriorates, as §3 predicts",
+        best.0
+    );
+}

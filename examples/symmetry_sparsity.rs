@@ -1,0 +1,93 @@
+//! Symmetry and sparsity declarations (paper §4: the high-level language
+//! carries "declarations of index ranges and symmetry and sparsity of
+//! matrices").
+//!
+//! * symmetric declarations → packed-triangle storage at ~half the dense
+//!   size, verified by round-trip;
+//! * sparse declarations → density-proportional contraction work on the
+//!   sparse substrate, verified against the dense kernel;
+//! * both annotations flow through the language into the synthesis report.
+//!
+//! ```sh
+//! cargo run --release --example symmetry_sparsity
+//! ```
+
+use tce_core::ir::IndexSet;
+use tce_core::tensor::{
+    contract_sparse_dense, sparse_contraction_ops, BinaryContraction, PackedSymmetric,
+    SparseTensor, Tensor,
+};
+use tce_core::{synthesize, SynthesisConfig};
+
+fn main() {
+    // --- declarations flow through the language ---
+    let src = "
+        range V = 24; range O = 8;
+        index a, b, c : V; index i : O;
+        tensor X(V, V) symmetric(0, 1);
+        tensor W(V, V, O, O) antisymmetric(0, 1);
+        tensor H(V, V) sparse;
+        tensor S(V, V);
+        S[a,b] = sum[c] X[a,c] * H[c,b];
+    ";
+    let syn = synthesize(src, &SynthesisConfig::default()).expect("synthesis");
+    let space = &syn.program.space;
+    println!("== declared storage (from the language) ==");
+    for (_, decl) in syn.program.tensors.iter() {
+        let dense = decl.dense_elements(space);
+        let unique = decl.unique_elements(space);
+        let marks = format!(
+            "{}{}",
+            if !decl.symmetry.is_empty() { " [symmetric]" } else { "" },
+            if decl.sparse { " [sparse]" } else { "" }
+        );
+        println!("  {:>2}: {dense:>8} dense, {unique:>8} unique{marks}", decl.name);
+    }
+    println!("\n{}", syn.plans[0].report(space, &syn.program));
+
+    // --- packed symmetric storage, executable ---
+    let n = 24usize;
+    let raw = Tensor::random(&[n, n], 1);
+    let sym = Tensor::from_fn(&[n, n], |idx| raw.get(idx) + raw.get(&[idx[1], idx[0]]));
+    let packed = PackedSymmetric::pack(&sym, (0, 1), false, 1e-12);
+    println!("== packed symmetric storage ==");
+    println!(
+        "  dense {} elements → packed {} ({:.0}% of dense)",
+        packed.dense_elements(),
+        packed.stored_elements(),
+        100.0 * packed.stored_elements() as f64 / packed.dense_elements() as f64
+    );
+    assert!(packed.unpack().approx_eq(&sym, 0.0));
+    println!("  round-trip exact: OK");
+
+    // --- sparse contraction ---
+    println!("\n== sparse × dense contraction ==");
+    let mut sp2 = tce_core::ir::IndexSpace::new();
+    let r = sp2.add_range("N", 64);
+    let i = sp2.add_var("i", r);
+    let j = sp2.add_var("j", r);
+    let k = sp2.add_var("k", r);
+    let spec = BinaryContraction {
+        a: vec![i, k],
+        b: vec![k, j],
+        out: vec![i, j],
+    };
+    let dense_b = Tensor::random(&[64, 64], 2);
+    for density in [0.01f64, 0.1, 0.5] {
+        let a = SparseTensor::random(&[64, 64], density, 3);
+        let got = contract_sparse_dense(&spec, &sp2, &a, &dense_b);
+        let expect = tce_core::tensor::contract_naive(&spec, &sp2, &a.to_dense(), &dense_b);
+        assert!(got.approx_eq(&expect, 1e-9));
+        let dense_ops = spec.flops(&sp2) as f64;
+        let sparse_ops = sparse_contraction_ops(&spec, &sp2, a.density());
+        println!(
+            "  density {density:>4}: nnz {:>5}, modeled work {:>9.0} flops ({:.1}% of dense {:.0})",
+            a.nnz(),
+            sparse_ops,
+            100.0 * sparse_ops / dense_ops,
+            dense_ops
+        );
+    }
+    let _ = IndexSet::EMPTY;
+    println!("OK");
+}

@@ -1,0 +1,226 @@
+//! End-to-end integration tests: language → full pipeline → execution.
+
+use std::collections::HashMap;
+use tce_core::tensor::{EinsumSpec, IntegralFn, Tensor};
+use tce_core::{synthesize, SynthesisConfig};
+
+/// Helper: run the synthesized plan and an einsum reference for a
+/// single-statement single-term program, comparing results.
+fn verify_single_term(src: &str, seed: u64) {
+    let syn = synthesize(src, &SynthesisConfig::default()).unwrap();
+    assert_eq!(syn.plans.len(), 1);
+    let plan = &syn.plans[0];
+    let space = &syn.program.space;
+    let stmt = &syn.program.stmts[0];
+
+    // Bind random tensors for every input referenced by the term.
+    let mut owned: Vec<(tce_core::ir::TensorId, Tensor)> = Vec::new();
+    let mut spec_inputs: Vec<Vec<tce_core::ir::IndexVar>> = Vec::new();
+    for factor in &stmt.terms[0].factors {
+        match factor {
+            tce_core::ir::Factor::Tensor(r) => {
+                let shape: Vec<usize> = r.indices.iter().map(|&v| space.extent(v)).collect();
+                if !owned.iter().any(|(id, _)| *id == r.tensor) {
+                    owned.push((
+                        r.tensor,
+                        Tensor::random(&shape, seed ^ (r.tensor.0 as u64)),
+                    ));
+                }
+                spec_inputs.push(r.indices.clone());
+            }
+            tce_core::ir::Factor::Func(_) => unreachable!("use verify_funcs instead"),
+        }
+    }
+    let inputs: HashMap<_, _> = owned.iter().map(|(id, t)| (*id, t)).collect();
+    let got = plan.execute(space, &inputs, &HashMap::new());
+
+    // Reference einsum in factor order.
+    let operands: Vec<&Tensor> = stmt.terms[0]
+        .factors
+        .iter()
+        .map(|f| match f {
+            tce_core::ir::Factor::Tensor(r) => {
+                owned.iter().find(|(id, _)| *id == r.tensor).map(|(_, t)| t).unwrap()
+            }
+            _ => unreachable!(),
+        })
+        .collect();
+    let spec = EinsumSpec::new(stmt.lhs.indices.clone(), spec_inputs, stmt.sum_indices).unwrap();
+    let expect = spec.eval(space, &operands);
+    assert!(
+        got.approx_eq(&expect, 1e-8),
+        "synthesized result diverges: {:e}",
+        got.max_abs_diff(&expect)
+    );
+}
+
+#[test]
+fn matmul_roundtrip() {
+    verify_single_term(
+        "range N = 12; index i, j, k : N;
+         tensor A(N, N); tensor B(N, N); tensor S(N, N);
+         S[i,j] = sum[k] A[i,k] * B[k,j];",
+        1,
+    );
+}
+
+#[test]
+fn four_tensor_section2() {
+    verify_single_term(
+        "range N = 4;
+         index a, b, c, d, e, f, i, j, k, l : N;
+         tensor A(N, N, N, N); tensor B(N, N, N, N);
+         tensor C(N, N, N, N); tensor D(N, N, N, N);
+         tensor S(N, N, N, N);
+         S[a,b,i,j] = sum[c,d,e,f,k,l] A[a,c,i,k] * B[b,e,f,l] * C[d,f,j,k] * D[c,d,e,l];",
+        2,
+    );
+}
+
+#[test]
+fn mixed_ranges_and_vectors() {
+    verify_single_term(
+        "range V = 9; range O = 3;
+         index a, b : V; index i : O;
+         tensor A(V, O); tensor B(O, V); tensor S(V, V);
+         S[a,b] = sum[i] A[a,i] * B[i,b];",
+        3,
+    );
+}
+
+#[test]
+fn scalar_result_full_contraction() {
+    verify_single_term(
+        "range N = 7; index i, j : N;
+         tensor A(N, N); tensor B(N, N); tensor E();
+         E = sum[i,j] A[i,j] * B[j,i];",
+        4,
+    );
+}
+
+#[test]
+fn five_factor_chain() {
+    verify_single_term(
+        "range N = 5; index i, j, k, l, m, q : N;
+         tensor A(N, N); tensor B(N, N); tensor C(N, N); tensor D(N, N);
+         tensor F(N, N); tensor S(N, N);
+         S[i,q] = sum[j,k,l,m] A[i,j] * B[j,k] * C[k,l] * D[l,m] * F[m,q];",
+        5,
+    );
+}
+
+#[test]
+fn function_statement_executes() {
+    let src = "
+        range V = 5; range O = 2;
+        index c, e, b1 : V; index k : O;
+        tensor E();
+        function f1(V, V, V, O) cost 200;
+        function f2(V, V, V, O) cost 200;
+        E = sum[c,e,b1,k] f1(c,e,b1,k) * f2(c,e,b1,k);
+    ";
+    let syn = synthesize(src, &SynthesisConfig::default()).unwrap();
+    let plan = &syn.plans[0];
+    let space = &syn.program.space;
+    let mut funcs = HashMap::new();
+    funcs.insert("f1".to_string(), IntegralFn::new(200, 11));
+    funcs.insert("f2".to_string(), IntegralFn::new(200, 22));
+    let got = plan.execute(space, &HashMap::new(), &funcs);
+
+    // Reference: direct double loop.
+    let (f1, f2) = (IntegralFn::new(200, 11), IntegralFn::new(200, 22));
+    let mut expect = 0.0;
+    for c in 0..5 {
+        for e in 0..5 {
+            for b in 0..5 {
+                for k in 0..2 {
+                    expect += f1.eval(&[c, e, b, k]) * f2.eval(&[c, e, b, k]);
+                }
+            }
+        }
+    }
+    assert!((got.get(&[]) - expect).abs() < 1e-9);
+}
+
+#[test]
+fn multi_term_plans_execute_independently() {
+    let src = "
+        range N = 6; index i, j, k : N;
+        tensor A(N, N); tensor B(N, N); tensor S(N, N);
+        S[i,j] = sum[k] A[i,k] * B[k,j] + B[i,k] * A[k,j];
+    ";
+    let syn = synthesize(src, &SynthesisConfig::default()).unwrap();
+    assert_eq!(syn.plans.len(), 2);
+    let space = &syn.program.space;
+    let a = Tensor::random(&[6, 6], 10);
+    let b = Tensor::random(&[6, 6], 11);
+    let mut inputs = HashMap::new();
+    inputs.insert(syn.program.tensors.by_name("A").unwrap(), &a);
+    inputs.insert(syn.program.tensors.by_name("B").unwrap(), &b);
+    let r0 = syn.plans[0].execute(space, &inputs, &HashMap::new());
+    let r1 = syn.plans[1].execute(space, &inputs, &HashMap::new());
+    // Sum of the two term results equals the direct two-term evaluation.
+    for i in 0..6 {
+        for j in 0..6 {
+            let mut expect = 0.0;
+            for k in 0..6 {
+                expect += a.get(&[i, k]) * b.get(&[k, j]) + b.get(&[i, k]) * a.get(&[k, j]);
+            }
+            let got = r0.get(&[i, j]) + r1.get(&[i, j]);
+            assert!((got - expect).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn memory_minimization_beats_unfused_on_chain() {
+    let src = "
+        range N = 10; index i, j, k, l : N;
+        tensor A(N, N); tensor B(N, N); tensor C(N, N); tensor S(N, N);
+        S[i,l] = sum[j,k] A[i,j] * B[j,k] * C[k,l];
+    ";
+    let syn = synthesize(src, &SynthesisConfig::default()).unwrap();
+    let plan = &syn.plans[0];
+    // The single intermediate (A·B or B·C) shrinks below its full N² size.
+    assert!(plan.memmin.memory < 100);
+}
+
+#[test]
+fn full_pipeline_with_all_stages_enabled() {
+    let src = "
+        range N = 16; index i, j, k : N;
+        tensor A(N, N); tensor B(N, N); tensor S(N, N);
+        S[i,j] = sum[k] A[i,k] * B[k,j];
+    ";
+    let cfg = SynthesisConfig {
+        memory_limit: u128::MAX,
+        cache_elements: Some(96),
+        hierarchy: tce_core::locality::MemoryHierarchy::cache_and_disk(96, 1 << 20),
+        machine: Some(tce_core::dist::Machine {
+            grid: tce_core::par::ProcessorGrid::new(vec![2, 2]),
+            word_cost: 1,
+        }),
+    };
+    let syn = synthesize(src, &cfg).unwrap();
+    let plan = &syn.plans[0];
+    assert!(!plan.locality.is_empty());
+    assert!(plan.distribution.is_some());
+    // Locality stage found a blocking no worse than untiled.
+    let untiled = tce_core::locality::access_cost(&plan.built.program, &syn.program.space, 96);
+    assert!(plan.locality[0].cost <= untiled);
+    // Blocked program still computes the right answer.
+    let a = Tensor::random(&[16, 16], 20);
+    let b = Tensor::random(&[16, 16], 21);
+    let mut inputs = HashMap::new();
+    inputs.insert(syn.program.tensors.by_name("A").unwrap(), &a);
+    inputs.insert(syn.program.tensors.by_name("B").unwrap(), &b);
+    let mut interp = tce_core::exec::Interpreter::new(
+        &plan.locality[0].program,
+        &syn.program.space,
+        &inputs,
+        &HashMap::new(),
+    );
+    interp.run(&mut tce_core::exec::NoSink);
+    let expect = plan.execute(&syn.program.space, &inputs, &HashMap::new());
+    assert!(interp.output().approx_eq(&expect, 1e-9));
+}
