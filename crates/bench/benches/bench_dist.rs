@@ -1,7 +1,8 @@
-//! Criterion benchmark: the distribution DP's `O(q²·|T|)` scaling in grid
+//! Micro-benchmark: the distribution DP's `O(q²·|T|)` scaling in grid
 //! rank and tree size (supports experiment E8).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tce_bench::harness::{black_box, BenchmarkId, Criterion};
+use tce_bench::{criterion_group, criterion_main};
 use tce_core::dist::{optimize_distribution, Machine};
 use tce_core::ir::{IndexSet, IndexSpace, OpTree, TensorDecl, TensorTable};
 use tce_core::par::ProcessorGrid;
@@ -10,7 +11,9 @@ use tce_core::par::ProcessorGrid;
 fn chain_tree(n: usize) -> (IndexSpace, OpTree) {
     let mut space = IndexSpace::new();
     let r = space.add_range("N", 16);
-    let vars: Vec<_> = (0..=n).map(|q| space.add_var(&format!("x{q}"), r)).collect();
+    let vars: Vec<_> = (0..=n)
+        .map(|q| space.add_var(&format!("x{q}"), r))
+        .collect();
     let mut tensors = TensorTable::new();
     let mut tree = OpTree::new();
     let mut acc = None;

@@ -1,8 +1,9 @@
-//! Criterion benchmark: the memory-minimization DP against exhaustive
+//! Micro-benchmark: the memory-minimization DP against exhaustive
 //! enumeration (supports experiments E2/E9 — "the pruning is effective in
 //! keeping the size of the solution set at each node small").
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tce_bench::harness::{black_box, Criterion};
+use tce_bench::{criterion_group, criterion_main};
 use tce_core::fusion::{enumerate_legal_configs, memmin_bruteforce, memmin_dp};
 use tce_core::opmin::{optimize_subset_dp, OpMinProblem};
 use tce_core::scenarios::{section2_source, A3AScenario};
@@ -15,7 +16,9 @@ fn bench(c: &mut Criterion) {
     let tree = optimize_subset_dp(&p, &prog.space).tree;
 
     let mut g = c.benchmark_group("memmin_fig1");
-    g.bench_function("dp", |b| b.iter(|| memmin_dp(black_box(&tree), &prog.space)));
+    g.bench_function("dp", |b| {
+        b.iter(|| memmin_dp(black_box(&tree), &prog.space))
+    });
     g.bench_function("bruteforce", |b| {
         b.iter(|| memmin_bruteforce(black_box(&tree), &prog.space))
     });
@@ -27,7 +30,9 @@ fn bench(c: &mut Criterion) {
     // A3A tree (larger per-node index sets).
     let sc = A3AScenario::new(6, 3, 100);
     let mut g2 = c.benchmark_group("memmin_a3a");
-    g2.bench_function("dp", |b| b.iter(|| memmin_dp(black_box(&sc.tree), &sc.space)));
+    g2.bench_function("dp", |b| {
+        b.iter(|| memmin_dp(black_box(&sc.tree), &sc.space))
+    });
     g2.bench_function("bruteforce", |b| {
         b.iter(|| memmin_bruteforce(black_box(&sc.tree), &sc.space))
     });

@@ -1,13 +1,14 @@
-//! Criterion benchmark: the execution substrate — naive vs blocked-GEMM
-//! vs parallel contraction kernels, and the loop-program interpreter vs
-//! the array-at-a-time tree executor.
+//! Micro-benchmark: the execution substrate — naive vs blocked-GEMM vs
+//! packed-GETT contraction kernels, blocked vs naive permutes, and the
+//! loop-program interpreter vs the array-at-a-time tree executor.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::collections::HashMap;
+use tce_bench::harness::{black_box, BenchmarkId, Criterion};
+use tce_bench::{criterion_group, criterion_main};
 use tce_core::exec::{parallel_contract, Interpreter, NoSink};
 use tce_core::ir::{IndexSpace, IndexVar};
 use tce_core::scenarios::section2_source;
-use tce_core::tensor::{contract_gemm, contract_naive, BinaryContraction, Tensor};
+use tce_core::tensor::{contract_gemm, contract_gett, contract_naive, BinaryContraction, Tensor};
 use tce_core::{synthesize, SynthesisConfig};
 
 fn setup(n: usize) -> (IndexSpace, [IndexVar; 3]) {
@@ -46,6 +47,56 @@ fn bench(c: &mut Criterion) {
         );
     }
     g.finish();
+
+    // Packed GETT vs the scalar blocked-GEMM path, at a size where the
+    // register blocking and panel packing pay off.
+    let n2 = 192usize;
+    let (sp2, [i2, j2, k2]) = setup(n2);
+    let spec2 = BinaryContraction {
+        a: vec![i2, k2],
+        b: vec![k2, j2],
+        out: vec![i2, j2],
+    };
+    let a2 = Tensor::random(&[n2, n2], 3);
+    let b2 = Tensor::random(&[n2, n2], 4);
+    let mut gp = c.benchmark_group("gemm_packed_vs_scalar_192");
+    gp.sample_size(10);
+    gp.bench_function("scalar_blocked", |bch| {
+        bch.iter(|| contract_gemm(black_box(&spec2), &sp2, &a2, &b2))
+    });
+    for threads in [1usize, 2, 4] {
+        gp.bench_with_input(
+            BenchmarkId::new("gett_packed", threads),
+            &threads,
+            |bch, &t| bch.iter(|| contract_gett(black_box(&spec2), &sp2, &a2, &b2, t)),
+        );
+    }
+    gp.finish();
+
+    // Blocked (cache-oblivious) permute vs a naive odometer walk.
+    let pt = Tensor::random(&[96, 96, 96], 5);
+    let perm = [2usize, 0, 1];
+    let naive_permute = |t: &Tensor| -> Tensor {
+        let new_shape: Vec<usize> = perm.iter().map(|&p| t.shape()[p]).collect();
+        Tensor::from_fn(&new_shape, |idx| {
+            let mut src = [0usize; 3];
+            for (d, &p) in perm.iter().enumerate() {
+                src[p] = idx[d];
+            }
+            t.get(&src)
+        })
+    };
+    let mut gt = c.benchmark_group("permute_96x96x96");
+    gt.sample_size(10);
+    gt.bench_function("naive_odometer", |bch| {
+        bch.iter(|| naive_permute(black_box(&pt)))
+    });
+    for threads in [1usize, 2, 4] {
+        gt.bench_with_input(BenchmarkId::new("blocked", threads), &threads, |bch, &t| {
+            bch.iter(|| black_box(&pt).permute_with_threads(&perm, t))
+        });
+    }
+    gt.finish();
 
     // Interpreter vs tree executor on the synthesized §2 program.
     let syn = synthesize(&section2_source(6), &SynthesisConfig::default()).unwrap();

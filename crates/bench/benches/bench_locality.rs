@@ -1,8 +1,9 @@
-//! Criterion benchmark: the §6 cost model, the doubling tile search, and
+//! Micro-benchmark: the §6 cost model, the doubling tile search, and
 //! the measured effect of blocking on execution (supports experiment E10).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::collections::HashMap;
+use tce_bench::harness::{black_box, BenchmarkId, Criterion};
+use tce_bench::{criterion_group, criterion_main};
 use tce_core::exec::{Interpreter, NoSink};
 use tce_core::ir::{IndexSpace, TensorDecl, TensorTable};
 use tce_core::locality::{access_cost, perfect_nests, search_nest_tiles};
@@ -22,18 +23,40 @@ fn matmul(n: usize) -> (IndexSpace, TensorTable, LoopProgram) {
     let vi = p.add_var("i", VarRange::Full(i));
     let vj = p.add_var("j", VarRange::Full(j));
     let vk = p.add_var("k", VarRange::Full(k));
-    let a = p.add_array("A", vec![VarRange::Full(i), VarRange::Full(k)], ArrayKind::Input(ta));
-    let b = p.add_array("B", vec![VarRange::Full(k), VarRange::Full(j)], ArrayKind::Input(tb));
-    let cc = p.add_array("C", vec![VarRange::Full(i), VarRange::Full(j)], ArrayKind::Output);
+    let a = p.add_array(
+        "A",
+        vec![VarRange::Full(i), VarRange::Full(k)],
+        ArrayKind::Input(ta),
+    );
+    let b = p.add_array(
+        "B",
+        vec![VarRange::Full(k), VarRange::Full(j)],
+        ArrayKind::Input(tb),
+    );
+    let cc = p.add_array(
+        "C",
+        vec![VarRange::Full(i), VarRange::Full(j)],
+        ArrayKind::Output,
+    );
     let stmt = Stmt::Accum {
-        lhs: ARef { array: cc, subs: vec![Sub::Var(vi), Sub::Var(vj)] },
+        lhs: ARef {
+            array: cc,
+            subs: vec![Sub::Var(vi), Sub::Var(vj)],
+        },
         rhs: vec![
-            ARef { array: a, subs: vec![Sub::Var(vi), Sub::Var(vk)] },
-            ARef { array: b, subs: vec![Sub::Var(vk), Sub::Var(vj)] },
+            ARef {
+                array: a,
+                subs: vec![Sub::Var(vi), Sub::Var(vk)],
+            },
+            ARef {
+                array: b,
+                subs: vec![Sub::Var(vk), Sub::Var(vj)],
+            },
         ],
         coeff: 1.0,
     };
-    p.body.push(tce_core::loops::nest(vec![vi, vj, vk], vec![stmt]));
+    p.body
+        .push(tce_core::loops::nest(vec![vi, vj, vk], vec![stmt]));
     (space, tensors, p)
 }
 

@@ -1,10 +1,13 @@
-//! Criterion benchmark: operation-minimization search procedures
+//! Micro-benchmark: operation-minimization search procedures
 //! (supports experiment E1 — the cost of the "Algebraic Transformations"
 //! stage itself).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tce_bench::harness::{black_box, Criterion};
+use tce_bench::{criterion_group, criterion_main};
 use tce_core::ir::{IndexSet, IndexSpace, Leaf, TensorDecl, TensorTable};
-use tce_core::opmin::{optimize_branch_bound, optimize_exhaustive, optimize_subset_dp, OpMinProblem};
+use tce_core::opmin::{
+    optimize_branch_bound, optimize_exhaustive, optimize_subset_dp, OpMinProblem,
+};
 use tce_core::scenarios::section2_source;
 
 /// The §2 four-factor problem.
@@ -19,7 +22,9 @@ fn section2_problem() -> (IndexSpace, OpMinProblem) {
 fn chain_problem(n: usize) -> (IndexSpace, OpMinProblem) {
     let mut space = IndexSpace::new();
     let r = space.add_range("N", 16);
-    let vars: Vec<_> = (0..=n).map(|q| space.add_var(&format!("x{q}"), r)).collect();
+    let vars: Vec<_> = (0..=n)
+        .map(|q| space.add_var(&format!("x{q}"), r))
+        .collect();
     let mut tensors = TensorTable::new();
     let factors = (0..n)
         .map(|q| {

@@ -1,8 +1,9 @@
-//! Criterion benchmark: the whole synthesis pipeline (supports
+//! Micro-benchmark: the whole synthesis pipeline (supports
 //! experiment E11 — the cost of planning itself, which the paper argues
 //! replaces weeks-to-months of manual development).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tce_bench::harness::{black_box, Criterion};
+use tce_bench::{criterion_group, criterion_main};
 use tce_core::dist::Machine;
 use tce_core::locality::MemoryHierarchy;
 use tce_core::par::ProcessorGrid;

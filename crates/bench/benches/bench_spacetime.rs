@@ -1,10 +1,11 @@
-//! Criterion benchmark: the space-time pareto DP, the tile search, and
+//! Micro-benchmark: the space-time pareto DP, the tile search, and
 //! the *executed* Fig-4 program across block sizes (supports experiments
 //! E4/E5 — the measured counterpart of the paper's recomputation-vs-reuse
 //! trade-off).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::collections::HashMap;
+use tce_bench::harness::{black_box, BenchmarkId, Criterion};
+use tce_bench::{criterion_group, criterion_main};
 use tce_core::exec::{Interpreter, NoSink};
 use tce_core::scenarios::A3AScenario;
 use tce_core::spacetime::{search_tiles, spacetime_dp};

@@ -31,28 +31,60 @@ fn matmul(n: usize) -> (IndexSpace, TensorTable, LoopProgram) {
     let vi = p.add_var("i", VarRange::Full(i));
     let vj = p.add_var("j", VarRange::Full(j));
     let vk = p.add_var("k", VarRange::Full(k));
-    let a = p.add_array("A", vec![VarRange::Full(i), VarRange::Full(k)], ArrayKind::Input(ta));
-    let b = p.add_array("B", vec![VarRange::Full(k), VarRange::Full(j)], ArrayKind::Input(tb));
-    let c = p.add_array("C", vec![VarRange::Full(i), VarRange::Full(j)], ArrayKind::Output);
+    let a = p.add_array(
+        "A",
+        vec![VarRange::Full(i), VarRange::Full(k)],
+        ArrayKind::Input(ta),
+    );
+    let b = p.add_array(
+        "B",
+        vec![VarRange::Full(k), VarRange::Full(j)],
+        ArrayKind::Input(tb),
+    );
+    let c = p.add_array(
+        "C",
+        vec![VarRange::Full(i), VarRange::Full(j)],
+        ArrayKind::Output,
+    );
     let stmt = Stmt::Accum {
-        lhs: ARef { array: c, subs: vec![Sub::Var(vi), Sub::Var(vj)] },
+        lhs: ARef {
+            array: c,
+            subs: vec![Sub::Var(vi), Sub::Var(vj)],
+        },
         rhs: vec![
-            ARef { array: a, subs: vec![Sub::Var(vi), Sub::Var(vk)] },
-            ARef { array: b, subs: vec![Sub::Var(vk), Sub::Var(vj)] },
+            ARef {
+                array: a,
+                subs: vec![Sub::Var(vi), Sub::Var(vk)],
+            },
+            ARef {
+                array: b,
+                subs: vec![Sub::Var(vk), Sub::Var(vj)],
+            },
         ],
         coeff: 1.0,
     };
-    p.body.push(tce_core::loops::nest(vec![vi, vj, vk], vec![stmt]));
+    p.body
+        .push(tce_core::loops::nest(vec![vi, vj, vk], vec![stmt]));
     (space, tensors, p)
 }
 
-fn simulate(p: &LoopProgram, space: &IndexSpace, tensors: &TensorTable, n: usize, cache: usize) -> u64 {
+fn simulate(
+    p: &LoopProgram,
+    space: &IndexSpace,
+    tensors: &TensorTable,
+    n: usize,
+    cache: usize,
+) -> u64 {
     let a = Tensor::random(&[n, n], 1);
     let b = Tensor::random(&[n, n], 2);
     let mut inputs = HashMap::new();
     inputs.insert(tensors.by_name("A").unwrap(), &a);
     inputs.insert(tensors.by_name("B").unwrap(), &b);
-    let sizes: Vec<usize> = p.arrays.iter().map(|x| x.elements(space) as usize).collect();
+    let sizes: Vec<usize> = p
+        .arrays
+        .iter()
+        .map(|x| x.elements(space) as usize)
+        .collect();
     let mut sink = CacheSink::new(LruCache::new(cache, 1), &sizes);
     let mut interp = Interpreter::new(p, space, &inputs, &HashMap::new());
     interp.run(&mut sink);
@@ -69,7 +101,11 @@ fn main() {
     let modeled = access_cost(&p, &space, big);
     let simulated = simulate(&p, &space, &tensors, n, big as usize) as u128;
     println!("cache {} elements (working set fits):", fmt_u(big));
-    println!("  model {} misses; LRU simulator {} misses", fmt_u(modeled), fmt_u(simulated));
+    println!(
+        "  model {} misses; LRU simulator {} misses",
+        fmt_u(modeled),
+        fmt_u(simulated)
+    );
     assert_eq!(modeled, 3 * (n * n) as u128);
     assert_eq!(modeled, simulated);
 
@@ -127,7 +163,10 @@ fn main() {
     let plain_cost = hier.cost(&p, &space);
     let blocked_cost = hier.cost(&best.program, &space);
     println!("\ntwo-level hierarchy cost (cache + memory-over-disk):");
-    println!("  untiled {:.3e} vs blocked {:.3e}", plain_cost, blocked_cost);
+    println!(
+        "  untiled {:.3e} vs blocked {:.3e}",
+        plain_cost, blocked_cost
+    );
     assert!(blocked_cost <= plain_cost);
     println!("E10 OK");
 }

@@ -38,15 +38,13 @@ fn main() {
         inputs.insert(syn.program.tensors.by_name(nm).unwrap(), &data[q]);
     }
     let got = plan.execute(&syn.program.space, &inputs, &HashMap::new());
-    let expect = tce_core::exec::execute_tree(
-        &plan.tree,
-        &syn.program.space,
-        &inputs,
-        &HashMap::new(),
-        1,
-    );
+    let expect =
+        tce_core::exec::execute_tree(&plan.tree, &syn.program.space, &inputs, &HashMap::new(), 1);
     assert!(got.approx_eq(&expect, 1e-9));
-    println!("spec 1 verified (max diff {:.2e})\n", got.max_abs_diff(&expect));
+    println!(
+        "spec 1 verified (max diff {:.2e})\n",
+        got.max_abs_diff(&expect)
+    );
 
     // --- spec 2: integral-bearing statement with a tight memory limit ---
     let src = "
@@ -76,13 +74,8 @@ fn main() {
     funcs.insert("f1".to_string(), IntegralFn::new(500, 1));
     funcs.insert("f2".to_string(), IntegralFn::new(500, 2));
     let e = plan2.execute(&syn2.program.space, &HashMap::new(), &funcs);
-    let e_ref = tce_core::exec::execute_tree(
-        &plan2.tree,
-        &syn2.program.space,
-        &HashMap::new(),
-        &funcs,
-        1,
-    );
+    let e_ref =
+        tce_core::exec::execute_tree(&plan2.tree, &syn2.program.space, &HashMap::new(), &funcs, 1);
     assert!((e.get(&[]) - e_ref.get(&[])).abs() < 1e-9 * e_ref.get(&[]).abs().max(1.0));
     println!("spec 2 verified (E = {:.6})", e.get(&[]));
     println!("E11 OK");

@@ -38,13 +38,22 @@ fn main() {
 
     let mut t = Table::new(&["metric", "value"]);
     t.row(&["terms".into(), "6".into()]);
-    t.row(&["intermediates before sharing".into(), c.total_intermediates.to_string()]);
-    t.row(&["distinct after sharing".into(), c.unique_intermediates.to_string()]);
+    t.row(&[
+        "intermediates before sharing".into(),
+        c.total_intermediates.to_string(),
+    ]);
+    t.row(&[
+        "distinct after sharing".into(),
+        c.unique_intermediates.to_string(),
+    ]);
     t.row(&["flops, independent".into(), fmt_u(c.ops_independent)]);
     t.row(&["flops, with CSE".into(), fmt_u(c.ops_with_cse)]);
     t.row(&[
         "saving".into(),
-        format!("{:.0}%", 100.0 * (1.0 - c.ops_with_cse as f64 / c.ops_independent as f64)),
+        format!(
+            "{:.0}%",
+            100.0 * (1.0 - c.ops_with_cse as f64 / c.ops_independent as f64)
+        ),
     ]);
     println!("{}", t.render());
     // Each term's optimal tree pre-reduces both factors over their

@@ -9,7 +9,9 @@
 
 use std::collections::HashMap;
 use tce_bench::tables::{fmt_u, Table};
-use tce_core::opmin::{optimize_branch_bound, optimize_exhaustive, optimize_subset_dp, OpMinProblem};
+use tce_core::opmin::{
+    optimize_branch_bound, optimize_exhaustive, optimize_subset_dp, OpMinProblem,
+};
 use tce_core::scenarios::section2_source;
 use tce_core::tensor::{EinsumSpec, Tensor};
 use tce_core::{synthesize, SynthesisConfig};
@@ -17,7 +19,12 @@ use tce_core::{synthesize, SynthesisConfig};
 fn main() {
     println!("E1: operation minimization on the §2 example\n");
     let mut t = Table::new(&[
-        "N", "direct 4N^10", "optimal (DP)", "branch&bound", "exhaustive", "ratio",
+        "N",
+        "direct 4N^10",
+        "optimal (DP)",
+        "branch&bound",
+        "exhaustive",
+        "ratio",
     ]);
     for n in [4usize, 6, 8, 10, 16, 30] {
         let prog = tce_core::lang::compile(&section2_source(n)).unwrap();
@@ -30,7 +37,11 @@ fn main() {
         assert_eq!(dp.contraction_ops, bb.contraction_ops);
         assert_eq!(dp.contraction_ops, ex.contraction_ops);
         assert_eq!(direct, 4 * (n as u128).pow(10), "paper formula 4N^10");
-        assert_eq!(dp.contraction_ops, 6 * (n as u128).pow(6), "paper formula 6N^6");
+        assert_eq!(
+            dp.contraction_ops,
+            6 * (n as u128).pow(6),
+            "paper formula 6N^6"
+        );
         t.row(&[
             n.to_string(),
             fmt_u(direct),
@@ -70,7 +81,10 @@ fn main() {
     )
     .unwrap();
     println!("measured at N = {n}:");
-    println!("  direct loop nest executes {} multiply/adds", fmt_u(spec.naive_ops(space)));
+    println!(
+        "  direct loop nest executes {} multiply/adds",
+        fmt_u(spec.naive_ops(space))
+    );
     println!(
         "  synthesized program executes {} flops (model: {})",
         fmt_u(interp.stats.contraction_flops),

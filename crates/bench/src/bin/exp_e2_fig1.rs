@@ -65,12 +65,18 @@ fn main() {
 
     // Paper claims.
     assert_eq!(find(&mem_fused, "T1"), 1, "T1 reduced to a scalar");
-    assert_eq!(find(&mem_fused, "T2"), (n as u128).pow(2), "T2 reduced to 2-D");
+    assert_eq!(
+        find(&mem_fused, "T2"),
+        (n as u128).pow(2),
+        "T2 reduced to 2-D"
+    );
     assert_eq!(ops_fused.total(), ops_unfused.total(), "op count unchanged");
 
     // Execute both and compare.
     let shape = [n; 4];
-    let data: Vec<Tensor> = (0..4).map(|s| Tensor::random(&shape, 100 + s as u64)).collect();
+    let data: Vec<Tensor> = (0..4)
+        .map(|s| Tensor::random(&shape, 100 + s as u64))
+        .collect();
     let mut inputs = HashMap::new();
     for (q, nm) in ["A", "B", "C", "D"].iter().enumerate() {
         inputs.insert(syn.program.tensors.by_name(nm).unwrap(), &data[q]);

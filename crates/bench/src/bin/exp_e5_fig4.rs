@@ -54,7 +54,11 @@ fn main() {
         assert_eq!(mem_meas, mem_model, "B = {bb}");
         assert_eq!(iflops_meas, iflops_model, "B = {bb}");
 
-        let sizes: Vec<usize> = p.arrays.iter().map(|a| a.elements(&sc.space) as usize).collect();
+        let sizes: Vec<usize> = p
+            .arrays
+            .iter()
+            .map(|a| a.elements(&sc.space) as usize)
+            .collect();
         let mut sink = CacheSink::new(LruCache::new(fast_elems, 1), &sizes);
         let mut interp2 = Interpreter::new(&p, &sc.space, &inputs, &funcs);
         interp2.run(&mut sink);

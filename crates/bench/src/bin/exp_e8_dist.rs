@@ -28,9 +28,17 @@ fn main() {
     let k = sp.add_var("k", rn);
     let t = sp.add_var("t", rn);
     let grid = ProcessorGrid::new(vec![2, 4, 8]);
-    let alpha = DistTuple(vec![DistEntry::Idx(k), DistEntry::Replicate, DistEntry::One]);
+    let alpha = DistTuple(vec![
+        DistEntry::Idx(k),
+        DistEntry::Replicate,
+        DistEntry::One,
+    ]);
     println!("B[j,k,t] with {} on 2×4×8:", alpha.display(&sp));
-    println!("  myrange(z, 16, 2) blocks: {:?}, {:?}", myrange(0, 16, 2), myrange(1, 16, 2));
+    println!(
+        "  myrange(z, 16, 2) blocks: {:?}, {:?}",
+        myrange(0, 16, 2),
+        myrange(1, 16, 2)
+    );
     let held: Vec<u128> = grid
         .processors()
         .map(|id| alpha.local_elements(&[j, k, t], &sp, &grid, &grid.coords(id)))
@@ -46,15 +54,32 @@ fn main() {
 
     // Redistribution example.
     let t1_from = DistTuple(vec![DistEntry::One, DistEntry::Idx(t), DistEntry::Idx(j)]);
-    let t2_from = DistTuple(vec![DistEntry::Idx(j), DistEntry::Replicate, DistEntry::One]);
+    let t2_from = DistTuple(vec![
+        DistEntry::Idx(j),
+        DistEntry::Replicate,
+        DistEntry::One,
+    ]);
     let to = DistTuple(vec![DistEntry::Idx(j), DistEntry::Idx(t), DistEntry::One]);
     let c1 = move_cost(&[j, t], &sp, &grid, &t1_from, &to);
     let c2 = move_cost(&[j, t], &sp, &grid, &t2_from, &to);
-    println!("\nredistribution of T1[j,t]: {} -> {}: {} elements move", t1_from.display(&sp), to.display(&sp), fmt_u(c1));
-    println!("redistribution of T2[j,t]: {} -> {}: {} elements move", t2_from.display(&sp), to.display(&sp), fmt_u(c2));
+    println!(
+        "\nredistribution of T1[j,t]: {} -> {}: {} elements move",
+        t1_from.display(&sp),
+        to.display(&sp),
+        fmt_u(c1)
+    );
+    println!(
+        "redistribution of T2[j,t]: {} -> {}: {} elements move",
+        t2_from.display(&sp),
+        to.display(&sp),
+        fmt_u(c2)
+    );
     assert!(c1 > 0 && c2 == 0, "paper's asymmetry");
     // Exactness vs element-level enumeration.
-    assert_eq!(c1, move_cost_elementwise(&[j, t], &sp, &grid, &t1_from, &to));
+    assert_eq!(
+        c1,
+        move_cost_elementwise(&[j, t], &sp, &grid, &t1_from, &to)
+    );
 
     // Complexity scaling: states ∝ q, time ≈ q² per node.
     println!("\nDP complexity scaling (matmul-chain tree, |T| = 2 contractions):");
@@ -80,7 +105,10 @@ fn main() {
     let mut tab = Table::new(&["grid", "q (tuples)", "states", "time (ms)", "cost"]);
     let mut prev_time = 0.0f64;
     for dims in [vec![2usize], vec![2, 2], vec![2, 2, 2]] {
-        let machine = Machine { grid: ProcessorGrid::new(dims.clone()), word_cost: 1 };
+        let machine = Machine {
+            grid: ProcessorGrid::new(dims.clone()),
+            word_cost: 1,
+        };
         let q = enumerate_tuples(IndexSet::from_vars([i2, j2, k2, l2]), machine.grid.rank()).len();
         let states = state_count(&tree, &machine);
         let t0 = Instant::now();

@@ -80,7 +80,10 @@ fn main() {
     // consumers' extra indices block full fusion): pure-fusion memory
     // stays above the Fig-3 scalar level.
     assert!(dp2.memory > 4);
-    println!("  (pure fusion cannot reach the Fig-3 all-scalar level: {} > 4 —", fmt_u(dp2.memory));
+    println!(
+        "  (pure fusion cannot reach the Fig-3 all-scalar level: {} > 4 —",
+        fmt_u(dp2.memory)
+    );
     println!("   that requires the space-time stage's redundant computation, see E4)");
     println!("E9 OK");
 }

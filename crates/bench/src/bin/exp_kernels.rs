@@ -1,0 +1,194 @@
+//! `exp_kernels` — GETT contraction engine throughput sweep.
+//!
+//! Times the packed parallel GETT kernel over a grid of contraction
+//! sizes × thread counts, against the scalar blocked-GEMM baseline, and
+//! writes the measurements to `BENCH_kernels.json` (machine-readable:
+//! seconds, GFLOP/s, speedup vs 1 thread per run).  The headline case is
+//! the CCSD-like `X[a,e,c,f] = Σ_ij T[i,j,a,e]·T[i,j,c,f]` contraction
+//! at V=48, O=8.
+//!
+//! ```text
+//! cargo run --release --bin exp_kernels [-- --max-threads T] [--out PATH]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use tce_core::ir::{IndexSpace, IndexVar};
+use tce_core::tensor::{contract_gemm, contract_gett, BinaryContraction, Tensor};
+
+/// Best-of-`reps` wall time of `f`, in seconds.
+fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct Case {
+    name: String,
+    spec: BinaryContraction,
+    space: IndexSpace,
+    a: Tensor,
+    b: Tensor,
+    flops: u128,
+}
+
+/// CCSD-like four-index contraction `X[a,e,c,f] = Σ_ij T[ijae]·T[ijcf]`.
+fn ccsd_case(v: usize, o: usize) -> Case {
+    let mut sp = IndexSpace::new();
+    let rv = sp.add_range("V", v);
+    let ro = sp.add_range("O", o);
+    let names_v = ["a", "e", "c", "f"];
+    let vv: Vec<IndexVar> = names_v.iter().map(|n| sp.add_var(n, rv)).collect();
+    let i = sp.add_var("i", ro);
+    let j = sp.add_var("j", ro);
+    let (a_v, e_v, c_v, f_v) = (vv[0], vv[1], vv[2], vv[3]);
+    let spec = BinaryContraction {
+        a: vec![i, j, a_v, e_v],
+        b: vec![i, j, c_v, f_v],
+        out: vec![a_v, e_v, c_v, f_v],
+    };
+    let flops = spec.flops(&sp);
+    let a = Tensor::random(&[o, o, v, v], 1);
+    let b = Tensor::random(&[o, o, v, v], 2);
+    Case {
+        name: format!("ccsd_v{v}_o{o}"),
+        spec,
+        space: sp,
+        a,
+        b,
+        flops,
+    }
+}
+
+/// Square matmul `C[i,j] = Σ_k A[i,k]·B[k,j]`.
+fn matmul_case(n: usize) -> Case {
+    let mut sp = IndexSpace::new();
+    let r = sp.add_range("N", n);
+    let i = sp.add_var("i", r);
+    let j = sp.add_var("j", r);
+    let k = sp.add_var("k", r);
+    let spec = BinaryContraction {
+        a: vec![i, k],
+        b: vec![k, j],
+        out: vec![i, j],
+    };
+    let flops = spec.flops(&sp);
+    Case {
+        name: format!("matmul_{n}"),
+        spec,
+        space: sp,
+        a: Tensor::random(&[n, n], 3),
+        b: Tensor::random(&[n, n], 4),
+        flops,
+    }
+}
+
+fn main() {
+    let mut max_threads = tce_core::par::default_threads().max(8);
+    let mut out_path = "BENCH_kernels.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--max-threads" => {
+                max_threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-threads needs a positive integer");
+            }
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    let mut threads_sweep = vec![1usize];
+    let mut t = 2;
+    while t <= max_threads {
+        threads_sweep.push(t);
+        t *= 2;
+    }
+
+    let cases = [
+        ccsd_case(48, 8),
+        ccsd_case(32, 6),
+        matmul_case(256),
+        matmul_case(384),
+    ];
+
+    println!(
+        "exp_kernels: GETT throughput sweep (host parallelism {}, sweep {:?})\n",
+        tce_core::par::default_threads(),
+        threads_sweep
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"kernels\",");
+    let _ = writeln!(
+        json,
+        "  \"host_parallelism\": {},",
+        tce_core::par::default_threads()
+    );
+    let _ = writeln!(json, "  \"cases\": [");
+    for (ci, case) in cases.iter().enumerate() {
+        let reps = if case.flops > 400_000_000 { 3 } else { 5 };
+        let scalar_secs = time_best(reps, || {
+            contract_gemm(&case.spec, &case.space, &case.a, &case.b)
+        });
+        let gflops = |secs: f64| case.flops as f64 / secs / 1e9;
+        println!(
+            "{:<14} {:>14} flops   scalar gemm: {:>8.4}s ({:6.2} GF/s)",
+            case.name,
+            case.flops,
+            scalar_secs,
+            gflops(scalar_secs)
+        );
+        let mut runs = Vec::new();
+        let mut t1_secs = f64::NAN;
+        for &threads in &threads_sweep {
+            let secs = time_best(reps, || {
+                contract_gett(&case.spec, &case.space, &case.a, &case.b, threads)
+            });
+            if threads == 1 {
+                t1_secs = secs;
+            }
+            let speedup = t1_secs / secs;
+            println!(
+                "    gett x{threads:<3}  {secs:>8.4}s  {:>7.2} GF/s  speedup {speedup:>5.2}",
+                gflops(secs)
+            );
+            runs.push((threads, secs, gflops(secs), speedup));
+        }
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"name\": \"{}\",", case.name);
+        let _ = writeln!(json, "      \"flops\": {},", case.flops);
+        let _ = writeln!(json, "      \"scalar_gemm_secs\": {scalar_secs:.6},");
+        let _ = writeln!(
+            json,
+            "      \"scalar_gemm_gflops\": {:.4},",
+            gflops(scalar_secs)
+        );
+        let _ = writeln!(json, "      \"runs\": [");
+        for (ri, (threads, secs, gf, speedup)) in runs.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "        {{\"threads\": {threads}, \"secs\": {secs:.6}, \
+                 \"gflops\": {gf:.4}, \"speedup\": {speedup:.4}}}{}",
+                if ri + 1 < runs.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(json, "      ]");
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if ci + 1 < cases.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_kernels.json");
+    println!("\nwrote {out_path}");
+}

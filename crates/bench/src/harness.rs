@@ -1,0 +1,179 @@
+//! Minimal benchmark harness with a criterion-compatible surface.
+//!
+//! The workspace builds hermetically (no external crates), so the bench
+//! binaries link against this instead of `criterion`.  It supports the
+//! subset of the API the benches use — `bench_function`,
+//! `benchmark_group`, `bench_with_input`, `BenchmarkId`, `black_box`, and
+//! the `criterion_group!`/`criterion_main!` macros — with a simple
+//! warmup-then-measure protocol and a one-line median report per
+//! benchmark.  Timings are indicative, not statistically rigorous; the
+//! `exp_*` binaries own the machine-readable measurements.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of the std hint).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterized benchmark, mirroring criterion's.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/param`.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        Self {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    /// Measured per-iteration times, one entry per sample.
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f`, warming up first, then collecting `sample_size` samples
+    /// of adaptively-batched iterations.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warmup + batch sizing: grow the batch until it runs ≥ ~2 ms.
+        let mut batch = 1u64;
+        let per_iter = loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let el = t.elapsed();
+            if el >= Duration::from_millis(2) || batch >= 1 << 20 {
+                break el / batch as u32;
+            }
+            batch *= 2;
+        };
+        let _ = per_iter;
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed() / batch as u32);
+        }
+    }
+}
+
+fn run_one(label: &str, sample_size: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    b.samples.sort();
+    let median = b.samples[b.samples.len() / 2];
+    let lo = b.samples[0];
+    let hi = b.samples[b.samples.len() - 1];
+    println!("{label:<48} median {:>12?}  [{:?} .. {:?}]", median, lo, hi);
+}
+
+/// Top-level driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run a single benchmark.
+    pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_one(id, 10, f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named group; benchmark labels are prefixed with the group name.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run a benchmark inside the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&format!("{}/{id}", self.name), self.sample_size, f);
+        self
+    }
+
+    /// Run a benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&format!("{}/{id}", self.name), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// End the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runner, as criterion's macro does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::harness::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

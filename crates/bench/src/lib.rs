@@ -2,7 +2,8 @@
 //!
 //! One binary per paper artifact (`exp_e1_opmin` … `exp_e11_pipeline`;
 //! see DESIGN.md's experiment index and EXPERIMENTS.md for recorded
-//! outcomes) plus Criterion micro-benchmarks of the optimizers and
-//! kernels.
+//! outcomes) plus micro-benchmarks of the optimizers and kernels, run on
+//! the in-tree [`harness`] (the workspace builds without external crates).
 
+pub mod harness;
 pub mod tables;

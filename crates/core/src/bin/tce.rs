@@ -2,13 +2,16 @@
 //!
 //! ```text
 //! tce SPEC.tce [--memory-limit N] [--cache N] [--grid PxQx…]
-//!              [--word-cost N] [--execute] [--seed S]
+//!              [--word-cost N] [--execute] [--seed S] [--threads T]
 //! ```
 //!
 //! Reads a tensor-contraction specification, runs the full optimization
 //! pipeline (paper Fig. 5), prints the per-stage report for every term,
 //! and — with `--execute` — runs the synthesized statement sequence on
 //! deterministic random inputs, printing a summary of every result tensor.
+//! `--threads` sets the worker count for the contraction kernels
+//! (default: the `TCE_THREADS` environment variable, then the machine's
+//! available parallelism); results are bitwise identical either way.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -16,7 +19,7 @@ use tce_core::dist::Machine;
 use tce_core::locality::MemoryHierarchy;
 use tce_core::par::ProcessorGrid;
 use tce_core::tensor::{IntegralFn, Tensor};
-use tce_core::{synthesize, SynthesisConfig};
+use tce_core::{synthesize, ExecOptions, SynthesisConfig};
 
 struct Args {
     spec_path: String,
@@ -26,6 +29,7 @@ struct Args {
     word_cost: u128,
     execute: bool,
     seed: u64,
+    threads: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -37,6 +41,7 @@ fn parse_args() -> Result<Args, String> {
         word_cost: 100,
         execute: false,
         seed: 42,
+        threads: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -70,6 +75,17 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --word-cost: {e}"))?;
             }
             "--execute" => args.execute = true,
+            "--threads" => {
+                let t: usize = it
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+                if t == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                args.threads = Some(t);
+            }
             "--seed" => {
                 args.seed = it
                     .next()
@@ -79,7 +95,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err("usage: tce SPEC.tce [--memory-limit N] [--cache N] \
-                            [--grid PxQ] [--word-cost N] [--execute] [--seed S]"
+                            [--grid PxQ] [--word-cost N] [--execute] [--seed S] \
+                            [--threads T]"
                     .to_string())
             }
             other if args.spec_path.is_empty() && !other.starts_with('-') => {
@@ -139,9 +156,7 @@ fn main() -> ExitCode {
             for term in &stmt.terms {
                 for f in &term.factors {
                     if let tce_core::ir::Factor::Tensor(r) = f {
-                        if !written[r.tensor.0 as usize]
-                            && !needed.contains(&r.tensor)
-                        {
+                        if !written[r.tensor.0 as usize] && !needed.contains(&r.tensor) {
                             needed.push(r.tensor);
                         }
                     }
@@ -170,9 +185,9 @@ fn main() -> ExitCode {
                     ..
                 }) = &node.kind
                 {
-                    let seed = name.bytes().fold(args.seed, |h, b| {
-                        h.wrapping_mul(131).wrapping_add(b as u64)
-                    });
+                    let seed = name
+                        .bytes()
+                        .fold(args.seed, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
                     funcs
                         .entry(name.clone())
                         .or_insert_with(|| IntegralFn::new(*cost_per_eval, seed));
@@ -180,8 +195,17 @@ fn main() -> ExitCode {
             }
         }
 
-        println!("== execution (seed {}) ==", args.seed);
-        let results = syn.execute(&inputs, &funcs);
+        let opts = match args.threads {
+            Some(t) => ExecOptions::with_threads(t),
+            None => ExecOptions::default(),
+        };
+        println!(
+            "== execution (seed {}, {} thread{}) ==",
+            args.seed,
+            opts.threads,
+            if opts.threads == 1 { "" } else { "s" }
+        );
+        let results = syn.execute_opts(&inputs, &funcs, &opts);
         for (id, t) in &results {
             let name = &syn.program.tensors.get(*id).name;
             println!(

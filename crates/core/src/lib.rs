@@ -29,6 +29,7 @@ pub use pipeline::{
     synthesize, synthesize_program, CseSummary, Synthesis, SynthesisConfig, SynthesisError,
     TermPlan,
 };
+pub use tce_exec::ExecOptions;
 
 // Re-export the stage crates so downstream users need only one dependency.
 pub use tce_dist as dist;

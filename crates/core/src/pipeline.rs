@@ -19,6 +19,7 @@
 
 use std::collections::HashMap;
 use tce_dist::{optimize_distribution, DistPlan, Machine};
+use tce_exec::ExecOptions;
 use tce_fusion::{fused_program, memmin_dp, MemMinResult};
 use tce_ir::{Assignment, CostPoly, IndexSpace, OpTree, Product, Program, TensorId};
 use tce_lang::LangError;
@@ -131,12 +132,25 @@ impl Synthesis {
         external_inputs: &HashMap<TensorId, &Tensor>,
         funcs: &HashMap<String, IntegralFn>,
     ) -> HashMap<TensorId, Tensor> {
+        self.execute_opts(external_inputs, funcs, &ExecOptions::default())
+    }
+
+    /// [`execute`](Self::execute) with explicit [`ExecOptions`] (thread
+    /// count etc.) forwarded to every term's contraction kernels.
+    ///
+    /// # Panics
+    /// Panics if an external input binding is missing or mis-shaped.
+    pub fn execute_opts(
+        &self,
+        external_inputs: &HashMap<TensorId, &Tensor>,
+        funcs: &HashMap<String, IntegralFn>,
+        opts: &ExecOptions,
+    ) -> HashMap<TensorId, Tensor> {
         let space = &self.program.space;
         let mut computed: HashMap<TensorId, Tensor> = HashMap::new();
         for (si, stmt) in self.program.stmts.iter().enumerate() {
             let target = stmt.lhs.tensor;
-            let shape: Vec<usize> =
-                stmt.lhs.indices.iter().map(|&v| space.extent(v)).collect();
+            let shape: Vec<usize> = stmt.lhs.indices.iter().map(|&v| space.extent(v)).collect();
             let mut acc = if stmt.accumulate {
                 computed
                     .get(&target)
@@ -151,7 +165,7 @@ impl Synthesis {
                 for (id, t) in &computed {
                     inputs.insert(*id, t);
                 }
-                let term_value = plan.execute(space, &inputs, funcs);
+                let term_value = plan.execute_opts(space, &inputs, funcs, opts);
                 // The plan's output dims are the LHS indices in canonical
                 // (ascending-id) order; permute to the declared order.
                 let canon: Vec<tce_ir::IndexVar> = stmt.lhs.index_set().iter().collect();
@@ -225,7 +239,11 @@ pub fn synthesize_program(
             });
         }
     }
-    Ok(Synthesis { program, plans, cse })
+    Ok(Synthesis {
+        program,
+        plans,
+        cse,
+    })
 }
 
 fn plan_term(
@@ -246,7 +264,12 @@ fn plan_term(
         OpMinProblem::from_term(stmt.lhs.index_set(), term).map_err(SynthesisError::Stage)?;
     let frontier = optimize_pareto(&problem, space);
 
-    type Chosen = (usize, OpTree, MemMinResult, Option<(SpaceTimeConfig, TilingResult)>);
+    type Chosen = (
+        usize,
+        OpTree,
+        MemMinResult,
+        Option<(SpaceTimeConfig, TilingResult)>,
+    );
     let mut chosen: Option<Chosen> = None;
     for (rank, pt) in frontier.iter().enumerate() {
         let mut tree = pt.tree.clone();
@@ -346,11 +369,12 @@ impl TermPlan {
         let _ = writeln!(
             out,
             "formula sequence:\n{}",
-            self.tree.formula_sequence(space, "OUT", &|t: TensorId| program
-                .tensors
-                .get(t)
-                .name
-                .clone())
+            self.tree
+                .formula_sequence(space, "OUT", &|t: TensorId| program
+                    .tensors
+                    .get(t)
+                    .name
+                    .clone())
         );
         if self.tree_rank > 0 {
             let _ = writeln!(
@@ -360,7 +384,11 @@ impl TermPlan {
                 self.tree_rank
             );
         }
-        let _ = writeln!(out, "memory-minimal temporaries: {} elements", self.memmin.memory);
+        let _ = writeln!(
+            out,
+            "memory-minimal temporaries: {} elements",
+            self.memmin.memory
+        );
         if let Some((st, tiles)) = &self.spacetime {
             let _ = writeln!(
                 out,
@@ -404,15 +432,42 @@ impl TermPlan {
         out
     }
 
-    /// Execute the fused program against bound inputs and functions.
+    /// Execute this term with default options (all available threads,
+    /// `TCE_THREADS` honoured) — see [`execute_opts`](Self::execute_opts).
     pub fn execute(
         &self,
         space: &IndexSpace,
         inputs: &HashMap<TensorId, &Tensor>,
         funcs: &HashMap<String, IntegralFn>,
     ) -> Tensor {
-        let mut interp =
-            tce_exec::Interpreter::new(&self.built.program, space, inputs, funcs);
+        self.execute_opts(space, inputs, funcs, &ExecOptions::default())
+    }
+
+    /// Execute this term's contraction tree on the packed GETT engine
+    /// (plan-cached, thread-parallel over output tiles).  The result is
+    /// bitwise identical for every thread count and agrees with the
+    /// interpreted fused program ([`execute_interpreted`]
+    /// (Self::execute_interpreted)) to rounding.
+    pub fn execute_opts(
+        &self,
+        space: &IndexSpace,
+        inputs: &HashMap<TensorId, &Tensor>,
+        funcs: &HashMap<String, IntegralFn>,
+        opts: &ExecOptions,
+    ) -> Tensor {
+        tce_exec::execute_tree_opts(&self.tree, space, inputs, funcs, opts)
+    }
+
+    /// Run the synthesized fused loop program through the scalar
+    /// interpreter — the instrumented verification path (memory-access
+    /// sinks, exact op counts), not the fast one.
+    pub fn execute_interpreted(
+        &self,
+        space: &IndexSpace,
+        inputs: &HashMap<TensorId, &Tensor>,
+        funcs: &HashMap<String, IntegralFn>,
+    ) -> Tensor {
+        let mut interp = tce_exec::Interpreter::new(&self.built.program, space, inputs, funcs);
         interp.run(&mut tce_exec::NoSink);
         interp.output().clone()
     }
@@ -450,8 +505,11 @@ mod tests {
     #[test]
     fn pipeline_executes_correctly() {
         // N = 4 keeps the 10-deep reference einsum (N^10 points) fast.
-        let syn = synthesize(&SECTION2.replace("N = 6", "N = 4"), &SynthesisConfig::default())
-            .unwrap();
+        let syn = synthesize(
+            &SECTION2.replace("N = 6", "N = 4"),
+            &SynthesisConfig::default(),
+        )
+        .unwrap();
         let plan = &syn.plans[0];
         let space = &syn.program.space;
         let shape = [4usize; 4];
@@ -479,6 +537,39 @@ mod tests {
         .unwrap();
         let expect = spec.eval(space, &[&ta, &tb, &tc, &td]);
         assert!(got.approx_eq(&expect, 1e-9));
+    }
+
+    #[test]
+    fn gett_path_agrees_with_interpreted_fused_program() {
+        let syn = synthesize(
+            &SECTION2.replace("N = 6", "N = 4"),
+            &SynthesisConfig::default(),
+        )
+        .unwrap();
+        let plan = &syn.plans[0];
+        let space = &syn.program.space;
+        let shape = [4usize; 4];
+        let ta = Tensor::random(&shape, 21);
+        let tb = Tensor::random(&shape, 22);
+        let tc = Tensor::random(&shape, 23);
+        let td = Tensor::random(&shape, 24);
+        let mut inputs = HashMap::new();
+        for (nm, t) in [("A", &ta), ("B", &tb), ("C", &tc), ("D", &td)] {
+            inputs.insert(syn.program.tensors.by_name(nm).unwrap(), t);
+        }
+        let interpreted = plan.execute_interpreted(space, &inputs, &HashMap::new());
+        let fast1 = plan.execute_opts(space, &inputs, &HashMap::new(), &ExecOptions::serial());
+        assert!(interpreted.approx_eq(&fast1, 1e-9));
+        // Thread count never changes bits.
+        for threads in [2, 3, 7] {
+            let fastn = plan.execute_opts(
+                space,
+                &inputs,
+                &HashMap::new(),
+                &ExecOptions::with_threads(threads),
+            );
+            assert_eq!(fast1, fastn, "threads={threads} changed bits");
+        }
     }
 
     #[test]
@@ -595,7 +686,11 @@ mod tests {
                 expect.add_assign_at(&[i, j], 2.0 * t.get(&[i, j]) * b.get(&[i, j]));
             }
         }
-        assert!(got.approx_eq(&expect, 1e-9), "diff {:e}", got.max_abs_diff(&expect));
+        assert!(
+            got.approx_eq(&expect, 1e-9),
+            "diff {:e}",
+            got.max_abs_diff(&expect)
+        );
         // T is also reported.
         let t_id = syn.program.tensors.by_name("T").unwrap();
         assert!(out[&t_id].approx_eq(&t, 1e-9));

@@ -105,7 +105,16 @@ impl A3AScenario {
             vec![o_range, o_range, v_range, v_range],
         ));
 
-        let A3AVars { a, c, e, f, b, i, j, k } = vars;
+        let A3AVars {
+            a,
+            c,
+            e,
+            f,
+            b,
+            i,
+            j,
+            k,
+        } = vars;
         let mut tree = OpTree::new();
         let l1 = tree.leaf_input(t_amp, vec![i, j, a, e]);
         let l2 = tree.leaf_input(t_amp, vec![i, j, c, f]);
@@ -210,11 +219,32 @@ impl A3AScenario {
     ///   for c_i,e_i,a_i,f_i { E += X·Y }
     /// ```
     pub fn fig4_program(&self, bb: usize) -> LoopProgram {
-        let A3AVars { a, c, e, f, b, i, j, k } = self.vars;
+        let A3AVars {
+            a,
+            c,
+            e,
+            f,
+            b,
+            i,
+            j,
+            k,
+        } = self.vars;
         let mut p = LoopProgram::new();
         let tile = |p: &mut LoopProgram, v: IndexVar, name: &str| -> (LoopVarId, LoopVarId) {
-            let vt = p.add_var(&format!("{name}_t"), VarRange::Tile { index: v, block: bb });
-            let vi = p.add_var(&format!("{name}_i"), VarRange::Intra { index: v, block: bb });
+            let vt = p.add_var(
+                &format!("{name}_t"),
+                VarRange::Tile {
+                    index: v,
+                    block: bb,
+                },
+            );
+            let vi = p.add_var(
+                &format!("{name}_i"),
+                VarRange::Intra {
+                    index: v,
+                    block: bb,
+                },
+            );
             (vt, vi)
         };
         let (at, ai) = tile(&mut p, a, "a");
@@ -226,34 +256,63 @@ impl A3AScenario {
         let vi_ = p.add_var("i", VarRange::Full(i));
         let vj = p.add_var("j", VarRange::Full(j));
 
-        let intra = |v: IndexVar| VarRange::Intra { index: v, block: bb };
+        let intra = |v: IndexVar| VarRange::Intra {
+            index: v,
+            block: bb,
+        };
         let t_amp = self.tensors.by_name("T").unwrap();
         let arr_t = p.add_array(
             "T",
-            vec![VarRange::Full(i), VarRange::Full(j), VarRange::Full(a), VarRange::Full(e)],
+            vec![
+                VarRange::Full(i),
+                VarRange::Full(j),
+                VarRange::Full(a),
+                VarRange::Full(e),
+            ],
             ArrayKind::Input(t_amp),
         );
         // NOTE: the amplitude tensor is referenced twice with different
         // index patterns (T_ijae and T_ijcf); both go through `arr_t`.
-        let arr_x = p.add_array("X", vec![intra(a), intra(e), intra(c), intra(f)], ArrayKind::Intermediate);
+        let arr_x = p.add_array(
+            "X",
+            vec![intra(a), intra(e), intra(c), intra(f)],
+            ArrayKind::Intermediate,
+        );
         let arr_t1 = p.add_array("T1", vec![intra(c), intra(e)], ArrayKind::Intermediate);
         let arr_t2 = p.add_array("T2", vec![intra(a), intra(f)], ArrayKind::Intermediate);
-        let arr_y = p.add_array("Y", vec![intra(c), intra(e), intra(a), intra(f)], ArrayKind::Intermediate);
+        let arr_y = p.add_array(
+            "Y",
+            vec![intra(c), intra(e), intra(a), intra(f)],
+            ArrayKind::Intermediate,
+        );
         let arr_e = p.add_array("E", vec![], ArrayKind::Output);
         let f1 = p.add_func("f1", self.ci);
         let f2 = p.add_func("f2", self.ci);
 
-        let full = |tv: LoopVarId, iv: LoopVarId| Sub::Tiled { tile: tv, intra: iv, block: bb };
+        let full = |tv: LoopVarId, iv: LoopVarId| Sub::Tiled {
+            tile: tv,
+            intra: iv,
+            block: bb,
+        };
         let (sa, se, sc, sf) = (full(at, ai), full(et, ei), full(ct, ci_), full(ft, fi));
 
         // X block: for a_i,e_i,c_i,f_i { for i,j { X += T_ijae·T_ijcf } }
         let x_nest = tce_loops::nest(
             vec![ai, ei, ci_, fi, vi_, vj],
             vec![Stmt::Accum {
-                lhs: ARef { array: arr_x, subs: vec![Sub::Var(ai), Sub::Var(ei), Sub::Var(ci_), Sub::Var(fi)] },
+                lhs: ARef {
+                    array: arr_x,
+                    subs: vec![Sub::Var(ai), Sub::Var(ei), Sub::Var(ci_), Sub::Var(fi)],
+                },
                 rhs: vec![
-                    ARef { array: arr_t, subs: vec![Sub::Var(vi_), Sub::Var(vj), sa, se] },
-                    ARef { array: arr_t, subs: vec![Sub::Var(vi_), Sub::Var(vj), sc, sf] },
+                    ARef {
+                        array: arr_t,
+                        subs: vec![Sub::Var(vi_), Sub::Var(vj), sa, se],
+                    },
+                    ARef {
+                        array: arr_t,
+                        subs: vec![Sub::Var(vi_), Sub::Var(vj), sc, sf],
+                    },
                 ],
                 coeff: 1.0,
             }],
@@ -262,7 +321,10 @@ impl A3AScenario {
         let t1_nest = tce_loops::nest(
             vec![ci_, ei],
             vec![Stmt::Eval {
-                lhs: ARef { array: arr_t1, subs: vec![Sub::Var(ci_), Sub::Var(ei)] },
+                lhs: ARef {
+                    array: arr_t1,
+                    subs: vec![Sub::Var(ci_), Sub::Var(ei)],
+                },
                 func: f1,
                 args: vec![sc, se, Sub::Var(vb), Sub::Var(vk)],
             }],
@@ -270,7 +332,10 @@ impl A3AScenario {
         let t2_nest = tce_loops::nest(
             vec![ai, fi],
             vec![Stmt::Eval {
-                lhs: ARef { array: arr_t2, subs: vec![Sub::Var(ai), Sub::Var(fi)] },
+                lhs: ARef {
+                    array: arr_t2,
+                    subs: vec![Sub::Var(ai), Sub::Var(fi)],
+                },
                 func: f2,
                 args: vec![sa, sf, Sub::Var(vb), Sub::Var(vk)],
             }],
@@ -278,10 +343,19 @@ impl A3AScenario {
         let y_nest = tce_loops::nest(
             vec![ci_, ei, ai, fi],
             vec![Stmt::Accum {
-                lhs: ARef { array: arr_y, subs: vec![Sub::Var(ci_), Sub::Var(ei), Sub::Var(ai), Sub::Var(fi)] },
+                lhs: ARef {
+                    array: arr_y,
+                    subs: vec![Sub::Var(ci_), Sub::Var(ei), Sub::Var(ai), Sub::Var(fi)],
+                },
                 rhs: vec![
-                    ARef { array: arr_t1, subs: vec![Sub::Var(ci_), Sub::Var(ei)] },
-                    ARef { array: arr_t2, subs: vec![Sub::Var(ai), Sub::Var(fi)] },
+                    ARef {
+                        array: arr_t1,
+                        subs: vec![Sub::Var(ci_), Sub::Var(ei)],
+                    },
+                    ARef {
+                        array: arr_t2,
+                        subs: vec![Sub::Var(ai), Sub::Var(fi)],
+                    },
                 ],
                 coeff: 1.0,
             }],
@@ -291,10 +365,19 @@ impl A3AScenario {
         let e_nest = tce_loops::nest(
             vec![ci_, ei, ai, fi],
             vec![Stmt::Accum {
-                lhs: ARef { array: arr_e, subs: vec![] },
+                lhs: ARef {
+                    array: arr_e,
+                    subs: vec![],
+                },
                 rhs: vec![
-                    ARef { array: arr_x, subs: vec![Sub::Var(ai), Sub::Var(ei), Sub::Var(ci_), Sub::Var(fi)] },
-                    ARef { array: arr_y, subs: vec![Sub::Var(ci_), Sub::Var(ei), Sub::Var(ai), Sub::Var(fi)] },
+                    ARef {
+                        array: arr_x,
+                        subs: vec![Sub::Var(ai), Sub::Var(ei), Sub::Var(ci_), Sub::Var(fi)],
+                    },
+                    ARef {
+                        array: arr_y,
+                        subs: vec![Sub::Var(ci_), Sub::Var(ei), Sub::Var(ai), Sub::Var(fi)],
+                    },
                 ],
                 coeff: 1.0,
             }],

@@ -184,7 +184,11 @@ mod tests {
         let (sp, grid, j, t) = setup();
         let dims = [j, t];
         let t1_from = DistTuple(vec![DistEntry::One, DistEntry::Idx(t), DistEntry::Idx(j)]);
-        let t2_from = DistTuple(vec![DistEntry::Idx(j), DistEntry::Replicate, DistEntry::One]);
+        let t2_from = DistTuple(vec![
+            DistEntry::Idx(j),
+            DistEntry::Replicate,
+            DistEntry::One,
+        ]);
         let to = DistTuple(vec![DistEntry::Idx(j), DistEntry::Idx(t), DistEntry::One]);
         assert!(move_cost(&dims, &sp, &grid, &t1_from, &to) > 0);
         assert_eq!(move_cost(&dims, &sp, &grid, &t2_from, &to), 0);
@@ -268,11 +272,18 @@ mod tests {
     #[test]
     fn after_reduction_rewrites_entries() {
         let (_, _, j, t) = setup();
-        let gamma = DistTuple(vec![DistEntry::Idx(j), DistEntry::Idx(t), DistEntry::Replicate]);
+        let gamma = DistTuple(vec![
+            DistEntry::Idx(j),
+            DistEntry::Idx(t),
+            DistEntry::Replicate,
+        ]);
         let res = j.singleton();
         let sums = t.singleton();
         let a = after_reduction(&gamma, res, sums, ReduceMode::Combine);
-        assert_eq!(a.0, vec![DistEntry::Idx(j), DistEntry::One, DistEntry::Replicate]);
+        assert_eq!(
+            a.0,
+            vec![DistEntry::Idx(j), DistEntry::One, DistEntry::Replicate]
+        );
         let b = after_reduction(&gamma, res, sums, ReduceMode::Replicate);
         assert_eq!(b.0[1], DistEntry::Replicate);
     }

@@ -32,5 +32,7 @@ pub mod tuple;
 
 pub use cost::{after_reduction, calc_cost, move_cost, reduce_cost, ReduceMode};
 pub use dp::{optimize_distribution, state_count, DistPlan, Machine};
-pub use sim::{move_cost_elementwise, simulate_contraction, simulate_plan, PlanSimReport, SimStats};
+pub use sim::{
+    move_cost_elementwise, simulate_contraction, simulate_plan, PlanSimReport, SimStats,
+};
 pub use tuple::{enumerate_tuples, DistEntry, DistTuple};

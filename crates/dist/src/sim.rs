@@ -106,10 +106,7 @@ pub fn simulate_contraction(
 
     for id in grid.processors() {
         let z = grid.coords(id);
-        let representative = z
-            .iter()
-            .zip(&covering)
-            .all(|(&zd, &cov)| cov || zd == 0);
+        let representative = z.iter().zip(&covering).all(|(&zd, &cov)| cov || zd == 0);
         // Local iteration ranges per loop variable.
         let ranges: Vec<std::ops::Range<usize>> = loops
             .iter()
@@ -205,12 +202,7 @@ pub fn simulate_plan(
     }
 
     /// Count a redistribution both ways.
-    fn account_move(
-        ctx: &mut Ctx,
-        dims: &[IndexVar],
-        from: &DistTuple,
-        to: &DistTuple,
-    ) {
+    fn account_move(ctx: &mut Ctx, dims: &[IndexVar], from: &DistTuple, to: &DistTuple) {
         let set = IndexSet::from_vars(dims.iter().copied());
         if from.normalize(set) == to.normalize(set) {
             return;
@@ -224,12 +216,11 @@ pub fn simulate_plan(
         let indices = ctx.tree.node(u).indices;
         match &ctx.tree.node(u).kind {
             OpKind::Leaf(Leaf::One) => Tensor::from_elem(&[], 1.0),
-            OpKind::Leaf(Leaf::Input { tensor, indices: dims }) => {
-                let value = (*ctx
-                    .inputs
-                    .get(tensor)
-                    .expect("input binding"))
-                .clone();
+            OpKind::Leaf(Leaf::Input {
+                tensor,
+                indices: dims,
+            }) => {
+                let value = (*ctx.inputs.get(tensor).expect("input binding")).clone();
                 if !alpha.no_replicate(indices) {
                     // Broadcast from the recorded non-replicated source.
                     let beta = ctx.plan.node_input_source[u.0 as usize]
@@ -239,11 +230,14 @@ pub fn simulate_plan(
                 }
                 value
             }
-            OpKind::Leaf(Leaf::Func { name, indices: dims, .. }) => {
+            OpKind::Leaf(Leaf::Func {
+                name,
+                indices: dims,
+                ..
+            }) => {
                 // Computed in place (replicas recompute): no communication.
                 let f = ctx.funcs.get(name).expect("function binding");
-                let shape: Vec<usize> =
-                    dims.iter().map(|&v| ctx.space.extent(v)).collect();
+                let shape: Vec<usize> = dims.iter().map(|&v| ctx.space.extent(v)).collect();
                 Tensor::from_fn(&shape, |idx| f.eval(idx))
             }
             OpKind::Contract { left, right } => {
@@ -290,8 +284,7 @@ pub fn simulate_plan(
         }
     }
 
-    let root_alpha = plan
-        .node_dist[tree.root.0 as usize]
+    let root_alpha = plan.node_dist[tree.root.0 as usize]
         .clone()
         .expect("root assigned");
     let mut ctx = Ctx {
@@ -368,21 +361,9 @@ mod tests {
         let expect = tce_tensor::contract_naive(&spec, &sp, &a, &b);
         let loops = IndexSet::from_vars([i, j, k]);
         for gamma in enumerate_tuples(loops, 2) {
-            let (got, stats) = simulate_contraction(
-                &[i, k],
-                &[k, j],
-                &[i, j],
-                &sp,
-                &grid,
-                &gamma,
-                &a,
-                &b,
-            );
-            assert!(
-                got.approx_eq(&expect, 1e-10),
-                "γ = {}",
-                gamma.display(&sp)
-            );
+            let (got, stats) =
+                simulate_contraction(&[i, k], &[k, j], &[i, j], &sp, &grid, &gamma, &a, &b);
+            assert!(got.approx_eq(&expect, 1e-10), "γ = {}", gamma.display(&sp));
             assert!(stats.representatives >= 1);
         }
     }
@@ -486,8 +467,7 @@ mod tests {
             );
             assert!(report.result.approx_eq(&expect, 1e-9));
             assert_eq!(
-                report.measured_move_elements,
-                report.predicted_move_elements,
+                report.measured_move_elements, report.predicted_move_elements,
                 "closed-form MoveCost must be exact along the plan"
             );
             // The plan's total cost decomposes consistently: communication

@@ -204,7 +204,11 @@ mod tests {
         // distributed along grid dim 1; data replicated along grid dim 2;
         // only processors with third coordinate 0 hold data.
         let (sp, grid, j, k, t) = setup();
-        let alpha = DistTuple(vec![DistEntry::Idx(k), DistEntry::Replicate, DistEntry::One]);
+        let alpha = DistTuple(vec![
+            DistEntry::Idx(k),
+            DistEntry::Replicate,
+            DistEntry::One,
+        ]);
         assert_eq!(alpha.display(&sp), "<k,*,1>");
         let dims = [j, k, t];
         let set = IndexSet::from_vars(dims);

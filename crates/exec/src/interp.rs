@@ -375,7 +375,7 @@ mod tests {
 
     #[test]
     fn fused_program_matches_reference_einsum() {
-        use tce_fusion::{memmin_dp, fused_program};
+        use tce_fusion::{fused_program, memmin_dp};
         let (space, tensors, tree) = fig1(3);
         let r = memmin_dp(&tree, &space);
         let built = fused_program(&tree, &space, &tensors, &r.config, "S");
@@ -437,13 +437,20 @@ mod tests {
         let ii = p.add_var("i_i", VarRange::Intra { index: i, block: 4 });
         let arr = p.add_array("X", vec![VarRange::Full(i)], ArrayKind::Output);
         let f = p.add_func("g", 10);
-        let sub = Sub::Tiled { tile: it, intra: ii, block: 4 };
+        let sub = Sub::Tiled {
+            tile: it,
+            intra: ii,
+            block: 4,
+        };
         p.body.push(Stmt::Loop {
             var: it,
             body: vec![Stmt::Loop {
                 var: ii,
                 body: vec![Stmt::Eval {
-                    lhs: ARef { array: arr, subs: vec![sub] },
+                    lhs: ARef {
+                        array: arr,
+                        subs: vec![sub],
+                    },
                     func: f,
                     args: vec![sub],
                 }],

@@ -2,21 +2,69 @@
 //!
 //! Evaluates a formula sequence bottom-up, materializing every
 //! intermediate at full size — the execution model of the *unfused*
-//! operation-minimal form, but using the blocked GEMM contraction kernel
-//! and (optionally) the crossbeam thread pool, which is how the
-//! synthesized code's contractions actually run fast.  Serves both as a
-//! second semantic oracle for the loop-program interpreter and as the
-//! baseline executor for the benchmark harnesses.
+//! operation-minimal form.  Every contraction node runs on the packed
+//! GETT engine (`tce_tensor::contract_gett`): plans are pulled from the
+//! process-wide cache and the macro-loops parallelize over disjoint
+//! output tiles on the shared worker pool, so results are bitwise
+//! identical at every thread count.  Serves both as a second semantic
+//! oracle for the loop-program interpreter and as the default executor
+//! for the pipeline and the benchmark harnesses.
 
 use std::collections::HashMap;
 use tce_ir::{IndexSpace, IndexVar, Leaf, NodeId, OpKind, OpTree, TensorId};
-use tce_par::{parallel_chunks_mut, parallel_for};
+use tce_par::parallel_chunks_mut;
 use tce_tensor::{BinaryContraction, IntegralFn, Tensor};
+
+/// Knobs threaded through every execution entry point.
+///
+/// The default thread count honours the `TCE_THREADS` environment
+/// variable and otherwise uses the machine's available parallelism
+/// (see `tce_par::default_threads`).  Thread count never affects
+/// results: every parallel kernel partitions output disjointly.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Worker threads for contraction kernels, permutes and function
+    /// materialization.
+    pub threads: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        Self {
+            threads: tce_par::default_threads(),
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Run everything on the calling thread.
+    pub fn serial() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// Use exactly `threads` workers.
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+}
+
+/// [`execute_tree`] with an [`ExecOptions`] bundle.
+pub fn execute_tree_opts(
+    tree: &OpTree,
+    space: &IndexSpace,
+    inputs: &HashMap<TensorId, &Tensor>,
+    funcs: &HashMap<String, IntegralFn>,
+    opts: &ExecOptions,
+) -> Tensor {
+    execute_tree(tree, space, inputs, funcs, opts.threads)
+}
 
 /// Evaluate `tree` bottom-up; returns the root value.
 ///
 /// `threads = 1` runs sequentially; larger values parallelize function
-/// materialization and the batched GEMM row loop.
+/// materialization and the contraction kernels' output-tile loops.
 pub fn execute_tree(
     tree: &OpTree,
     space: &IndexSpace,
@@ -83,8 +131,8 @@ fn materialize_func(
     out
 }
 
-/// Contract two materialized child values into the node's result, using
-/// the permute+GEMM path with the batch/M loop parallelized.
+/// Contract two materialized child values into the node's result on the
+/// packed GETT kernel (plan-cached, parallel over output tiles).
 #[allow(clippy::too_many_arguments)]
 fn contract_node(
     tree: &OpTree,
@@ -98,9 +146,8 @@ fn contract_node(
 ) -> Tensor {
     let dims_of = |n: NodeId| -> Vec<IndexVar> {
         match &tree.node(n).kind {
-            OpKind::Leaf(Leaf::Input { indices, .. }) | OpKind::Leaf(Leaf::Func { indices, .. }) => {
-                indices.clone()
-            }
+            OpKind::Leaf(Leaf::Input { indices, .. })
+            | OpKind::Leaf(Leaf::Func { indices, .. }) => indices.clone(),
             _ => tree.node(n).indices.iter().collect(),
         }
     };
@@ -109,16 +156,12 @@ fn contract_node(
         b: dims_of(right),
         out: tree.node(id).indices.iter().collect(),
     };
-    if threads <= 1 {
-        return tce_tensor::contract_gemm(&spec, space, lv, rv);
-    }
-    // Parallel path: same layout preparation as contract_gemm but with the
-    // output rows distributed over the pool.
-    parallel_contract(&spec, space, lv, rv, threads)
+    tce_tensor::contract_gett(&spec, space, lv, rv, threads)
 }
 
-/// Parallel permute+GEMM contraction: permutes to `[batch, M, K] ×
-/// [batch, K, N]`, then parallelizes over `batch × M` row blocks.
+/// Parallel contraction of two tensors (historical name; now a thin
+/// wrapper over the GETT engine, which packs operands directly from
+/// their strided layouts instead of permuting them into matrix form).
 pub fn parallel_contract(
     spec: &BinaryContraction,
     space: &IndexSpace,
@@ -126,94 +169,8 @@ pub fn parallel_contract(
     b: &Tensor,
     threads: usize,
 ) -> Tensor {
-    use tce_ir::IndexSet;
-    spec.validate().expect("invalid contraction");
-    let sa = IndexSet::from_vars(spec.a.iter().copied());
-    let sb = IndexSet::from_vars(spec.b.iter().copied());
-    let so = IndexSet::from_vars(spec.out.iter().copied());
-    // Summation indices exclusive to one operand cannot enter the shared K
-    // dimension; that case is rare (pure reductions) — delegate to the
-    // sequential kernel, which pre-reduces them.
-    if !sa.union(sb).minus(so).is_subset(sa.inter(sb)) {
-        return tce_tensor::contract_gemm(spec, space, a, b);
-    }
-    let contracted = spec.contracted();
-    let batch = so.inter(sa).inter(sb);
-    let m_set = so.inter(sa).minus(batch);
-    let n_set = so.inter(sb).minus(batch);
-    let batch_v: Vec<IndexVar> = batch.iter().collect();
-    let m_v: Vec<IndexVar> = m_set.iter().collect();
-    let n_v: Vec<IndexVar> = n_set.iter().collect();
-    let k_v: Vec<IndexVar> = contracted.iter().collect();
-    let perm_for = |dims: &[IndexVar], order: &[IndexVar]| -> Vec<usize> {
-        order
-            .iter()
-            .map(|v| dims.iter().position(|d| d == v).expect("index in operand"))
-            .collect()
-    };
-    let a_order: Vec<IndexVar> = batch_v.iter().chain(&m_v).chain(&k_v).copied().collect();
-    let b_order: Vec<IndexVar> = batch_v.iter().chain(&k_v).chain(&n_v).copied().collect();
-    let ap = a.permute(&perm_for(&spec.a, &a_order));
-    let bp = b.permute(&perm_for(&spec.b, &b_order));
-    let ext = |vs: &[IndexVar]| -> usize {
-        vs.iter().map(|&v| space.extent(v)).product::<usize>().max(1)
-    };
-    let (nb, m, n, k) = (ext(&batch_v), ext(&m_v), ext(&n_v), ext(&k_v));
-
-    let mut c_flat = vec![0.0f64; nb * m * n];
-    {
-        let ap_data = ap.data();
-        let bp_data = bp.data();
-        // One task per (batch, row-block): distribute the nb*m rows.
-        let rows = nb * m;
-        let c_cell = &parking_lot::Mutex::new(());
-        let _ = c_cell;
-        let c_ptr = SendPtr(c_flat.as_mut_ptr());
-        parallel_for(rows, threads, |range| {
-            for row in range {
-                let (bi, i) = (row / m, row % m);
-                let a_row = &ap_data[bi * m * k + i * k..bi * m * k + (i + 1) * k];
-                // SAFETY: each `row` writes a disjoint slice of C.
-                let c_row: &mut [f64] = unsafe {
-                    std::slice::from_raw_parts_mut(c_ptr.get().add(bi * m * n + i * n), n)
-                };
-                for (kk, &aik) in a_row.iter().enumerate() {
-                    if aik == 0.0 {
-                        continue;
-                    }
-                    let b_row = &bp_data[bi * k * n + kk * n..bi * k * n + (kk + 1) * n];
-                    for (cv, bv) in c_row.iter_mut().zip(b_row) {
-                        *cv += aik * bv;
-                    }
-                }
-            }
-        });
-    }
-    let c_order: Vec<IndexVar> = batch_v.iter().chain(&m_v).chain(&n_v).copied().collect();
-    let c_shape: Vec<usize> = c_order.iter().map(|&v| space.extent(v)).collect();
-    let c = Tensor::from_vec(&c_shape, c_flat);
-    let out_perm: Vec<usize> = spec
-        .out
-        .iter()
-        .map(|v| c_order.iter().position(|d| d == v).unwrap())
-        .collect();
-    c.permute(&out_perm)
+    tce_tensor::contract_gett(spec, space, a, b, threads)
 }
-
-/// Raw pointer wrapper that is `Send`/`Sync`; used only with provably
-/// disjoint row writes.
-struct SendPtr(*mut f64);
-
-impl SendPtr {
-    /// Accessor (also forces the closure to capture the whole wrapper
-    /// rather than the raw field under edition-2021 disjoint capture).
-    fn get(&self) -> *mut f64 {
-        self.0
-    }
-}
-
-unsafe impl Send for SendPtr {}
-unsafe impl Sync for SendPtr {}
 
 #[cfg(test)]
 mod tests {

@@ -58,7 +58,10 @@ pub fn chains_of(tree: &OpTree, config: &FusionConfig) -> Vec<Chain> {
                 let u = parents[id.0 as usize].expect("root cannot be fused");
                 involved[id.0 as usize] = true;
                 involved[u.0 as usize] = true;
-                let (a, b) = (find(&mut parent_uf, id.0 as usize), find(&mut parent_uf, u.0 as usize));
+                let (a, b) = (
+                    find(&mut parent_uf, id.0 as usize),
+                    find(&mut parent_uf, u.0 as usize),
+                );
                 parent_uf[a] = b;
             }
         }
@@ -196,9 +199,8 @@ mod tests {
         let i = space.add_var("i", n);
         let j = space.add_var("j", n);
         let mut tensors = TensorTable::new();
-        let t = |tab: &mut TensorTable, nm: &str, k: usize| {
-            tab.add(TensorDecl::dense(nm, vec![n; k]))
-        };
+        let t =
+            |tab: &mut TensorTable, nm: &str, k: usize| tab.add(TensorDecl::dense(nm, vec![n; k]));
         let (ta, tb, tc, td) = (
             t(&mut tensors, "A", 2),
             t(&mut tensors, "B", 2),
@@ -228,12 +230,11 @@ mod tests {
 
     #[test]
     fn local_and_global_checks_agree_on_random_configs() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use tce_ir::rng::Rng;
         // Randomized equivalence: on random trees, enumerate random fused
         // sets per edge and compare the local pattern check with the
         // global chain-scope condition.
-        let mut rng = StdRng::seed_from_u64(7_2002);
+        let mut rng = Rng::new(7_2002);
         for trial in 0..200 {
             let mut space = IndexSpace::new();
             let n = space.add_range("N", 3);
@@ -241,14 +242,14 @@ mod tests {
             let mut tensors = TensorTable::new();
             let mut tree = OpTree::new();
             // Random tree over 3-4 leaves.
-            let nleaves = rng.gen_range(3..=4);
+            let nleaves = rng.usize_in(3..5);
             let mut nodes: Vec<NodeId> = (0..nleaves)
                 .map(|li| {
-                    let arity = rng.gen_range(1..=3);
+                    let arity = rng.usize_in(1..4);
                     let mut set = IndexSet::EMPTY;
                     let mut idxs = Vec::new();
                     for _ in 0..arity {
-                        let v = vars[rng.gen_range(0..vars.len())];
+                        let v = vars[rng.usize_in(0..vars.len())];
                         if !set.contains(v) {
                             set.insert(v);
                             idxs.push(v);
@@ -260,13 +261,13 @@ mod tests {
                 })
                 .collect();
             while nodes.len() > 1 {
-                let a = nodes.swap_remove(rng.gen_range(0..nodes.len()));
-                let b = nodes.swap_remove(rng.gen_range(0..nodes.len()));
+                let a = nodes.swap_remove(rng.usize_in(0..nodes.len()));
+                let b = nodes.swap_remove(rng.usize_in(0..nodes.len()));
                 let combined = tree.node(a).indices.union(tree.node(b).indices);
                 // Keep a random subset of the combined indices.
                 let mut keep = IndexSet::EMPTY;
                 for v in combined.iter() {
-                    if rng.gen_bool(0.6) {
+                    if rng.bool_with(0.6) {
                         keep.insert(v);
                     }
                 }
@@ -283,7 +284,7 @@ mod tests {
                 let fs = fusable_set(&tree, id, u);
                 let mut pick = IndexSet::EMPTY;
                 for v in fs.iter() {
-                    if rng.gen_bool(0.5) {
+                    if rng.bool_with(0.5) {
                         pick.insert(v);
                     }
                 }

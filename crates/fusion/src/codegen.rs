@@ -137,7 +137,10 @@ pub fn fused_program_with_labels(
     for id in tree.postorder() {
         if id != tree.root && !config.get(id).is_empty() {
             let u = parents[id.0 as usize].unwrap();
-            let (a, b) = (find(&mut group_of, id.0 as usize), find(&mut group_of, u.0 as usize));
+            let (a, b) = (
+                find(&mut group_of, id.0 as usize),
+                find(&mut group_of, u.0 as usize),
+            );
             group_of[a] = b;
         }
     }
@@ -159,8 +162,17 @@ pub fn fused_program_with_labels(
     let chains = chains_of(tree, config);
     for group in group_list {
         emit_group(
-            tree, space, array_config, &chains, &group, &rank, &parents, &index_var,
-            &node_array, &func_of, &mut p,
+            tree,
+            space,
+            array_config,
+            &chains,
+            &group,
+            &rank,
+            &parents,
+            &index_var,
+            &node_array,
+            &func_of,
+            &mut p,
         );
     }
 
@@ -245,14 +257,20 @@ fn emit_group(
             OpKind::Leaf(Leaf::Func { indices, .. }) => Stmt::Eval {
                 lhs: ref_for(tree, config, v, node_array, index_var),
                 func: func_of[&v.0],
-                args: indices.iter().map(|iv| Sub::Var(index_var[&iv.0])).collect(),
+                args: indices
+                    .iter()
+                    .map(|iv| Sub::Var(index_var[&iv.0]))
+                    .collect(),
             },
             OpKind::Leaf(_) => unreachable!("only producers are group members"),
         };
         let nested = if private.is_empty() {
             stmt
         } else {
-            tce_loops::nest(private.iter().map(|iv| index_var[&iv.0]).collect(), vec![stmt])
+            tce_loops::nest(
+                private.iter().map(|iv| index_var[&iv.0]).collect(),
+                vec![stmt],
+            )
         };
         items.push(Item {
             key: (rank[v.0 as usize], 1),
@@ -345,11 +363,7 @@ fn emit_group(
             .push(Node::Chain(ci));
     }
     for (ii, item) in items.iter().enumerate() {
-        let pos = item
-            .chain_set
-            .iter()
-            .copied()
-            .max_by_key(|ci| depth[ci]);
+        let pos = item.chain_set.iter().copied().max_by_key(|ci| depth[ci]);
         children.entry(pos).or_default().push(Node::Item(ii));
     }
 
@@ -425,10 +439,9 @@ fn ref_for(
     index_var: &HashMap<u8, LoopVarId>,
 ) -> ARef {
     let subs: Vec<Sub> = match &tree.node(id).kind {
-        OpKind::Leaf(Leaf::Input { indices, .. }) => indices
-            .iter()
-            .map(|v| Sub::Var(index_var[&v.0]))
-            .collect(),
+        OpKind::Leaf(Leaf::Input { indices, .. }) => {
+            indices.iter().map(|v| Sub::Var(index_var[&v.0])).collect()
+        }
         OpKind::Leaf(Leaf::One) => Vec::new(),
         _ => config
             .array_indices(tree, id)

@@ -324,7 +324,7 @@ mod tests {
         cfg.set(f2, IndexSet::from_vars([c, e]));
         cfg.check(&tree).unwrap();
         assert_eq!(cfg.temp_memory(&tree, &space), 2); // two scalars
-        // Unfused: two 5×5 arrays.
+                                                       // Unfused: two 5×5 arrays.
         let unf = FusionConfig::unfused(&tree);
         assert_eq!(unf.temp_memory(&tree, &space), 50);
     }

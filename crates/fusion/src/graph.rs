@@ -47,7 +47,8 @@ impl FusionGraph {
         let parents = tree.parents();
         let mut vertices = vec![IndexSet::EMPTY; tree.len()];
         for id in tree.postorder() {
-            if is_fusable_producer(tree, id) || matches!(tree.node(id).kind, OpKind::Contract { .. })
+            if is_fusable_producer(tree, id)
+                || matches!(tree.node(id).kind, OpKind::Contract { .. })
             {
                 vertices[id.0 as usize] = tree.loop_indices(id);
             }
@@ -137,7 +138,12 @@ impl FusionGraph {
 
     /// Text rendering: one line per producer node with its vertices
     /// (redundant ones bracketed), then the potential edges.
-    pub fn render(&self, tree: &OpTree, space: &IndexSpace, name_of: &dyn Fn(NodeId) -> String) -> String {
+    pub fn render(
+        &self,
+        tree: &OpTree,
+        space: &IndexSpace,
+        name_of: &dyn Fn(NodeId) -> String,
+    ) -> String {
         use std::fmt::Write;
         let mut out = String::new();
         for id in tree.postorder() {
@@ -350,7 +356,10 @@ mod tests {
         let dot = g.to_dot(&tree, &space, &|n| format!("n{}", n.0));
         assert!(dot.starts_with("graph fusion {"));
         assert!(dot.trim_end().ends_with("}"));
-        assert!(dot.contains("style=dashed, color=red"), "redundant edge styled");
+        assert!(
+            dot.contains("style=dashed, color=red"),
+            "redundant edge styled"
+        );
         assert!(dot.matches("subgraph").count() >= 4);
     }
 }

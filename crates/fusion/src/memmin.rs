@@ -122,8 +122,8 @@ pub fn memmin_dp(tree: &OpTree, space: &IndexSpace) -> MemMinResult {
             let &(_, c1, c2) = memo
                 .get(&(u.0, encode_state(&state)))
                 .expect("traceback state must have been solved");
-            let (s1, s2) = derive_child_states(&state, c1, c2)
-                .expect("chosen states must be derivable");
+            let (s1, s2) =
+                derive_child_states(&state, c1, c2).expect("chosen states must be derivable");
             stack.push((left, s1));
             stack.push((right, s2));
         }
@@ -250,32 +250,31 @@ mod tests {
 
     #[test]
     fn randomized_dp_matches_bruteforce() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(55_2002);
+        use tce_ir::rng::Rng;
+        let mut rng = Rng::new(55_2002);
         for trial in 0..40 {
             let mut space = IndexSpace::new();
-            let r1 = space.add_range("P", rng.gen_range(2..5));
-            let r2 = space.add_range("Q", rng.gen_range(2..9));
+            let r1 = space.add_range("P", rng.usize_in(2..5));
+            let r2 = space.add_range("Q", rng.usize_in(2..9));
             let vars: Vec<_> = (0..5)
                 .map(|q| space.add_var(&format!("x{q}"), if q % 2 == 0 { r1 } else { r2 }))
                 .collect();
             let mut tensors = TensorTable::new();
             let mut tree = OpTree::new();
-            let nleaves = rng.gen_range(3..=4);
+            let nleaves = rng.usize_in(3..5);
             let mut nodes: Vec<NodeId> = (0..nleaves)
                 .map(|li| {
-                    let arity = rng.gen_range(1..=3);
+                    let arity = rng.usize_in(1..4);
                     let mut set = IndexSet::EMPTY;
                     let mut idxs = Vec::new();
                     for _ in 0..arity {
-                        let v = vars[rng.gen_range(0..vars.len())];
+                        let v = vars[rng.usize_in(0..vars.len())];
                         if !set.contains(v) {
                             set.insert(v);
                             idxs.push(v);
                         }
                     }
-                    if rng.gen_bool(0.3) {
+                    if rng.bool_with(0.3) {
                         tree.leaf_func(&format!("f{trial}_{li}"), idxs, 100)
                     } else {
                         let dims = idxs.iter().map(|&v| space.range_of(v)).collect();
@@ -285,12 +284,12 @@ mod tests {
                 })
                 .collect();
             while nodes.len() > 1 {
-                let a = nodes.swap_remove(rng.gen_range(0..nodes.len()));
-                let b = nodes.swap_remove(rng.gen_range(0..nodes.len()));
+                let a = nodes.swap_remove(rng.usize_in(0..nodes.len()));
+                let b = nodes.swap_remove(rng.usize_in(0..nodes.len()));
                 let combined = tree.node(a).indices.union(tree.node(b).indices);
                 let mut keep = IndexSet::EMPTY;
                 for v in combined.iter() {
-                    if rng.gen_bool(0.6) {
+                    if rng.bool_with(0.6) {
                         keep.insert(v);
                     }
                 }

@@ -47,9 +47,8 @@ pub fn derive_child_states(
     // Inherit index: class position for members of p, usize::MAX otherwise.
     let mut vars: Vec<(tce_ir::IndexVar, u8, usize)> = Vec::with_capacity(all.len());
     for x in all.iter() {
-        let pat = (p.contains(x) as u8)
-            | ((c1.contains(x) as u8) << 1)
-            | ((c2.contains(x) as u8) << 2);
+        let pat =
+            (p.contains(x) as u8) | ((c1.contains(x) as u8) << 1) | ((c2.contains(x) as u8) << 2);
         let inherit = state
             .iter()
             .position(|cl| cl.contains(x))
@@ -92,9 +91,7 @@ pub fn derive_child_states(
                 groups.push((pat, inherit, x.singleton()));
             }
         }
-        groups.sort_by_key(|&(pat, inherit, _)| {
-            (std::cmp::Reverse(pat.count_ones()), inherit)
-        });
+        groups.sort_by_key(|&(pat, inherit, _)| (std::cmp::Reverse(pat.count_ones()), inherit));
         groups.into_iter().map(|(_, _, s)| s).collect()
     };
     Some((child_state(c1, 2), child_state(c2, 4)))
@@ -162,8 +159,7 @@ mod tests {
         // The proptest-found case: root fuses left on {x3} and right on
         // {x3, x4} → right child state [x3 ⊃ x4]; the right node then
         // fusing its own child on {x4} alone must be rejected.
-        let (_, right_state) =
-            derive_child_states(&vec![], set(&[3]), set(&[3, 4])).unwrap();
+        let (_, right_state) = derive_child_states(&vec![], set(&[3]), set(&[3, 4])).unwrap();
         assert_eq!(right_state, vec![set(&[3]), set(&[4])]);
         assert!(derive_child_states(&right_state, set(&[4]), IndexSet::EMPTY).is_none());
         // Fusing {x3, x4} downward is fine.

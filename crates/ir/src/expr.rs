@@ -95,7 +95,10 @@ pub struct Product {
 impl Product {
     /// Product with coefficient 1.
     pub fn of(factors: Vec<Factor>) -> Self {
-        Self { coeff: 1.0, factors }
+        Self {
+            coeff: 1.0,
+            factors,
+        }
     }
 
     /// Union of the factors' index variables.
@@ -190,7 +193,9 @@ impl Assignment {
                     check_ref(r)?;
                 }
                 if !factor.index_set().is_subset(bound) {
-                    return Err("term uses an index that is neither an output nor a summation index".into());
+                    return Err(
+                        "term uses an index that is neither an output nor a summation index".into(),
+                    );
                 }
             }
         }
@@ -248,7 +253,11 @@ impl fmt::Display for AssignmentDisplay<'_> {
         write_ref(f, &self.stmt.lhs)?;
         write!(f, " {}= ", if self.stmt.accumulate { "+" } else { "" })?;
         if !self.stmt.sum_indices.is_empty() {
-            write!(f, "sum[{}] ", self.space.set_to_string(self.stmt.sum_indices))?;
+            write!(
+                f,
+                "sum[{}] ",
+                self.space.set_to_string(self.stmt.sum_indices)
+            )?;
         }
         for (ti, term) in self.stmt.terms.iter().enumerate() {
             if ti > 0 {

@@ -11,7 +11,9 @@
 //! * [`expr`] — sum-of-products input expressions (the high-level language
 //!   AST after semantic analysis);
 //! * [`optree`] — operator trees (formula sequences of binary
-//!   contractions), the representation every optimization stage consumes.
+//!   contractions), the representation every optimization stage consumes;
+//! * [`rng`] — the deterministic pseudo-random generator used by tests and
+//!   benchmark inputs (the workspace builds hermetically, without `rand`).
 
 #![warn(missing_docs)]
 
@@ -19,6 +21,7 @@ pub mod expr;
 pub mod index;
 pub mod optree;
 pub mod poly;
+pub mod rng;
 pub mod tensor;
 
 pub use expr::{Assignment, Factor, FuncEval, Product, Program, TensorRef};

@@ -266,10 +266,7 @@ impl OpTree {
     pub fn node_ops(&self, id: NodeId, space: &IndexSpace) -> u128 {
         match &self.node(id).kind {
             OpKind::Leaf(Leaf::Input { .. }) | OpKind::Leaf(Leaf::One) => 0,
-            OpKind::Leaf(Leaf::Func {
-                cost_per_eval,
-                ..
-            }) => space
+            OpKind::Leaf(Leaf::Func { cost_per_eval, .. }) => space
                 .iteration_points(self.node(id).indices)
                 .saturating_mul(*cost_per_eval as u128),
             OpKind::Contract { left, right } => {
@@ -293,8 +290,7 @@ impl OpTree {
         match &self.node(id).kind {
             OpKind::Leaf(Leaf::Input { .. }) | OpKind::Leaf(Leaf::One) => CostPoly::zero(),
             OpKind::Leaf(Leaf::Func { cost_per_eval, .. }) => {
-                CostPoly::extent_product(self.node(id).indices, space)
-                    .scale(*cost_per_eval as f64)
+                CostPoly::extent_product(self.node(id).indices, space).scale(*cost_per_eval as f64)
             }
             OpKind::Contract { left, right } => {
                 let iter = self.node(*left).indices.union(self.node(*right).indices);
@@ -447,7 +443,10 @@ mod tests {
     fn unfused_intermediates() {
         let (space, _, tree) = fig1_tree();
         // T1 is N^4, T2 is N^4; S (root) not counted.
-        assert_eq!(tree.unfused_intermediate_elements(&space), 2 * 10u128.pow(4));
+        assert_eq!(
+            tree.unfused_intermediate_elements(&space),
+            2 * 10u128.pow(4)
+        );
     }
 
     #[test]

@@ -293,7 +293,9 @@ mod tests {
     #[test]
     fn eval_consistency_under_rescale() {
         let (mut sp, v, o) = space();
-        let p = CostPoly::range_pow(v, 3).mul(&CostPoly::range(o)).scale(2.0);
+        let p = CostPoly::range_pow(v, 3)
+            .mul(&CostPoly::range(o))
+            .scale(2.0);
         assert_eq!(p.eval(&sp), 2.0 * 3000.0f64.powi(3) * 100.0);
         sp.set_extent(v, 10);
         sp.set_extent(o, 2);

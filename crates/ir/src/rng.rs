@@ -1,0 +1,136 @@
+//! Small deterministic pseudo-random generator.
+//!
+//! The workspace runs in hermetic environments with no access to external
+//! crates, so the randomized tests, benchmark inputs and property checks
+//! all draw from this splitmix64-based generator instead of `rand`.  It is
+//! seeded explicitly everywhere, so every test failure reproduces exactly.
+//!
+//! The statistical requirements here are mild — decorrelated tensor fills
+//! and shape choices — and splitmix64 passes BigCrush, so one 64-bit state
+//! word is plenty.
+
+/// A splitmix64 pseudo-random generator (Steele, Lea & Flood 2014).
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Generator seeded with `seed`; equal seeds give equal streams.
+    pub fn new(seed: u64) -> Self {
+        // Mix the seed once so small consecutive seeds (0, 1, 2, …) do not
+        // produce visibly correlated first draws.
+        let mut rng = Self {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        };
+        let _ = rng.next_u64();
+        rng
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from a half-open `usize` range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    pub fn usize_in(&mut self, range: std::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty range");
+        let span = (range.end - range.start) as u64;
+        range.start + (self.next_u64() % span) as usize
+    }
+
+    /// Uniform draw from a half-open `u64` range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    pub fn u64_in(&mut self, range: std::ops::Range<u64>) -> u64 {
+        assert!(range.start < range.end, "empty range");
+        range.start + self.next_u64() % (range.end - range.start)
+    }
+
+    /// Uniform draw from a half-open `u128` range (modulo bias is
+    /// irrelevant at the spans used in tests).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    pub fn u128_in(&mut self, range: std::ops::Range<u128>) -> u128 {
+        assert!(range.start < range.end, "empty range");
+        let span = range.end - range.start;
+        let draw = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+        range.start + draw % span
+    }
+
+    /// Uniform `f64` in `[0, 1)`: 53 random mantissa bits.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.unit_f64()
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    pub fn bool_with(&mut self, p: f64) -> bool {
+        self.unit_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::new(43);
+        assert_ne!(Rng::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng::new(7);
+        for _ in 0..1000 {
+            let v = rng.usize_in(3..17);
+            assert!((3..17).contains(&v));
+            let u = rng.u64_in(10..12);
+            assert!((10..12).contains(&u));
+            let w = rng.u128_in(0..1000);
+            assert!(w < 1000);
+            let f = rng.unit_f64();
+            assert!((0.0..1.0).contains(&f));
+            let g = rng.f64_in(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn all_range_values_reachable() {
+        let mut rng = Rng::new(1);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.usize_in(0..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn bool_probability_tracks_p() {
+        let mut rng = Rng::new(11);
+        let hits = (0..10_000).filter(|_| rng.bool_with(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "got {hits}");
+        assert!(!Rng::new(5).bool_with(0.0));
+        assert!(Rng::new(5).bool_with(1.0 + 1e-9));
+    }
+}

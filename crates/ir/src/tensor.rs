@@ -55,9 +55,9 @@ impl TensorDecl {
 
     /// Number of elements when stored densely.
     pub fn dense_elements(&self, space: &IndexSpace) -> u128 {
-        self.dims
-            .iter()
-            .fold(1u128, |acc, &r| acc.saturating_mul(space.range_extent(r) as u128))
+        self.dims.iter().fold(1u128, |acc, &r| {
+            acc.saturating_mul(space.range_extent(r) as u128)
+        })
     }
 
     /// Validate symmetry groups: positions in range, disjoint across groups,
@@ -74,7 +74,12 @@ impl TensorDecl {
             }
             let r0 = match g.positions.first() {
                 Some(&p) if p < self.dims.len() => self.dims[p],
-                _ => return Err(format!("tensor `{}`: symmetry position out of range", self.name)),
+                _ => {
+                    return Err(format!(
+                        "tensor `{}`: symmetry position out of range",
+                        self.name
+                    ))
+                }
             };
             for &p in &g.positions {
                 if p >= self.dims.len() {

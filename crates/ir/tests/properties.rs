@@ -1,77 +1,84 @@
 //! Property tests for the IR foundations: index-set algebra and the cost
-//! polynomial ring.
+//! polynomial ring.  Randomized with the workspace's seeded [`Rng`], so
+//! every run checks the same cases and failures reproduce exactly.
 
-use proptest::prelude::*;
+use tce_ir::rng::Rng;
 use tce_ir::{CostPoly, IndexSet, IndexSpace, IndexVar, RangeId};
 
-fn arb_set() -> impl Strategy<Value = IndexSet> {
-    // Sets over 12 possible variables.
-    (0u64..(1 << 12)).prop_map(IndexSet)
+/// A random set over 12 possible variables.
+fn arb_set(rng: &mut Rng) -> IndexSet {
+    IndexSet(rng.u64_in(0..1 << 12))
 }
 
-proptest! {
-    #[test]
-    fn set_union_intersection_laws(a in arb_set(), b in arb_set(), c in arb_set()) {
+#[test]
+fn set_union_intersection_laws() {
+    let mut rng = Rng::new(0x5e7a);
+    for _ in 0..512 {
+        let (a, b, c) = (arb_set(&mut rng), arb_set(&mut rng), arb_set(&mut rng));
         // Commutativity.
-        prop_assert_eq!(a.union(b), b.union(a));
-        prop_assert_eq!(a.inter(b), b.inter(a));
+        assert_eq!(a.union(b), b.union(a));
+        assert_eq!(a.inter(b), b.inter(a));
         // Associativity.
-        prop_assert_eq!(a.union(b).union(c), a.union(b.union(c)));
-        prop_assert_eq!(a.inter(b).inter(c), a.inter(b.inter(c)));
+        assert_eq!(a.union(b).union(c), a.union(b.union(c)));
+        assert_eq!(a.inter(b).inter(c), a.inter(b.inter(c)));
         // Distributivity.
-        prop_assert_eq!(a.inter(b.union(c)), a.inter(b).union(a.inter(c)));
+        assert_eq!(a.inter(b.union(c)), a.inter(b).union(a.inter(c)));
         // De Morgan via minus against a universe.
         let u = a.union(b).union(c);
-        prop_assert_eq!(u.minus(a.union(b)), u.minus(a).inter(u.minus(b)));
+        assert_eq!(u.minus(a.union(b)), u.minus(a).inter(u.minus(b)));
         // Subset laws.
-        prop_assert!(a.inter(b).is_subset(a));
-        prop_assert!(a.is_subset(a.union(b)));
-        prop_assert_eq!(a.minus(b).union(a.inter(b)), a);
+        assert!(a.inter(b).is_subset(a));
+        assert!(a.is_subset(a.union(b)));
+        assert_eq!(a.minus(b).union(a.inter(b)), a);
     }
+}
 
-    #[test]
-    fn set_iteration_roundtrips(a in arb_set()) {
+#[test]
+fn set_iteration_roundtrips() {
+    let mut rng = Rng::new(0x17e7);
+    for _ in 0..512 {
+        let a = arb_set(&mut rng);
         let rebuilt: IndexSet = a.iter().collect();
-        prop_assert_eq!(rebuilt, a);
-        prop_assert_eq!(a.iter().count(), a.len());
+        assert_eq!(rebuilt, a);
+        assert_eq!(a.iter().count(), a.len());
         // Iteration is strictly increasing.
         let ids: Vec<u8> = a.iter().map(|v| v.0).collect();
         for w in ids.windows(2) {
-            prop_assert!(w[0] < w[1]);
+            assert!(w[0] < w[1]);
         }
     }
+}
 
-    #[test]
-    fn subset_enumeration_is_complete(bits in 0u64..(1 << 6)) {
+#[test]
+fn subset_enumeration_is_complete() {
+    // All 64 sets over 6 variables — exhaustive beats sampling here.
+    for bits in 0u64..(1 << 6) {
         let a = IndexSet(bits);
         let subs: Vec<IndexSet> = a.subsets().collect();
-        prop_assert_eq!(subs.len(), 1 << a.len());
+        assert_eq!(subs.len(), 1 << a.len());
         for s in &subs {
-            prop_assert!(s.is_subset(a));
+            assert!(s.is_subset(a));
         }
         let mut sorted = subs.clone();
         sorted.sort();
         sorted.dedup();
-        prop_assert_eq!(sorted.len(), subs.len());
+        assert_eq!(sorted.len(), subs.len());
     }
 }
 
 /// A small polynomial built from random monomial terms.
-fn arb_poly() -> impl Strategy<Value = CostPoly> {
-    proptest::collection::vec(
-        (0u16..3, 0u16..3, -4i32..5),
-        0..4,
-    )
-    .prop_map(|terms| {
-        let mut p = CostPoly::zero();
-        for (e0, e1, c) in terms {
-            let m = CostPoly::range_pow(RangeId(0), e0)
-                .mul(&CostPoly::range_pow(RangeId(1), e1))
-                .scale(c as f64);
-            p.add_assign(&m);
-        }
-        p
-    })
+fn arb_poly(rng: &mut Rng) -> CostPoly {
+    let mut p = CostPoly::zero();
+    for _ in 0..rng.usize_in(0..4) {
+        let e0 = rng.usize_in(0..3) as u16;
+        let e1 = rng.usize_in(0..3) as u16;
+        let c = rng.usize_in(0..9) as i32 - 4;
+        let m = CostPoly::range_pow(RangeId(0), e0)
+            .mul(&CostPoly::range_pow(RangeId(1), e1))
+            .scale(c as f64);
+        p.add_assign(&m);
+    }
+    p
 }
 
 fn eval_space() -> IndexSpace {
@@ -81,32 +88,38 @@ fn eval_space() -> IndexSpace {
     sp
 }
 
-proptest! {
-    #[test]
-    fn poly_ring_laws(p in arb_poly(), q in arb_poly(), r in arb_poly()) {
-        let sp = eval_space();
+#[test]
+fn poly_ring_laws() {
+    let mut rng = Rng::new(0x9017);
+    let sp = eval_space();
+    for _ in 0..256 {
+        let (p, q, r) = (arb_poly(&mut rng), arb_poly(&mut rng), arb_poly(&mut rng));
         // Commutativity and associativity of + and ·, distribution, via
         // structural equality of the canonical representation.
-        prop_assert_eq!(p.add(&q), q.add(&p));
-        prop_assert_eq!(p.mul(&q), q.mul(&p));
-        prop_assert_eq!(p.add(&q).add(&r), p.add(&q.add(&r)));
-        prop_assert_eq!(p.mul(&q).mul(&r), p.mul(&q.mul(&r)));
-        prop_assert_eq!(p.mul(&q.add(&r)), p.mul(&q).add(&p.mul(&r)));
+        assert_eq!(p.add(&q), q.add(&p));
+        assert_eq!(p.mul(&q), q.mul(&p));
+        assert_eq!(p.add(&q).add(&r), p.add(&q.add(&r)));
+        assert_eq!(p.mul(&q).mul(&r), p.mul(&q.mul(&r)));
+        assert_eq!(p.mul(&q.add(&r)), p.mul(&q).add(&p.mul(&r)));
         // Evaluation is a ring homomorphism (integer-coefficient inputs
         // keep the arithmetic exact at these sizes).
-        prop_assert_eq!(p.add(&q).eval(&sp), p.eval(&sp) + q.eval(&sp));
-        prop_assert_eq!(p.mul(&q).eval(&sp), p.eval(&sp) * q.eval(&sp));
+        assert_eq!(p.add(&q).eval(&sp), p.eval(&sp) + q.eval(&sp));
+        assert_eq!(p.mul(&q).eval(&sp), p.eval(&sp) * q.eval(&sp));
     }
+}
 
-    #[test]
-    fn poly_identities(p in arb_poly()) {
+#[test]
+fn poly_identities() {
+    let mut rng = Rng::new(0x1de5);
+    for _ in 0..256 {
+        let p = arb_poly(&mut rng);
         let zero = CostPoly::zero();
         let one = CostPoly::constant(1.0);
-        prop_assert_eq!(p.add(&zero), p.clone());
-        prop_assert_eq!(p.mul(&one), p.clone());
-        prop_assert!(p.mul(&zero).is_zero());
-        prop_assert!(p.add(&p.scale(-1.0)).is_zero());
-        prop_assert_eq!(p.scale(2.0), p.add(&p));
+        assert_eq!(p.add(&zero), p.clone());
+        assert_eq!(p.mul(&one), p.clone());
+        assert!(p.mul(&zero).is_zero());
+        assert!(p.add(&p.scale(-1.0)).is_zero());
+        assert_eq!(p.scale(2.0), p.add(&p));
     }
 }
 

@@ -25,8 +25,8 @@ pub mod unparse;
 
 pub use lower::lower;
 pub use parser::parse;
-pub use unparse::unparse;
 pub use token::{lex, LangError};
+pub use unparse::unparse;
 
 /// Parse and lower in one step.
 pub fn compile(src: &str) -> Result<tce_ir::Program, LangError> {

@@ -52,9 +52,9 @@ pub fn lower(file: &SourceFile) -> Result<Program, LangError> {
                     .dims
                     .iter()
                     .map(|d| {
-                        prog.space.range_by_name(d).ok_or_else(|| {
-                            LangError::at(t.line, 1, format!("unknown range `{d}`"))
-                        })
+                        prog.space
+                            .range_by_name(d)
+                            .ok_or_else(|| LangError::at(t.line, 1, format!("unknown range `{d}`")))
                     })
                     .collect::<Result<Vec<_>, _>>()?;
                 let decl = TensorDecl {
@@ -249,7 +249,10 @@ mod tests {
 
     #[test]
     fn rejects_unknown_names() {
-        assert!(compile("index a : V;").unwrap_err().msg.contains("unknown range"));
+        assert!(compile("index a : V;")
+            .unwrap_err()
+            .msg
+            .contains("unknown range"));
         assert!(compile("range N = 2; tensor A(M);")
             .unwrap_err()
             .msg
@@ -288,12 +291,12 @@ mod tests {
             .unwrap_err()
             .msg
             .contains("already declared"));
-        assert!(compile(
-            "range N = 2; function f(N) cost 1; function f(N) cost 2;"
-        )
-        .unwrap_err()
-        .msg
-        .contains("already declared"));
+        assert!(
+            compile("range N = 2; function f(N) cost 1; function f(N) cost 2;")
+                .unwrap_err()
+                .msg
+                .contains("already declared")
+        );
     }
 
     #[test]

@@ -287,7 +287,9 @@ impl Parser {
                 self.expect(&TokenKind::RParen)?;
                 Ok(FactorAst::Func { name, indices })
             }
-            ref other => self.err(format!("expected `[` or `(` after factor name, found {other}")),
+            ref other => self.err(format!(
+                "expected `[` or `(` after factor name, found {other}"
+            )),
         }
     }
 }

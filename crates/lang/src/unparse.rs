@@ -18,7 +18,12 @@ pub fn unparse(program: &Program) -> String {
     // Ranges.
     for r in 0..sp.num_ranges() {
         let rid = tce_ir::RangeId(r as u16);
-        let _ = writeln!(out, "range {} = {};", sp.range_name(rid), sp.range_extent(rid));
+        let _ = writeln!(
+            out,
+            "range {} = {};",
+            sp.range_name(rid),
+            sp.range_extent(rid)
+        );
     }
     // Index variables, grouped by range in declaration order.
     for r in 0..sp.num_ranges() {
@@ -38,7 +43,11 @@ pub fn unparse(program: &Program) -> String {
         let _ = write!(out, "tensor {}({})", decl.name, dims.join(", "));
         for g in &decl.symmetry {
             let pos: Vec<String> = g.positions.iter().map(|p| p.to_string()).collect();
-            let kw = if g.antisymmetric { "antisymmetric" } else { "symmetric" };
+            let kw = if g.antisymmetric {
+                "antisymmetric"
+            } else {
+                "symmetric"
+            };
             let _ = write!(out, " {kw}({})", pos.join(","));
         }
         if decl.sparse {

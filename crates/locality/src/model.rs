@@ -128,14 +128,35 @@ mod tests {
         let vi = p.add_var("i", VarRange::Full(i));
         let vj = p.add_var("j", VarRange::Full(j));
         let vk = p.add_var("k", VarRange::Full(k));
-        let a = p.add_array("A", vec![VarRange::Full(i), VarRange::Full(k)], ArrayKind::Intermediate);
-        let b = p.add_array("B", vec![VarRange::Full(k), VarRange::Full(j)], ArrayKind::Intermediate);
-        let c = p.add_array("C", vec![VarRange::Full(i), VarRange::Full(j)], ArrayKind::Output);
+        let a = p.add_array(
+            "A",
+            vec![VarRange::Full(i), VarRange::Full(k)],
+            ArrayKind::Intermediate,
+        );
+        let b = p.add_array(
+            "B",
+            vec![VarRange::Full(k), VarRange::Full(j)],
+            ArrayKind::Intermediate,
+        );
+        let c = p.add_array(
+            "C",
+            vec![VarRange::Full(i), VarRange::Full(j)],
+            ArrayKind::Output,
+        );
         let stmt = Stmt::Accum {
-            lhs: ARef { array: c, subs: vec![Sub::Var(vi), Sub::Var(vj)] },
+            lhs: ARef {
+                array: c,
+                subs: vec![Sub::Var(vi), Sub::Var(vj)],
+            },
             rhs: vec![
-                ARef { array: a, subs: vec![Sub::Var(vi), Sub::Var(vk)] },
-                ARef { array: b, subs: vec![Sub::Var(vk), Sub::Var(vj)] },
+                ARef {
+                    array: a,
+                    subs: vec![Sub::Var(vi), Sub::Var(vk)],
+                },
+                ARef {
+                    array: b,
+                    subs: vec![Sub::Var(vk), Sub::Var(vj)],
+                },
             ],
             coeff: 1.0,
         };

@@ -106,9 +106,28 @@ pub fn tile_nest(
             continue;
         }
         let name = out.var(v).name.clone();
-        let vt = out.add_var(&format!("{name}_t"), VarRange::Tile { index: src, block: b });
-        let vi = out.add_var(&format!("{name}_i"), VarRange::Intra { index: src, block: b });
-        subst.insert(v, Sub::Tiled { tile: vt, intra: vi, block: b });
+        let vt = out.add_var(
+            &format!("{name}_t"),
+            VarRange::Tile {
+                index: src,
+                block: b,
+            },
+        );
+        let vi = out.add_var(
+            &format!("{name}_i"),
+            VarRange::Intra {
+                index: src,
+                block: b,
+            },
+        );
+        subst.insert(
+            v,
+            Sub::Tiled {
+                tile: vt,
+                intra: vi,
+                block: b,
+            },
+        );
         tile_loops.push(vt);
         inner_loops.push(vi);
     }
@@ -190,11 +209,7 @@ pub fn search_nest_tiles(
     nest: &PerfectNest,
     cache_elements: u128,
 ) -> TileSearchResult {
-    let extents: Vec<usize> = nest
-        .vars
-        .iter()
-        .map(|&v| p.var(v).extent(space))
-        .collect();
+    let extents: Vec<usize> = nest.vars.iter().map(|&v| p.var(v).extent(space)).collect();
     let mut best: Option<TileSearchResult> = None;
     let mut blocks: HashMap<LoopVarId, usize> = HashMap::new();
 
@@ -295,11 +310,7 @@ pub fn search_loop_order(
     let mut best_order = order.clone();
     let mut best_cost = u128::MAX;
     // Heap's algorithm over permutations.
-    fn heaps(
-        k: usize,
-        order: &mut Vec<LoopVarId>,
-        visit: &mut dyn FnMut(&[LoopVarId]),
-    ) {
+    fn heaps(k: usize, order: &mut Vec<LoopVarId>, visit: &mut dyn FnMut(&[LoopVarId])) {
         if k <= 1 {
             visit(order);
             return;
@@ -350,11 +361,7 @@ pub fn search_nest_tiles_hierarchy(
     nest: &PerfectNest,
     hierarchy: &crate::model::MemoryHierarchy,
 ) -> HierarchyTileResult {
-    let extents: Vec<usize> = nest
-        .vars
-        .iter()
-        .map(|&v| p.var(v).extent(space))
-        .collect();
+    let extents: Vec<usize> = nest.vars.iter().map(|&v| p.var(v).extent(space)).collect();
     let mut best: Option<HierarchyTileResult> = None;
     let mut blocks: HashMap<LoopVarId, usize> = HashMap::new();
 
@@ -390,7 +397,14 @@ pub fn search_nest_tiles_hierarchy(
     }
 
     rec(
-        p, space, nest, hierarchy, &extents, 0, &mut blocks, &mut best,
+        p,
+        space,
+        nest,
+        hierarchy,
+        &extents,
+        0,
+        &mut blocks,
+        &mut best,
     );
     best.expect("search space is never empty")
 }
@@ -412,19 +426,43 @@ mod tests {
         let vi = p.add_var("i", VarRange::Full(i));
         let vj = p.add_var("j", VarRange::Full(j));
         let vk = p.add_var("k", VarRange::Full(k));
-        let a = p.add_array("A", vec![VarRange::Full(i), VarRange::Full(k)], ArrayKind::Intermediate);
-        let b = p.add_array("B", vec![VarRange::Full(k), VarRange::Full(j)], ArrayKind::Intermediate);
-        let c = p.add_array("C", vec![VarRange::Full(i), VarRange::Full(j)], ArrayKind::Output);
+        let a = p.add_array(
+            "A",
+            vec![VarRange::Full(i), VarRange::Full(k)],
+            ArrayKind::Intermediate,
+        );
+        let b = p.add_array(
+            "B",
+            vec![VarRange::Full(k), VarRange::Full(j)],
+            ArrayKind::Intermediate,
+        );
+        let c = p.add_array(
+            "C",
+            vec![VarRange::Full(i), VarRange::Full(j)],
+            ArrayKind::Output,
+        );
         let stmt = Stmt::Accum {
-            lhs: ARef { array: c, subs: vec![Sub::Var(vi), Sub::Var(vj)] },
+            lhs: ARef {
+                array: c,
+                subs: vec![Sub::Var(vi), Sub::Var(vj)],
+            },
             rhs: vec![
-                ARef { array: a, subs: vec![Sub::Var(vi), Sub::Var(vk)] },
-                ARef { array: b, subs: vec![Sub::Var(vk), Sub::Var(vj)] },
+                ARef {
+                    array: a,
+                    subs: vec![Sub::Var(vi), Sub::Var(vk)],
+                },
+                ARef {
+                    array: b,
+                    subs: vec![Sub::Var(vk), Sub::Var(vj)],
+                },
             ],
             coeff: 1.0,
         };
         p.body.push(tce_loops::nest(vec![vi, vj, vk], vec![stmt]));
-        let nest = PerfectNest { body_index: 0, vars: vec![vi, vj, vk] };
+        let nest = PerfectNest {
+            body_index: 0,
+            vars: vec![vi, vj, vk],
+        };
         (space, p, nest)
     }
 
@@ -467,11 +505,7 @@ mod tests {
         let cache = 256u128;
         let untiled = access_cost(&p, &space, cache);
         let r = search_nest_tiles(&p, &space, &nest, cache);
-        assert!(
-            r.cost < untiled,
-            "blocked {} vs untiled {untiled}",
-            r.cost
-        );
+        assert!(r.cost < untiled, "blocked {} vs untiled {untiled}", r.cost);
         // The chosen blocks keep the blocked working set within cache:
         // at least one variable actually tiled.
         assert!(r.blocks.values().any(|&b| b > 1 && b < 32));
@@ -554,7 +588,12 @@ mod tests {
         best_prog.validate().unwrap();
         // Exhaustiveness: no permutation beats the returned cost.
         let perms = [
-            [0usize, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0],
+            [0usize, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
         ];
         for perm in perms {
             let cand: Vec<_> = perm.iter().map(|&q| nest.vars[q]).collect();
@@ -568,7 +607,10 @@ mod tests {
         let (space, p, nest) = matmul(16);
         let cache = 48u128;
         let (ordered, order, _) = search_loop_order(&p, &space, &nest, cache);
-        let nest2 = PerfectNest { body_index: nest.body_index, vars: order };
+        let nest2 = PerfectNest {
+            body_index: nest.body_index,
+            vars: order,
+        };
         let tiled = search_nest_tiles(&ordered, &space, &nest2, cache);
         assert!(tiled.cost <= access_cost(&ordered, &space, cache));
         tiled.program.validate().unwrap();

@@ -290,7 +290,11 @@ mod tests {
         let at = p.add_var("a_t", VarRange::Tile { index: a, block: 4 });
         let ai = p.add_var("a_i", VarRange::Intra { index: a, block: 4 });
         let arr = p.add_array("X", vec![VarRange::Full(a)], ArrayKind::Intermediate);
-        let sub = Sub::Tiled { tile: at, intra: ai, block: 4 };
+        let sub = Sub::Tiled {
+            tile: at,
+            intra: ai,
+            block: 4,
+        };
         let mk = |t: bool, i: bool| {
             let mut v = vec![false; 2];
             v[at.0 as usize] = t;

@@ -217,12 +217,7 @@ mod tests {
             .unwrap();
         assert_eq!(t1.dims.len(), 4);
         assert_eq!(t1.elements(&space), 256); // N^4 at N=4
-        let s = built
-            .program
-            .arrays
-            .iter()
-            .find(|a| a.name == "S")
-            .unwrap();
+        let s = built.program.arrays.iter().find(|a| a.name == "S").unwrap();
         assert!(matches!(s.kind, ArrayKind::Output));
     }
 
@@ -243,7 +238,12 @@ mod tests {
         assert_eq!(built.program.funcs.len(), 2);
         // Two eval nests + init + contraction nest.
         assert_eq!(built.program.body.len(), 4);
-        let t1 = built.program.arrays.iter().find(|a| a.name == "T1").unwrap();
+        let t1 = built
+            .program
+            .arrays
+            .iter()
+            .find(|a| a.name == "T1")
+            .unwrap();
         assert_eq!(t1.elements(&space), 9);
     }
 

@@ -72,7 +72,9 @@ impl LoopVarInfo {
     /// The source index this variable ranges over.
     pub fn source_index(&self) -> IndexVar {
         match self.range {
-            VarRange::Full(v) | VarRange::Tile { index: v, .. } | VarRange::Intra { index: v, .. } => v,
+            VarRange::Full(v)
+            | VarRange::Tile { index: v, .. }
+            | VarRange::Intra { index: v, .. } => v,
         }
     }
 }
@@ -289,8 +291,14 @@ impl LoopProgram {
                     }
                     match (p.var(tile).range, p.var(intra).range) {
                         (
-                            VarRange::Tile { index: i1, block: b1 },
-                            VarRange::Intra { index: i2, block: b2 },
+                            VarRange::Tile {
+                                index: i1,
+                                block: b1,
+                            },
+                            VarRange::Intra {
+                                index: i2,
+                                block: b2,
+                            },
                         ) if i1 == i2 && b1 == b2 && b1 == block => {}
                         _ => return Err("malformed tiled subscript pair".into()),
                     }

@@ -177,10 +177,18 @@ mod tests {
                 body: vec![Stmt::Eval {
                     lhs: ARef {
                         array: arr,
-                        subs: vec![Sub::Tiled { tile: at, intra: ai, block: 4 }],
+                        subs: vec![Sub::Tiled {
+                            tile: at,
+                            intra: ai,
+                            block: 4,
+                        }],
                     },
                     func: f,
-                    args: vec![Sub::Tiled { tile: at, intra: ai, block: 4 }],
+                    args: vec![Sub::Tiled {
+                        tile: at,
+                        intra: ai,
+                        block: 4,
+                    }],
                 }],
             }],
         });

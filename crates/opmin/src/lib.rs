@@ -46,6 +46,6 @@ pub mod single;
 
 pub use multi::{optimize_assignment, MultiResult};
 pub use single::{
-    leaf_indices, optimize_branch_bound, optimize_exhaustive, optimize_pareto,
-    optimize_subset_dp, OpMinProblem, OptResult, ParetoTree,
+    leaf_indices, optimize_branch_bound, optimize_exhaustive, optimize_pareto, optimize_subset_dp,
+    OpMinProblem, OptResult, ParetoTree,
 };

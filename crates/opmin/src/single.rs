@@ -240,7 +240,10 @@ pub fn optimize_subset_dp(p: &OpMinProblem, space: &IndexSpace) -> OptResult {
 pub fn optimize_exhaustive(p: &OpMinProblem, space: &IndexSpace) -> OptResult {
     use std::collections::HashMap;
     let n = p.n();
-    assert!((1..=12).contains(&n), "exhaustive oracle limited to 12 factors");
+    assert!(
+        (1..=12).contains(&n),
+        "exhaustive oracle limited to 12 factors"
+    );
     let full: u32 = ((1u64 << n) - 1) as u32;
 
     // Recursive enumeration of minimum over all splits — identical
@@ -559,6 +562,13 @@ pub fn optimize_pareto(p: &OpMinProblem, space: &IndexSpace) -> Vec<ParetoTree> 
 }
 
 #[cfg(test)]
+impl ParetoTree {
+    fn mem_strictly_better(&self, prev: u128) -> bool {
+        self.max_intermediate < prev
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use tce_ir::{IndexSpace, TensorDecl, TensorTable};
@@ -582,10 +592,22 @@ mod tests {
         let p = OpMinProblem {
             output: IndexSet::from_vars([a, b, i, j]),
             factors: vec![
-                Leaf::Input { tensor: ta, indices: vec![a, c, i, k] },
-                Leaf::Input { tensor: tb, indices: vec![b, e, f, l] },
-                Leaf::Input { tensor: tc, indices: vec![d, f, j, k] },
-                Leaf::Input { tensor: td, indices: vec![c, d, e, l] },
+                Leaf::Input {
+                    tensor: ta,
+                    indices: vec![a, c, i, k],
+                },
+                Leaf::Input {
+                    tensor: tb,
+                    indices: vec![b, e, f, l],
+                },
+                Leaf::Input {
+                    tensor: tc,
+                    indices: vec![d, f, j, k],
+                },
+                Leaf::Input {
+                    tensor: td,
+                    indices: vec![c, d, e, l],
+                },
             ],
         };
         (space, p)
@@ -632,9 +654,18 @@ mod tests {
         let p = OpMinProblem {
             output: IndexSet::from_vars([i, l]),
             factors: vec![
-                Leaf::Input { tensor: ta, indices: vec![i, j] },
-                Leaf::Input { tensor: tb, indices: vec![j, k] },
-                Leaf::Input { tensor: tc, indices: vec![k, l] },
+                Leaf::Input {
+                    tensor: ta,
+                    indices: vec![i, j],
+                },
+                Leaf::Input {
+                    tensor: tb,
+                    indices: vec![j, k],
+                },
+                Leaf::Input {
+                    tensor: tc,
+                    indices: vec![k, l],
+                },
             ],
         };
         let dp = optimize_subset_dp(&p, &space);
@@ -653,7 +684,10 @@ mod tests {
         let ta = tensors.add(TensorDecl::dense("A", vec![n]));
         let p = OpMinProblem {
             output: i.singleton(),
-            factors: vec![Leaf::Input { tensor: ta, indices: vec![i] }],
+            factors: vec![Leaf::Input {
+                tensor: ta,
+                indices: vec![i],
+            }],
         };
         let dp = optimize_subset_dp(&p, &space);
         assert_eq!(dp.contraction_ops, 0);
@@ -670,7 +704,10 @@ mod tests {
         let ta = tensors.add(TensorDecl::dense("A", vec![n]));
         let p = OpMinProblem {
             output: IndexSet::EMPTY,
-            factors: vec![Leaf::Input { tensor: ta, indices: vec![i] }],
+            factors: vec![Leaf::Input {
+                tensor: ta,
+                indices: vec![i],
+            }],
         };
         let dp = optimize_subset_dp(&p, &space);
         assert_eq!(dp.contraction_ops, 10); // 2·N
@@ -688,34 +725,36 @@ mod tests {
         let (space, _) = section2(4);
         let a = space.var_by_name("a").unwrap();
         let z = IndexSet::from_vars([a]);
-        let empty = tce_ir::Product { coeff: 1.0, factors: vec![] };
+        let empty = tce_ir::Product {
+            coeff: 1.0,
+            factors: vec![],
+        };
         assert!(OpMinProblem::from_term(z, &empty).is_err());
     }
 
     #[test]
     fn randomized_dp_matches_oracle() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use tce_ir::rng::Rng;
         // Random 3-5 factor problems over 6 indices with mixed extents;
         // subset DP must equal the exhaustive oracle and branch-and-bound.
-        let mut rng = StdRng::seed_from_u64(20020422);
+        let mut rng = Rng::new(20020422);
         for trial in 0..60 {
             let mut space = IndexSpace::new();
-            let r1 = space.add_range("P", rng.gen_range(2..6));
-            let r2 = space.add_range("Q", rng.gen_range(2..12));
+            let r1 = space.add_range("P", rng.usize_in(2..6));
+            let r2 = space.add_range("Q", rng.usize_in(2..12));
             let vars: Vec<_> = (0..6)
                 .map(|q| space.add_var(&format!("x{q}"), if q % 2 == 0 { r1 } else { r2 }))
                 .collect();
             let mut tensors = TensorTable::new();
-            let nf = rng.gen_range(3..=5);
+            let nf = rng.usize_in(3..6);
             let mut factors = Vec::new();
             let mut used = IndexSet::EMPTY;
             for fi in 0..nf {
-                let arity = rng.gen_range(1..=3);
+                let arity = rng.usize_in(1..4);
                 let mut idxs = Vec::new();
                 let mut set = IndexSet::EMPTY;
                 for _ in 0..arity {
-                    let v = vars[rng.gen_range(0..vars.len())];
+                    let v = vars[rng.usize_in(0..vars.len())];
                     if !set.contains(v) {
                         set.insert(v);
                         idxs.push(v);
@@ -724,12 +763,15 @@ mod tests {
                 used = used.union(set);
                 let dims = idxs.iter().map(|&v| space.range_of(v)).collect();
                 let t = tensors.add(TensorDecl::dense(&format!("T{trial}_{fi}"), dims));
-                factors.push(Leaf::Input { tensor: t, indices: idxs });
+                factors.push(Leaf::Input {
+                    tensor: t,
+                    indices: idxs,
+                });
             }
             // Output: random subset of used indices.
             let mut output = IndexSet::EMPTY;
             for v in used.iter() {
-                if rng.gen_bool(0.4) {
+                if rng.bool_with(0.4) {
                     output.insert(v);
                 }
             }
@@ -806,9 +848,18 @@ mod tests {
         let p = OpMinProblem {
             output: i.singleton(),
             factors: vec![
-                Leaf::Input { tensor: ta, indices: vec![i, j] },
-                Leaf::Input { tensor: tb, indices: vec![j, k] },
-                Leaf::Input { tensor: tc, indices: vec![k] },
+                Leaf::Input {
+                    tensor: ta,
+                    indices: vec![i, j],
+                },
+                Leaf::Input {
+                    tensor: tb,
+                    indices: vec![j, k],
+                },
+                Leaf::Input {
+                    tensor: tc,
+                    indices: vec![k],
+                },
             ],
         };
         let front = optimize_pareto(&p, &space);
@@ -821,12 +872,5 @@ mod tests {
             assert!(w[1].max_intermediate < w[0].max_intermediate);
             assert!(w[1].ops > w[0].ops);
         }
-    }
-}
-
-#[cfg(test)]
-impl ParetoTree {
-    fn mem_strictly_better(&self, prev: u128) -> bool {
-        self.max_intermediate < prev
     }
 }

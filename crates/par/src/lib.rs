@@ -1,8 +1,9 @@
 //! # tce-par — parallel substrate
 //!
-//! Shared-memory data-parallel primitives (scoped block-partitioned
-//! parallel-for/reduce on crossbeam, [`pool`]) and logical processor-grid
-//! arithmetic with the paper's `myrange` block ownership ([`grid`]).
+//! Shared-memory data-parallel primitives (block-partitioned
+//! parallel-for/reduce on a persistent worker pool, [`pool`]) and logical
+//! processor-grid arithmetic with the paper's `myrange` block ownership
+//! ([`grid`]).
 //! `tce-exec` uses the pool to run synthesized contractions in parallel;
 //! `tce-dist` uses the grid both for its communication cost model and for
 //! the simulated distributed machine that validates it.
@@ -24,6 +25,6 @@ pub mod pool;
 
 pub use grid::{myrange, owner_of, ProcessorGrid};
 pub use pool::{
-    block_ranges, default_threads, parallel_chunks_mut, parallel_for, parallel_reduce,
+    block_ranges, default_threads, parallel_chunks_mut, parallel_for, parallel_reduce, Pool,
     SharedCounter,
 };

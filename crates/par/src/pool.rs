@@ -1,4 +1,4 @@
-//! Data-parallel execution primitives built on crossbeam's scoped threads.
+//! Data-parallel execution primitives on a persistent worker pool.
 //!
 //! The paper assumes a data-parallel model in which "each operation in the
 //! operation sequence is distributed across the entire parallel machine"
@@ -7,8 +7,16 @@
 //! slices, with a configurable thread count.  No work stealing — tensor
 //! contraction iterations are uniform, so static block partitioning is the
 //! right schedule and keeps the substrate small and auditable.
+//!
+//! Work runs on a process-wide [`Pool`] of parked worker threads, so a
+//! synthesized program that executes thousands of small contractions pays
+//! the thread-spawn cost once, not per kernel call.  The partitioning is
+//! purely static: callers receive disjoint index ranges, which is what the
+//! GETT contraction engine relies on for bitwise-deterministic output.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Number of worker threads to use: the `TCE_THREADS` environment variable
 /// if set, otherwise the machine's available parallelism (at least 1).
@@ -23,10 +31,12 @@ pub fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// Split `n` items into `parts` contiguous ranges of near-equal length
-/// (the paper's `myrange(z, N, p)` block partitioning, 0-based).
+/// Split `n` items into at most `parts` contiguous ranges of near-equal
+/// length (the paper's `myrange(z, N, p)` block partitioning, 0-based).
+/// `parts` is capped by `n`, so no returned range is empty (except the
+/// single `0..0` range when `n == 0`).
 pub fn block_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
-    let parts = parts.max(1);
+    let parts = parts.max(1).min(n.max(1));
     let base = n / parts;
     let extra = n % parts;
     let mut out = Vec::with_capacity(parts);
@@ -37,6 +47,235 @@ pub fn block_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
         start += len;
     }
     out
+}
+
+/// One parallel job: an erased task closure plus its task count.  The
+/// pointer is only dereferenced while [`Pool::run`] is blocked waiting for
+/// completion, which keeps the borrow alive.
+#[derive(Clone, Copy)]
+struct Job {
+    f: *const (dyn Fn(usize) + Sync),
+    tasks: usize,
+}
+
+// SAFETY: the closure behind `f` is `Sync`, and `Pool::run` does not
+// return until every dereference has finished.
+unsafe impl Send for Job {}
+
+/// State guarded by the pool mutex.
+struct Gate {
+    /// Bumped once per submitted job so sleeping workers can tell a new
+    /// job from the one they already finished.
+    epoch: u64,
+    /// The current job, if one is in flight.
+    job: Option<Job>,
+    /// Workers currently inside a claim loop for the live epoch.
+    active: usize,
+    /// Set on drop; workers exit.
+    shutdown: bool,
+}
+
+struct Shared {
+    gate: Mutex<Gate>,
+    /// Signals workers: new job or shutdown.
+    work: Condvar,
+    /// Signals the submitter: tasks or workers drained.
+    done: Condvar,
+    /// Next unclaimed task index of the current job.
+    next: AtomicUsize,
+    /// Tasks not yet completed.
+    pending: AtomicUsize,
+    /// A task panicked; `run` re-panics after the job drains.
+    panicked: AtomicBool,
+}
+
+/// A persistent pool of parked worker threads.
+///
+/// Jobs are submitted as `(task_count, Fn(task_index))`; workers and the
+/// submitting thread claim task indices from a shared counter.  Which
+/// thread runs which task is scheduling-dependent, so tasks must write
+/// disjoint state — the same contract as scoped-thread partitioning, but
+/// without a per-call spawn.  Nested or concurrent submissions are safe:
+/// they detect the busy pool and execute inline on the caller.
+pub struct Pool {
+    shared: Arc<Shared>,
+    /// Serializes submissions; `try_lock` failure = nested call → inline.
+    submit: Mutex<()>,
+    /// Worker handles, joined on drop.
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Pool {
+    /// A pool with `workers` worker threads (the submitting thread also
+    /// executes tasks, so total concurrency is `workers + 1`).
+    pub fn new(workers: usize) -> Self {
+        let pool = Self {
+            shared: Arc::new(Shared {
+                gate: Mutex::new(Gate {
+                    epoch: 0,
+                    job: None,
+                    active: 0,
+                    shutdown: false,
+                }),
+                work: Condvar::new(),
+                done: Condvar::new(),
+                next: AtomicUsize::new(0),
+                pending: AtomicUsize::new(0),
+                panicked: AtomicBool::new(false),
+            }),
+            submit: Mutex::new(()),
+            handles: Mutex::new(Vec::new()),
+        };
+        pool.ensure_workers(workers);
+        pool
+    }
+
+    /// The process-wide pool.  Created on first use with
+    /// `default_threads() - 1` workers; grows on demand when a caller
+    /// requests more concurrency.
+    pub fn global() -> &'static Pool {
+        static GLOBAL: OnceLock<Pool> = OnceLock::new();
+        GLOBAL.get_or_init(|| Pool::new(default_threads().saturating_sub(1)))
+    }
+
+    /// Run `f` with the process-wide pool — the amortized replacement for
+    /// spawning a scope per kernel call.
+    pub fn with<R>(f: impl FnOnce(&Pool) -> R) -> R {
+        f(Self::global())
+    }
+
+    /// Current worker count.
+    pub fn workers(&self) -> usize {
+        self.handles.lock().expect("pool poisoned").len()
+    }
+
+    /// Grow the pool to at least `target` workers (capped at 256).
+    pub fn ensure_workers(&self, target: usize) {
+        let target = target.min(256);
+        let mut handles = self.handles.lock().expect("pool poisoned");
+        while handles.len() < target {
+            let shared = Arc::clone(&self.shared);
+            handles.push(std::thread::spawn(move || worker_loop(&shared)));
+        }
+    }
+
+    /// Execute `f(0), …, f(tasks - 1)` across the pool, returning when all
+    /// have finished.  The caller participates, so the pool works (slowly)
+    /// even with zero workers.  Panics in tasks are re-raised here after
+    /// the job drains.
+    pub fn run(&self, tasks: usize, f: &(dyn Fn(usize) + Sync)) {
+        if tasks == 0 {
+            return;
+        }
+        // Nested (a task submitting a sub-job) or concurrent submission:
+        // run inline rather than corrupting the in-flight job.
+        let Ok(_submit) = self.submit.try_lock() else {
+            for i in 0..tasks {
+                f(i);
+            }
+            return;
+        };
+        if tasks == 1 || self.workers() == 0 {
+            drop(_submit);
+            for i in 0..tasks {
+                f(i);
+            }
+            return;
+        }
+
+        // SAFETY: erase the borrow's lifetime so the job can be stored in
+        // the shared gate; `run` does not return until every worker has
+        // left the claim loop, so no dereference outlives the borrow.
+        let f_erased: &'static (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(f) };
+        let shared = &self.shared;
+        shared.next.store(0, Ordering::SeqCst);
+        shared.pending.store(tasks, Ordering::SeqCst);
+        shared.panicked.store(false, Ordering::SeqCst);
+        {
+            let mut g = shared.gate.lock().expect("pool poisoned");
+            g.epoch += 1;
+            g.job = Some(Job { f: f_erased, tasks });
+            shared.work.notify_all();
+        }
+
+        // The submitting thread claims tasks too.
+        loop {
+            let i = shared.next.fetch_add(1, Ordering::Relaxed);
+            if i >= tasks {
+                break;
+            }
+            if catch_unwind(AssertUnwindSafe(|| f(i))).is_err() {
+                shared.panicked.store(true, Ordering::SeqCst);
+            }
+            shared.pending.fetch_sub(1, Ordering::AcqRel);
+        }
+
+        // Retract the job, then wait for stragglers.  Workers register in
+        // `active` under the gate before claiming, so once `job` is cleared
+        // and `active == 0`, no thread can touch `f` again.
+        let mut g = shared.gate.lock().expect("pool poisoned");
+        g.job = None;
+        while g.active > 0 || shared.pending.load(Ordering::Acquire) > 0 {
+            g = shared.done.wait(g).expect("pool poisoned");
+        }
+        drop(g);
+        if shared.panicked.load(Ordering::SeqCst) {
+            panic!("worker task panicked");
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut g = self.shared.gate.lock().expect("pool poisoned");
+            g.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        let handles = std::mem::take(&mut *self.handles.lock().expect("pool poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut g = shared.gate.lock().expect("pool poisoned");
+            loop {
+                if g.shutdown {
+                    return;
+                }
+                if g.job.is_some() && g.epoch != seen {
+                    break;
+                }
+                g = shared.work.wait(g).expect("pool poisoned");
+            }
+            seen = g.epoch;
+            g.active += 1;
+            g.job.expect("checked above")
+        };
+        // SAFETY: `run` blocks until `active` drops to zero, so the
+        // closure reference outlives this claim loop.
+        let f = unsafe { &*job.f };
+        loop {
+            let i = shared.next.fetch_add(1, Ordering::Relaxed);
+            if i >= job.tasks {
+                break;
+            }
+            if catch_unwind(AssertUnwindSafe(|| f(i))).is_err() {
+                shared.panicked.store(true, Ordering::SeqCst);
+            }
+            shared.pending.fetch_sub(1, Ordering::AcqRel);
+        }
+        let mut g = shared.gate.lock().expect("pool poisoned");
+        g.active -= 1;
+        shared.done.notify_all();
+        drop(g);
+    }
 }
 
 /// Run `f(range)` in parallel over a block partition of `0..n` with
@@ -51,17 +290,15 @@ where
         return;
     }
     let ranges = block_ranges(n, threads);
-    crossbeam::scope(|s| {
-        for r in ranges {
-            let f = &f;
-            s.spawn(move |_| f(r));
-        }
-    })
-    .expect("worker thread panicked");
+    let pool = Pool::global();
+    pool.ensure_workers(threads - 1);
+    pool.run(ranges.len(), &|i| f(ranges[i].clone()));
 }
 
 /// Parallel map-reduce over a block partition of `0..n`: each worker folds
-/// its range with `fold`, partial results are combined with `combine`.
+/// its range with `fold`, partial results are combined with `combine` in
+/// ascending range order (so the combination order — and any floating-point
+/// result — does not depend on thread scheduling).
 pub fn parallel_reduce<T, F, C>(n: usize, threads: usize, identity: T, fold: F, combine: C) -> T
 where
     T: Send,
@@ -73,21 +310,20 @@ where
         return combine(identity, fold(0..n));
     }
     let ranges = block_ranges(n, threads);
-    let partials: Vec<T> = crossbeam::scope(|s| {
-        let handles: Vec<_> = ranges
-            .into_iter()
-            .map(|r| {
-                let fold = &fold;
-                s.spawn(move |_| fold(r))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .collect()
+    let slots: Vec<Mutex<Option<T>>> = ranges.iter().map(|_| Mutex::new(None)).collect();
+    let pool = Pool::global();
+    pool.ensure_workers(threads - 1);
+    pool.run(ranges.len(), &|i| {
+        let v = fold(ranges[i].clone());
+        *slots[i].lock().expect("slot poisoned") = Some(v);
+    });
+    slots.into_iter().fold(identity, |acc, s| {
+        let v = s
+            .into_inner()
+            .expect("slot poisoned")
+            .expect("every range folded");
+        combine(acc, v)
     })
-    .expect("scope failed");
-    partials.into_iter().fold(identity, combine)
 }
 
 /// Apply `f` to disjoint mutable chunks of `data` in parallel — the
@@ -104,19 +340,39 @@ where
         return;
     }
     let ranges = block_ranges(n, threads);
-    crossbeam::scope(|s| {
-        let mut rest = data;
+    // Pre-split into raw chunk descriptors so the shared `Fn(usize)` task
+    // can hand each claimant its own disjoint slice.
+    struct Chunk<T> {
+        start: usize,
+        ptr: *mut T,
+        len: usize,
+    }
+    // SAFETY: chunks reference disjoint regions of `data`; each task index
+    // is claimed exactly once.
+    unsafe impl<T: Send> Sync for Chunk<T> {}
+    let mut chunks: Vec<Chunk<T>> = Vec::with_capacity(ranges.len());
+    {
+        let mut rest = &mut *data;
         let mut offset = 0usize;
-        for r in ranges {
+        for r in &ranges {
             let (head, tail) = rest.split_at_mut(r.len());
             rest = tail;
-            let f = &f;
-            let start = offset;
+            chunks.push(Chunk {
+                start: offset,
+                ptr: head.as_mut_ptr(),
+                len: head.len(),
+            });
             offset += r.len();
-            s.spawn(move |_| f(start, head));
         }
-    })
-    .expect("worker thread panicked");
+    }
+    let pool = Pool::global();
+    pool.ensure_workers(threads - 1);
+    pool.run(chunks.len(), &|i| {
+        let c = &chunks[i];
+        // SAFETY: disjoint chunk, claimed once; lives for the whole run.
+        let slice = unsafe { std::slice::from_raw_parts_mut(c.ptr, c.len) };
+        f(c.start, slice);
+    });
 }
 
 /// A monotone counter shared across workers (used by the executor to count
@@ -151,7 +407,7 @@ mod tests {
         for n in [0usize, 1, 7, 100, 101] {
             for p in [1usize, 2, 3, 8, 150] {
                 let rs = block_ranges(n, p);
-                assert_eq!(rs.len(), p);
+                assert_eq!(rs.len(), p.max(1).min(n.max(1)));
                 assert_eq!(rs.first().unwrap().start, 0);
                 assert_eq!(rs.last().unwrap().end, n);
                 for w in rs.windows(2) {
@@ -161,6 +417,10 @@ mod tests {
                 let lens: Vec<usize> = rs.iter().map(|r| r.len()).collect();
                 let (mn, mx) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
                 assert!(mx - mn <= 1);
+                // No empty ranges once there is work.
+                if n > 0 {
+                    assert!(lens.iter().all(|&l| l > 0));
+                }
             }
         }
     }
@@ -180,11 +440,30 @@ mod tests {
     #[test]
     fn parallel_reduce_sums() {
         let n = 10_000usize;
-        let total = parallel_reduce(n, 8, 0u64, |r| r.map(|i| i as u64).sum::<u64>(), |a, b| a + b);
+        let total = parallel_reduce(
+            n,
+            8,
+            0u64,
+            |r| r.map(|i| i as u64).sum::<u64>(),
+            |a, b| a + b,
+        );
         assert_eq!(total, (n as u64 - 1) * n as u64 / 2);
         // Single-threaded path agrees.
-        let t1 = parallel_reduce(n, 1, 0u64, |r| r.map(|i| i as u64).sum::<u64>(), |a, b| a + b);
+        let t1 = parallel_reduce(
+            n,
+            1,
+            0u64,
+            |r| r.map(|i| i as u64).sum::<u64>(),
+            |a, b| a + b,
+        );
         assert_eq!(t1, total);
+    }
+
+    #[test]
+    fn parallel_reduce_caps_parts_by_n() {
+        // More threads than items: every range still folds exactly once.
+        let total = parallel_reduce(3, 64, 0u64, |r| r.map(|i| i as u64 + 1).sum(), |a, b| a + b);
+        assert_eq!(total, 6);
     }
 
     #[test]
@@ -220,5 +499,63 @@ mod tests {
     #[test]
     fn default_threads_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn pool_reuses_workers_across_jobs() {
+        let pool = Pool::new(3);
+        assert_eq!(pool.workers(), 3);
+        let c = SharedCounter::new();
+        for _ in 0..50 {
+            pool.run(16, &|_| c.add(1));
+        }
+        assert_eq!(c.get(), 50 * 16);
+        assert_eq!(pool.workers(), 3); // no respawn per job
+    }
+
+    #[test]
+    fn pool_nested_submission_runs_inline() {
+        let pool = Pool::new(2);
+        let c = SharedCounter::new();
+        pool.run(4, &|_| {
+            // A task submitting to the same pool must not deadlock.
+            pool.run(4, &|_| c.add(1));
+        });
+        assert_eq!(c.get(), 16);
+    }
+
+    #[test]
+    fn pool_with_zero_workers_runs_on_caller() {
+        let pool = Pool::new(0);
+        let c = SharedCounter::new();
+        pool.run(10, &|_| c.add(1));
+        assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    fn pool_task_panic_propagates() {
+        let pool = Pool::new(2);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(8, &|i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(r.is_err());
+        // Pool is still usable after a panicked job.
+        let c = SharedCounter::new();
+        pool.run(8, &|_| c.add(1));
+        assert_eq!(c.get(), 8);
+    }
+
+    #[test]
+    fn global_pool_with_entry() {
+        let total = Pool::with(|p| {
+            let c = SharedCounter::new();
+            p.run(32, &|_| c.add(2));
+            c.get()
+        });
+        assert_eq!(total, 64);
     }
 }

@@ -115,8 +115,7 @@ mod tests {
         assert!(front.len() >= 3, "need several regimes to exercise");
         for point in front.points() {
             let built = spacetime_program(&tree, &space, &tensors, &point.tag, "E").unwrap();
-            let mut interp =
-                tce_exec::Interpreter::new(&built.program, &space, &inputs, &funcs);
+            let mut interp = tce_exec::Interpreter::new(&built.program, &space, &inputs, &funcs);
             interp.run(&mut tce_exec::NoSink);
             let got = interp.output().get(&[]);
             assert!(

@@ -164,8 +164,7 @@ pub fn spacetime_dp(tree: &OpTree, space: &IndexSpace, max_points: usize) -> Spa
                 for (c1, r1) in edge_labels(tree, l, u) {
                     for (c2, r2) in edge_labels(tree, r, u) {
                         // Legality over the structural labels c ∪ r.
-                        let Some((s1, s2)) =
-                            derive_child_states(state, c1.union(r1), c2.union(r2))
+                        let Some((s1, s2)) = derive_child_states(state, c1.union(r1), c2.union(r2))
                         else {
                             continue;
                         };
@@ -392,7 +391,7 @@ pub fn spacetime_bruteforce(tree: &OpTree, space: &IndexSpace) -> Pareto<SpaceTi
         cfg.redundant[node.0 as usize] = IndexSet::EMPTY;
     }
     rec(tree, space, &edges, 0, &mut cfg, &mut front);
-    let _ = (check_scopes as fn(&OpTree, &FusionConfig) -> Result<(), String>, );
+    let _ = (check_scopes as fn(&OpTree, &FusionConfig) -> Result<(), String>,);
     front
 }
 
@@ -403,7 +402,11 @@ mod tests {
     /// The A3A-style pair: E = Σ_ce f1(c,e,b,k)-ish toy at small scale —
     /// build E = Σ_{c,e,a,f} X[c,e,a,f]·Y[c,e,a,f] with Y = Σ_{b,k}
     /// T1(c,e,b,k)·T2(a,f,b,k), T1/T2 function leaves.
-    fn a3a_like(v_ext: usize, o_ext: usize, ci: u64) -> (IndexSpace, OpTree, NodeId, NodeId, NodeId) {
+    fn a3a_like(
+        v_ext: usize,
+        o_ext: usize,
+        ci: u64,
+    ) -> (IndexSpace, OpTree, NodeId, NodeId, NodeId) {
         let mut space = IndexSpace::new();
         let v = space.add_range("V", v_ext);
         let o = space.add_range("O", o_ext);
@@ -503,21 +506,17 @@ mod tests {
         let exact = spacetime_dp(&tree, &space, usize::MAX);
         let trimmed = spacetime_dp(&tree, &space, 2);
         assert!(trimmed.len() <= exact.len());
-        assert_eq!(
-            trimmed.min_mem().unwrap().mem,
-            exact.min_mem().unwrap().mem
-        );
+        assert_eq!(trimmed.min_mem().unwrap().mem, exact.min_mem().unwrap().mem);
     }
 
     #[test]
     fn dp_frontier_matches_bruteforce_on_random_trees() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(99_2002);
+        use tce_ir::rng::Rng;
+        let mut rng = Rng::new(99_2002);
         for trial in 0..16 {
             let mut space = IndexSpace::new();
-            let r1 = space.add_range("P", rng.gen_range(2..4));
-            let r2 = space.add_range("Q", rng.gen_range(2..5));
+            let r1 = space.add_range("P", rng.usize_in(2..4));
+            let r2 = space.add_range("Q", rng.usize_in(2..5));
             let vars: Vec<_> = (0..4)
                 .map(|q| space.add_var(&format!("x{q}"), if q % 2 == 0 { r1 } else { r2 }))
                 .collect();
@@ -525,11 +524,11 @@ mod tests {
             let nleaves = 3;
             let mut nodes: Vec<NodeId> = (0..nleaves)
                 .map(|li| {
-                    let arity = rng.gen_range(1..=2);
+                    let arity = rng.usize_in(1..3);
                     let mut set = IndexSet::EMPTY;
                     let mut idxs = Vec::new();
                     for _ in 0..arity {
-                        let v = vars[rng.gen_range(0..vars.len())];
+                        let v = vars[rng.usize_in(0..vars.len())];
                         if !set.contains(v) {
                             set.insert(v);
                             idxs.push(v);
@@ -539,12 +538,12 @@ mod tests {
                 })
                 .collect();
             while nodes.len() > 1 {
-                let a = nodes.swap_remove(rng.gen_range(0..nodes.len()));
-                let b = nodes.swap_remove(rng.gen_range(0..nodes.len()));
+                let a = nodes.swap_remove(rng.usize_in(0..nodes.len()));
+                let b = nodes.swap_remove(rng.usize_in(0..nodes.len()));
                 let combined = tree.node(a).indices.union(tree.node(b).indices);
                 let mut keep = IndexSet::EMPTY;
                 for v in combined.iter() {
-                    if rng.gen_bool(0.5) {
+                    if rng.bool_with(0.5) {
                         keep.insert(v);
                     }
                 }

@@ -33,19 +33,12 @@ impl<T: Clone> Pareto<T> {
     /// Insert a candidate, keeping only non-dominated points.
     pub fn insert(&mut self, mem: u128, ops: u128, tag: T) {
         // Dominated by an existing point?
-        if self
-            .points
-            .iter()
-            .any(|p| p.mem <= mem && p.ops <= ops)
-        {
+        if self.points.iter().any(|p| p.mem <= mem && p.ops <= ops) {
             return;
         }
         self.points.retain(|p| !(mem <= p.mem && ops <= p.ops));
         let pos = self.points.partition_point(|p| p.mem < mem);
-        self.points.insert(
-            pos,
-            ParetoPoint { mem, ops, tag },
-        );
+        self.points.insert(pos, ParetoPoint { mem, ops, tag });
     }
 
     /// The frontier, sorted by increasing memory.
@@ -126,13 +119,12 @@ mod tests {
 
     #[test]
     fn frontier_invariant_on_random_input() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(3);
+        use tce_ir::rng::Rng;
+        let mut rng = Rng::new(3);
         let mut p = Pareto::new();
         let mut all = Vec::new();
         for i in 0..500 {
-            let (m, o) = (rng.gen_range(0..1000u128), rng.gen_range(0..1000u128));
+            let (m, o) = (rng.u128_in(0..1000), rng.u128_in(0..1000));
             all.push((m, o));
             p.insert(m, o, i);
         }

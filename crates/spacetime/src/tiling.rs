@@ -141,7 +141,14 @@ pub fn search_tiles(
     }
 
     rec(
-        tree, space, cfg, mem_limit, &indices, 0, &mut blocks, &mut best,
+        tree,
+        space,
+        cfg,
+        mem_limit,
+        &indices,
+        0,
+        &mut blocks,
+        &mut best,
     );
     best
 }

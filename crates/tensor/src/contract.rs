@@ -111,7 +111,7 @@ pub fn contract_naive(
 /// Sum a tensor over the dims of `spec.a` (or `.b`) that appear neither in
 /// the other operand nor in the output; returns the reduced tensor and its
 /// remaining index list.
-fn reduce_exclusive(
+pub(crate) fn reduce_exclusive(
     spec: &BinaryContraction,
     space: &IndexSpace,
     t: &Tensor,
@@ -125,7 +125,11 @@ fn reduce_exclusive(
     let other_set = IndexSet::from_vars(other.iter().copied());
     let out_set = IndexSet::from_vars(spec.out.iter().copied());
     let keep_set = other_set.union(out_set);
-    let keep: Vec<IndexVar> = own.iter().copied().filter(|v| keep_set.contains(*v)).collect();
+    let keep: Vec<IndexVar> = own
+        .iter()
+        .copied()
+        .filter(|v| keep_set.contains(*v))
+        .collect();
     if keep.len() == own.len() {
         return (t.clone(), keep);
     }
@@ -216,7 +220,11 @@ pub fn contract_gemm(
     let perm_for = |dims: &[IndexVar], order: &[IndexVar]| -> Vec<usize> {
         order
             .iter()
-            .map(|v| dims.iter().position(|d| d == v).expect("index not in operand"))
+            .map(|v| {
+                dims.iter()
+                    .position(|d| d == v)
+                    .expect("index not in operand")
+            })
             .collect()
     };
 
@@ -236,7 +244,12 @@ pub fn contract_gemm(
     let ap = a.permute(&perm_for(&spec.a, &a_order));
     let bp = b.permute(&perm_for(&spec.b, &b_order));
 
-    let ext = |vs: &[IndexVar]| -> usize { vs.iter().map(|&v| space.extent(v)).product::<usize>().max(1) };
+    let ext = |vs: &[IndexVar]| -> usize {
+        vs.iter()
+            .map(|&v| space.extent(v))
+            .product::<usize>()
+            .max(1)
+    };
     let (nb, m, n, k) = (ext(&batch_v), ext(&m_v), ext(&n_v), ext(&k_v));
 
     // C in [batch…, m…, n…] order.
@@ -306,7 +319,14 @@ mod tests {
     #[test]
     fn gemm_accumulates_into_c() {
         let mut c = vec![1.0; 4];
-        gemm_blocked(&[1.0, 0.0, 0.0, 1.0], &[2.0, 0.0, 0.0, 2.0], &mut c, 2, 2, 2);
+        gemm_blocked(
+            &[1.0, 0.0, 0.0, 1.0],
+            &[2.0, 0.0, 0.0, 2.0],
+            &mut c,
+            2,
+            2,
+            2,
+        );
         assert_eq!(c, vec![3.0, 1.0, 1.0, 3.0]);
     }
 

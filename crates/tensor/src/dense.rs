@@ -7,8 +7,7 @@
 //! and the loop-IR interpreter in `tce-exec` build on the indexing methods
 //! here.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tce_ir::rng::Rng;
 
 /// A dense row-major tensor of `f64`.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,6 +23,83 @@ fn row_major_strides(shape: &[usize]) -> Vec<usize> {
         strides[i] = strides[i + 1] * shape[i + 1];
     }
     strides
+}
+
+/// Tensors at or above this element count permute thread-parallel.
+const PAR_PERMUTE_MIN: usize = 1 << 16;
+
+/// Leaf size (elements) for the cache-oblivious permute recursion: small
+/// enough that a source tile and a destination tile both sit in L1.
+const PERMUTE_LEAF: usize = 4096;
+
+/// Copy the output-coordinate box `[lo, hi)` of a permutation,
+/// cache-obliviously: recursively halve the widest dimension until the
+/// box fits in cache, then run a strided odometer copy.  `dst` starts at
+/// flat output offset `dst_base`; `sstr[d]`/`dstr[d]` are the source and
+/// destination strides of output dimension `d`.
+fn copy_box(
+    src: &[f64],
+    dst: &mut [f64],
+    sstr: &[usize],
+    dstr: &[usize],
+    lo: &[usize],
+    hi: &[usize],
+    dst_base: usize,
+) {
+    let rank = lo.len();
+    if rank == 0 {
+        dst[0] = src[0];
+        return;
+    }
+    let elems: usize = lo.iter().zip(hi).map(|(&l, &h)| h - l).product();
+    if elems == 0 {
+        return;
+    }
+    if elems > PERMUTE_LEAF {
+        let (d, _) = lo
+            .iter()
+            .zip(hi)
+            .map(|(&l, &h)| h - l)
+            .enumerate()
+            .max_by_key(|&(_, w)| w)
+            .expect("non-empty box");
+        if hi[d] - lo[d] > 1 {
+            let mid = lo[d] + (hi[d] - lo[d]) / 2;
+            let mut hi1 = hi.to_vec();
+            hi1[d] = mid;
+            let mut lo2 = lo.to_vec();
+            lo2[d] = mid;
+            copy_box(src, dst, sstr, dstr, lo, &hi1, dst_base);
+            copy_box(src, dst, sstr, dstr, &lo2, hi, dst_base);
+            return;
+        }
+    }
+    // Leaf: odometer over the outer dims, contiguous-ish run over the
+    // innermost output dimension.
+    let last = rank - 1;
+    let n_last = hi[last] - lo[last];
+    let (s_last, d_last) = (sstr[last], dstr[last]);
+    let mut idx = lo.to_vec();
+    loop {
+        let s0: usize = idx.iter().zip(sstr).map(|(&i, &s)| i * s).sum();
+        let d0: usize = idx.iter().zip(dstr).map(|(&i, &s)| i * s).sum::<usize>() - dst_base;
+        for t in 0..n_last {
+            dst[d0 + t * d_last] = src[s0 + t * s_last];
+        }
+        // Advance the outer odometer within the box.
+        let mut d = last;
+        loop {
+            if d == 0 {
+                return;
+            }
+            d -= 1;
+            idx[d] += 1;
+            if idx[d] < hi[d] {
+                break;
+            }
+            idx[d] = lo[d];
+        }
+    }
 }
 
 impl Tensor {
@@ -59,10 +135,10 @@ impl Tensor {
     /// Deterministic pseudo-random tensor in `[-1, 1)` for tests and
     /// benchmarks.
     pub fn random(shape: &[usize], seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::new(seed);
         let mut t = Self::zeros(shape);
         for x in &mut t.data {
-            *x = rng.gen_range(-1.0..1.0);
+            *x = rng.f64_in(-1.0, 1.0);
         }
         t
     }
@@ -169,26 +245,84 @@ impl Tensor {
     /// Return a copy with dimensions permuted: `out[i…] = self[perm(i…)]`,
     /// where output dimension `d` is input dimension `perm[d]`.
     ///
+    /// Uses a blocked, cache-oblivious kernel (recursively splitting the
+    /// largest extent until a tile fits in cache) and goes thread-parallel
+    /// for large tensors.  Parallelism is safe here at any thread count: a
+    /// permutation is a pure copy, so the result is bitwise identical
+    /// however the work is split.
+    ///
     /// # Panics
     /// Panics if `perm` is not a permutation of `0..rank`.
     pub fn permute(&self, perm: &[usize]) -> Tensor {
+        let threads = if self.data.len() >= PAR_PERMUTE_MIN {
+            tce_par::default_threads()
+        } else {
+            1
+        };
+        self.permute_with_threads(perm, threads)
+    }
+
+    /// [`permute`](Self::permute) with an explicit worker count.
+    ///
+    /// # Panics
+    /// Panics if `perm` is not a permutation of `0..rank`.
+    pub fn permute_with_threads(&self, perm: &[usize], threads: usize) -> Tensor {
         assert_eq!(perm.len(), self.rank(), "permutation length mismatch");
         let mut seen = vec![false; self.rank()];
         for &p in perm {
             assert!(p < self.rank() && !seen[p], "invalid permutation");
             seen[p] = true;
         }
+        // Identity permutations and rank ≤ 1 are plain copies.
+        if perm.iter().enumerate().all(|(d, &p)| d == p) {
+            return self.clone();
+        }
         let new_shape: Vec<usize> = perm.iter().map(|&p| self.shape[p]).collect();
         let mut out = Tensor::zeros(&new_shape);
-        let mut idx = vec![0usize; new_shape.len()];
-        let mut src = vec![0usize; new_shape.len()];
-        for off in 0..out.data.len() {
-            for (d, &p) in perm.iter().enumerate() {
-                src[p] = idx[d];
-            }
-            out.data[off] = self.get(&src);
-            Self::advance(&mut idx, &new_shape);
+        // Walk the *output* row-major; source strides for output dim `d`
+        // are the input strides of dimension `perm[d]`.
+        let sstr: Vec<usize> = perm.iter().map(|&p| self.strides[p]).collect();
+        let dstr = out.strides.clone();
+        let rank = new_shape.len();
+
+        // Parallelize over output dim-0 slabs: disjoint destination
+        // regions, so workers never touch the same bytes.
+        let slabs = new_shape[0];
+        let threads = threads.max(1).min(slabs.max(1));
+        if threads <= 1 || out.data.len() < PAR_PERMUTE_MIN {
+            let lo = vec![0usize; rank];
+            copy_box(&self.data, &mut out.data, &sstr, &dstr, &lo, &new_shape, 0);
+            return out;
         }
+        let slab_elems = out.data.len() / slabs;
+        // Pre-split the destination into per-slab slices so workers hold
+        // provably disjoint regions.
+        struct SlabPtr(*mut f64);
+        unsafe impl Send for SlabPtr {}
+        unsafe impl Sync for SlabPtr {}
+        let slab_ptrs: Vec<(SlabPtr, usize)> = out
+            .data
+            .chunks_mut(slab_elems)
+            .map(|c| (SlabPtr(c.as_mut_ptr()), c.len()))
+            .collect();
+        let src = &self.data[..];
+        let shape_ref = &new_shape;
+        let sstr_ref = &sstr;
+        let dstr_ref = &dstr;
+        let slab_ptrs_ref = &slab_ptrs;
+        tce_par::parallel_for(slabs, threads, move |range| {
+            for s in range {
+                let (ptr, len) = &slab_ptrs_ref[s];
+                // SAFETY: each slab index appears in exactly one range.
+                let dst = unsafe { std::slice::from_raw_parts_mut(ptr.0, *len) };
+                let mut lo = vec![0usize; rank];
+                let mut hi = shape_ref.clone();
+                lo[0] = s;
+                hi[0] = s + 1;
+                // Offsets inside this slab are relative to its start.
+                copy_box(src, dst, sstr_ref, dstr_ref, &lo, &hi, s * slab_elems);
+            }
+        });
         out
     }
 
@@ -327,6 +461,37 @@ mod tests {
     #[should_panic(expected = "invalid permutation")]
     fn permute_rejects_duplicates() {
         Tensor::zeros(&[2, 2]).permute(&[0, 0]);
+    }
+
+    #[test]
+    fn permute_large_crosses_parallel_threshold() {
+        // 48·40·36 = 69 120 elements > PAR_PERMUTE_MIN, so permute()
+        // takes the blocked parallel path; verify against get().
+        let t = Tensor::random(&[48, 40, 36], 11);
+        let p = t.permute(&[2, 0, 1]);
+        assert_eq!(p.shape(), &[36, 48, 40]);
+        for &(x, y, z) in &[(0, 0, 0), (35, 47, 39), (17, 23, 5), (1, 46, 38)] {
+            assert_eq!(p.get(&[x, y, z]), t.get(&[y, z, x]));
+        }
+        let back = p.permute_with_threads(&[1, 2, 0], 3);
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn permute_bitwise_identical_across_thread_counts() {
+        let t = Tensor::random(&[40, 41, 43], 12);
+        let p1 = t.permute_with_threads(&[1, 2, 0], 1);
+        for threads in [2, 5, 7, 64] {
+            assert_eq!(p1, t.permute_with_threads(&[1, 2, 0], threads));
+        }
+    }
+
+    #[test]
+    fn permute_identity_and_rank0() {
+        let t = Tensor::random(&[5, 6], 13);
+        assert_eq!(t.permute(&[0, 1]), t);
+        let s = Tensor::from_elem(&[], 2.5);
+        assert_eq!(s.permute(&[]), s);
     }
 
     #[test]

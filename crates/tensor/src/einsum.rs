@@ -91,19 +91,15 @@ impl EinsumSpec {
 
         // Precompute, for each operand (and the output), the loop-var
         // positions of its dimensions so the inner loop is a gather.
-        let gather = |idxs: &[IndexVar]| -> Vec<usize> {
-            idxs.iter().map(|&v| pos[v.0 as usize]).collect()
-        };
+        let gather =
+            |idxs: &[IndexVar]| -> Vec<usize> { idxs.iter().map(|&v| pos[v.0 as usize]).collect() };
         let out_pos = gather(&self.output);
         let in_pos: Vec<Vec<usize>> = self.inputs.iter().map(|v| gather(v)).collect();
 
         let total: usize = loop_shape.iter().product::<usize>().max(1);
         let mut idx = vec![0usize; loop_vars.len()];
-        let mut op_idx: Vec<Vec<usize>> = self
-            .inputs
-            .iter()
-            .map(|v| vec![0usize; v.len()])
-            .collect();
+        let mut op_idx: Vec<Vec<usize>> =
+            self.inputs.iter().map(|v| vec![0usize; v.len()]).collect();
         let mut out_idx = vec![0usize; self.output.len()];
         for _ in 0..total {
             let mut prod = 1.0;
@@ -143,7 +139,8 @@ mod tests {
         let (i, j, k) = (v[0], v[1], v[2]);
         let a = Tensor::random(&[3, 3], 1); // A[i,k]
         let b = Tensor::random(&[3, 4], 2); // B[k,j]
-        let spec = EinsumSpec::new(vec![i, j], vec![vec![i, k], vec![k, j]], k.singleton()).unwrap();
+        let spec =
+            EinsumSpec::new(vec![i, j], vec![vec![i, k], vec![k, j]], k.singleton()).unwrap();
         let c = spec.eval(&sp, &[&a, &b]);
         for ii in 0..3 {
             for jj in 0..4 {
@@ -161,12 +158,7 @@ mod tests {
         let (sp, v) = space2(3, 4);
         let (i, j, _) = (v[0], v[1], v[2]);
         let a = Tensor::random(&[3, 4], 3);
-        let spec = EinsumSpec::new(
-            vec![],
-            vec![vec![i, j]],
-            IndexSet::from_vars([i, j]),
-        )
-        .unwrap();
+        let spec = EinsumSpec::new(vec![], vec![vec![i, j]], IndexSet::from_vars([i, j])).unwrap();
         let s = spec.eval(&sp, &[&a]);
         assert_eq!(s.rank(), 0);
         assert!((s.get(&[]) - a.sum()).abs() < 1e-12);
@@ -178,8 +170,7 @@ mod tests {
         let (i, j, _) = (v[0], v[1], v[2]);
         let a = Tensor::random(&[2], 4);
         let b = Tensor::random(&[3], 5);
-        let spec =
-            EinsumSpec::new(vec![i, j], vec![vec![i], vec![j]], IndexSet::EMPTY).unwrap();
+        let spec = EinsumSpec::new(vec![i, j], vec![vec![i], vec![j]], IndexSet::EMPTY).unwrap();
         let c = spec.eval(&sp, &[&a, &b]);
         for ii in 0..2 {
             for jj in 0..3 {
@@ -217,7 +208,8 @@ mod tests {
     fn naive_ops_counts_full_space() {
         let (sp, v) = space2(3, 4);
         let (i, j, k) = (v[0], v[1], v[2]);
-        let spec = EinsumSpec::new(vec![i, j], vec![vec![i, k], vec![k, j]], k.singleton()).unwrap();
+        let spec =
+            EinsumSpec::new(vec![i, j], vec![vec![i, k], vec![k, j]], k.singleton()).unwrap();
         // 3*4*3 iterations × 2 operands
         assert_eq!(spec.naive_ops(&sp), 3 * 4 * 3 * 2);
     }
@@ -243,7 +235,8 @@ mod tests {
         let (i, j, k) = (v[0], v[1], v[2]);
         let a = Tensor::zeros(&[3, 4]); // wrong: should be [3,3]
         let b = Tensor::zeros(&[3, 4]);
-        let spec = EinsumSpec::new(vec![i, j], vec![vec![i, k], vec![k, j]], k.singleton()).unwrap();
+        let spec =
+            EinsumSpec::new(vec![i, j], vec![vec![i, k], vec![k, j]], k.singleton()).unwrap();
         spec.eval(&sp, &[&a, &b]);
     }
 }

@@ -34,7 +34,8 @@ impl IntegralFn {
     pub fn eval(&self, args: &[usize]) -> f64 {
         let mut h = self.seed ^ 0x9e37_79b9_7f4a_7c15;
         for &a in args {
-            h ^= (a as u64).wrapping_add(0x9e37_79b9_7f4a_7c15)
+            h ^= (a as u64)
+                .wrapping_add(0x9e37_79b9_7f4a_7c15)
                 .wrapping_add(h << 6)
                 .wrapping_add(h >> 2);
         }

@@ -28,6 +28,7 @@
 pub mod contract;
 pub mod dense;
 pub mod einsum;
+pub mod gett;
 pub mod integrals;
 pub mod packed;
 pub mod sparse;
@@ -35,6 +36,7 @@ pub mod sparse;
 pub use contract::{contract_gemm, contract_naive, gemm_blocked, BinaryContraction};
 pub use dense::Tensor;
 pub use einsum::EinsumSpec;
+pub use gett::{contract_gett, plan_cache_stats, plan_for, ContractionPlan};
 pub use integrals::IntegralFn;
 pub use packed::PackedSymmetric;
 pub use sparse::{contract_sparse_dense, sparse_contraction_ops, SparseTensor};

@@ -12,8 +12,7 @@
 
 use crate::contract::BinaryContraction;
 use crate::dense::Tensor;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tce_ir::rng::Rng;
 use tce_ir::{IndexSet, IndexSpace, IndexVar};
 
 /// A sparse tensor in coordinate form, sorted by row-major flat offset.
@@ -44,12 +43,12 @@ impl SparseTensor {
     /// A random sparse tensor with approximately the given density.
     pub fn random(shape: &[usize], density: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&density), "density in [0, 1]");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::new(seed);
         let total: usize = shape.iter().product::<usize>().max(1);
         let mut entries = Vec::new();
         for off in 0..total {
-            if rng.gen_bool(density) {
-                entries.push((off, rng.gen_range(-1.0..1.0)));
+            if rng.bool_with(density) {
+                entries.push((off, rng.f64_in(-1.0, 1.0)));
             }
         }
         Self {

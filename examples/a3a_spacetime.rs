@@ -21,13 +21,18 @@ fn main() {
     let paper = A3AScenario::new(5000, 100, 1000);
     println!("== paper scale (V = 5000, O = 100, C_i = 1000) ==");
     println!("Fig. 2 (unfused, operation-minimal):");
-    println!("{:>4} {:>24} {:>28}", "arr", "space (elements)", "time (flops)");
+    println!(
+        "{:>4} {:>24} {:>28}",
+        "arr", "space (elements)", "time (flops)"
+    );
     for (name, space, time) in paper.fig2_table() {
         println!("{name:>4} {space:>24} {time:>28}");
     }
-    println!("  → T1/T2 are ~{:.1e} bytes, X/Y ~{:.1e} bytes: impractical, as the paper notes.",
+    println!(
+        "  → T1/T2 are ~{:.1e} bytes, X/Y ~{:.1e} bytes: impractical, as the paper notes.",
         8.0 * paper.fig2_table()[1].1 as f64,
-        8.0 * paper.fig2_table()[0].1 as f64);
+        8.0 * paper.fig2_table()[0].1 as f64
+    );
 
     println!("\nFig. 3 (fully fused, B = 1): all temporaries scalars;");
     let fig3 = paper.fig4_table(1);

@@ -38,19 +38,12 @@ fn main() {
     println!("== Fig. 1(a): formula sequence ==");
     print!(
         "{}",
-        plan.tree.formula_sequence(space, "S", &|t| syn
-            .program
-            .tensors
-            .get(t)
-            .name
-            .clone())
+        plan.tree
+            .formula_sequence(space, "S", &|t| syn.program.tensors.get(t).name.clone())
     );
 
     println!("\n== operation counts (paper §2) ==");
-    println!(
-        "direct:     {} = 4·N^10 at N = {N}",
-        plan.direct_ops
-    );
+    println!("direct:     {} = 4·N^10 at N = {N}", plan.direct_ops);
     println!(
         "op-minimal: {} = {} at N = {N}",
         plan.tree_ops,

@@ -24,15 +24,28 @@ fn main() {
     let k = sp.add_var("k", rn);
     let t = sp.add_var("t", rn);
     let grid = ProcessorGrid::new(vec![2, 4, 8]);
-    let alpha = DistTuple(vec![DistEntry::Idx(k), DistEntry::Replicate, DistEntry::One]);
-    println!("== §7 ownership example: B[j,k,t] with {} on a 2×4×8 grid ==", alpha.display(&sp));
+    let alpha = DistTuple(vec![
+        DistEntry::Idx(k),
+        DistEntry::Replicate,
+        DistEntry::One,
+    ]);
+    println!(
+        "== §7 ownership example: B[j,k,t] with {} on a 2×4×8 grid ==",
+        alpha.display(&sp)
+    );
     for coords in [[0usize, 0, 0], [1, 2, 0], [1, 2, 3]] {
         let held = alpha.local_elements(&[j, k, t], &sp, &grid, &coords);
         println!(
             "  P({},{},{}) holds {} elements{}",
-            coords[0], coords[1], coords[2], held,
+            coords[0],
+            coords[1],
+            coords[2],
+            held,
             if held > 0 {
-                format!(" — B[0..16, {:?}, 0..16]", alpha.owned_range(k, &sp, &grid, &coords))
+                format!(
+                    " — B[0..16, {:?}, 0..16]",
+                    alpha.owned_range(k, &sp, &grid, &coords)
+                )
             } else {
                 String::new()
             }
@@ -41,7 +54,11 @@ fn main() {
 
     // --- the paper's redistribution example ---
     let t1_from = DistTuple(vec![DistEntry::One, DistEntry::Idx(t), DistEntry::Idx(j)]);
-    let t2_from = DistTuple(vec![DistEntry::Idx(j), DistEntry::Replicate, DistEntry::One]);
+    let t2_from = DistTuple(vec![
+        DistEntry::Idx(j),
+        DistEntry::Replicate,
+        DistEntry::One,
+    ]);
     let to = DistTuple(vec![DistEntry::Idx(j), DistEntry::Idx(t), DistEntry::One]);
     println!("\n== §7 redistribution example (arrays T1[j,t], T2[j,t]) ==");
     println!(
@@ -95,7 +112,10 @@ fn main() {
             id.0,
             gamma.display(&space),
             mode,
-            plan.node_dist[id.0 as usize].as_ref().unwrap().display(&space)
+            plan.node_dist[id.0 as usize]
+                .as_ref()
+                .unwrap()
+                .display(&space)
         );
     }
     // Sequential comparison: a 1×1 grid.

@@ -6,8 +6,8 @@
 //! ```
 
 use std::collections::HashMap;
-use tce_core::{synthesize, SynthesisConfig};
 use tce_core::tensor::Tensor;
+use tce_core::{synthesize, SynthesisConfig};
 
 fn main() {
     // A three-matrix chain with skewed extents — the classic case where

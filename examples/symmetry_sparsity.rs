@@ -38,10 +38,17 @@ fn main() {
         let unique = decl.unique_elements(space);
         let marks = format!(
             "{}{}",
-            if !decl.symmetry.is_empty() { " [symmetric]" } else { "" },
+            if !decl.symmetry.is_empty() {
+                " [symmetric]"
+            } else {
+                ""
+            },
             if decl.sparse { " [sparse]" } else { "" }
         );
-        println!("  {:>2}: {dense:>8} dense, {unique:>8} unique{marks}", decl.name);
+        println!(
+            "  {:>2}: {dense:>8} dense, {unique:>8} unique{marks}",
+            decl.name
+        );
     }
     println!("\n{}", syn.plans[0].report(space, &syn.program));
 

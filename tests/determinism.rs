@@ -1,0 +1,89 @@
+//! Thread-count determinism: every executed scenario — raw GETT
+//! contractions, operator trees, the A3A §3 scenario, and whole
+//! synthesized statement sequences — produces bitwise-identical output
+//! at every thread count.  This is the contract that makes `--threads`
+//! purely a performance knob: the parallel kernels partition *output*
+//! elements disjointly and keep every per-element accumulation order
+//! fixed, so not a single ulp may move.
+
+use std::collections::HashMap;
+use tce_core::exec::{execute_tree, ExecOptions};
+use tce_core::ir::rng::Rng;
+use tce_core::scenarios::{section2_source, A3AScenario};
+use tce_core::tensor::{contract_gett, BinaryContraction, Tensor};
+use tce_core::{synthesize, SynthesisConfig};
+
+const THREADS: [usize; 3] = [2, 3, 7];
+
+#[test]
+fn a3a_scenario_tree_is_bitwise_deterministic() {
+    let sc = A3AScenario::new(10, 4, 25);
+    let amp = sc.amplitudes(77);
+    let funcs = sc.functions();
+    let t_id = sc.tensors.by_name("T").unwrap();
+    let mut inputs = HashMap::new();
+    inputs.insert(t_id, &amp);
+    let base = execute_tree(&sc.tree, &sc.space, &inputs, &funcs, 1);
+    for threads in THREADS {
+        let got = execute_tree(&sc.tree, &sc.space, &inputs, &funcs, threads);
+        assert_eq!(base, got, "A3A energy changed bits at {threads} threads");
+    }
+}
+
+#[test]
+fn section2_pipeline_is_bitwise_deterministic() {
+    let syn = synthesize(&section2_source(5), &SynthesisConfig::default()).unwrap();
+    let shape = [5usize; 4];
+    let ta = Tensor::random(&shape, 1);
+    let tb = Tensor::random(&shape, 2);
+    let tc = Tensor::random(&shape, 3);
+    let td = Tensor::random(&shape, 4);
+    let mut ext = HashMap::new();
+    for (nm, t) in [("A", &ta), ("B", &tb), ("C", &tc), ("D", &td)] {
+        ext.insert(syn.program.tensors.by_name(nm).unwrap(), t);
+    }
+    let base = syn.execute_opts(&ext, &HashMap::new(), &ExecOptions::serial());
+    for threads in THREADS {
+        let got = syn.execute_opts(&ext, &HashMap::new(), &ExecOptions::with_threads(threads));
+        assert_eq!(base.len(), got.len());
+        for (id, t) in &base {
+            assert_eq!(
+                t,
+                &got[id],
+                "tensor {:?} changed bits at {threads} threads",
+                syn.program.tensors.get(*id).name
+            );
+        }
+    }
+}
+
+#[test]
+fn random_contractions_are_bitwise_deterministic() {
+    // Random shapes around the tile boundaries, including CCSD-like
+    // four-index contractions.
+    let mut rng = Rng::new(0xe001);
+    for _ in 0..8 {
+        let v = rng.usize_in(6..14);
+        let o = rng.usize_in(2..5);
+        let mut sp = tce_core::ir::IndexSpace::new();
+        let rv = sp.add_range("V", v);
+        let ro = sp.add_range("O", o);
+        let a = sp.add_var("a", rv);
+        let e = sp.add_var("e", rv);
+        let c = sp.add_var("c", rv);
+        let f = sp.add_var("f", rv);
+        let i = sp.add_var("i", ro);
+        let j = sp.add_var("j", ro);
+        let spec = BinaryContraction {
+            a: vec![i, j, a, e],
+            b: vec![i, j, c, f],
+            out: vec![a, e, c, f],
+        };
+        let ta = Tensor::random(&[o, o, v, v], rng.u64_in(0..1000));
+        let tb = Tensor::random(&[o, o, v, v], rng.u64_in(0..1000));
+        let base = contract_gett(&spec, &sp, &ta, &tb, 1);
+        for threads in THREADS {
+            assert_eq!(base, contract_gett(&spec, &sp, &ta, &tb, threads));
+        }
+    }
+}

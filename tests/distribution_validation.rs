@@ -1,11 +1,11 @@
 //! Distribution-stage validation: the §7 cost model against the simulated
 //! distributed machine, on randomized tuples and grids.
 
-use proptest::prelude::*;
 use tce_core::dist::{
     enumerate_tuples, move_cost, move_cost_elementwise, optimize_distribution,
     simulate_contraction, DistTuple, Machine,
 };
+use tce_core::ir::rng::Rng;
 use tce_core::ir::{IndexSet, IndexSpace, IndexVar, OpTree, TensorDecl, TensorTable};
 use tce_core::par::ProcessorGrid;
 use tce_core::tensor::{contract_naive, BinaryContraction, Tensor};
@@ -19,70 +19,77 @@ fn space3(n: usize) -> (IndexSpace, IndexVar, IndexVar, IndexVar) {
     (sp, i, j, k)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// The closed-form redistribution volume equals element-by-element
-    /// enumeration for random (β, α) pairs on random grids.
-    #[test]
-    fn move_cost_closed_form_is_exact(
-        n in 3usize..7,
-        dims in prop::sample::select(vec![vec![2usize,2], vec![2,3], vec![4], vec![3,2]]),
-        beta_pick in 0usize..200,
-        alpha_pick in 0usize..200,
-    ) {
+/// The closed-form redistribution volume equals element-by-element
+/// enumeration for random (β, α) pairs on random grids.
+#[test]
+fn move_cost_closed_form_is_exact() {
+    let grids = [vec![2usize, 2], vec![2, 3], vec![4], vec![3, 2]];
+    let mut rng = Rng::new(0xd001);
+    for _ in 0..32 {
+        let n = rng.usize_in(3..7);
+        let dims = grids[rng.usize_in(0..grids.len())].clone();
         let (sp, i, j, _) = space3(n);
         let grid = ProcessorGrid::new(dims);
         let arr = [i, j];
         let tuples = enumerate_tuples(IndexSet::from_vars(arr), grid.rank());
-        let beta = &tuples[beta_pick % tuples.len()];
-        let alpha = &tuples[alpha_pick % tuples.len()];
+        let beta = &tuples[rng.usize_in(0..200) % tuples.len()];
+        let alpha = &tuples[rng.usize_in(0..200) % tuples.len()];
         let fast = move_cost(&arr, &sp, &grid, beta, alpha);
         let slow = move_cost_elementwise(&arr, &sp, &grid, beta, alpha);
-        prop_assert_eq!(fast, slow, "β={} α={}", beta.display(&sp), alpha.display(&sp));
+        assert_eq!(
+            fast,
+            slow,
+            "β={} α={}",
+            beta.display(&sp),
+            alpha.display(&sp)
+        );
     }
+}
 
-    /// Redistribution to the same tuple is always free, and the triangle
-    /// property holds for receiving volume: direct ≤ via an intermediate
-    /// plus the second hop is not required (sanity: cost is finite and
-    /// symmetric in total elements when both are partitions).
-    #[test]
-    fn move_cost_identity_free(
-        n in 3usize..8,
-        pick in 0usize..100,
-    ) {
+/// Redistribution to the same tuple is always free.
+#[test]
+fn move_cost_identity_free() {
+    let mut rng = Rng::new(0xd002);
+    for _ in 0..32 {
+        let n = rng.usize_in(3..8);
         let (sp, i, j, _) = space3(n);
         let grid = ProcessorGrid::new(vec![2, 2]);
         let arr = [i, j];
         let tuples = enumerate_tuples(IndexSet::from_vars(arr), 2);
-        let t = &tuples[pick % tuples.len()];
-        prop_assert_eq!(move_cost(&arr, &sp, &grid, t, t), 0);
+        let t = &tuples[rng.usize_in(0..100) % tuples.len()];
+        assert_eq!(move_cost(&arr, &sp, &grid, t, t), 0);
     }
+}
 
-    /// Simulated distributed matmul agrees with the sequential kernel for
-    /// every loop-space distribution.
-    #[test]
-    fn simulation_correct_for_random_gamma(
-        n in 3usize..6,
-        gamma_pick in 0usize..500,
-        grid_dims in prop::sample::select(vec![vec![2usize], vec![3], vec![2,2], vec![2,3]]),
-        seed in 0u64..100,
-    ) {
+/// Simulated distributed matmul agrees with the sequential kernel for
+/// every loop-space distribution.
+#[test]
+fn simulation_correct_for_random_gamma() {
+    let grids = [vec![2usize], vec![3], vec![2, 2], vec![2, 3]];
+    let mut rng = Rng::new(0xd003);
+    for _ in 0..32 {
+        let n = rng.usize_in(3..6);
+        let grid_dims = grids[rng.usize_in(0..grids.len())].clone();
+        let seed = rng.u64_in(0..100);
         let (sp, i, j, k) = space3(n);
         let grid = ProcessorGrid::new(grid_dims);
         let tuples = enumerate_tuples(IndexSet::from_vars([i, j, k]), grid.rank());
-        let gamma: &DistTuple = &tuples[gamma_pick % tuples.len()];
+        let gamma: &DistTuple = &tuples[rng.usize_in(0..500) % tuples.len()];
         let a = Tensor::random(&[n, n], seed);
         let b = Tensor::random(&[n, n], seed + 1);
         let (got, stats) =
             simulate_contraction(&[i, k], &[k, j], &[i, j], &sp, &grid, gamma, &a, &b);
-        let spec = BinaryContraction { a: vec![i, k], b: vec![k, j], out: vec![i, j] };
+        let spec = BinaryContraction {
+            a: vec![i, k],
+            b: vec![k, j],
+            out: vec![i, j],
+        };
         let expect = contract_naive(&spec, &sp, &a, &b);
-        prop_assert!(got.approx_eq(&expect, 1e-9), "γ = {}", gamma.display(&sp));
+        assert!(got.approx_eq(&expect, 1e-9), "γ = {}", gamma.display(&sp));
         // Work conservation: representative processors cover each
         // iteration exactly once, so max·P ≥ N³ ≥ max.
         let total = (n * n * n) as u128;
-        prop_assert!(stats.max_local_iterations >= total / grid.num_processors() as u128);
+        assert!(stats.max_local_iterations >= total / grid.num_processors() as u128);
     }
 }
 
@@ -99,7 +106,10 @@ fn dp_cost_bounded_by_explicit_strategies() {
     let lb = tree.leaf_input(tb, vec![k, j]);
     tree.contract(la, lb, IndexSet::from_vars([i, j]));
     for (dims, word) in [(vec![2usize], 1u128), (vec![4], 10), (vec![2, 2], 1)] {
-        let machine = Machine { grid: ProcessorGrid::new(dims), word_cost: word };
+        let machine = Machine {
+            grid: ProcessorGrid::new(dims),
+            word_cost: word,
+        };
         let plan = optimize_distribution(&tree, &sp, &machine);
         // Sequential upper bound: all on processor (0,…): 2·N³, no comm.
         assert!(plan.total_cost <= 2 * 12u128.pow(3));
@@ -121,7 +131,10 @@ fn dp_matches_exhaustive_plan_costs_on_single_contraction() {
     let lb = tree.leaf_input(tb, vec![k, j]);
     let root = tree.contract(la, lb, IndexSet::from_vars([i, j]));
 
-    let machine = Machine { grid: ProcessorGrid::new(vec![2, 2]), word_cost: 3 };
+    let machine = Machine {
+        grid: ProcessorGrid::new(vec![2, 2]),
+        word_cost: 3,
+    };
     let plan = optimize_distribution(&tree, &sp, &machine);
 
     let loops = IndexSet::from_vars([i, j, k]);
@@ -150,11 +163,10 @@ fn dp_matches_exhaustive_plan_costs_on_single_contraction() {
             + calc_cost(loops, 2, &sp, &machine.grid, &gamma);
         for mode in [ReduceMode::Combine, ReduceMode::Replicate] {
             let after = after_reduction(&gamma, result, sums, mode);
-            let red = reduce_cost(result, sums, &sp, &machine.grid, &gamma, mode)
-                * machine.word_cost;
+            let red =
+                reduce_cost(result, sums, &sp, &machine.grid, &gamma, mode) * machine.word_cost;
             for alpha in enumerate_tuples(result, 2) {
-                let mv = move_cost(&dims, &sp, &machine.grid, &after, &alpha)
-                    * machine.word_cost;
+                let mv = move_cost(&dims, &sp, &machine.grid, &after, &alpha) * machine.word_cost;
                 best = best.min(base + red + mv);
             }
         }

@@ -21,10 +21,7 @@ fn verify_single_term(src: &str, seed: u64) {
             tce_core::ir::Factor::Tensor(r) => {
                 let shape: Vec<usize> = r.indices.iter().map(|&v| space.extent(v)).collect();
                 if !owned.iter().any(|(id, _)| *id == r.tensor) {
-                    owned.push((
-                        r.tensor,
-                        Tensor::random(&shape, seed ^ (r.tensor.0 as u64)),
-                    ));
+                    owned.push((r.tensor, Tensor::random(&shape, seed ^ (r.tensor.0 as u64))));
                 }
                 spec_inputs.push(r.indices.clone());
             }
@@ -39,9 +36,11 @@ fn verify_single_term(src: &str, seed: u64) {
         .factors
         .iter()
         .map(|f| match f {
-            tce_core::ir::Factor::Tensor(r) => {
-                owned.iter().find(|(id, _)| *id == r.tensor).map(|(_, t)| t).unwrap()
-            }
+            tce_core::ir::Factor::Tensor(r) => owned
+                .iter()
+                .find(|(id, _)| *id == r.tensor)
+                .map(|(_, t)| t)
+                .unwrap(),
             _ => unreachable!(),
         })
         .collect();

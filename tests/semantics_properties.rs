@@ -1,14 +1,14 @@
 //! Property-based tests: every transformation in the framework is
 //! semantics-preserving and every optimizer matches its oracle, on
-//! randomized instances.
+//! randomized instances drawn from the workspace's seeded [`Rng`].
 
-use proptest::prelude::*;
 use std::collections::HashMap;
 use tce_core::exec::{Interpreter, NoSink};
 use tce_core::fusion::{
     check_chainwise, enumerate_legal_configs, fusable_set, fused_program, memmin_bruteforce,
     memmin_dp, FusionConfig,
 };
+use tce_core::ir::rng::Rng;
 use tce_core::ir::{
     IndexSet, IndexSpace, IndexVar, Leaf, NodeId, OpTree, TensorDecl, TensorId, TensorTable,
 };
@@ -25,54 +25,57 @@ struct RandomProblem {
     output: IndexSet,
 }
 
-fn arb_problem() -> impl Strategy<Value = RandomProblem> {
+fn arb_problem(rng: &mut Rng) -> RandomProblem {
     // 2-4 factors over up to 5 index variables with extents 2..5.
-    (
-        proptest::collection::vec(2usize..5, 5),
-        proptest::collection::vec(proptest::collection::vec(0usize..5, 1..4), 2..5),
-        proptest::collection::vec(any::<bool>(), 5),
-    )
-        .prop_map(|(extents, factor_vars, out_flags)| {
-            let mut space = IndexSpace::new();
-            let ranges: Vec<_> = extents
-                .iter()
-                .enumerate()
-                .map(|(q, &e)| space.add_range(&format!("R{q}"), e))
-                .collect();
-            let vars: Vec<_> = (0..5)
-                .map(|q| space.add_var(&format!("x{q}"), ranges[q]))
-                .collect();
-            let mut tensors = TensorTable::new();
-            let mut factors = Vec::new();
-            let mut used = IndexSet::EMPTY;
-            for (fi, pick) in factor_vars.iter().enumerate() {
-                let mut set = IndexSet::EMPTY;
-                let mut idxs = Vec::new();
-                for &q in pick {
-                    let v = vars[q];
-                    if !set.contains(v) {
-                        set.insert(v);
-                        idxs.push(v);
-                        used.insert(v);
-                    }
-                }
-                let dims = idxs.iter().map(|&v| space.range_of(v)).collect();
-                let id = tensors.add(TensorDecl::dense(&format!("F{fi}"), dims));
-                factors.push((id, idxs));
-            }
-            let mut output = IndexSet::EMPTY;
-            for (q, &flag) in out_flags.iter().enumerate() {
-                if flag && used.contains(vars[q]) {
-                    output.insert(vars[q]);
-                }
-            }
-            RandomProblem {
-                space,
-                tensors,
-                factors,
-                output,
-            }
+    let extents: Vec<usize> = (0..5).map(|_| rng.usize_in(2..5)).collect();
+    let factor_vars: Vec<Vec<usize>> = (0..rng.usize_in(2..5))
+        .map(|_| {
+            (0..rng.usize_in(1..4))
+                .map(|_| rng.usize_in(0..5))
+                .collect()
         })
+        .collect();
+    let out_flags: Vec<bool> = (0..5).map(|_| rng.bool_with(0.5)).collect();
+
+    let mut space = IndexSpace::new();
+    let ranges: Vec<_> = extents
+        .iter()
+        .enumerate()
+        .map(|(q, &e)| space.add_range(&format!("R{q}"), e))
+        .collect();
+    let vars: Vec<_> = (0..5)
+        .map(|q| space.add_var(&format!("x{q}"), ranges[q]))
+        .collect();
+    let mut tensors = TensorTable::new();
+    let mut factors = Vec::new();
+    let mut used = IndexSet::EMPTY;
+    for (fi, pick) in factor_vars.iter().enumerate() {
+        let mut set = IndexSet::EMPTY;
+        let mut idxs = Vec::new();
+        for &q in pick {
+            let v = vars[q];
+            if !set.contains(v) {
+                set.insert(v);
+                idxs.push(v);
+                used.insert(v);
+            }
+        }
+        let dims = idxs.iter().map(|&v| space.range_of(v)).collect();
+        let id = tensors.add(TensorDecl::dense(&format!("F{fi}"), dims));
+        factors.push((id, idxs));
+    }
+    let mut output = IndexSet::EMPTY;
+    for (q, &flag) in out_flags.iter().enumerate() {
+        if flag && used.contains(vars[q]) {
+            output.insert(vars[q]);
+        }
+    }
+    RandomProblem {
+        space,
+        tensors,
+        factors,
+        output,
+    }
 }
 
 fn problem_to_opmin(p: &RandomProblem) -> OpMinProblem {
@@ -90,12 +93,9 @@ fn problem_to_opmin(p: &RandomProblem) -> OpMinProblem {
 }
 
 fn reference(p: &RandomProblem, data: &[Tensor]) -> Tensor {
-    let all = p
-        .factors
-        .iter()
-        .fold(IndexSet::EMPTY, |s, (_, idxs)| {
-            s.union(IndexSet::from_vars(idxs.iter().copied()))
-        });
+    let all = p.factors.iter().fold(IndexSet::EMPTY, |s, (_, idxs)| {
+        s.union(IndexSet::from_vars(idxs.iter().copied()))
+    });
     let spec = EinsumSpec::new(
         p.output.iter().collect(),
         p.factors.iter().map(|(_, idxs)| idxs.clone()).collect(),
@@ -117,17 +117,18 @@ fn make_data(p: &RandomProblem, seed: u64) -> Vec<Tensor> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Operation minimization: the DP optimum equals branch-and-bound, and
-    /// the optimized tree evaluates to the same values as the reference.
-    #[test]
-    fn opmin_is_exact_and_semantics_preserving(p in arb_problem(), seed in 0u64..1000) {
+/// Operation minimization: the DP optimum equals branch-and-bound, and
+/// the optimized tree evaluates to the same values as the reference.
+#[test]
+fn opmin_is_exact_and_semantics_preserving() {
+    let mut rng = Rng::new(0xb001);
+    for _ in 0..48 {
+        let p = arb_problem(&mut rng);
+        let seed = rng.u64_in(0..1000);
         let problem = problem_to_opmin(&p);
         let dp = optimize_subset_dp(&problem, &p.space);
         let bb = optimize_branch_bound(&problem, &p.space);
-        prop_assert_eq!(dp.contraction_ops, bb.contraction_ops);
+        assert_eq!(dp.contraction_ops, bb.contraction_ops);
         dp.tree.validate().unwrap();
 
         let data = make_data(&p, seed);
@@ -139,23 +140,29 @@ proptest! {
             .collect();
         let got = tce_core::exec::execute_tree(&dp.tree, &p.space, &inputs, &HashMap::new(), 1);
         let expect = reference(&p, &data);
-        // Result dims: canonical ascending order — permute reference.
-        let out_order: Vec<IndexVar> = p.output.iter().collect();
-        let ref_order: Vec<IndexVar> = p.output.iter().collect();
-        prop_assert_eq!(&out_order, &ref_order);
-        prop_assert!(got.approx_eq(&expect, 1e-8), "diff {:e}", got.max_abs_diff(&expect));
+        // Result dims: canonical ascending order — same as the reference.
+        assert!(
+            got.approx_eq(&expect, 1e-8),
+            "diff {:e}",
+            got.max_abs_diff(&expect)
+        );
     }
+}
 
-    /// Memory minimization matches brute force, and the fused program
-    /// computes the same values while allocating exactly the predicted
-    /// temporaries.
-    #[test]
-    fn memmin_is_exact_and_fused_code_is_correct(p in arb_problem(), seed in 0u64..1000) {
+/// Memory minimization matches brute force, and the fused program
+/// computes the same values while allocating exactly the predicted
+/// temporaries.
+#[test]
+fn memmin_is_exact_and_fused_code_is_correct() {
+    let mut rng = Rng::new(0xb002);
+    for _ in 0..48 {
+        let p = arb_problem(&mut rng);
+        let seed = rng.u64_in(0..1000);
         let problem = problem_to_opmin(&p);
         let tree = optimize_subset_dp(&problem, &p.space).tree;
         let dp = memmin_dp(&tree, &p.space);
         let bf = memmin_bruteforce(&tree, &p.space);
-        prop_assert_eq!(dp.memory, bf.memory);
+        assert_eq!(dp.memory, bf.memory);
 
         let built = fused_program(&tree, &p.space, &p.tensors, &dp.config, "OUT");
         built.program.validate().unwrap();
@@ -169,21 +176,26 @@ proptest! {
         let mut interp = Interpreter::new(&built.program, &p.space, &inputs, &HashMap::new());
         interp.run(&mut NoSink);
         let expect = reference(&p, &data);
-        prop_assert!(interp.output().approx_eq(&expect, 1e-8));
+        assert!(interp.output().approx_eq(&expect, 1e-8));
         // Allocated temps = DP memory + output array.
         let out_elems = p.space.iteration_points(p.output);
-        prop_assert_eq!(interp.allocated_temp_elements(), dp.memory + out_elems);
+        assert_eq!(interp.allocated_temp_elements(), dp.memory + out_elems);
     }
+}
 
-    /// Every legal fusion configuration (not just the optimum) produces a
-    /// semantics-preserving program, and the local legality check agrees
-    /// with the paper's global chain-scope condition.
-    #[test]
-    fn every_legal_config_is_executable(p in arb_problem(), seed in 0u64..1000) {
+/// Every legal fusion configuration (not just the optimum) produces a
+/// semantics-preserving program, and the local legality check agrees
+/// with the paper's global chain-scope condition.
+#[test]
+fn every_legal_config_is_executable() {
+    let mut rng = Rng::new(0xb003);
+    for _ in 0..48 {
+        let p = arb_problem(&mut rng);
+        let seed = rng.u64_in(0..1000);
         let problem = problem_to_opmin(&p);
         let tree = optimize_subset_dp(&problem, &p.space).tree;
         let configs = enumerate_legal_configs(&tree, &p.space);
-        prop_assert!(!configs.is_empty());
+        assert!(!configs.is_empty());
         let data = make_data(&p, seed);
         let inputs: HashMap<TensorId, &Tensor> = p
             .factors
@@ -194,36 +206,43 @@ proptest! {
         let expect = reference(&p, &data);
         // Cap the per-case work: check up to 12 configurations.
         for (config, mem) in configs.iter().take(12) {
-            prop_assert!(check_chainwise(&tree, config).is_ok());
+            assert!(check_chainwise(&tree, config).is_ok());
             let built = fused_program(&tree, &p.space, &p.tensors, config, "OUT");
             let mut interp = Interpreter::new(&built.program, &p.space, &inputs, &HashMap::new());
             interp.run(&mut NoSink);
-            prop_assert!(
+            assert!(
                 interp.output().approx_eq(&expect, 1e-8),
-                "config {:?} diverges", config.fused
+                "config {:?} diverges",
+                config.fused
             );
             let out_elems = p.space.iteration_points(p.output);
-            prop_assert_eq!(interp.allocated_temp_elements(), mem + out_elems);
+            assert_eq!(interp.allocated_temp_elements(), mem + out_elems);
         }
     }
+}
 
-    /// Illegal configurations (random fused sets that fail the local
-    /// check) also fail the global chain condition.
-    #[test]
-    fn illegal_configs_rejected_by_both_checks(
-        p in arb_problem(),
-        picks in proptest::collection::vec(0u64..64, 8),
-    ) {
+/// Illegal configurations (random fused sets that fail the local check)
+/// also fail the global chain condition.
+#[test]
+fn illegal_configs_rejected_by_both_checks() {
+    let mut rng = Rng::new(0xb004);
+    for _ in 0..48 {
+        let p = arb_problem(&mut rng);
+        let picks: Vec<u64> = (0..8).map(|_| rng.u64_in(0..64)).collect();
         let problem = problem_to_opmin(&p);
         let tree = optimize_subset_dp(&problem, &p.space).tree;
         let parents = tree.parents();
         let mut config = FusionConfig::unfused(&tree);
         let mut pi = 0;
         for id in tree.postorder() {
-            if id == tree.root { continue; }
+            if id == tree.root {
+                continue;
+            }
             let u = parents[id.0 as usize].unwrap();
             let fs = fusable_set(&tree, id, u);
-            if fs.is_empty() || pi >= picks.len() { continue; }
+            if fs.is_empty() || pi >= picks.len() {
+                continue;
+            }
             // Random subset of the fusable set.
             let members: Vec<IndexVar> = fs.iter().collect();
             let mut sub = IndexSet::EMPTY;
@@ -237,23 +256,21 @@ proptest! {
         }
         let local = config.check(&tree).is_ok();
         let global = check_chainwise(&tree, &config).is_ok();
-        prop_assert_eq!(local, global);
+        assert_eq!(local, global);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Problems containing expensive-function leaves: every legal fusion
-    /// configuration (sampled) executes to the same values as a reference
-    /// built by materializing the functions into dense arrays first.
-    #[test]
-    fn func_leaf_problems_are_semantics_preserving(
-        p in arb_problem(),
-        fn_mask in 1u8..8,
-        seed in 0u64..500,
-    ) {
-        use tce_core::tensor::IntegralFn;
+/// Problems containing expensive-function leaves: every legal fusion
+/// configuration (sampled) executes to the same values as a reference
+/// built by materializing the functions into dense arrays first.
+#[test]
+fn func_leaf_problems_are_semantics_preserving() {
+    use tce_core::tensor::IntegralFn;
+    let mut rng = Rng::new(0xb005);
+    for _ in 0..32 {
+        let p = arb_problem(&mut rng);
+        let fn_mask = rng.u64_in(1..8) as u8;
+        let seed = rng.u64_in(0..500);
         // Convert a subset of factors into function leaves.
         let mut problem = problem_to_opmin(&p);
         let mut funcs: HashMap<String, IntegralFn> = HashMap::new();
@@ -277,27 +294,23 @@ proptest! {
         // dense array and run the einsum.
         let mut materialized: Vec<Tensor> = Vec::new();
         for (fi, leaf) in problem.factors.iter().enumerate() {
-            let (indices, value): (&Vec<IndexVar>, Tensor) = match leaf {
+            let value: Tensor = match leaf {
                 Leaf::Input { indices, .. } => {
-                    let shape: Vec<usize> =
-                        indices.iter().map(|&v| p.space.extent(v)).collect();
-                    (indices, Tensor::random(&shape, seed + 1000 + fi as u64))
+                    let shape: Vec<usize> = indices.iter().map(|&v| p.space.extent(v)).collect();
+                    Tensor::random(&shape, seed + 1000 + fi as u64)
                 }
                 Leaf::Func { name, indices, .. } => {
                     let f = &funcs[name];
-                    let shape: Vec<usize> =
-                        indices.iter().map(|&v| p.space.extent(v)).collect();
-                    (indices, Tensor::from_fn(&shape, |idx| f.eval(idx)))
+                    let shape: Vec<usize> = indices.iter().map(|&v| p.space.extent(v)).collect();
+                    Tensor::from_fn(&shape, |idx| f.eval(idx))
                 }
                 Leaf::One => unreachable!(),
             };
-            let _ = indices;
             materialized.push(value);
         }
-        let all = problem
-            .factors
-            .iter()
-            .fold(IndexSet::EMPTY, |s, l| s.union(tce_core::opmin::leaf_indices(l)));
+        let all = problem.factors.iter().fold(IndexSet::EMPTY, |s, l| {
+            s.union(tce_core::opmin::leaf_indices(l))
+        });
         let spec = EinsumSpec::new(
             problem.output.iter().collect(),
             problem
@@ -338,7 +351,7 @@ proptest! {
             let built = fused_program(&tree, &p.space, &p.tensors, config, "OUT");
             let mut interp = Interpreter::new(&built.program, &p.space, &inputs, &funcs);
             interp.run(&mut NoSink);
-            prop_assert!(
+            assert!(
                 interp.output().approx_eq(&expect, 1e-8),
                 "config {:?} diverges by {:e}",
                 config.fused,
