@@ -9,7 +9,13 @@
 //!
 //! ```text
 //! cargo run --release --bin exp_kernels [-- --max-threads T] [--out PATH]
+//!                                       [--trace TRACE.json]
 //! ```
+//!
+//! With `--trace`, one extra (untimed) traced pass of every case runs at
+//! the top thread count after the sweep; the chrome://tracing event file
+//! and a `ProfileReport` summary come from that pass, so tracing never
+//! perturbs the timed numbers.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -90,6 +96,7 @@ fn matmul_case(n: usize) -> Case {
 fn main() {
     let mut max_threads = tce_core::par::default_threads().max(8);
     let mut out_path = "BENCH_kernels.json".to_string();
+    let mut trace_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -100,6 +107,7 @@ fn main() {
                     .expect("--max-threads needs a positive integer");
             }
             "--out" => out_path = args.next().expect("--out needs a path"),
+            "--trace" => trace_path = Some(args.next().expect("--trace needs a path")),
             other => panic!("unknown argument `{other}`"),
         }
     }
@@ -191,4 +199,26 @@ fn main() {
 
     std::fs::write(&out_path, &json).expect("write BENCH_kernels.json");
     println!("\nwrote {out_path}");
+
+    if let Some(trace_path) = trace_path {
+        let threads = *threads_sweep.last().unwrap();
+        println!("\ntraced pass (x{threads}, untimed) ...");
+        tce_trace::reset();
+        tce_trace::set_enabled(true);
+        for case in &cases {
+            let _s = tce_trace::span("stage.exec");
+            std::hint::black_box(contract_gett(
+                &case.spec,
+                &case.space,
+                &case.a,
+                &case.b,
+                threads,
+            ));
+        }
+        tce_trace::set_enabled(false);
+        let trace = tce_trace::take();
+        std::fs::write(&trace_path, trace.to_chrome_json()).expect("write trace");
+        println!("{}", trace.report());
+        println!("wrote {trace_path}");
+    }
 }

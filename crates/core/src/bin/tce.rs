@@ -3,6 +3,7 @@
 //! ```text
 //! tce SPEC.tce [--memory-limit N] [--cache N] [--grid PxQx…]
 //!              [--word-cost N] [--execute] [--seed S] [--threads T]
+//!              [--trace OUT.json]
 //! ```
 //!
 //! Reads a tensor-contraction specification, runs the full optimization
@@ -12,6 +13,9 @@
 //! `--threads` sets the worker count for the contraction kernels
 //! (default: the `TCE_THREADS` environment variable, then the machine's
 //! available parallelism); results are bitwise identical either way.
+//! `--trace OUT.json` enables the `tce-trace` observability layer
+//! (implies `--execute`), writes a chrome://tracing-compatible event
+//! file, and prints a profile report.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -30,6 +34,7 @@ struct Args {
     execute: bool,
     seed: u64,
     threads: Option<usize>,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -42,6 +47,7 @@ fn parse_args() -> Result<Args, String> {
         execute: false,
         seed: 42,
         threads: None,
+        trace: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -75,6 +81,10 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --word-cost: {e}"))?;
             }
             "--execute" => args.execute = true,
+            "--trace" => {
+                args.trace = Some(it.next().ok_or("--trace needs an output path")?);
+                args.execute = true;
+            }
             "--threads" => {
                 let t: usize = it
                     .next()
@@ -96,7 +106,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err("usage: tce SPEC.tce [--memory-limit N] [--cache N] \
                             [--grid PxQ] [--word-cost N] [--execute] [--seed S] \
-                            [--threads T]"
+                            [--threads T] [--trace OUT.json]"
                     .to_string())
             }
             other if args.spec_path.is_empty() && !other.starts_with('-') => {
@@ -126,6 +136,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if args.trace.is_some() {
+        tce_trace::reset();
+        tce_trace::set_enabled(true);
+    }
 
     let cfg = SynthesisConfig {
         memory_limit: args.memory_limit,
@@ -215,6 +230,17 @@ fn main() -> ExitCode {
             );
         }
         println!("OK");
+    }
+
+    if let Some(path) = &args.trace {
+        tce_trace::set_enabled(false);
+        let trace = tce_trace::take();
+        if let Err(e) = std::fs::write(path, trace.to_chrome_json()) {
+            eprintln!("cannot write trace {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("{}", trace.report());
+        println!("trace written to {path}");
     }
     ExitCode::SUCCESS
 }

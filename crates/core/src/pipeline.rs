@@ -146,6 +146,7 @@ impl Synthesis {
         funcs: &HashMap<String, IntegralFn>,
         opts: &ExecOptions,
     ) -> HashMap<TensorId, Tensor> {
+        let _span = tce_trace::span("stage.exec");
         let space = &self.program.space;
         let mut computed: HashMap<TensorId, Tensor> = HashMap::new();
         for (si, stmt) in self.program.stmts.iter().enumerate() {
@@ -262,7 +263,10 @@ fn plan_term(
     // cannot satisfy the limit on the cheaper trees.
     let problem =
         OpMinProblem::from_term(stmt.lhs.index_set(), term).map_err(SynthesisError::Stage)?;
-    let frontier = optimize_pareto(&problem, space);
+    let frontier = {
+        let _s = tce_trace::span("stage.opmin");
+        optimize_pareto(&problem, space)
+    };
 
     type Chosen = (
         usize,
@@ -285,13 +289,20 @@ fn plan_term(
         let tree = tree;
         tree.validate().map_err(SynthesisError::Stage)?;
         // Stage 2: memory minimization (fusion).
-        let memmin = memmin_dp(&tree, space);
+        let memmin = {
+            let _s = tce_trace::span("stage.fusion");
+            memmin_dp(&tree, space)
+        };
         if memmin.memory <= cfg.memory_limit {
             chosen = Some((rank, tree, memmin, None));
             break;
         }
         // Stage 3: space-time trade-off.
-        if let Some(r) = spacetime_optimize(&tree, space, cfg.memory_limit) {
+        let st = {
+            let _s = tce_trace::span("stage.spacetime");
+            spacetime_optimize(&tree, space, cfg.memory_limit)
+        };
+        if let Some(r) = st {
             chosen = Some((rank, tree, memmin, Some(r)));
             break;
         }
@@ -317,20 +328,37 @@ fn plan_term(
         None => fused_program(&tree, space, &program.tensors, &memmin.config, &result_name),
     };
 
+    // The space-time stage is bypassed whenever pure fusion already fits;
+    // record a zero-length marker so traces always show all six stages.
+    if spacetime.is_none() {
+        tce_trace::mark("stage.spacetime");
+    }
+
     // Stage 4: data locality (blocking of perfect nests).
-    let locality = match cfg.cache_elements {
-        Some(cache) => perfect_nests(&built.program)
-            .iter()
-            .map(|nest| search_nest_tiles(&built.program, space, nest, cache))
-            .collect(),
-        None => Vec::new(),
+    let locality = {
+        let _s = tce_trace::span("stage.locality");
+        let locality: Vec<TileSearchResult> = match cfg.cache_elements {
+            Some(cache) => perfect_nests(&built.program)
+                .iter()
+                .map(|nest| search_nest_tiles(&built.program, space, nest, cache))
+                .collect(),
+            None => Vec::new(),
+        };
+        // With tracing on, also evaluate the hierarchy model on the emitted
+        // program so per-level `locality.accesses.*` counters appear.
+        if tce_trace::enabled() {
+            cfg.hierarchy.cost(&built.program, space);
+        }
+        locality
     };
 
     // Stage 5: data distribution.
-    let distribution = cfg
-        .machine
-        .as_ref()
-        .map(|m| optimize_distribution(&tree, space, m));
+    let distribution = {
+        let _s = tce_trace::span("stage.distribution");
+        cfg.machine
+            .as_ref()
+            .map(|m| optimize_distribution(&tree, space, m))
+    };
 
     Ok(TermPlan {
         stmt_index,

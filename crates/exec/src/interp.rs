@@ -143,6 +143,7 @@ impl<'a> Interpreter<'a> {
 
     /// Run the program.  `sink` observes every element access.
     pub fn run(&mut self, sink: &mut dyn AccessSink) {
+        let _span = tce_trace::span("interp.run");
         self.stats = ExecStats::default();
         let mut env = vec![0usize; self.program.vars.len()];
         // Split borrows: move body out temporarily is impossible (shared);
@@ -156,6 +157,14 @@ impl<'a> Interpreter<'a> {
             stats: &mut self.stats,
         };
         exec_stmts(&mut ctx, body, &mut env, sink);
+        // Stats accumulate locally during the walk; one counter flush per
+        // run keeps the statement dispatch free of trace calls.
+        if tce_trace::enabled() {
+            tce_trace::counter_u128("exec.interp.flops", self.stats.total_flops());
+            tce_trace::counter_u128("exec.interp.reads", self.stats.reads);
+            tce_trace::counter_u128("exec.interp.writes", self.stats.writes);
+            tce_trace::counter_u128("exec.interp.func_evals", self.stats.func_evals);
+        }
     }
 
     /// Read back an array's value after `run`.

@@ -72,6 +72,9 @@ pub fn execute_tree(
     funcs: &HashMap<String, IntegralFn>,
     threads: usize,
 ) -> Tensor {
+    let _span = tce_trace::span("exec.tree");
+    let traced = tce_trace::enabled();
+    let bytes_of = |t: &Tensor| (t.len() * std::mem::size_of::<f64>()) as u64;
     let mut values: Vec<Option<Tensor>> = vec![None; tree.len()];
     for id in tree.postorder() {
         let value = match &tree.node(id).kind {
@@ -93,12 +96,31 @@ pub fn execute_tree(
             OpKind::Contract { left, right } => {
                 let lv = values[left.0 as usize].as_ref().expect("postorder");
                 let rv = values[right.0 as usize].as_ref().expect("postorder");
-                contract_node(tree, space, id, *left, *right, lv, rv, threads)
+                let out = contract_node(tree, space, id, *left, *right, lv, rv, threads);
+                // Each node has exactly one parent, so operand values are
+                // dead as soon as the contraction finishes; dropping them
+                // here keeps the materialized high-water mark at the live
+                // set rather than the whole formula sequence.
+                for child in [*left, *right] {
+                    if let Some(t) = values[child.0 as usize].take() {
+                        if traced {
+                            tce_trace::mem_free(bytes_of(&t));
+                        }
+                    }
+                }
+                out
             }
         };
+        if traced {
+            tce_trace::mem_alloc(bytes_of(&value));
+        }
         values[id.0 as usize] = Some(value);
     }
-    values[tree.root.0 as usize].take().expect("root value")
+    let root = values[tree.root.0 as usize].take().expect("root value");
+    if traced {
+        tce_trace::mem_free(bytes_of(&root));
+    }
+    root
 }
 
 /// Materialize a function leaf over its full index space, in parallel over

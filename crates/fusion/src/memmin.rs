@@ -130,6 +130,10 @@ pub fn memmin_dp(tree: &OpTree, space: &IndexSpace) -> MemMinResult {
     }
     debug_assert!(config.check(tree).is_ok());
     debug_assert_eq!(config.temp_memory(tree, space), memory);
+    if tce_trace::enabled() {
+        tce_trace::counter("fusion.memmin_states", memo.len() as u64);
+        tce_trace::counter_u128("fusion.memmin_elements", memory);
+    }
     MemMinResult { config, memory }
 }
 

@@ -105,7 +105,13 @@ impl MemoryHierarchy {
     pub fn cost(&self, p: &LoopProgram, space: &IndexSpace) -> f64 {
         self.levels
             .iter()
-            .map(|l| l.miss_cost * access_cost(p, space, l.capacity_elements) as f64)
+            .map(|l| {
+                let accesses = access_cost(p, space, l.capacity_elements);
+                if tce_trace::enabled() {
+                    tce_trace::counter_u128(format!("locality.accesses.{}", l.name), accesses);
+                }
+                l.miss_cost * accesses as f64
+            })
             .sum()
     }
 }

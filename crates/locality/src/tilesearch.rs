@@ -225,6 +225,7 @@ pub fn search_nest_tiles(
         best: &mut Option<TileSearchResult>,
     ) {
         if i == nest.vars.len() {
+            tce_trace::counter("locality.tile_candidates", 1);
             let tiled = tile_nest(p, space, nest, blocks);
             let cost = access_cost(&tiled, space, cache);
             let better = best.as_ref().map(|b| cost < b.cost).unwrap_or(true);

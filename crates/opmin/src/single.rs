@@ -349,14 +349,20 @@ pub fn optimize_branch_bound(p: &OpMinProblem, space: &IndexSpace) -> OptResult 
         cur_plan: std::collections::HashMap<u32, u32>,
         /// memo of the best completed cost per state (set of masks).
         seen: std::collections::HashMap<Vec<u32>, u128>,
+        /// Search nodes that survived the bound check (trace accounting).
+        expanded: u64,
+        /// Search nodes cut by the bound or by state domination.
+        pruned: u64,
     }
 
     impl Search<'_> {
         fn run(&mut self, items: &mut Vec<u32>, cost_so_far: u128) {
             if cost_so_far >= self.best_cost {
+                self.pruned += 1;
                 return; // prune
             }
             if items.len() == 1 {
+                self.expanded += 1;
                 self.best_cost = cost_so_far;
                 self.best_plan = self.cur_plan.clone();
                 return;
@@ -365,10 +371,12 @@ pub fn optimize_branch_bound(p: &OpMinProblem, space: &IndexSpace) -> OptResult 
             key.sort_unstable();
             if let Some(&c) = self.seen.get(&key) {
                 if c <= cost_so_far {
+                    self.pruned += 1;
                     return; // dominated state
                 }
             }
             self.seen.insert(key, cost_so_far);
+            self.expanded += 1;
 
             // Order candidate pairs by cost (cheapest first) to reach good
             // bounds quickly.
@@ -410,10 +418,16 @@ pub fn optimize_branch_bound(p: &OpMinProblem, space: &IndexSpace) -> OptResult 
         best_plan: Default::default(),
         cur_plan: Default::default(),
         seen: Default::default(),
+        expanded: 0,
+        pruned: 0,
     };
     let singleton_total: u128 = (0..n).map(|i| singleton_cost(p, space, i)).sum();
     let mut items: Vec<u32> = (0..n).map(|i| 1u32 << i).collect();
     search.run(&mut items, singleton_total);
+    // Accumulated locally during the search; one flush here.
+    tce_trace::counter("opmin.nodes_expanded", search.expanded);
+    tce_trace::counter("opmin.pruned", search.pruned);
+    tce_trace::counter_u128("opmin.best_cost", search.best_cost);
 
     let plan = search.best_plan;
     let mut tree = OpTree::new();
@@ -557,6 +571,12 @@ pub fn optimize_pareto(p: &OpMinProblem, space: &IndexSpace) -> Vec<ParetoTree> 
             ops: pt.ops,
             max_intermediate: pt.mem,
         });
+    }
+    if tce_trace::enabled() {
+        tce_trace::counter("opmin.pareto_points", out.len() as u64);
+        if let Some(first) = out.first() {
+            tce_trace::counter_u128("opmin.best_cost", first.ops);
+        }
     }
     out
 }

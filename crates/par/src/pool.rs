@@ -243,6 +243,10 @@ impl Drop for Pool {
 fn worker_loop(shared: &Shared) {
     let mut seen = 0u64;
     loop {
+        // Per-worker busy/idle attribution: one clock read on each side of
+        // the park and the claim loop, only while tracing is enabled.  The
+        // counters land in this worker's thread-local trace buffer.
+        let t_park = tce_trace::enabled().then(tce_trace::now_ns);
         let job = {
             let mut g = shared.gate.lock().expect("pool poisoned");
             loop {
@@ -258,6 +262,15 @@ fn worker_loop(shared: &Shared) {
             g.active += 1;
             g.job.expect("checked above")
         };
+        let t_claim = if tce_trace::enabled() {
+            let now = tce_trace::now_ns();
+            if let Some(t0) = t_park {
+                tce_trace::counter("pool.idle_ns", now - t0);
+            }
+            Some(now)
+        } else {
+            None
+        };
         // SAFETY: `run` blocks until `active` drops to zero, so the
         // closure reference outlives this claim loop.
         let f = unsafe { &*job.f };
@@ -270,6 +283,11 @@ fn worker_loop(shared: &Shared) {
                 shared.panicked.store(true, Ordering::SeqCst);
             }
             shared.pending.fetch_sub(1, Ordering::AcqRel);
+        }
+        if let Some(t0) = t_claim {
+            if tce_trace::enabled() {
+                tce_trace::counter("pool.busy_ns", tce_trace::now_ns() - t0);
+            }
         }
         let mut g = shared.gate.lock().expect("pool poisoned");
         g.active -= 1;

@@ -114,6 +114,7 @@ pub fn search_tiles(
         best: &mut Option<TilingResult>,
     ) {
         if i == indices.len() {
+            tce_trace::counter("spacetime.tile_candidates", 1);
             let memory = tiled_memory(tree, space, cfg, blocks);
             if memory > mem_limit {
                 return;
@@ -164,7 +165,9 @@ pub fn spacetime_optimize(
 ) -> Option<(SpaceTimeConfig, TilingResult)> {
     let front = spacetime_dp(tree, space, usize::MAX);
     let mut best: Option<(SpaceTimeConfig, TilingResult)> = None;
+    let mut frontier_points = 0u64;
     for point in front.points() {
+        frontier_points += 1;
         if let Some(t) = search_tiles(tree, space, &point.tag, mem_limit) {
             let better = match &best {
                 None => true,
@@ -173,6 +176,16 @@ pub fn spacetime_optimize(
             if better {
                 best = Some((point.tag.clone(), t));
             }
+        }
+    }
+    if tce_trace::enabled() {
+        tce_trace::counter("spacetime.frontier_points", frontier_points);
+        if let Some((cfg, t)) = &best {
+            // Recomputation cost: operations beyond the configuration's
+            // recomputation-free baseline (B = N everywhere).
+            let base = cfg.total_ops_with(tree, space, &|_| 1);
+            tce_trace::counter_u128("spacetime.recomputation_ops", t.ops.saturating_sub(base));
+            tce_trace::counter_u128("spacetime.memory", t.memory);
         }
     }
     best

@@ -1,0 +1,116 @@
+//! Differential tests for the space-time trade-off tiling search:
+//! every configuration `spacetime_optimize` picks under a sweep of
+//! memory limits — on randomized small extents — must execute to the
+//! same value as the untiled oracle (the dense tree executor), and its
+//! analytic memory/ops must be honest (limit respected, never better
+//! than the recomputation-free baseline).
+
+use std::collections::HashMap;
+use tce_ir::rng::Rng;
+use tce_ir::{IndexSet, IndexSpace, OpTree, TensorDecl, TensorTable};
+use tce_spacetime::{spacetime_optimize, spacetime_program};
+use tce_tensor::{IntegralFn, Tensor};
+
+/// A3A-like tree at the given extents: `X = Σ T·T`, `Y = Σ f1·f2`,
+/// `E = Σ X·Y`.
+fn a3a(v: usize, o: usize, ci: u64) -> (IndexSpace, TensorTable, OpTree) {
+    let mut space = IndexSpace::new();
+    let rv = space.add_range("V", v);
+    let ro = space.add_range("O", o);
+    let (a, c, e, f, b) = (
+        space.add_var("a", rv),
+        space.add_var("c", rv),
+        space.add_var("e", rv),
+        space.add_var("f", rv),
+        space.add_var("b", rv),
+    );
+    let (i, j, k) = (
+        space.add_var("i", ro),
+        space.add_var("j", ro),
+        space.add_var("k", ro),
+    );
+    let mut tensors = TensorTable::new();
+    let t_amp = tensors.add(TensorDecl::dense("T", vec![ro, ro, rv, rv]));
+    let mut tree = OpTree::new();
+    let l1 = tree.leaf_input(t_amp, vec![i, j, a, e]);
+    let l2 = tree.leaf_input(t_amp, vec![i, j, c, f]);
+    let x = tree.contract(l1, l2, IndexSet::from_vars([a, e, c, f]));
+    let t1 = tree.leaf_func("f1", vec![c, e, b, k], ci);
+    let t2 = tree.leaf_func("f2", vec![a, f, b, k], ci);
+    let y = tree.contract(t1, t2, IndexSet::from_vars([c, e, a, f]));
+    tree.contract(x, y, IndexSet::EMPTY);
+    (space, tensors, tree)
+}
+
+#[test]
+fn optimized_configs_match_untiled_oracle_on_random_extents() {
+    for seed in 0..8u64 {
+        let mut rng = Rng::new(seed);
+        let v = rng.usize_in(2..5);
+        let o = rng.usize_in(2..4);
+        let ci = rng.u64_in(5..60);
+        let (space, tensors, tree) = a3a(v, o, ci);
+
+        let amps = Tensor::random(&[o, o, v, v], seed ^ 0x7);
+        let mut funcs = HashMap::new();
+        funcs.insert("f1".to_string(), IntegralFn::new(ci, 0xF1));
+        funcs.insert("f2".to_string(), IntegralFn::new(ci, 0xF2));
+        let mut inputs = HashMap::new();
+        inputs.insert(tensors.by_name("T").unwrap(), &amps);
+        // Untiled oracle: dense tree execution, no fusion, no tiling.
+        let expect = tce_exec::execute_tree(&tree, &space, &inputs, &funcs, 1).get(&[]);
+
+        // Recomputation-free op baseline (fully materialized).
+        let baseline_ops = tree.total_ops(&space);
+
+        let mut found_feasible = 0usize;
+        for limit in [2u128, 4, 8, 16, 64, 4096] {
+            let Some((cfg, tiling)) = spacetime_optimize(&tree, &space, limit) else {
+                continue;
+            };
+            found_feasible += 1;
+            assert!(
+                tiling.memory <= limit,
+                "seed {seed} limit {limit}: modeled memory {} over limit",
+                tiling.memory
+            );
+            assert!(
+                tiling.ops >= baseline_ops,
+                "seed {seed} limit {limit}: {} ops beat the \
+                 recomputation-free baseline {baseline_ops}",
+                tiling.ops
+            );
+            let built = spacetime_program(&tree, &space, &tensors, &cfg, "E").unwrap();
+            let mut interp = tce_exec::Interpreter::new(&built.program, &space, &inputs, &funcs);
+            interp.run(&mut tce_exec::NoSink);
+            let got = interp.output().get(&[]);
+            assert!(
+                (got - expect).abs() <= 1e-9 * expect.abs().max(1.0),
+                "seed {seed} limit {limit}: {got} vs {expect}"
+            );
+        }
+        assert!(
+            found_feasible >= 2,
+            "seed {seed}: expected several feasible limits"
+        );
+    }
+}
+
+#[test]
+fn tighter_limits_never_cost_fewer_ops() {
+    let (space, _tensors, tree) = a3a(3, 2, 25);
+    let mut last_ops = u128::MAX;
+    // Sweeping the limit upward, the optimizer's op count is
+    // non-increasing: more memory can only help.
+    for limit in [2u128, 4, 8, 16, 64, 4096] {
+        if let Some((_, tiling)) = spacetime_optimize(&tree, &space, limit) {
+            assert!(
+                tiling.ops <= last_ops,
+                "limit {limit}: ops {} after {last_ops}",
+                tiling.ops
+            );
+            last_ops = tiling.ops;
+        }
+    }
+    assert_ne!(last_ops, u128::MAX, "no feasible limit at all");
+}

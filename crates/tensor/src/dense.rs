@@ -279,6 +279,11 @@ impl Tensor {
         }
         let new_shape: Vec<usize> = perm.iter().map(|&p| self.shape[p]).collect();
         let mut out = Tensor::zeros(&new_shape);
+        // One read + one write per element.
+        tce_trace::counter(
+            "permute.bytes",
+            2 * (self.data.len() * std::mem::size_of::<f64>()) as u64,
+        );
         // Walk the *output* row-major; source strides for output dim `d`
         // are the input strides of dimension `perm[d]`.
         let sstr: Vec<usize> = perm.iter().map(|&p| self.strides[p]).collect();

@@ -182,6 +182,10 @@ impl ContractionPlan {
     pub fn execute(&self, a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
         assert_eq!(a.shape(), &self.a_shape[..], "operand a shape mismatch");
         assert_eq!(b.shape(), &self.b_shape[..], "operand b shape mismatch");
+        // Tracing is decided once per execution and passed down as a plain
+        // bool: tiles never touch the atomic flag.
+        let traced = tce_trace::enabled();
+        let _exec_span = tce_trace::span("gett.execute");
         let mut out = Tensor::zeros(&self.out_shape);
         let (nb, m, n) = (self.nb, self.m, self.n);
         let mt = m.div_ceil(MC);
@@ -194,6 +198,8 @@ impl ContractionPlan {
             // Panel buffers are reused across the tiles this worker owns.
             let mut apack = vec![0.0f64; MC * KC];
             let mut bpack = vec![0.0f64; KC * NC];
+            // Per-worker pack/kernel nanoseconds, flushed once per range.
+            let mut phase_ns = [0u64; 2];
             for t in range {
                 let bi = t / (mt * nt);
                 let r = t % (mt * nt);
@@ -207,9 +213,17 @@ impl ContractionPlan {
                     jt * NC..((jt + 1) * NC).min(n),
                     &mut apack,
                     &mut bpack,
+                    traced.then_some(&mut phase_ns),
                 );
             }
+            if traced {
+                tce_trace::counter("gett.pack_ns", phase_ns[0]);
+                tce_trace::counter("gett.kernel_ns", phase_ns[1]);
+            }
         });
+        if traced {
+            tce_trace::counter_u128("gett.flops", self.flops());
+        }
         out
     }
 
@@ -225,6 +239,7 @@ impl ContractionPlan {
         nj: std::ops::Range<usize>,
         apack: &mut [f64],
         bpack: &mut [f64],
+        mut timing: Option<&mut [u64; 2]>,
     ) {
         let (i0, i1) = (mi.start, mi.end);
         let (j0, j1) = (nj.start, nj.end);
@@ -237,6 +252,7 @@ impl ContractionPlan {
         let mut pc = 0;
         while pc < self.k {
             let kb = KC.min(self.k - pc);
+            let t_pack = timing.as_ref().map(|_| tce_trace::now_ns());
             // Pack A: strip-major, `MR` consecutive rows per k column —
             // the micro-kernel reads `MR` contiguous values per step.
             for s in 0..m_strips {
@@ -268,6 +284,7 @@ impl ContractionPlan {
                     }
                 }
             }
+            let t_kernel = timing.as_ref().map(|_| tce_trace::now_ns());
             // Micro-kernel sweep over the tile's register blocks.
             for ns in 0..n_strips {
                 let bp = &bpack[ns * kb * NR..(ns + 1) * kb * NR];
@@ -296,6 +313,17 @@ impl ContractionPlan {
                         }
                     }
                 }
+            }
+            if let Some(acc) = timing.as_deref_mut() {
+                let (t0, t1, t2) = (
+                    t_pack.expect("set when timing"),
+                    t_kernel.expect("set when timing"),
+                    tce_trace::now_ns(),
+                );
+                tce_trace::span_at("gett.pack", t0, t1);
+                tce_trace::span_at("gett.kernel", t1, t2);
+                acc[0] += t1 - t0;
+                acc[1] += t2 - t1;
             }
             pc += kb;
         }
@@ -373,9 +401,11 @@ pub fn plan_for(spec: &BinaryContraction, space: &IndexSpace) -> Arc<Contraction
     let mut map = cache.lock().expect("plan cache poisoned");
     if let Some(plan) = map.get(&key) {
         PLAN_HITS.fetch_add(1, Ordering::Relaxed);
+        tce_trace::counter("plan_cache.hits", 1);
         return Arc::clone(plan);
     }
     PLAN_MISSES.fetch_add(1, Ordering::Relaxed);
+    tce_trace::counter("plan_cache.misses", 1);
     let plan = Arc::new(ContractionPlan::new(spec, space));
     map.insert(key, Arc::clone(&plan));
     plan

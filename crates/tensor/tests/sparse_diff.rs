@@ -1,0 +1,108 @@
+//! Differential tests: the sparse contraction path against the dense
+//! oracles (`contract_naive`, `contract_gett`) on randomized small
+//! contractions, plus sparse⇄dense conversion round-trips.
+
+use tce_ir::rng::Rng;
+use tce_ir::{IndexSpace, IndexVar};
+use tce_tensor::{
+    contract_gett, contract_naive, sparse_contraction_ops, BinaryContraction, SparseTensor, Tensor,
+};
+
+fn shape_of(space: &IndexSpace, vars: &[IndexVar]) -> Vec<usize> {
+    vars.iter().map(|&v| space.extent(v)).collect()
+}
+
+/// Random contraction spec over 2–4 indices of extent 2–4.  Every index
+/// lands in operand `a`, operand `b`, or both; output membership is a
+/// coin flip, with at least one operand index guaranteed per side.
+fn random_case(seed: u64) -> (BinaryContraction, IndexSpace) {
+    let mut rng = Rng::new(seed);
+    let mut space = IndexSpace::new();
+    let nv = rng.usize_in(2..5);
+    let vars: Vec<IndexVar> = (0..nv)
+        .map(|k| {
+            let r = space.add_range(&format!("R{k}"), rng.usize_in(2..5));
+            space.add_var(&format!("v{k}"), r)
+        })
+        .collect();
+    loop {
+        let (mut a, mut b, mut out) = (Vec::new(), Vec::new(), Vec::new());
+        for &v in &vars {
+            let side = rng.usize_in(0..3);
+            let in_a = side != 1;
+            let in_b = side != 0;
+            if in_a {
+                a.push(v);
+            }
+            if in_b {
+                b.push(v);
+            }
+            if rng.bool_with(0.5) {
+                out.push(v);
+            }
+        }
+        let spec = BinaryContraction { a, b, out };
+        if !spec.a.is_empty() && !spec.b.is_empty() && spec.validate().is_ok() {
+            return (spec, space);
+        }
+    }
+}
+
+fn assert_close(x: &Tensor, y: &Tensor, what: &str) {
+    assert_eq!(x.shape(), y.shape(), "{what}: shape mismatch");
+    let scale = y.data().iter().fold(1.0f64, |m, v| m.max(v.abs()));
+    for (i, (&xv, &yv)) in x.data().iter().zip(y.data()).enumerate() {
+        assert!(
+            (xv - yv).abs() <= 1e-12 * scale,
+            "{what}: element {i}: {xv} vs {yv}"
+        );
+    }
+}
+
+#[test]
+fn sparse_contraction_matches_dense_oracles() {
+    for seed in 0..60u64 {
+        let (spec, space) = random_case(seed);
+        let density = [0.0, 0.1, 0.5, 1.0][(seed % 4) as usize];
+        let a_sparse = SparseTensor::random(&shape_of(&space, &spec.a), density, seed ^ 0xA);
+        let a_dense = a_sparse.to_dense();
+        let b = Tensor::random(&shape_of(&space, &spec.b), seed ^ 0xB);
+
+        let dense = contract_naive(&spec, &space, &a_dense, &b);
+        let sparse = tce_tensor::contract_sparse_dense(&spec, &space, &a_sparse, &b);
+        assert_close(&sparse, &dense, &format!("seed {seed} sparse vs naive"));
+
+        let gett = contract_gett(&spec, &space, &a_dense, &b, 1 + (seed % 3) as usize);
+        assert_close(&gett, &dense, &format!("seed {seed} gett vs naive"));
+    }
+}
+
+#[test]
+fn sparse_dense_conversion_roundtrips_exactly() {
+    for seed in 0..20u64 {
+        let mut rng = Rng::new(seed);
+        let shape: Vec<usize> = (0..rng.usize_in(1..4))
+            .map(|_| rng.usize_in(1..6))
+            .collect();
+        let s = SparseTensor::random(&shape, rng.unit_f64(), seed ^ 0x5);
+        let d = s.to_dense();
+        let s2 = SparseTensor::from_dense(&d, 0.0);
+        assert_eq!(s.nnz(), s2.nnz(), "seed {seed}");
+        // Bitwise equality: conversion must not perturb values.
+        assert_eq!(d.data(), s2.to_dense().data(), "seed {seed}");
+        for (idx, val) in s.iter_entries() {
+            assert_eq!(d.get(&idx), val, "seed {seed} at {idx:?}");
+        }
+    }
+}
+
+#[test]
+fn sparse_op_estimate_scales_with_density() {
+    let (spec, space) = random_case(3);
+    let full = sparse_contraction_ops(&spec, &space, 1.0);
+    let half = sparse_contraction_ops(&spec, &space, 0.5);
+    let none = sparse_contraction_ops(&spec, &space, 0.0);
+    assert!(full > 0.0);
+    assert!((half * 2.0 - full).abs() < 1e-9);
+    assert_eq!(none, 0.0);
+}

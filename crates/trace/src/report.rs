@@ -1,0 +1,269 @@
+//! Aggregated, human-readable summary of a [`Trace`](crate::Trace).
+//!
+//! The report answers the questions the bench harness and the CLI care
+//! about without opening the chrome trace: where did wall time go per
+//! pipeline stage, what FLOP rate did execution sustain, how much
+//! intermediate memory was live at peak, and how well did the GETT plan
+//! cache and the worker pool do.
+
+use crate::{EventKind, Trace};
+use std::fmt;
+
+/// Wall time attributed to one pipeline stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageTime {
+    /// Stage span name with the `stage.` prefix stripped (`opmin`, …).
+    pub stage: String,
+    /// Total ns across all spans of this stage.
+    pub wall_ns: u64,
+    /// Number of spans (a stage can run once per term).
+    pub count: usize,
+}
+
+/// Summary statistics distilled from a trace.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileReport {
+    /// Per-stage wall time, pipeline order.
+    pub stages: Vec<StageTime>,
+    /// Executed floating-point operations (GETT + interpreter).
+    pub flops: u64,
+    /// Wall ns of the execution stage (denominator for the FLOP rate).
+    pub exec_wall_ns: u64,
+    /// Bytes moved by traced tensor permutes.
+    pub permute_bytes: u64,
+    /// Time inside GETT packing across all threads, ns.
+    pub gett_pack_ns: u64,
+    /// Time inside the GETT micro-kernel across all threads, ns.
+    pub gett_kernel_ns: u64,
+    /// GETT plan-cache hits.
+    pub plan_cache_hits: u64,
+    /// GETT plan-cache misses.
+    pub plan_cache_misses: u64,
+    /// Worker-pool busy time across workers, ns.
+    pub pool_busy_ns: u64,
+    /// Worker-pool idle time across workers, ns.
+    pub pool_idle_ns: u64,
+    /// High-water mark of traced intermediate memory, bytes.
+    pub mem_peak_bytes: u64,
+    /// Interpreter element loads.
+    pub interp_reads: u64,
+    /// Interpreter element stores.
+    pub interp_writes: u64,
+}
+
+/// Pipeline stage order for the report (matches the paper's Fig. 5).
+const STAGE_ORDER: [&str; 6] = [
+    "opmin",
+    "fusion",
+    "spacetime",
+    "locality",
+    "distribution",
+    "exec",
+];
+
+impl ProfileReport {
+    /// Build a report from a collected trace.
+    pub fn from_trace(t: &Trace) -> Self {
+        let mut stages: Vec<StageTime> = Vec::new();
+        for e in &t.events {
+            if let Some(stage) = e.name.strip_prefix("stage.") {
+                if let EventKind::Span { begin_ns, end_ns } = e.kind {
+                    let dur = end_ns.saturating_sub(begin_ns);
+                    match stages.iter_mut().find(|s| s.stage == stage) {
+                        Some(s) => {
+                            s.wall_ns += dur;
+                            s.count += 1;
+                        }
+                        None => stages.push(StageTime {
+                            stage: stage.to_string(),
+                            wall_ns: dur,
+                            count: 1,
+                        }),
+                    }
+                }
+            }
+        }
+        stages.sort_by_key(|s| {
+            STAGE_ORDER
+                .iter()
+                .position(|&o| o == s.stage)
+                .unwrap_or(STAGE_ORDER.len())
+        });
+        let exec_wall_ns = stages
+            .iter()
+            .find(|s| s.stage == "exec")
+            .map(|s| s.wall_ns)
+            .unwrap_or(0);
+        ProfileReport {
+            flops: t.counter_total("gett.flops") + t.counter_total("exec.interp.flops"),
+            exec_wall_ns,
+            permute_bytes: t.counter_total("permute.bytes"),
+            gett_pack_ns: t.counter_total("gett.pack_ns"),
+            gett_kernel_ns: t.counter_total("gett.kernel_ns"),
+            plan_cache_hits: t.counter_total("plan_cache.hits"),
+            plan_cache_misses: t.counter_total("plan_cache.misses"),
+            pool_busy_ns: t.counter_total("pool.busy_ns"),
+            pool_idle_ns: t.counter_total("pool.idle_ns"),
+            mem_peak_bytes: t.mem_peak_bytes,
+            interp_reads: t.counter_total("exec.interp.reads"),
+            interp_writes: t.counter_total("exec.interp.writes"),
+            stages,
+        }
+    }
+
+    /// Sustained GFLOP/s over the execution stage (0 when nothing ran).
+    pub fn gflops(&self) -> f64 {
+        if self.exec_wall_ns == 0 {
+            return 0.0;
+        }
+        self.flops as f64 / self.exec_wall_ns as f64
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{:.2} GiB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.2} MiB", b as f64 / (1u64 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.2} KiB", b as f64 / (1u64 << 10) as f64)
+    } else {
+        format!("{b} B")
+    }
+}
+
+impl fmt::Display for ProfileReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "profile report")?;
+        writeln!(f, "  stage wall time:")?;
+        for s in &self.stages {
+            writeln!(
+                f,
+                "    {:<13} {:>12}  (x{})",
+                s.stage,
+                fmt_ns(s.wall_ns),
+                s.count
+            )?;
+        }
+        if self.stages.is_empty() {
+            writeln!(f, "    (no stage spans recorded)")?;
+        }
+        writeln!(f, "  executed flops:  {}", self.flops)?;
+        if self.exec_wall_ns > 0 {
+            writeln!(f, "  flop rate:       {:.3} GFLOP/s", self.gflops())?;
+        }
+        if self.interp_reads + self.interp_writes > 0 {
+            writeln!(
+                f,
+                "  interp accesses: {} loads, {} stores",
+                self.interp_reads, self.interp_writes
+            )?;
+        }
+        if self.gett_pack_ns + self.gett_kernel_ns > 0 {
+            writeln!(
+                f,
+                "  gett thread-time: pack {} / kernel {}",
+                fmt_ns(self.gett_pack_ns),
+                fmt_ns(self.gett_kernel_ns)
+            )?;
+        }
+        if self.permute_bytes > 0 {
+            writeln!(f, "  permute traffic: {}", fmt_bytes(self.permute_bytes))?;
+        }
+        if self.plan_cache_hits + self.plan_cache_misses > 0 {
+            writeln!(
+                f,
+                "  plan cache:      {} hits / {} misses",
+                self.plan_cache_hits, self.plan_cache_misses
+            )?;
+        }
+        if self.pool_busy_ns + self.pool_idle_ns > 0 {
+            let total = (self.pool_busy_ns + self.pool_idle_ns) as f64;
+            writeln!(
+                f,
+                "  pool workers:    busy {} / idle {} ({:.1}% busy)",
+                fmt_ns(self.pool_busy_ns),
+                fmt_ns(self.pool_idle_ns),
+                100.0 * self.pool_busy_ns as f64 / total
+            )?;
+        }
+        writeln!(f, "  mem high-water:  {}", fmt_bytes(self.mem_peak_bytes))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Event, EventKind};
+    use std::borrow::Cow;
+
+    fn span_ev(name: &'static str, begin: u64, end: u64) -> Event {
+        Event {
+            name: Cow::Borrowed(name),
+            tid: 0,
+            kind: EventKind::Span {
+                begin_ns: begin,
+                end_ns: end,
+            },
+        }
+    }
+
+    fn counter_ev(name: &'static str, delta: u64) -> Event {
+        Event {
+            name: Cow::Borrowed(name),
+            tid: 0,
+            kind: EventKind::Counter { at_ns: 0, delta },
+        }
+    }
+
+    #[test]
+    fn report_aggregates_and_orders_stages() {
+        let t = Trace {
+            events: vec![
+                span_ev("stage.exec", 100, 1100),
+                span_ev("stage.opmin", 0, 50),
+                span_ev("stage.opmin", 50, 80),
+                span_ev("stage.fusion", 80, 100),
+                counter_ev("gett.flops", 2000),
+                counter_ev("exec.interp.flops", 500),
+                counter_ev("plan_cache.hits", 3),
+                counter_ev("plan_cache.misses", 1),
+            ],
+            mem_peak_bytes: 4096,
+        };
+        let r = t.report();
+        let order: Vec<&str> = r.stages.iter().map(|s| s.stage.as_str()).collect();
+        assert_eq!(order, vec!["opmin", "fusion", "exec"]);
+        assert_eq!(r.stages[0].wall_ns, 80);
+        assert_eq!(r.stages[0].count, 2);
+        assert_eq!(r.flops, 2500);
+        assert_eq!(r.exec_wall_ns, 1000);
+        assert!((r.gflops() - 2.5).abs() < 1e-9);
+        assert_eq!(r.plan_cache_hits, 3);
+        assert_eq!(r.mem_peak_bytes, 4096);
+        let text = r.to_string();
+        assert!(text.contains("opmin"));
+        assert!(text.contains("GFLOP/s"));
+        assert!(text.contains("4.00 KiB"));
+    }
+
+    #[test]
+    fn empty_trace_renders() {
+        let r = Trace::default().report();
+        assert_eq!(r.gflops(), 0.0);
+        assert!(r.to_string().contains("no stage spans"));
+    }
+}
