@@ -1,0 +1,195 @@
+//! exp_dist_shard — the sharded distributed executor over a grid sweep.
+//!
+//! Runs the §2 CCSD term and a matmul chain through the full pipeline
+//! with a distribution plan for each grid shape, executes the plan on the
+//! sharded machine, and reports wall time, measured vs. modeled
+//! communication volume (which must agree **exactly**), redistribution
+//! events, and the busiest rank's flop share.  Writes the measurements to
+//! `BENCH_dist_shard.json`.
+//!
+//! ```text
+//! exp_dist_shard [--out BENCH_dist_shard.json] [--threads T]
+//! ```
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+use tce_bench::tables::{fmt_u, Table};
+use tce_core::dist::Machine;
+use tce_core::par::ProcessorGrid;
+use tce_core::scenarios::section2_source;
+use tce_core::tensor::Tensor;
+use tce_core::{synthesize, ExecOptions, SynthesisConfig};
+
+struct Case {
+    name: &'static str,
+    src: String,
+    extent: usize,
+}
+
+fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            name: "ccsd_section2",
+            src: section2_source(10),
+            extent: 10,
+        },
+        Case {
+            name: "matmul_chain",
+            src: "
+                range N = 96;
+                index i, j, k, l : N;
+                tensor A(N, N); tensor B(N, N); tensor C(N, N); tensor OUT(N, N);
+                OUT[i,l] = sum[j,k] A[i,j] * B[j,k] * C[k,l];
+            "
+            .to_string(),
+            extent: 96,
+        },
+    ]
+}
+
+fn main() {
+    let mut out_path = "BENCH_dist_shard.json".to_string();
+    let mut threads = tce_core::par::default_threads();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a positive integer");
+            }
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    let grids: Vec<Vec<usize>> = vec![vec![1], vec![2, 2], vec![2, 4], vec![4, 4]];
+
+    println!("exp_dist_shard: sharded execution of distribution plans\n");
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"dist_shard\",");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"cases\": [");
+
+    let n_entries = cases().len() * grids.len();
+    let mut entry = 0usize;
+    for case in cases() {
+        let mut table = Table::new(&[
+            "grid",
+            "wall (s)",
+            "moved",
+            "modeled",
+            "reduce",
+            "modeled",
+            "busiest rank flops",
+        ]);
+        for dims in &grids {
+            // word_cost 1 (vs the default 100) so larger grids stay
+            // attractive to the DP and the sweep shows compute scaling.
+            let cfg = SynthesisConfig {
+                machine: Some(Machine {
+                    grid: ProcessorGrid::new(dims.clone()),
+                    word_cost: 1,
+                }),
+                ..SynthesisConfig::default()
+            };
+            let syn = synthesize(&case.src, &cfg).expect("synthesis");
+            // Bind every external input deterministically.
+            let mut written: Vec<bool> = vec![false; syn.program.tensors.len()];
+            let mut owned: Vec<(tce_core::ir::TensorId, Tensor)> = Vec::new();
+            for stmt in &syn.program.stmts {
+                for term in &stmt.terms {
+                    for f in &term.factors {
+                        if let tce_core::ir::Factor::Tensor(r) = f {
+                            if !written[r.tensor.0 as usize]
+                                && !owned.iter().any(|(id, _)| *id == r.tensor)
+                            {
+                                let decl = syn.program.tensors.get(r.tensor);
+                                let shape: Vec<usize> = decl
+                                    .dims
+                                    .iter()
+                                    .map(|&rr| syn.program.space.range_extent(rr))
+                                    .collect();
+                                owned.push((
+                                    r.tensor,
+                                    Tensor::random(&shape, 7 ^ r.tensor.0 as u64),
+                                ));
+                            }
+                        }
+                    }
+                }
+                written[stmt.lhs.tensor.0 as usize] = true;
+            }
+            let inputs: HashMap<_, _> = owned.iter().map(|(id, t)| (*id, t)).collect();
+            let opts = ExecOptions::with_threads(threads);
+            let start = Instant::now();
+            let summary = syn.execute_distributed_opts(&inputs, &HashMap::new(), &opts);
+            let wall = start.elapsed().as_secs_f64();
+            assert_eq!(
+                summary.moved_elements, summary.predicted_move_elements,
+                "{} on {:?}: redistribution diverged from move_cost",
+                case.name, dims
+            );
+            assert_eq!(
+                summary.reduce_words, summary.predicted_reduce_words,
+                "{} on {:?}: reduction diverged from reduce_cost",
+                case.name, dims
+            );
+            let gridname = dims
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("x");
+            table.row(&[
+                gridname.clone(),
+                format!("{wall:.4}"),
+                fmt_u(summary.moved_elements),
+                fmt_u(summary.predicted_move_elements),
+                fmt_u(summary.reduce_words),
+                fmt_u(summary.predicted_reduce_words),
+                fmt_u(summary.max_rank_flops()),
+            ]);
+            entry += 1;
+            let _ = writeln!(json, "    {{");
+            let _ = writeln!(json, "      \"case\": \"{}\",", case.name);
+            let _ = writeln!(json, "      \"extent\": {},", case.extent);
+            let _ = writeln!(json, "      \"grid\": \"{gridname}\",");
+            let _ = writeln!(json, "      \"wall_secs\": {wall:.6},");
+            let _ = writeln!(
+                json,
+                "      \"moved_elements\": {},",
+                summary.moved_elements
+            );
+            let _ = writeln!(
+                json,
+                "      \"predicted_move_elements\": {},",
+                summary.predicted_move_elements
+            );
+            let _ = writeln!(json, "      \"reduce_words\": {},", summary.reduce_words);
+            let _ = writeln!(
+                json,
+                "      \"predicted_reduce_words\": {},",
+                summary.predicted_reduce_words
+            );
+            let _ = writeln!(
+                json,
+                "      \"redistributions\": {},",
+                summary.redistributions
+            );
+            let _ = writeln!(
+                json,
+                "      \"max_rank_flops\": {}",
+                summary.max_rank_flops()
+            );
+            let _ = writeln!(json, "    }}{}", if entry < n_entries { "," } else { "" });
+        }
+        println!("{}: measured == modeled on every grid", case.name);
+        println!("{}", table.render());
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, json).expect("write bench json");
+    println!("wrote {out_path}");
+}

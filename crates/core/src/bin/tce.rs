@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! tce SPEC.tce [--memory-limit N] [--cache N] [--grid PxQx…]
-//!              [--word-cost N] [--execute] [--seed S] [--threads T]
-//!              [--trace OUT.json]
+//!              [--word-cost N] [--execute] [--distributed] [--seed S]
+//!              [--threads T] [--trace OUT.json]
 //! ```
 //!
 //! Reads a tensor-contraction specification, runs the full optimization
@@ -15,7 +15,10 @@
 //! available parallelism); results are bitwise identical either way.
 //! `--trace OUT.json` enables the `tce-trace` observability layer
 //! (implies `--execute`), writes a chrome://tracing-compatible event
-//! file, and prints a profile report.
+//! file, and prints a profile report.  `--distributed` (requires
+//! `--grid`, implies `--execute`) runs the statement sequence on the
+//! sharded distributed machine and prints measured vs. modeled
+//! communication volumes.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -32,6 +35,7 @@ struct Args {
     grid: Option<Vec<usize>>,
     word_cost: u128,
     execute: bool,
+    distributed: bool,
     seed: u64,
     threads: Option<usize>,
     trace: Option<String>,
@@ -45,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
         grid: None,
         word_cost: 100,
         execute: false,
+        distributed: false,
         seed: 42,
         threads: None,
         trace: None,
@@ -71,7 +76,13 @@ fn parse_args() -> Result<Args, String> {
                 let spec = it.next().ok_or("--grid needs a value like 2x4")?;
                 let dims: Result<Vec<usize>, _> =
                     spec.split('x').map(|d| d.parse::<usize>()).collect();
-                args.grid = Some(dims.map_err(|e| format!("bad --grid: {e}"))?);
+                let dims = dims.map_err(|e| format!("bad --grid `{spec}`: {e}"))?;
+                if dims.is_empty() || dims.contains(&0) {
+                    return Err(format!(
+                        "bad --grid `{spec}`: every dimension must be at least 1"
+                    ));
+                }
+                args.grid = Some(dims);
             }
             "--word-cost" => {
                 args.word_cost = it
@@ -81,6 +92,10 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --word-cost: {e}"))?;
             }
             "--execute" => args.execute = true,
+            "--distributed" => {
+                args.distributed = true;
+                args.execute = true;
+            }
             "--trace" => {
                 args.trace = Some(it.next().ok_or("--trace needs an output path")?);
                 args.execute = true;
@@ -105,8 +120,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err("usage: tce SPEC.tce [--memory-limit N] [--cache N] \
-                            [--grid PxQ] [--word-cost N] [--execute] [--seed S] \
-                            [--threads T] [--trace OUT.json]"
+                            [--grid PxQ] [--word-cost N] [--execute] \
+                            [--distributed] [--seed S] [--threads T] \
+                            [--trace OUT.json]"
                     .to_string())
             }
             other if args.spec_path.is_empty() && !other.starts_with('-') => {
@@ -117,6 +133,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.spec_path.is_empty() {
         return Err("no specification file given (try --help)".to_string());
+    }
+    if args.distributed && args.grid.is_none() {
+        return Err("--distributed requires --grid (e.g. --grid 2x4)".to_string());
     }
     Ok(args)
 }
@@ -220,8 +239,55 @@ fn main() -> ExitCode {
             opts.threads,
             if opts.threads == 1 { "" } else { "s" }
         );
-        let results = syn.execute_opts(&inputs, &funcs, &opts);
-        for (id, t) in &results {
+        let results = if args.distributed {
+            let summary = syn.execute_distributed_opts(&inputs, &funcs, &opts);
+            println!(
+                "  distributed over grid {:?}: {} redistribution{}",
+                syn.machine
+                    .as_ref()
+                    .map(|m| m.grid.dims().to_vec())
+                    .unwrap_or_default(),
+                summary.redistributions,
+                if summary.redistributions == 1 {
+                    ""
+                } else {
+                    "s"
+                }
+            );
+            println!(
+                "  redistribution elements: measured {} / modeled {}{}",
+                summary.moved_elements,
+                summary.predicted_move_elements,
+                if summary.moved_elements == summary.predicted_move_elements {
+                    " (exact)"
+                } else {
+                    " (MISMATCH)"
+                }
+            );
+            println!(
+                "  reduction words: measured {} / modeled {}{}",
+                summary.reduce_words,
+                summary.predicted_reduce_words,
+                if summary.reduce_words == summary.predicted_reduce_words {
+                    " (exact)"
+                } else {
+                    " (MISMATCH)"
+                }
+            );
+            println!("  busiest rank: {} flops", summary.max_rank_flops());
+            if summary.moved_elements != summary.predicted_move_elements
+                || summary.reduce_words != summary.predicted_reduce_words
+            {
+                eprintln!("measured communication diverged from the cost model");
+                return ExitCode::FAILURE;
+            }
+            summary.outputs
+        } else {
+            syn.execute_opts(&inputs, &funcs, &opts)
+        };
+        let mut ordered: Vec<_> = results.iter().collect();
+        ordered.sort_by_key(|(id, _)| id.0);
+        for (id, t) in ordered {
             let name = &syn.program.tensors.get(*id).name;
             println!(
                 "  {name}: shape {:?}, |sum| = {:.6e}",

@@ -26,8 +26,8 @@ pub mod pipeline;
 pub mod scenarios;
 
 pub use pipeline::{
-    synthesize, synthesize_program, CseSummary, Synthesis, SynthesisConfig, SynthesisError,
-    TermPlan,
+    synthesize, synthesize_program, CseSummary, DistExecSummary, Synthesis, SynthesisConfig,
+    SynthesisError, TermPlan,
 };
 pub use tce_exec::ExecOptions;
 

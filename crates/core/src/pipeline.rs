@@ -98,6 +98,38 @@ pub struct Synthesis {
     pub plans: Vec<TermPlan>,
     /// Common-subexpression statistics per multi-term statement.
     pub cse: Vec<CseSummary>,
+    /// The target machine the distribution stage planned for (`None` =
+    /// sequential synthesis; [`Synthesis::execute_distributed_opts`]
+    /// requires it).
+    pub machine: Option<Machine>,
+}
+
+/// Aggregate communication/computation accounting from a distributed
+/// execution of a whole statement sequence (summed over every term's
+/// [`tce_dist::ShardExecReport`]).
+#[derive(Debug, Clone)]
+pub struct DistExecSummary {
+    /// Value of every assigned tensor (same as [`Synthesis::execute`]).
+    pub outputs: HashMap<TensorId, Tensor>,
+    /// Elements that changed rank during redistribution.
+    pub moved_elements: u128,
+    /// Closed-form `move_cost` prediction summed over the same plans.
+    pub predicted_move_elements: u128,
+    /// Reduction-tree traffic measured round by round.
+    pub reduce_words: u128,
+    /// Closed-form `reduce_cost` prediction summed over the same plans.
+    pub predicted_reduce_words: u128,
+    /// Redistribution events that actually changed layout.
+    pub redistributions: u64,
+    /// Per-rank multiply-add flops, summed over all terms.
+    pub per_rank_flops: Vec<u128>,
+}
+
+impl DistExecSummary {
+    /// The busiest rank's flop count (computational makespan).
+    pub fn max_rank_flops(&self) -> u128 {
+        self.per_rank_flops.iter().copied().max().unwrap_or(0)
+    }
 }
 
 /// Sharing statistics for one statement's terms (the distributivity-aware
@@ -183,6 +215,91 @@ impl Synthesis {
         }
         computed
     }
+
+    /// Execute the statement sequence on the **sharded distributed
+    /// machine**: every term that carries a [`DistPlan`] runs through
+    /// `tce_exec::execute_tree_distributed` (per-rank shard buffers,
+    /// block-transfer redistribution, tree reduction); terms without a
+    /// plan fall back to the sequential GETT path.  Returns the outputs
+    /// plus aggregate measured-vs-modeled communication accounting.
+    ///
+    /// # Panics
+    /// Panics if the synthesis was not configured with a machine, or if
+    /// an external input binding is missing or mis-shaped.
+    pub fn execute_distributed_opts(
+        &self,
+        external_inputs: &HashMap<TensorId, &Tensor>,
+        funcs: &HashMap<String, IntegralFn>,
+        opts: &ExecOptions,
+    ) -> DistExecSummary {
+        let machine = self
+            .machine
+            .as_ref()
+            .expect("distributed execution requires a machine-configured synthesis");
+        let _span = tce_trace::span("stage.exec.distributed");
+        let space = &self.program.space;
+        let mut computed: HashMap<TensorId, Tensor> = HashMap::new();
+        let mut summary = DistExecSummary {
+            outputs: HashMap::new(),
+            moved_elements: 0,
+            predicted_move_elements: 0,
+            reduce_words: 0,
+            predicted_reduce_words: 0,
+            redistributions: 0,
+            per_rank_flops: vec![0; machine.grid.num_processors()],
+        };
+        for (si, stmt) in self.program.stmts.iter().enumerate() {
+            let target = stmt.lhs.tensor;
+            let shape: Vec<usize> = stmt.lhs.indices.iter().map(|&v| space.extent(v)).collect();
+            let mut acc = if stmt.accumulate {
+                computed
+                    .get(&target)
+                    .cloned()
+                    .unwrap_or_else(|| Tensor::zeros(&shape))
+            } else {
+                Tensor::zeros(&shape)
+            };
+            for plan in self.plans.iter().filter(|p| p.stmt_index == si) {
+                let mut inputs: HashMap<TensorId, &Tensor> = external_inputs.clone();
+                for (id, t) in &computed {
+                    inputs.insert(*id, t);
+                }
+                let term_value = match &plan.distribution {
+                    Some(dist) => {
+                        let report = tce_exec::execute_tree_distributed(
+                            &plan.tree, space, dist, machine, &inputs, funcs, opts,
+                        );
+                        summary.moved_elements += report.moved_elements;
+                        summary.predicted_move_elements += report.predicted_move_elements;
+                        summary.reduce_words += report.reduce_words;
+                        summary.predicted_reduce_words += report.predicted_reduce_words;
+                        summary.redistributions += report.redistributions;
+                        for (slot, f) in summary
+                            .per_rank_flops
+                            .iter_mut()
+                            .zip(&report.per_rank_flops)
+                        {
+                            *slot = slot.saturating_add(*f);
+                        }
+                        report.result
+                    }
+                    None => plan.execute_opts(space, &inputs, funcs, opts),
+                };
+                let canon: Vec<tce_ir::IndexVar> = stmt.lhs.index_set().iter().collect();
+                let perm: Vec<usize> = stmt
+                    .lhs
+                    .indices
+                    .iter()
+                    .map(|v| canon.iter().position(|c| c == v).unwrap())
+                    .collect();
+                let reordered = term_value.permute(&perm);
+                acc.axpy(plan.coeff, &reordered);
+            }
+            computed.insert(target, acc);
+        }
+        summary.outputs = computed;
+        summary
+    }
 }
 
 /// Errors from the pipeline.
@@ -244,6 +361,7 @@ pub fn synthesize_program(
         program,
         plans,
         cse,
+        machine: cfg.machine.clone(),
     })
 }
 

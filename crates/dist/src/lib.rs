@@ -3,9 +3,11 @@
 //! The paper's Data Distribution & Partitioning module (§7): distribution
 //! n-tuples over a logical processor grid ([`tuple`]), closed-form
 //! communication/computation/reduction cost models ([`cost`]), the
-//! `Cost(u, α)` dynamic program with traceback ([`dp`]), and a simulated
-//! distributed machine that validates both the cost model and the
-//! semantics of distributed execution ([`sim`]).
+//! `Cost(u, α)` dynamic program with traceback ([`dp`]), a sharded
+//! executor that runs a chosen plan rank-parallel with block-transfer
+//! redistribution and tree reduction ([`exec`]), and an element-wise
+//! simulated machine kept as the small-extent oracle the executor is
+//! differentially tested against ([`sim`]).
 //!
 //! ```
 //! use tce_dist::{move_cost, DistEntry, DistTuple};
@@ -27,11 +29,16 @@
 
 pub mod cost;
 pub mod dp;
+pub mod exec;
 pub mod sim;
 pub mod tuple;
 
 pub use cost::{after_reduction, calc_cost, move_cost, reduce_cost, ReduceMode};
 pub use dp::{optimize_distribution, state_count, DistPlan, Machine};
+pub use exec::{
+    contract_sharded, execute_plan_sharded, gather, redistribute, reduce_partial_sums, scatter,
+    ShardExecReport, ShardedTensor,
+};
 pub use sim::{
     move_cost_elementwise, simulate_contraction, simulate_plan, PlanSimReport, SimStats,
 };

@@ -41,4 +41,6 @@ pub mod treeexec;
 
 pub use cache::{CacheSink, LruCache};
 pub use interp::{AccessSink, ExecStats, Interpreter, NoSink};
-pub use treeexec::{execute_tree, execute_tree_opts, parallel_contract, ExecOptions};
+pub use treeexec::{
+    execute_tree, execute_tree_distributed, execute_tree_opts, parallel_contract, ExecOptions,
+};

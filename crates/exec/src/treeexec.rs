@@ -61,6 +61,25 @@ pub fn execute_tree_opts(
     execute_tree(tree, space, inputs, funcs, opts.threads)
 }
 
+/// Evaluate `tree` on the sharded distributed machine following a §7
+/// distribution plan: tensors live as per-rank shard buffers over
+/// `machine`'s grid, contractions run rank-parallel over their γ-local
+/// subspaces, layout changes move as block transfers, and distributed
+/// partial sums are combined by a reduction tree.  Returns the assembled
+/// root value alongside measured-vs-modeled communication volumes (see
+/// [`tce_dist::ShardExecReport`]).
+pub fn execute_tree_distributed(
+    tree: &OpTree,
+    space: &IndexSpace,
+    plan: &tce_dist::DistPlan,
+    machine: &tce_dist::Machine,
+    inputs: &HashMap<TensorId, &Tensor>,
+    funcs: &HashMap<String, IntegralFn>,
+    opts: &ExecOptions,
+) -> tce_dist::ShardExecReport {
+    tce_dist::execute_plan_sharded(tree, space, plan, machine, inputs, funcs, opts.threads)
+}
+
 /// Evaluate `tree` bottom-up; returns the root value.
 ///
 /// `threads = 1` runs sequentially; larger values parallelize function

@@ -25,6 +25,6 @@ pub mod pool;
 
 pub use grid::{myrange, owner_of, ProcessorGrid};
 pub use pool::{
-    block_ranges, default_threads, parallel_chunks_mut, parallel_for, parallel_reduce, Pool,
-    SharedCounter,
+    block_ranges, default_threads, parallel_chunks_mut, parallel_for, parallel_map,
+    parallel_reduce, Pool, SharedCounter,
 };

@@ -97,6 +97,13 @@ struct Shared {
 /// disjoint state — the same contract as scoped-thread partitioning, but
 /// without a per-call spawn.  Nested or concurrent submissions are safe:
 /// they detect the busy pool and execute inline on the caller.
+///
+/// Lock poisoning is recovered everywhere (`unwrap_or_else(into_inner)`):
+/// the pool's own mutexes guard scheduling bookkeeping whose invariants
+/// are restored by the next submission, and task panics are already
+/// caught, recorded, and re-raised once per job by [`Pool::run`] — turning
+/// a poisoned lock into a second, process-wide panic cascade would only
+/// mask the original failure.
 pub struct Pool {
     shared: Arc<Shared>,
     /// Serializes submissions; `try_lock` failure = nested call → inline.
@@ -146,13 +153,13 @@ impl Pool {
 
     /// Current worker count.
     pub fn workers(&self) -> usize {
-        self.handles.lock().expect("pool poisoned").len()
+        self.handles.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// Grow the pool to at least `target` workers (capped at 256).
     pub fn ensure_workers(&self, target: usize) {
         let target = target.min(256);
-        let mut handles = self.handles.lock().expect("pool poisoned");
+        let mut handles = self.handles.lock().unwrap_or_else(|e| e.into_inner());
         while handles.len() < target {
             let shared = Arc::clone(&self.shared);
             handles.push(std::thread::spawn(move || worker_loop(&shared)));
@@ -193,7 +200,7 @@ impl Pool {
         shared.pending.store(tasks, Ordering::SeqCst);
         shared.panicked.store(false, Ordering::SeqCst);
         {
-            let mut g = shared.gate.lock().expect("pool poisoned");
+            let mut g = shared.gate.lock().unwrap_or_else(|e| e.into_inner());
             g.epoch += 1;
             g.job = Some(Job { f: f_erased, tasks });
             shared.work.notify_all();
@@ -214,10 +221,10 @@ impl Pool {
         // Retract the job, then wait for stragglers.  Workers register in
         // `active` under the gate before claiming, so once `job` is cleared
         // and `active == 0`, no thread can touch `f` again.
-        let mut g = shared.gate.lock().expect("pool poisoned");
+        let mut g = shared.gate.lock().unwrap_or_else(|e| e.into_inner());
         g.job = None;
         while g.active > 0 || shared.pending.load(Ordering::Acquire) > 0 {
-            g = shared.done.wait(g).expect("pool poisoned");
+            g = shared.done.wait(g).unwrap_or_else(|e| e.into_inner());
         }
         drop(g);
         if shared.panicked.load(Ordering::SeqCst) {
@@ -229,11 +236,11 @@ impl Pool {
 impl Drop for Pool {
     fn drop(&mut self) {
         {
-            let mut g = self.shared.gate.lock().expect("pool poisoned");
+            let mut g = self.shared.gate.lock().unwrap_or_else(|e| e.into_inner());
             g.shutdown = true;
             self.shared.work.notify_all();
         }
-        let handles = std::mem::take(&mut *self.handles.lock().expect("pool poisoned"));
+        let handles = std::mem::take(&mut *self.handles.lock().unwrap_or_else(|e| e.into_inner()));
         for h in handles {
             let _ = h.join();
         }
@@ -248,7 +255,7 @@ fn worker_loop(shared: &Shared) {
         // counters land in this worker's thread-local trace buffer.
         let t_park = tce_trace::enabled().then(tce_trace::now_ns);
         let job = {
-            let mut g = shared.gate.lock().expect("pool poisoned");
+            let mut g = shared.gate.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if g.shutdown {
                     return;
@@ -256,7 +263,7 @@ fn worker_loop(shared: &Shared) {
                 if g.job.is_some() && g.epoch != seen {
                     break;
                 }
-                g = shared.work.wait(g).expect("pool poisoned");
+                g = shared.work.wait(g).unwrap_or_else(|e| e.into_inner());
             }
             seen = g.epoch;
             g.active += 1;
@@ -289,7 +296,7 @@ fn worker_loop(shared: &Shared) {
                 tce_trace::counter("pool.busy_ns", tce_trace::now_ns() - t0);
             }
         }
-        let mut g = shared.gate.lock().expect("pool poisoned");
+        let mut g = shared.gate.lock().unwrap_or_else(|e| e.into_inner());
         g.active -= 1;
         shared.done.notify_all();
         drop(g);
@@ -333,12 +340,12 @@ where
     pool.ensure_workers(threads - 1);
     pool.run(ranges.len(), &|i| {
         let v = fold(ranges[i].clone());
-        *slots[i].lock().expect("slot poisoned") = Some(v);
+        *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
     });
     slots.into_iter().fold(identity, |acc, s| {
         let v = s
             .into_inner()
-            .expect("slot poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .expect("every range folded");
         combine(acc, v)
     })
@@ -391,6 +398,27 @@ where
         let slice = unsafe { std::slice::from_raw_parts_mut(c.ptr, c.len) };
         f(c.start, slice);
     });
+}
+
+/// Parallel map over `0..n`: returns `vec![f(0), …, f(n-1)]`, computed on
+/// the shared pool with up to `threads` workers.  Slot `i` is written by
+/// exactly one worker, so the output is identical at every thread count.
+/// Used by the sharded distributed executor to run per-rank work
+/// concurrently while collecting per-rank results.
+pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    parallel_chunks_mut(&mut out, threads, |start, chunk| {
+        for (i, slot) in chunk.iter_mut().enumerate() {
+            *slot = Some(f(start + i));
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("every slot filled"))
+        .collect()
 }
 
 /// A monotone counter shared across workers (used by the executor to count
@@ -565,6 +593,130 @@ mod tests {
         let c = SharedCounter::new();
         pool.run(8, &|_| c.add(1));
         assert_eq!(c.get(), 8);
+    }
+
+    /// Tiny xorshift for property tests (no external deps; tce-ir's Rng
+    /// would create a dependency cycle from here).
+    struct XorShift(u64);
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n.max(1)
+        }
+    }
+
+    #[test]
+    fn block_ranges_properties_randomized() {
+        // Partition invariants hold for random (n, parts), including the
+        // degenerate corners n == 0, parts == 0, parts > n.
+        let mut rng = XorShift(0x9e3779b97f4a7c15);
+        for trial in 0..500 {
+            let (n, parts) = match trial {
+                0 => (0, 0),
+                1 => (0, 7),
+                2 => (5, 0),
+                3 => (3, 64),
+                4 => (1, 1),
+                _ => (rng.below(2000) as usize, rng.below(70) as usize),
+            };
+            let rs = block_ranges(n, parts);
+            // Cardinality: parts clamped to [1, max(n,1)].
+            assert_eq!(rs.len(), parts.max(1).min(n.max(1)), "n={n} parts={parts}");
+            // Exact contiguous cover of 0..n.
+            assert_eq!(rs.first().unwrap().start, 0);
+            assert_eq!(rs.last().unwrap().end, n);
+            for w in rs.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+            // Balance and non-emptiness.
+            let lens: Vec<usize> = rs.iter().map(|r| r.len()).collect();
+            assert!(lens.iter().max().unwrap() - lens.iter().min().unwrap() <= 1);
+            if n > 0 {
+                assert!(lens.iter().all(|&l| l > 0));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_reduce_edge_cases_match_serial() {
+        // n == 0, parts > n, single thread: every configuration agrees
+        // with the 1-thread result (ascending combine order).
+        let mut rng = XorShift(0xabcdef12345);
+        for trial in 0..200 {
+            let n = match trial {
+                0 => 0usize,
+                1 => 1,
+                2 => 2,
+                _ => rng.below(300) as usize,
+            };
+            let threads = match trial % 4 {
+                0 => 1usize,
+                1 => n + 5, // parts > n
+                2 => 64,
+                _ => 1 + rng.below(8) as usize,
+            };
+            // Wrapping integer sums are associative, so chunking must be
+            // invisible: exact equality regardless of the split.
+            let ifold = |r: std::ops::Range<usize>| {
+                r.fold(0u64, |acc, i| {
+                    acc.wrapping_add((i as u64).wrapping_mul(0x9e37))
+                })
+            };
+            let serial = parallel_reduce(n, 1, 0u64, ifold, |a, b| a.wrapping_add(b));
+            let par = parallel_reduce(n, threads, 0u64, ifold, |a, b| a.wrapping_add(b));
+            assert_eq!(serial, par, "n={n} threads={threads}");
+            // Float sums regroup across chunk boundaries; agreement is
+            // approximate only.
+            let ffold = |r: std::ops::Range<usize>| r.map(|i| (i as f64).sin()).sum::<f64>();
+            let fserial = parallel_reduce(n, 1, 0.0f64, ffold, |a, b| a + b);
+            let fpar = parallel_reduce(n, threads, 0.0f64, ffold, |a, b| a + b);
+            assert!(
+                (fserial - fpar).abs() <= 1e-9 * (1.0 + fserial.abs()),
+                "n={n} threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_map_matches_serial_and_handles_edges() {
+        for (n, threads) in [(0usize, 4usize), (1, 1), (7, 64), (1000, 4)] {
+            let got = parallel_map(n, threads, |i| i * i);
+            let expect: Vec<usize> = (0..n).map(|i| i * i).collect();
+            assert_eq!(got, expect, "n={n} threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pool_survives_poisoned_bookkeeping_locks() {
+        // A panicking task used to poison the pool/slot mutexes and turn
+        // every later caller into a panic cascade; locks now recover.
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            parallel_reduce(
+                64,
+                4,
+                0u64,
+                |r| {
+                    if r.contains(&17) {
+                        panic!("task boom");
+                    }
+                    r.len() as u64
+                },
+                |a, b| a + b,
+            );
+        }));
+        assert!(r.is_err(), "panic must still propagate to the submitter");
+        // The global pool keeps working afterwards.
+        let total = parallel_reduce(100, 4, 0u64, |r| r.len() as u64, |a, b| a + b);
+        assert_eq!(total, 100);
+        let mapped = parallel_map(10, 4, |i| i + 1);
+        assert_eq!(mapped.iter().sum::<usize>(), 55);
     }
 
     #[test]

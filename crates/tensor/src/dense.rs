@@ -365,6 +365,79 @@ impl Tensor {
         }
     }
 
+    /// Extract the rectangular block `starts[d] .. starts[d] + lens[d]`
+    /// into a new tensor of shape `lens` — the read side of shard
+    /// scatter/redistribution.  Rows along the innermost dimension are
+    /// copied contiguously.
+    ///
+    /// # Panics
+    /// Panics if the box exceeds the tensor bounds.
+    pub fn extract_block(&self, starts: &[usize], lens: &[usize]) -> Tensor {
+        assert_eq!(starts.len(), self.rank(), "block rank mismatch");
+        assert_eq!(lens.len(), self.rank(), "block rank mismatch");
+        for (d, (&s, &l)) in starts.iter().zip(lens).enumerate() {
+            assert!(s + l <= self.shape[d], "block out of bounds");
+        }
+        let mut out = Tensor::zeros(lens);
+        if self.rank() == 0 {
+            out.data[0] = self.data[0];
+            return out;
+        }
+        if lens.contains(&0) {
+            return out;
+        }
+        let last = self.rank() - 1;
+        let row = lens[last];
+        let outer: usize = lens[..last].iter().product();
+        let mut idx = vec![0usize; last];
+        let mut dst = 0usize;
+        for _ in 0..outer.max(1) {
+            let mut src = starts[last] * self.strides[last];
+            for d in 0..last {
+                src += (starts[d] + idx[d]) * self.strides[d];
+            }
+            out.data[dst..dst + row].copy_from_slice(&self.data[src..src + row]);
+            dst += row;
+            Self::advance(&mut idx, &lens[..last]);
+        }
+        out
+    }
+
+    /// Write `block` into the rectangular region starting at `starts` —
+    /// the write side of shard gather/redistribution.  Inverse of
+    /// [`extract_block`](Self::extract_block) for matching boxes.
+    ///
+    /// # Panics
+    /// Panics if the box exceeds the tensor bounds.
+    pub fn paste_block(&mut self, starts: &[usize], block: &Tensor) {
+        assert_eq!(starts.len(), self.rank(), "block rank mismatch");
+        assert_eq!(block.rank(), self.rank(), "block rank mismatch");
+        for (d, (&s, &l)) in starts.iter().zip(&block.shape).enumerate() {
+            assert!(s + l <= self.shape[d], "block out of bounds");
+        }
+        if self.rank() == 0 {
+            self.data[0] = block.data[0];
+            return;
+        }
+        if block.shape.contains(&0) {
+            return;
+        }
+        let last = self.rank() - 1;
+        let row = block.shape[last];
+        let outer: usize = block.shape[..last].iter().product();
+        let mut idx = vec![0usize; last];
+        let mut src = 0usize;
+        for _ in 0..outer.max(1) {
+            let mut dst = starts[last] * self.strides[last];
+            for d in 0..last {
+                dst += (starts[d] + idx[d]) * self.strides[d];
+            }
+            self.data[dst..dst + row].copy_from_slice(&block.data[src..src + row]);
+            src += row;
+            Self::advance(&mut idx, &block.shape[..last]);
+        }
+    }
+
     /// Advance a row-major odometer; wraps to all-zeros after the last
     /// index. Public so kernels and the interpreter share one implementation.
     #[inline]
@@ -536,6 +609,44 @@ mod tests {
     fn axpy_rejects_shape_mismatch() {
         let mut a = Tensor::zeros(&[2]);
         a.axpy(1.0, &Tensor::zeros(&[3]));
+    }
+
+    #[test]
+    fn extract_paste_roundtrip() {
+        let t = Tensor::from_fn(&[4, 5, 3], |i| (i[0] * 100 + i[1] * 10 + i[2]) as f64);
+        let b = t.extract_block(&[1, 2, 0], &[2, 3, 3]);
+        assert_eq!(b.shape(), &[2, 3, 3]);
+        for x in 0..2 {
+            for y in 0..3 {
+                for z in 0..3 {
+                    assert_eq!(b.get(&[x, y, z]), t.get(&[x + 1, y + 2, z]));
+                }
+            }
+        }
+        let mut back = Tensor::zeros(&[4, 5, 3]);
+        back.paste_block(&[1, 2, 0], &b);
+        for x in 0..2 {
+            for y in 0..3 {
+                for z in 0..3 {
+                    assert_eq!(back.get(&[x + 1, y + 2, z]), t.get(&[x + 1, y + 2, z]));
+                }
+            }
+        }
+        assert_eq!(back.get(&[0, 0, 0]), 0.0);
+        // Whole-tensor block is a copy.
+        assert_eq!(t.extract_block(&[0, 0, 0], &[4, 5, 3]), t);
+        // Scalars round-trip too.
+        let s = Tensor::from_elem(&[], 3.5);
+        assert_eq!(s.extract_block(&[], &[]), s);
+        let mut s2 = Tensor::zeros(&[]);
+        s2.paste_block(&[], &s);
+        assert_eq!(s2.get(&[]), 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn extract_block_rejects_overflow() {
+        Tensor::zeros(&[3, 3]).extract_block(&[2, 0], &[2, 3]);
     }
 
     #[test]

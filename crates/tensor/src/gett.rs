@@ -387,36 +387,129 @@ impl PlanKey {
     }
 }
 
-static PLAN_CACHE: OnceLock<Mutex<HashMap<PlanKey, Arc<ContractionPlan>>>> = OnceLock::new();
+/// A capacity-bounded plan store with LRU eviction.  Recency is a u64
+/// stamp per entry (bumped on every hit); eviction scans for the minimum
+/// stamp — O(capacity), which is trivial next to plan construction and
+/// keeps the structure a plain `HashMap`.
+struct PlanStore {
+    map: HashMap<PlanKey, (Arc<ContractionPlan>, u64)>,
+    capacity: usize,
+    clock: u64,
+}
+
+impl PlanStore {
+    fn get(&mut self, key: &PlanKey) -> Option<Arc<ContractionPlan>> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(key).map(|(plan, stamp)| {
+            *stamp = clock;
+            Arc::clone(plan)
+        })
+    }
+
+    fn insert(&mut self, key: PlanKey, plan: Arc<ContractionPlan>) {
+        while self.map.len() >= self.capacity.max(1) {
+            let oldest = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty map over capacity");
+            self.map.remove(&oldest);
+            PLAN_EVICTIONS.fetch_add(1, Ordering::Relaxed);
+            tce_trace::counter("plan_cache.evictions", 1);
+        }
+        self.clock += 1;
+        self.map.insert(key, (plan, self.clock));
+    }
+}
+
+/// Default plan-cache capacity; override with `TCE_PLAN_CACHE_CAP` or
+/// [`set_plan_cache_capacity`].  Plans are small (offset tables), so a few
+/// hundred distinct signatures cover any realistic program while bounding
+/// a long-running process that churns through many shapes (e.g. per-rank
+/// local extents under varying grids).
+const DEFAULT_PLAN_CACHE_CAP: usize = 512;
+
+static PLAN_CACHE: OnceLock<Mutex<PlanStore>> = OnceLock::new();
 static PLAN_HITS: AtomicU64 = AtomicU64::new(0);
 static PLAN_MISSES: AtomicU64 = AtomicU64::new(0);
+static PLAN_EVICTIONS: AtomicU64 = AtomicU64::new(0);
+
+fn plan_cache() -> &'static Mutex<PlanStore> {
+    PLAN_CACHE.get_or_init(|| {
+        let capacity = std::env::var("TCE_PLAN_CACHE_CAP")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(DEFAULT_PLAN_CACHE_CAP);
+        Mutex::new(PlanStore {
+            map: HashMap::new(),
+            capacity,
+            clock: 0,
+        })
+    })
+}
 
 /// The memoized plan for `spec` under `space`'s extents.  Synthesized
 /// programs execute the same handful of contraction shapes thousands of
 /// times (once per tile / per term), so plan construction — index
-/// classification and offset tables — is paid once per signature.
+/// classification and offset tables — is paid once per signature.  The
+/// cache is LRU-bounded (see [`set_plan_cache_capacity`]); the lock
+/// recovers from poisoning because the store holds only immutable plans —
+/// a worker that panicked mid-lookup cannot leave it inconsistent.
 pub fn plan_for(spec: &BinaryContraction, space: &IndexSpace) -> Arc<ContractionPlan> {
     let key = PlanKey::new(spec, space);
-    let cache = PLAN_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    let mut map = cache.lock().expect("plan cache poisoned");
-    if let Some(plan) = map.get(&key) {
+    let mut store = plan_cache().lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(plan) = store.get(&key) {
         PLAN_HITS.fetch_add(1, Ordering::Relaxed);
         tce_trace::counter("plan_cache.hits", 1);
-        return Arc::clone(plan);
+        return plan;
     }
     PLAN_MISSES.fetch_add(1, Ordering::Relaxed);
     tce_trace::counter("plan_cache.misses", 1);
     let plan = Arc::new(ContractionPlan::new(spec, space));
-    map.insert(key, Arc::clone(&plan));
+    store.insert(key, Arc::clone(&plan));
     plan
 }
 
-/// `(hits, misses)` of the process-wide plan cache.
-pub fn plan_cache_stats() -> (u64, u64) {
+/// `(hits, misses, evictions)` of the process-wide plan cache.
+pub fn plan_cache_stats() -> (u64, u64, u64) {
     (
         PLAN_HITS.load(Ordering::Relaxed),
         PLAN_MISSES.load(Ordering::Relaxed),
+        PLAN_EVICTIONS.load(Ordering::Relaxed),
     )
+}
+
+/// Number of plans currently cached.
+pub fn plan_cache_len() -> usize {
+    plan_cache()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .map
+        .len()
+}
+
+/// Set the plan-cache capacity (evicting immediately if over the new
+/// bound) and return the previous capacity.
+pub fn set_plan_cache_capacity(capacity: usize) -> usize {
+    let capacity = capacity.max(1);
+    let mut store = plan_cache().lock().unwrap_or_else(|e| e.into_inner());
+    let old = store.capacity;
+    store.capacity = capacity;
+    while store.map.len() > capacity {
+        let oldest = store
+            .map
+            .iter()
+            .min_by_key(|(_, (_, stamp))| *stamp)
+            .map(|(k, _)| k.clone())
+            .expect("non-empty map over capacity");
+        store.map.remove(&oldest);
+        PLAN_EVICTIONS.fetch_add(1, Ordering::Relaxed);
+        tce_trace::counter("plan_cache.evictions", 1);
+    }
+    old
 }
 
 /// Contract `a` and `b` with the packed GETT engine using `threads`
@@ -560,20 +653,25 @@ mod tests {
         }
     }
 
+    /// Cache tests mutate process-wide state; serialize them so one
+    /// test's evictions can't disturb another's hit/miss accounting.
+    static CACHE_TEST_LOCK: Mutex<()> = Mutex::new(());
+
     #[test]
     fn plan_cache_hits_on_repeat_signatures() {
+        let _guard = CACHE_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let sp = space(&[("x", 11), ("y", 13), ("z", 12)]);
         let spec = BinaryContraction {
             a: vec![v(&sp, "x"), v(&sp, "z")],
             b: vec![v(&sp, "z"), v(&sp, "y")],
             out: vec![v(&sp, "x"), v(&sp, "y")],
         };
-        let (_, m0) = plan_cache_stats();
+        let (_, m0, _) = plan_cache_stats();
         let _ = plan_for(&spec, &sp);
-        let (h1, m1) = plan_cache_stats();
+        let (h1, m1, _) = plan_cache_stats();
         assert_eq!(m1, m0 + 1);
         let _ = plan_for(&spec, &sp);
-        let (h2, m2) = plan_cache_stats();
+        let (h2, m2, _) = plan_cache_stats();
         assert_eq!(h2, h1 + 1);
         assert_eq!(m2, m1);
         // Same var ids under different extents must NOT hit.
@@ -584,8 +682,41 @@ mod tests {
             out: vec![v(&sp2, "x"), v(&sp2, "y")],
         };
         let _ = plan_for(&spec2, &sp2);
-        let (_, m3) = plan_cache_stats();
+        let (_, m3, _) = plan_cache_stats();
         assert_eq!(m3, m2 + 1);
+    }
+
+    #[test]
+    fn plan_cache_stays_within_capacity() {
+        let _guard = CACHE_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let old_cap = set_plan_cache_capacity(8);
+        let (_, _, e0) = plan_cache_stats();
+        // 40 distinct signatures (unique extent vectors) against an
+        // 8-entry bound: the cache must evict, never grow past capacity.
+        for n in 2..42usize {
+            let sp = space(&[("x", n), ("y", n + 1), ("z", n + 2)]);
+            let spec = BinaryContraction {
+                a: vec![v(&sp, "x"), v(&sp, "z")],
+                b: vec![v(&sp, "z"), v(&sp, "y")],
+                out: vec![v(&sp, "x"), v(&sp, "y")],
+            };
+            let _ = plan_for(&spec, &sp);
+            assert!(plan_cache_len() <= 8, "cache grew to {}", plan_cache_len());
+        }
+        let (_, _, e1) = plan_cache_stats();
+        assert!(e1 > e0, "insertions past capacity must evict");
+        // LRU: the most recent signature survives and still hits.
+        let sp = space(&[("x", 41), ("y", 42), ("z", 43)]);
+        let spec = BinaryContraction {
+            a: vec![v(&sp, "x"), v(&sp, "z")],
+            b: vec![v(&sp, "z"), v(&sp, "y")],
+            out: vec![v(&sp, "x"), v(&sp, "y")],
+        };
+        let (h0, _, _) = plan_cache_stats();
+        let _ = plan_for(&spec, &sp);
+        let (h1, _, _) = plan_cache_stats();
+        assert_eq!(h1, h0 + 1);
+        set_plan_cache_capacity(old_cap);
     }
 
     #[test]

@@ -36,7 +36,10 @@ pub mod sparse;
 pub use contract::{contract_gemm, contract_naive, gemm_blocked, BinaryContraction};
 pub use dense::Tensor;
 pub use einsum::EinsumSpec;
-pub use gett::{contract_gett, plan_cache_stats, plan_for, ContractionPlan};
+pub use gett::{
+    contract_gett, plan_cache_len, plan_cache_stats, plan_for, set_plan_cache_capacity,
+    ContractionPlan,
+};
 pub use integrals::IntegralFn;
 pub use packed::PackedSymmetric;
 pub use sparse::{contract_sparse_dense, sparse_contraction_ops, SparseTensor};

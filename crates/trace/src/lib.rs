@@ -133,9 +133,14 @@ fn with_local(f: impl FnOnce(u64, &Buf)) {
         let (tid, buf) = slot.get_or_insert_with(|| {
             let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
             let buf: Buf = Arc::new(Mutex::new(Vec::new()));
+            // Recover from poisoning: the registry is append-only and the
+            // buffers hold only finished events, so a panicked recorder
+            // cannot leave either inconsistent — propagating the poison
+            // would just turn one worker panic into a process-wide
+            // cascade through every later trace call.
             registry()
                 .lock()
-                .expect("trace registry")
+                .unwrap_or_else(|e| e.into_inner())
                 .push(Arc::clone(&buf));
             (tid, buf)
         });
@@ -147,7 +152,7 @@ fn push(ev: Event) {
     with_local(|tid, buf| {
         let mut ev = ev;
         ev.tid = tid;
-        buf.lock().expect("trace buffer").push(ev);
+        buf.lock().unwrap_or_else(|e| e.into_inner()).push(ev);
     });
 }
 
@@ -294,8 +299,8 @@ pub struct Trace {
 /// a fresh high-water mark.
 pub fn take() -> Trace {
     let mut events = Vec::new();
-    for buf in registry().lock().expect("trace registry").iter() {
-        events.append(&mut buf.lock().expect("trace buffer"));
+    for buf in registry().lock().unwrap_or_else(|e| e.into_inner()).iter() {
+        events.append(&mut buf.lock().unwrap_or_else(|e| e.into_inner()));
     }
     let mem_peak = MEM_PEAK.swap(0, Ordering::Relaxed);
     MEM_CURRENT.store(0, Ordering::Relaxed);

@@ -1,0 +1,100 @@
+//! Black-box tests of the `tce` binary: malformed input must produce a
+//! diagnostic on stderr and a nonzero exit status (never a panic), and
+//! the distributed path must report exact measured-vs-modeled agreement.
+
+use std::process::Command;
+
+fn tce() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tce"))
+}
+
+/// These tests are registered from `crates/core`, so the examples live
+/// two levels up.
+fn spec(name: &str) -> String {
+    format!("{}/../../examples/specs/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn malformed_inputs_fail_cleanly() {
+    let chain = spec("matrix_chain.tce");
+    let cases: Vec<Vec<&str>> = vec![
+        vec![],                               // no spec file
+        vec!["/nonexistent/never.tce"],       // unreadable file
+        vec![&chain, "--cache", "pow"],       // bad --cache
+        vec![&chain, "--grid", "2y4"],        // bad --grid format
+        vec![&chain, "--grid", "0x2"],        // zero grid dimension
+        vec![&chain, "--grid", "x"],          // empty grid dimension
+        vec![&chain, "--threads", "0"],       // zero threads
+        vec![&chain, "--distributed"],        // missing --grid
+        vec![&chain, "--memory-limit", "-3"], // negative limit
+        vec![&chain, "--bogus-flag"],         // unknown flag
+    ];
+    for args in &cases {
+        let out = tce().args(args).output().expect("spawn tce");
+        assert!(
+            !out.status.success(),
+            "tce {args:?} should exit nonzero, got {:?}",
+            out.status
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(!stderr.is_empty(), "tce {args:?} should print a diagnostic");
+        assert!(
+            !stderr.contains("panicked"),
+            "tce {args:?} panicked:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn distributed_execution_reports_exact_comm_volumes() {
+    for grid in ["1x1", "2x4"] {
+        let out = tce()
+            .args([
+                &spec("ccsd_section2.tce"),
+                "--distributed",
+                "--grid",
+                grid,
+                "--threads",
+                "2",
+            ])
+            .output()
+            .expect("spawn tce");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            out.status.success(),
+            "grid {grid} failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(stdout.contains("OK"), "grid {grid}:\n{stdout}");
+        assert!(
+            stdout.contains("redistribution elements")
+                && stdout.matches("(exact)").count() >= 2
+                && !stdout.contains("MISMATCH"),
+            "grid {grid}: measured-vs-modeled not exact:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn sequential_and_distributed_sums_agree() {
+    let run = |extra: &[&str]| {
+        let mut args = vec![spec("matrix_chain.tce"), "--execute".to_string()];
+        args.extend(extra.iter().map(|s| s.to_string()));
+        let out = tce().args(&args).output().expect("spawn tce");
+        assert!(out.status.success(), "{args:?}");
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .filter(|l| l.contains("|sum|"))
+            .map(str::to_string)
+            .collect::<Vec<_>>()
+    };
+    let sequential = run(&[]);
+    assert!(!sequential.is_empty());
+    for grid in ["1x1", "2x2", "2x4"] {
+        assert_eq!(
+            sequential,
+            run(&["--distributed", "--grid", grid]),
+            "grid {grid} changed printed sums"
+        );
+    }
+}

@@ -46,6 +46,34 @@ fn move_cost_closed_form_is_exact() {
     }
 }
 
+/// Same agreement on 3-D arrays over 3-D grids: random (β, α) pairs drawn
+/// from the full tuple enumeration (including `*`/`1` entries and tuples
+/// mentioning variables the array does not use) at small extents.
+#[test]
+fn move_cost_closed_form_is_exact_for_3d_arrays() {
+    let grids = [vec![2usize, 2, 2], vec![2, 3, 2], vec![3, 2], vec![2, 2]];
+    let mut rng = Rng::new(0xd007);
+    for _ in 0..24 {
+        let n = rng.usize_in(2..5);
+        let dims = grids[rng.usize_in(0..grids.len())].clone();
+        let (sp, i, j, k) = space3(n);
+        let grid = ProcessorGrid::new(dims);
+        let arr = [i, j, k];
+        let tuples = enumerate_tuples(IndexSet::from_vars(arr), grid.rank());
+        let beta = &tuples[rng.usize_in(0..1000) % tuples.len()];
+        let alpha = &tuples[rng.usize_in(0..1000) % tuples.len()];
+        let fast = move_cost(&arr, &sp, &grid, beta, alpha);
+        let slow = move_cost_elementwise(&arr, &sp, &grid, beta, alpha);
+        assert_eq!(
+            fast,
+            slow,
+            "n={n} β={} α={}",
+            beta.display(&sp),
+            alpha.display(&sp)
+        );
+    }
+}
+
 /// Redistribution to the same tuple is always free.
 #[test]
 fn move_cost_identity_free() {
