@@ -112,7 +112,8 @@ fn bench(c: &mut Criterion) {
     g2.sample_size(20);
     g2.bench_function("interpreter_fused", |bch| {
         bch.iter(|| {
-            let mut it = Interpreter::new(&plan.built.program, space, &inputs, &HashMap::new());
+            let mut it =
+                Interpreter::new(&plan.built.program, space, &inputs, &HashMap::new()).unwrap();
             it.run(&mut NoSink);
             black_box(it.stats.contraction_flops)
         })

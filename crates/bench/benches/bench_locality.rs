@@ -85,7 +85,7 @@ fn bench(c: &mut Criterion) {
     for (name, prog) in [("untiled", &p), ("blocked", &best.program)] {
         g.bench_with_input(BenchmarkId::from_parameter(name), prog, |b, prog| {
             b.iter(|| {
-                let mut interp = Interpreter::new(prog, &space, &inputs, &HashMap::new());
+                let mut interp = Interpreter::new(prog, &space, &inputs, &HashMap::new()).unwrap();
                 interp.run(&mut NoSink);
                 black_box(interp.stats.contraction_flops)
             })

@@ -17,7 +17,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| spacetime_dp(black_box(&sc.tree), &sc.space, usize::MAX))
     });
 
-    let front = spacetime_dp(&sc.tree, &sc.space, usize::MAX);
+    let front = spacetime_dp(&sc.tree, &sc.space, usize::MAX).unwrap();
     let cfg = front.min_mem().unwrap().tag.clone();
     c.bench_function("tile_search_a3a", |b| {
         b.iter(|| search_tiles(black_box(&sc.tree), &sc.space, &cfg, 1000))
@@ -38,7 +38,7 @@ fn bench(c: &mut Criterion) {
         let p = sc2.fig4_program(bb);
         g.bench_with_input(BenchmarkId::from_parameter(bb), &p, |b, p| {
             b.iter(|| {
-                let mut interp = Interpreter::new(p, &sc2.space, &inputs, &funcs);
+                let mut interp = Interpreter::new(p, &sc2.space, &inputs, &funcs).unwrap();
                 interp.run(&mut NoSink);
                 black_box(interp.output().get(&[]))
             })

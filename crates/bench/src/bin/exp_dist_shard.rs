@@ -125,7 +125,9 @@ fn main() {
             let inputs: HashMap<_, _> = owned.iter().map(|(id, t)| (*id, t)).collect();
             let opts = ExecOptions::with_threads(threads);
             let start = Instant::now();
-            let summary = syn.execute_distributed_opts(&inputs, &HashMap::new(), &opts);
+            let summary = syn
+                .execute_distributed_opts(&inputs, &HashMap::new(), &opts)
+                .unwrap();
             let wall = start.elapsed().as_secs_f64();
             assert_eq!(
                 summary.moved_elements, summary.predicted_move_elements,

@@ -86,7 +86,7 @@ fn simulate(
         .map(|x| x.elements(space) as usize)
         .collect();
     let mut sink = CacheSink::new(LruCache::new(cache, 1), &sizes);
-    let mut interp = Interpreter::new(p, space, &inputs, &HashMap::new());
+    let mut interp = Interpreter::new(p, space, &inputs, &HashMap::new()).unwrap();
     interp.run(&mut sink);
     sink.cache.misses
 }

@@ -37,9 +37,12 @@ fn main() {
     for (q, nm) in ["A", "B", "C", "D"].iter().enumerate() {
         inputs.insert(syn.program.tensors.by_name(nm).unwrap(), &data[q]);
     }
-    let got = plan.execute(&syn.program.space, &inputs, &HashMap::new());
+    let got = plan
+        .execute(&syn.program.space, &inputs, &HashMap::new())
+        .unwrap();
     let expect =
-        tce_core::exec::execute_tree(&plan.tree, &syn.program.space, &inputs, &HashMap::new(), 1);
+        tce_core::exec::execute_tree(&plan.tree, &syn.program.space, &inputs, &HashMap::new(), 1)
+            .unwrap();
     assert!(got.approx_eq(&expect, 1e-9));
     println!(
         "spec 1 verified (max diff {:.2e})\n",
@@ -73,9 +76,12 @@ fn main() {
     let mut funcs = HashMap::new();
     funcs.insert("f1".to_string(), IntegralFn::new(500, 1));
     funcs.insert("f2".to_string(), IntegralFn::new(500, 2));
-    let e = plan2.execute(&syn2.program.space, &HashMap::new(), &funcs);
+    let e = plan2
+        .execute(&syn2.program.space, &HashMap::new(), &funcs)
+        .unwrap();
     let e_ref =
-        tce_core::exec::execute_tree(&plan2.tree, &syn2.program.space, &HashMap::new(), &funcs, 1);
+        tce_core::exec::execute_tree(&plan2.tree, &syn2.program.space, &HashMap::new(), &funcs, 1)
+            .unwrap();
     assert!((e.get(&[]) - e_ref.get(&[])).abs() < 1e-9 * e_ref.get(&[]).abs().max(1.0));
     println!("spec 2 verified (E = {:.6})", e.get(&[]));
     println!("E11 OK");

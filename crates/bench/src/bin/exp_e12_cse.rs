@@ -72,7 +72,7 @@ fn main() {
     let mut ext = HashMap::new();
     ext.insert(syn.program.tensors.by_name("T").unwrap(), &tt);
     ext.insert(syn.program.tensors.by_name("U").unwrap(), &uu);
-    let out = syn.execute(&ext, &HashMap::new());
+    let out = syn.execute(&ext, &HashMap::new()).unwrap();
     let e = out[&syn.program.tensors.by_name("E").unwrap()].get(&[]);
 
     // Direct evaluation.

@@ -66,7 +66,8 @@ fn main() {
         inputs.insert(syn.program.tensors.by_name(nm).unwrap(), &data[q]);
     }
     let mut interp =
-        tce_core::exec::Interpreter::new(&plan.built.program, space, &inputs, &HashMap::new());
+        tce_core::exec::Interpreter::new(&plan.built.program, space, &inputs, &HashMap::new())
+            .unwrap();
     interp.run(&mut tce_core::exec::NoSink);
     let v = |nm: &str| space.var_by_name(nm).unwrap();
     let spec = EinsumSpec::new(

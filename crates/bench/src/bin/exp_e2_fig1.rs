@@ -82,7 +82,7 @@ fn main() {
         inputs.insert(syn.program.tensors.by_name(nm).unwrap(), &data[q]);
     }
     let run = |p: &tce_core::loops::LoopProgram| {
-        let mut i = tce_core::exec::Interpreter::new(p, space, &inputs, &HashMap::new());
+        let mut i = tce_core::exec::Interpreter::new(p, space, &inputs, &HashMap::new()).unwrap();
         i.run(&mut tce_core::exec::NoSink);
         i.output().clone()
     };

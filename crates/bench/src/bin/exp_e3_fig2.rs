@@ -40,7 +40,7 @@ fn main() {
     let mut inputs = HashMap::new();
     inputs.insert(sc.tensors.by_name("T").unwrap(), &amps);
     let funcs = sc.functions();
-    let mut interp = Interpreter::new(&built.program, &sc.space, &inputs, &funcs);
+    let mut interp = Interpreter::new(&built.program, &sc.space, &inputs, &funcs).unwrap();
     interp.run(&mut NoSink);
 
     let table = sc.fig2_table();

@@ -30,7 +30,7 @@ fn main() {
 
     // Reduced scale: the DP finds the all-scalar configuration.
     let sc = A3AScenario::new(6, 3, 200);
-    let front = spacetime_dp(&sc.tree, &sc.space, usize::MAX);
+    let front = spacetime_dp(&sc.tree, &sc.space, usize::MAX).unwrap();
     let min = front.min_mem().unwrap();
     println!(
         "space-time DP minimum-memory point at V = 6, O = 3: mem = {} elements",
@@ -62,7 +62,7 @@ fn main() {
     let mut inputs = HashMap::new();
     inputs.insert(sc.tensors.by_name("T").unwrap(), &amps);
     let funcs = sc.functions();
-    let mut interp = Interpreter::new(&p, &sc.space, &inputs, &funcs);
+    let mut interp = Interpreter::new(&p, &sc.space, &inputs, &funcs).unwrap();
     interp.run(&mut NoSink);
     println!(
         "measured: temp elements {} (model {}), integral flops {} (model {})",

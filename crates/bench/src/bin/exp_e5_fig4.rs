@@ -46,7 +46,7 @@ fn main() {
         let iflops_model = table[1].2 + table[2].2;
 
         let p = sc.fig4_program(bb);
-        let mut interp = Interpreter::new(&p, &sc.space, &inputs, &funcs);
+        let mut interp = Interpreter::new(&p, &sc.space, &inputs, &funcs).unwrap();
         interp.run(&mut NoSink);
         assert!((interp.output().get(&[]) - expect).abs() < 1e-9 * expect.abs().max(1.0));
         let mem_meas = interp.allocated_temp_elements();
@@ -60,7 +60,7 @@ fn main() {
             .map(|a| a.elements(&sc.space) as usize)
             .collect();
         let mut sink = CacheSink::new(LruCache::new(fast_elems, 1), &sizes);
-        let mut interp2 = Interpreter::new(&p, &sc.space, &inputs, &funcs);
+        let mut interp2 = Interpreter::new(&p, &sc.space, &inputs, &funcs).unwrap();
         interp2.run(&mut sink);
         let misses = sink.cache.misses;
         let cost = interp.stats.total_flops() as f64 + 100.0 * misses as f64;
@@ -94,7 +94,7 @@ fn main() {
     );
 
     // The space-time optimizer's own tile search.
-    let front = spacetime_dp(&sc.tree, &sc.space, usize::MAX);
+    let front = spacetime_dp(&sc.tree, &sc.space, usize::MAX).unwrap();
     let cfg = &front.min_mem().unwrap().tag;
     for limit in [10u128, 50, 600, 10_000] {
         match search_tiles(&sc.tree, &sc.space, cfg, limit) {

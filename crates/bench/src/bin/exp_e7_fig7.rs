@@ -65,7 +65,7 @@ fn main() {
     println!("REALIZABLE; T2 becomes a (b,k) block computed once per (a,f)\n");
 
     // The space-time DP finds both regimes on its frontier.
-    let front = spacetime_dp(tree, &sc.space, usize::MAX);
+    let front = spacetime_dp(tree, &sc.space, usize::MAX).unwrap();
     println!("space-time frontier at V = 4, O = 2, C_i = 100:");
     for p in front.points() {
         let red = p.tag.recomputation_indices();

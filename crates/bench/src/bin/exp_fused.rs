@@ -1,0 +1,187 @@
+//! exp_fused — the fused-slice executor vs. full materialization.
+//!
+//! Runs the §2 CCSD term and the A3A energy scenario through
+//! `tce_exec::execute_tree_fused` at the unfused (full-materialization)
+//! and memmin-optimal fusion configurations, and reports wall time,
+//! measured vs. modeled peak intermediate live-set (which must agree
+//! **exactly**), sliced-contraction counts and integral evaluations,
+//! alongside the operator-tree GETT executor as the correctness oracle.
+//! Writes the measurements to `BENCH_fused.json`.
+//!
+//! ```text
+//! exp_fused [--out BENCH_fused.json] [--threads T]
+//! ```
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+use tce_bench::tables::{fmt_u, Table};
+use tce_core::exec::{execute_tree_fused, execute_tree_opts, ExecOptions};
+use tce_core::fusion::{memmin_dp, FusionConfig};
+use tce_core::ir::{IndexSpace, OpTree, TensorId};
+use tce_core::scenarios::{section2_source, A3AScenario};
+use tce_core::tensor::{IntegralFn, Tensor};
+use tce_core::{synthesize, SynthesisConfig};
+
+struct Case {
+    name: &'static str,
+    extent: usize,
+    space: IndexSpace,
+    tree: OpTree,
+    inputs: Vec<(TensorId, Tensor)>,
+    funcs: HashMap<String, IntegralFn>,
+}
+
+fn cases() -> Vec<Case> {
+    let mut out = Vec::new();
+    // The §2 CCSD term at the paper's N = 6 and a larger N = 10.
+    for n in [6usize, 10] {
+        let syn = synthesize(&section2_source(n), &SynthesisConfig::default()).expect("synthesis");
+        let plan = &syn.plans[0];
+        let shape = [n; 4];
+        let inputs: Vec<(TensorId, Tensor)> = ["A", "B", "C", "D"]
+            .iter()
+            .enumerate()
+            .map(|(q, nm)| {
+                (
+                    syn.program.tensors.by_name(nm).unwrap(),
+                    Tensor::random(&shape, 7 + q as u64),
+                )
+            })
+            .collect();
+        out.push(Case {
+            name: "ccsd_section2",
+            extent: n,
+            space: syn.program.space.clone(),
+            tree: plan.tree.clone(),
+            inputs,
+            funcs: HashMap::new(),
+        });
+    }
+    // The A3A energy at the Fig. 4 extents (V = 8, O = 4).
+    let sc = A3AScenario::new(8, 4, 100);
+    let amps = sc.amplitudes(11);
+    out.push(Case {
+        name: "a3a_energy",
+        extent: 8,
+        space: sc.space.clone(),
+        tree: sc.tree.clone(),
+        inputs: vec![(sc.tensors.by_name("T").unwrap(), amps)],
+        funcs: sc.functions(),
+    });
+    out
+}
+
+fn main() {
+    let mut out_path = "BENCH_fused.json".to_string();
+    let mut threads = tce_core::par::default_threads();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a positive integer");
+            }
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+
+    println!("exp_fused: fused-slice execution vs. full materialization\n");
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"fused\",");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"cases\": [");
+
+    let all = cases();
+    let n_entries = all.len() * 2;
+    let mut entry = 0usize;
+    for case in &all {
+        let inputs: HashMap<TensorId, &Tensor> =
+            case.inputs.iter().map(|(id, t)| (*id, t)).collect();
+        let opts = ExecOptions::with_threads(threads);
+        // Oracle: the operator-tree executor (every array materialized).
+        let oracle = execute_tree_opts(&case.tree, &case.space, &inputs, &case.funcs, &opts)
+            .expect("oracle execution");
+        let memmin = memmin_dp(&case.tree, &case.space);
+        let configs = [
+            ("unfused", FusionConfig::unfused(&case.tree)),
+            ("memmin", memmin.config.clone()),
+        ];
+        let mut table = Table::new(&[
+            "config",
+            "wall (s)",
+            "peak live",
+            "modeled",
+            "sliced GETTs",
+            "integral evals",
+        ]);
+        for (cfg_name, config) in &configs {
+            let start = Instant::now();
+            let report =
+                execute_tree_fused(&case.tree, &case.space, config, &inputs, &case.funcs, &opts)
+                    .expect("fused execution");
+            let wall = start.elapsed().as_secs_f64();
+            assert_eq!(
+                report.peak_live_elements, report.modeled_elements,
+                "{} [{cfg_name}]: measured peak diverged from the memmin model",
+                case.name
+            );
+            let diff = report.result.max_abs_diff(&oracle);
+            let scale = oracle.data().iter().fold(1.0f64, |m, x| m.max(x.abs()));
+            assert!(
+                diff <= 1e-10 * scale,
+                "{} [{cfg_name}]: diverged from oracle by {diff:e}",
+                case.name
+            );
+            table.row(&[
+                cfg_name.to_string(),
+                format!("{wall:.4}"),
+                fmt_u(report.peak_live_elements),
+                fmt_u(report.modeled_elements),
+                fmt_u(report.sliced_contractions as u128),
+                fmt_u(report.func_evals as u128),
+            ]);
+            entry += 1;
+            let _ = writeln!(json, "    {{");
+            let _ = writeln!(json, "      \"case\": \"{}\",", case.name);
+            let _ = writeln!(json, "      \"extent\": {},", case.extent);
+            let _ = writeln!(json, "      \"config\": \"{cfg_name}\",");
+            let _ = writeln!(json, "      \"wall_secs\": {wall:.6},");
+            let _ = writeln!(
+                json,
+                "      \"peak_live_elements\": {},",
+                report.peak_live_elements
+            );
+            let _ = writeln!(
+                json,
+                "      \"modeled_elements\": {},",
+                report.modeled_elements
+            );
+            let _ = writeln!(
+                json,
+                "      \"sliced_contractions\": {},",
+                report.sliced_contractions
+            );
+            let _ = writeln!(json, "      \"func_evals\": {}", report.func_evals);
+            let _ = writeln!(json, "    }}{}", if entry < n_entries { "," } else { "" });
+        }
+        let shrink = {
+            let full = configs[0].1.temp_memory(&case.tree, &case.space);
+            let fused = memmin.memory;
+            format!("{full} → {fused} elements")
+        };
+        println!(
+            "{} (extent {}): peak measured == modeled; memmin shrinks {}",
+            case.name, case.extent, shrink
+        );
+        println!("{}", table.render());
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, &json).expect("write json");
+    println!("measurements written to {out_path}");
+}

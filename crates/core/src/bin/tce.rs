@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! tce SPEC.tce [--memory-limit N] [--cache N] [--grid PxQx…]
-//!              [--word-cost N] [--execute] [--distributed] [--seed S]
-//!              [--threads T] [--trace OUT.json]
+//!              [--word-cost N] [--execute] [--fused] [--distributed]
+//!              [--seed S] [--threads T] [--trace OUT.json]
 //! ```
 //!
 //! Reads a tensor-contraction specification, runs the full optimization
@@ -18,7 +18,10 @@
 //! file, and prints a profile report.  `--distributed` (requires
 //! `--grid`, implies `--execute`) runs the statement sequence on the
 //! sharded distributed machine and prints measured vs. modeled
-//! communication volumes.
+//! communication volumes.  `--fused` (implies `--execute`) runs every
+//! term through the fused-slice executor at its memory-minimization
+//! configuration and prints the measured vs. modeled peak intermediate
+//! live-set, failing if they differ.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -35,6 +38,7 @@ struct Args {
     grid: Option<Vec<usize>>,
     word_cost: u128,
     execute: bool,
+    fused: bool,
     distributed: bool,
     seed: u64,
     threads: Option<usize>,
@@ -49,6 +53,7 @@ fn parse_args() -> Result<Args, String> {
         grid: None,
         word_cost: 100,
         execute: false,
+        fused: false,
         distributed: false,
         seed: 42,
         threads: None,
@@ -92,6 +97,10 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --word-cost: {e}"))?;
             }
             "--execute" => args.execute = true,
+            "--fused" => {
+                args.fused = true;
+                args.execute = true;
+            }
             "--distributed" => {
                 args.distributed = true;
                 args.execute = true;
@@ -120,7 +129,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err("usage: tce SPEC.tce [--memory-limit N] [--cache N] \
-                            [--grid PxQ] [--word-cost N] [--execute] \
+                            [--grid PxQ] [--word-cost N] [--execute] [--fused] \
                             [--distributed] [--seed S] [--threads T] \
                             [--trace OUT.json]"
                     .to_string())
@@ -136,6 +145,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.distributed && args.grid.is_none() {
         return Err("--distributed requires --grid (e.g. --grid 2x4)".to_string());
+    }
+    if args.fused && args.distributed {
+        return Err("--fused and --distributed are mutually exclusive".to_string());
     }
     Ok(args)
 }
@@ -240,7 +252,13 @@ fn main() -> ExitCode {
             if opts.threads == 1 { "" } else { "s" }
         );
         let results = if args.distributed {
-            let summary = syn.execute_distributed_opts(&inputs, &funcs, &opts);
+            let summary = match syn.execute_distributed_opts(&inputs, &funcs, &opts) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("execution failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             println!(
                 "  distributed over grid {:?}: {} redistribution{}",
                 syn.machine
@@ -282,8 +300,41 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             summary.outputs
+        } else if args.fused {
+            let summary = match syn.execute_fused_opts(&inputs, &funcs, &opts) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("execution failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "  peak intermediate live-set: measured {} / modeled {}{}",
+                summary.peak_live_elements,
+                summary.modeled_elements,
+                if summary.peak_matches_model() {
+                    " (exact)"
+                } else {
+                    " (MISMATCH)"
+                }
+            );
+            println!(
+                "  sliced contractions: {}, integral evaluations: {}",
+                summary.sliced_contractions, summary.func_evals
+            );
+            if !summary.peak_matches_model() {
+                eprintln!("measured peak live-set diverged from the memmin model");
+                return ExitCode::FAILURE;
+            }
+            summary.outputs
         } else {
-            syn.execute_opts(&inputs, &funcs, &opts)
+            match syn.execute_opts(&inputs, &funcs, &opts) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("execution failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
         };
         let mut ordered: Vec<_> = results.iter().collect();
         ordered.sort_by_key(|(id, _)| id.0);

@@ -26,10 +26,10 @@ pub mod pipeline;
 pub mod scenarios;
 
 pub use pipeline::{
-    synthesize, synthesize_program, CseSummary, DistExecSummary, Synthesis, SynthesisConfig,
-    SynthesisError, TermPlan,
+    synthesize, synthesize_program, CseSummary, DistExecSummary, FusedExecSummary, FusedTermReport,
+    Synthesis, SynthesisConfig, SynthesisError, TermPlan,
 };
-pub use tce_exec::ExecOptions;
+pub use tce_exec::{ExecError, ExecOptions};
 
 // Re-export the stage crates so downstream users need only one dependency.
 pub use tce_dist as dist;

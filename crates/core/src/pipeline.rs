@@ -19,7 +19,7 @@
 
 use std::collections::HashMap;
 use tce_dist::{optimize_distribution, DistPlan, Machine};
-use tce_exec::ExecOptions;
+use tce_exec::{ExecError, ExecOptions};
 use tce_fusion::{fused_program, memmin_dp, MemMinResult};
 use tce_ir::{Assignment, CostPoly, IndexSpace, OpTree, Product, Program, TensorId};
 use tce_lang::LangError;
@@ -132,6 +132,50 @@ impl DistExecSummary {
     }
 }
 
+/// Per-term peak-live-set accounting from a fused execution.
+#[derive(Debug, Clone)]
+pub struct FusedTermReport {
+    /// Statement index (source order).
+    pub stmt_index: usize,
+    /// Term index within the statement.
+    pub term_index: usize,
+    /// Measured peak intermediate storage, in elements.
+    pub peak_live_elements: u128,
+    /// The memmin DP's predicted element count for this term.
+    pub modeled_elements: u128,
+}
+
+/// Result of executing a whole statement sequence through the fused-slice
+/// executor ([`tce_exec::execute_tree_fused`]): outputs plus the
+/// measured-vs-modeled peak intermediate storage — the §5 discipline of
+/// checking the memory-minimization model against reality.
+#[derive(Debug, Clone)]
+pub struct FusedExecSummary {
+    /// Value of every assigned tensor (same as [`Synthesis::execute`]).
+    pub outputs: HashMap<TensorId, Tensor>,
+    /// Largest measured peak intermediate live-set over all terms (terms
+    /// run one at a time, freeing their temporaries in between, so the
+    /// whole-run peak is the per-term maximum).
+    pub peak_live_elements: u128,
+    /// The memmin model's prediction for the same maximum.
+    pub modeled_elements: u128,
+    /// Sliced GETT contraction calls issued.
+    pub sliced_contractions: u64,
+    /// Integral-function element evaluations.
+    pub func_evals: u64,
+    /// Per-term measured/modeled accounting.
+    pub per_term: Vec<FusedTermReport>,
+}
+
+impl FusedExecSummary {
+    /// True when every term's measured peak equals the memmin model.
+    pub fn peak_matches_model(&self) -> bool {
+        self.per_term
+            .iter()
+            .all(|t| t.peak_live_elements == t.modeled_elements)
+    }
+}
+
 /// Sharing statistics for one statement's terms (the distributivity-aware
 /// part of the paper's Algebraic Transformations module: identical
 /// intermediates across terms are evaluated once).
@@ -157,27 +201,27 @@ impl Synthesis {
     /// statements — the paper's "sequence of tensor contraction
     /// expressions".  Returns the value of every assigned tensor.
     ///
-    /// # Panics
-    /// Panics if an external input binding is missing or mis-shaped.
+    /// # Errors
+    /// [`ExecError`] if an external input binding is missing or mis-shaped.
     pub fn execute(
         &self,
         external_inputs: &HashMap<TensorId, &Tensor>,
         funcs: &HashMap<String, IntegralFn>,
-    ) -> HashMap<TensorId, Tensor> {
+    ) -> Result<HashMap<TensorId, Tensor>, ExecError> {
         self.execute_opts(external_inputs, funcs, &ExecOptions::default())
     }
 
     /// [`execute`](Self::execute) with explicit [`ExecOptions`] (thread
     /// count etc.) forwarded to every term's contraction kernels.
     ///
-    /// # Panics
-    /// Panics if an external input binding is missing or mis-shaped.
+    /// # Errors
+    /// [`ExecError`] if an external input binding is missing or mis-shaped.
     pub fn execute_opts(
         &self,
         external_inputs: &HashMap<TensorId, &Tensor>,
         funcs: &HashMap<String, IntegralFn>,
         opts: &ExecOptions,
-    ) -> HashMap<TensorId, Tensor> {
+    ) -> Result<HashMap<TensorId, Tensor>, ExecError> {
         let _span = tce_trace::span("stage.exec");
         let space = &self.program.space;
         let mut computed: HashMap<TensorId, Tensor> = HashMap::new();
@@ -198,22 +242,87 @@ impl Synthesis {
                 for (id, t) in &computed {
                     inputs.insert(*id, t);
                 }
-                let term_value = plan.execute_opts(space, &inputs, funcs, opts);
+                let term_value = plan.execute_opts(space, &inputs, funcs, opts)?;
                 // The plan's output dims are the LHS indices in canonical
                 // (ascending-id) order; permute to the declared order.
-                let canon: Vec<tce_ir::IndexVar> = stmt.lhs.index_set().iter().collect();
-                let perm: Vec<usize> = stmt
-                    .lhs
-                    .indices
-                    .iter()
-                    .map(|v| canon.iter().position(|c| c == v).unwrap())
-                    .collect();
-                let reordered = term_value.permute(&perm);
+                let reordered = term_value.permute(&lhs_perm(stmt));
                 acc.axpy(plan.coeff, &reordered);
             }
             computed.insert(target, acc);
         }
-        computed
+        Ok(computed)
+    }
+
+    /// Execute the statement sequence through the **fused-slice
+    /// executor**: every term realizes its memory-minimization
+    /// [`tce_fusion::FusionConfig`] by allocating each fused intermediate
+    /// at its reduced shape and streaming sliced GETT contractions through
+    /// it.  Returns the outputs plus measured-vs-modeled peak-live-set
+    /// accounting; [`FusedExecSummary::peak_matches_model`] asserts the
+    /// memmin DP's `elements` prediction is met exactly.
+    ///
+    /// # Errors
+    /// [`ExecError`] if a binding is missing/mis-shaped or a term's fusion
+    /// configuration is rejected.
+    pub fn execute_fused_opts(
+        &self,
+        external_inputs: &HashMap<TensorId, &Tensor>,
+        funcs: &HashMap<String, IntegralFn>,
+        opts: &ExecOptions,
+    ) -> Result<FusedExecSummary, ExecError> {
+        let _span = tce_trace::span("stage.exec.fused");
+        let space = &self.program.space;
+        let mut computed: HashMap<TensorId, Tensor> = HashMap::new();
+        let mut summary = FusedExecSummary {
+            outputs: HashMap::new(),
+            peak_live_elements: 0,
+            modeled_elements: 0,
+            sliced_contractions: 0,
+            func_evals: 0,
+            per_term: Vec::new(),
+        };
+        for (si, stmt) in self.program.stmts.iter().enumerate() {
+            let target = stmt.lhs.tensor;
+            let shape: Vec<usize> = stmt.lhs.indices.iter().map(|&v| space.extent(v)).collect();
+            let mut acc = if stmt.accumulate {
+                computed
+                    .get(&target)
+                    .cloned()
+                    .unwrap_or_else(|| Tensor::zeros(&shape))
+            } else {
+                Tensor::zeros(&shape)
+            };
+            for plan in self.plans.iter().filter(|p| p.stmt_index == si) {
+                let mut inputs: HashMap<TensorId, &Tensor> = external_inputs.clone();
+                for (id, t) in &computed {
+                    inputs.insert(*id, t);
+                }
+                let report = tce_exec::execute_tree_fused(
+                    &plan.tree,
+                    space,
+                    &plan.memmin.config,
+                    &inputs,
+                    funcs,
+                    opts,
+                )?;
+                summary.peak_live_elements =
+                    summary.peak_live_elements.max(report.peak_live_elements);
+                summary.modeled_elements = summary.modeled_elements.max(report.modeled_elements);
+                summary.sliced_contractions += report.sliced_contractions;
+                summary.func_evals += report.func_evals;
+                summary.per_term.push(FusedTermReport {
+                    stmt_index: si,
+                    term_index: plan.term_index,
+                    peak_live_elements: report.peak_live_elements,
+                    modeled_elements: report.modeled_elements,
+                });
+                let reordered = report.result.permute(&lhs_perm(stmt));
+                acc.axpy(plan.coeff, &reordered);
+            }
+            computed.insert(target, acc);
+        }
+        summary.outputs = computed;
+        Ok(summary)
     }
 
     /// Execute the statement sequence on the **sharded distributed
@@ -223,15 +332,17 @@ impl Synthesis {
     /// plan fall back to the sequential GETT path.  Returns the outputs
     /// plus aggregate measured-vs-modeled communication accounting.
     ///
+    /// # Errors
+    /// [`ExecError`] if an external input binding is missing or mis-shaped.
+    ///
     /// # Panics
-    /// Panics if the synthesis was not configured with a machine, or if
-    /// an external input binding is missing or mis-shaped.
+    /// Panics if the synthesis was not configured with a machine.
     pub fn execute_distributed_opts(
         &self,
         external_inputs: &HashMap<TensorId, &Tensor>,
         funcs: &HashMap<String, IntegralFn>,
         opts: &ExecOptions,
-    ) -> DistExecSummary {
+    ) -> Result<DistExecSummary, ExecError> {
         let machine = self
             .machine
             .as_ref()
@@ -283,23 +394,27 @@ impl Synthesis {
                         }
                         report.result
                     }
-                    None => plan.execute_opts(space, &inputs, funcs, opts),
+                    None => plan.execute_opts(space, &inputs, funcs, opts)?,
                 };
-                let canon: Vec<tce_ir::IndexVar> = stmt.lhs.index_set().iter().collect();
-                let perm: Vec<usize> = stmt
-                    .lhs
-                    .indices
-                    .iter()
-                    .map(|v| canon.iter().position(|c| c == v).unwrap())
-                    .collect();
-                let reordered = term_value.permute(&perm);
+                let reordered = term_value.permute(&lhs_perm(stmt));
                 acc.axpy(plan.coeff, &reordered);
             }
             computed.insert(target, acc);
         }
         summary.outputs = computed;
-        summary
+        Ok(summary)
     }
+}
+
+/// Permutation taking a term plan's output (LHS indices in canonical
+/// ascending-id order) to the statement's declared index order.
+fn lhs_perm(stmt: &Assignment) -> Vec<usize> {
+    let canon: Vec<tce_ir::IndexVar> = stmt.lhs.index_set().iter().collect();
+    stmt.lhs
+        .indices
+        .iter()
+        .map(|v| canon.iter().position(|c| c == v).unwrap())
+        .collect()
 }
 
 /// Errors from the pipeline.
@@ -418,7 +533,7 @@ fn plan_term(
         // Stage 3: space-time trade-off.
         let st = {
             let _s = tce_trace::span("stage.spacetime");
-            spacetime_optimize(&tree, space, cfg.memory_limit)
+            spacetime_optimize(&tree, space, cfg.memory_limit).map_err(SynthesisError::Stage)?
         };
         if let Some(r) = st {
             chosen = Some((rank, tree, memmin, Some(r)));
@@ -585,7 +700,7 @@ impl TermPlan {
         space: &IndexSpace,
         inputs: &HashMap<TensorId, &Tensor>,
         funcs: &HashMap<String, IntegralFn>,
-    ) -> Tensor {
+    ) -> Result<Tensor, ExecError> {
         self.execute_opts(space, inputs, funcs, &ExecOptions::default())
     }
 
@@ -600,7 +715,7 @@ impl TermPlan {
         inputs: &HashMap<TensorId, &Tensor>,
         funcs: &HashMap<String, IntegralFn>,
         opts: &ExecOptions,
-    ) -> Tensor {
+    ) -> Result<Tensor, ExecError> {
         tce_exec::execute_tree_opts(&self.tree, space, inputs, funcs, opts)
     }
 
@@ -612,10 +727,10 @@ impl TermPlan {
         space: &IndexSpace,
         inputs: &HashMap<TensorId, &Tensor>,
         funcs: &HashMap<String, IntegralFn>,
-    ) -> Tensor {
-        let mut interp = tce_exec::Interpreter::new(&self.built.program, space, inputs, funcs);
+    ) -> Result<Tensor, ExecError> {
+        let mut interp = tce_exec::Interpreter::new(&self.built.program, space, inputs, funcs)?;
         interp.run(&mut tce_exec::NoSink);
-        interp.output().clone()
+        Ok(interp.output().clone())
     }
 }
 
@@ -667,7 +782,7 @@ mod tests {
         for (nm, t) in [("A", &ta), ("B", &tb), ("C", &tc), ("D", &td)] {
             inputs.insert(syn.program.tensors.by_name(nm).unwrap(), t);
         }
-        let got = plan.execute(space, &inputs, &HashMap::new());
+        let got = plan.execute(space, &inputs, &HashMap::new()).unwrap();
         // Reference through the direct einsum.
         let v = |n: &str| space.var_by_name(n).unwrap();
         let spec = tce_tensor::EinsumSpec::new(
@@ -703,19 +818,62 @@ mod tests {
         for (nm, t) in [("A", &ta), ("B", &tb), ("C", &tc), ("D", &td)] {
             inputs.insert(syn.program.tensors.by_name(nm).unwrap(), t);
         }
-        let interpreted = plan.execute_interpreted(space, &inputs, &HashMap::new());
-        let fast1 = plan.execute_opts(space, &inputs, &HashMap::new(), &ExecOptions::serial());
+        let interpreted = plan
+            .execute_interpreted(space, &inputs, &HashMap::new())
+            .unwrap();
+        let fast1 = plan
+            .execute_opts(space, &inputs, &HashMap::new(), &ExecOptions::serial())
+            .unwrap();
         assert!(interpreted.approx_eq(&fast1, 1e-9));
         // Thread count never changes bits.
         for threads in [2, 3, 7] {
-            let fastn = plan.execute_opts(
-                space,
-                &inputs,
-                &HashMap::new(),
-                &ExecOptions::with_threads(threads),
-            );
+            let fastn = plan
+                .execute_opts(
+                    space,
+                    &inputs,
+                    &HashMap::new(),
+                    &ExecOptions::with_threads(threads),
+                )
+                .unwrap();
             assert_eq!(fast1, fastn, "threads={threads} changed bits");
         }
+    }
+
+    #[test]
+    fn fused_execution_matches_gett_and_model_peak() {
+        let syn = synthesize(
+            &SECTION2.replace("N = 6", "N = 4"),
+            &SynthesisConfig::default(),
+        )
+        .unwrap();
+        let shape = [4usize; 4];
+        let ta = Tensor::random(&shape, 31);
+        let tb = Tensor::random(&shape, 32);
+        let tc = Tensor::random(&shape, 33);
+        let td = Tensor::random(&shape, 34);
+        let mut ext = HashMap::new();
+        for (nm, t) in [("A", &ta), ("B", &tb), ("C", &tc), ("D", &td)] {
+            ext.insert(syn.program.tensors.by_name(nm).unwrap(), t);
+        }
+        let expect = syn.execute(&ext, &HashMap::new()).unwrap();
+        let fused = syn
+            .execute_fused_opts(&ext, &HashMap::new(), &ExecOptions::serial())
+            .unwrap();
+        // Measured peak intermediate storage equals the memmin DP model.
+        assert!(fused.peak_matches_model());
+        assert_eq!(fused.modeled_elements, syn.plans[0].memmin.memory);
+        let s_id = syn.program.tensors.by_name("S").unwrap();
+        assert!(
+            fused.outputs[&s_id].approx_eq(&expect[&s_id], 1e-10),
+            "diff {:e}",
+            fused.outputs[&s_id].max_abs_diff(&expect[&s_id])
+        );
+        // Thread count never changes bits.
+        let f2 = syn
+            .execute_fused_opts(&ext, &HashMap::new(), &ExecOptions::with_threads(4))
+            .unwrap();
+        assert_eq!(f2.outputs[&s_id], fused.outputs[&s_id]);
+        assert_eq!(f2.peak_live_elements, fused.peak_live_elements);
     }
 
     #[test]
@@ -811,7 +969,7 @@ mod tests {
         let mut ext = HashMap::new();
         ext.insert(syn.program.tensors.by_name("A").unwrap(), &a);
         ext.insert(syn.program.tensors.by_name("B").unwrap(), &b);
-        let out = syn.execute(&ext, &HashMap::new());
+        let out = syn.execute(&ext, &HashMap::new()).unwrap();
         let s_id = syn.program.tensors.by_name("S").unwrap();
         let got = &out[&s_id];
         // Reference by hand.
@@ -855,7 +1013,7 @@ mod tests {
         let a = Tensor::random(&[4, 4], 9);
         let mut ext = HashMap::new();
         ext.insert(syn.program.tensors.by_name("A").unwrap(), &a);
-        let out = syn.execute(&ext, &HashMap::new());
+        let out = syn.execute(&ext, &HashMap::new()).unwrap();
         let s = &out[&syn.program.tensors.by_name("S").unwrap()];
         for i in 0..4 {
             let mut expect = 0.0;
@@ -882,7 +1040,7 @@ mod tests {
         let mut ext = HashMap::new();
         ext.insert(syn.program.tensors.by_name("A").unwrap(), &a);
         ext.insert(syn.program.tensors.by_name("B").unwrap(), &b);
-        let out = syn.execute(&ext, &HashMap::new());
+        let out = syn.execute(&ext, &HashMap::new()).unwrap();
         let s = &out[&syn.program.tensors.by_name("S").unwrap()];
         for i in 0..4 {
             let mut expect = b.get(&[i]).powi(2); // NOT ×4
@@ -908,7 +1066,7 @@ mod tests {
         let mut ext = HashMap::new();
         ext.insert(syn.program.tensors.by_name("A").unwrap(), &a);
         ext.insert(syn.program.tensors.by_name("F").unwrap(), &f);
-        let out = syn.execute(&ext, &HashMap::new());
+        let out = syn.execute(&ext, &HashMap::new()).unwrap();
         let s = &out[&syn.program.tensors.by_name("S").unwrap()];
         for i in 0..4 {
             let mut expect = f.get(&[i]);
@@ -935,7 +1093,7 @@ mod tests {
         let mut ext = HashMap::new();
         ext.insert(syn.program.tensors.by_name("A").unwrap(), &a);
         ext.insert(syn.program.tensors.by_name("B").unwrap(), &b);
-        let out = syn.execute(&ext, &HashMap::new());
+        let out = syn.execute(&ext, &HashMap::new()).unwrap();
         let s = &out[&syn.program.tensors.by_name("S").unwrap()];
         assert_eq!(s.shape(), &[4, 3]);
         for j in 0..4 {
@@ -980,8 +1138,12 @@ mod tests {
         inputs.insert(constrained.program.tensors.by_name("A").unwrap(), &a);
         inputs.insert(constrained.program.tensors.by_name("P").unwrap(), &p);
         inputs.insert(constrained.program.tensors.by_name("Q").unwrap(), &q);
-        let got = plan.execute(&constrained.program.space, &inputs, &HashMap::new());
-        let expect = roomy.plans[0].execute(&roomy.program.space, &inputs, &HashMap::new());
+        let got = plan
+            .execute(&constrained.program.space, &inputs, &HashMap::new())
+            .unwrap();
+        let expect = roomy.plans[0]
+            .execute(&roomy.program.space, &inputs, &HashMap::new())
+            .unwrap();
         assert!(got.approx_eq(&expect, 1e-9));
     }
 

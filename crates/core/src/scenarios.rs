@@ -404,7 +404,8 @@ impl A3AScenario {
         let funcs = self.functions();
         let mut inputs = HashMap::new();
         inputs.insert(self.tensors.by_name("T").unwrap(), amplitudes);
-        let out = tce_exec::execute_tree(&self.tree, &self.space, &inputs, &funcs, 1);
+        let out = tce_exec::execute_tree(&self.tree, &self.space, &inputs, &funcs, 1)
+            .expect("scenario bindings are complete");
         out.get(&[])
     }
 }
@@ -424,7 +425,7 @@ mod tests {
         let funcs = sc.functions();
         for bb in [1usize, 2, 3, 4] {
             let p = sc.fig4_program(bb);
-            let mut interp = Interpreter::new(&p, &sc.space, &inputs, &funcs);
+            let mut interp = Interpreter::new(&p, &sc.space, &inputs, &funcs).unwrap();
             interp.run(&mut NoSink);
             let got = interp.output().get(&[]);
             assert!(
@@ -443,7 +444,7 @@ mod tests {
         let funcs = sc.functions();
         for bb in [1usize, 2, 4] {
             let p = sc.fig4_program(bb);
-            let mut interp = Interpreter::new(&p, &sc.space, &inputs, &funcs);
+            let mut interp = Interpreter::new(&p, &sc.space, &inputs, &funcs).unwrap();
             interp.run(&mut NoSink);
             // Table row T1: C_i·(V/B)²·V³·O flops → evals = (V/B)²·V³·O...
             // per function: V²(intra c,e)·(V/B)²(tiles)·V(b)·O(k)

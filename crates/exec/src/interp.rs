@@ -11,6 +11,7 @@
 //! extent when the block does not divide it; such iterations are skipped,
 //! matching the `min(N, (t+1)·B)` upper bounds of real tiled code.
 
+use crate::error::ExecError;
 use std::collections::HashMap;
 use tce_ir::{IndexSpace, TensorId};
 use tce_loops::{ARef, ArrayKind, LoopProgram, Stmt, Sub, VarRange};
@@ -69,64 +70,65 @@ impl<'a> Interpreter<'a> {
     /// Create an interpreter; `inputs` binds declared input tensors,
     /// `funcs` binds primitive functions by name.
     ///
-    /// # Panics
-    /// Panics if an input binding is missing or has the wrong shape, or a
-    /// function binding is missing.
+    /// Returns an [`ExecError`] if the program fails validation, an input
+    /// binding is missing or has the wrong shape, or a function binding
+    /// is missing.
     pub fn new(
         program: &'a LoopProgram,
         space: &'a IndexSpace,
         inputs: &HashMap<TensorId, &Tensor>,
         funcs: &HashMap<String, IntegralFn>,
-    ) -> Self {
-        program.validate().expect("invalid loop program");
-        let storage: Vec<Tensor> = program
-            .arrays
-            .iter()
-            .map(|a| {
-                let shape: Vec<usize> = a
-                    .dims
-                    .iter()
-                    .map(|d| match *d {
-                        VarRange::Full(v) => space.extent(v),
-                        VarRange::Tile { index, block } => space.extent(index).div_ceil(block),
-                        VarRange::Intra { block, .. } => block,
-                    })
-                    .collect();
-                match &a.kind {
-                    ArrayKind::Input(t) => {
-                        let bound = inputs
-                            .get(t)
-                            .unwrap_or_else(|| panic!("no binding for input `{}`", a.name));
-                        assert_eq!(
-                            bound.shape(),
-                            &shape[..],
-                            "input `{}` has the wrong shape",
-                            a.name
-                        );
-                        (*bound).clone()
+    ) -> Result<Self, ExecError> {
+        program
+            .validate()
+            .map_err(|e| ExecError::InvalidProgram { reason: e })?;
+        let mut storage: Vec<Tensor> = Vec::with_capacity(program.arrays.len());
+        for a in &program.arrays {
+            let shape: Vec<usize> = a
+                .dims
+                .iter()
+                .map(|d| match *d {
+                    VarRange::Full(v) => space.extent(v),
+                    VarRange::Tile { index, block } => space.extent(index).div_ceil(block),
+                    VarRange::Intra { block, .. } => block,
+                })
+                .collect();
+            storage.push(match &a.kind {
+                ArrayKind::Input(t) => {
+                    let bound = inputs.get(t).ok_or_else(|| ExecError::MissingInput {
+                        name: a.name.clone(),
+                    })?;
+                    if bound.shape() != &shape[..] {
+                        return Err(ExecError::InputShapeMismatch {
+                            name: a.name.clone(),
+                            expect: shape,
+                            got: bound.shape().to_vec(),
+                        });
                     }
-                    ArrayKind::One => Tensor::from_elem(&shape, 1.0),
-                    _ => Tensor::zeros(&shape),
+                    (*bound).clone()
                 }
-            })
-            .collect();
-        let funcs: Vec<IntegralFn> = program
-            .funcs
-            .iter()
-            .map(|f| {
+                ArrayKind::One => Tensor::from_elem(&shape, 1.0),
+                _ => Tensor::zeros(&shape),
+            });
+        }
+        let mut bound_funcs: Vec<IntegralFn> = Vec::with_capacity(program.funcs.len());
+        for f in &program.funcs {
+            bound_funcs.push(
                 funcs
                     .get(&f.name)
-                    .unwrap_or_else(|| panic!("no binding for function `{}`", f.name))
-                    .clone()
-            })
-            .collect();
-        Self {
+                    .ok_or_else(|| ExecError::MissingFunction {
+                        name: f.name.clone(),
+                    })?
+                    .clone(),
+            );
+        }
+        Ok(Self {
             program,
             space,
             storage,
-            funcs,
+            funcs: bound_funcs,
             stats: ExecStats::default(),
-        }
+        })
     }
 
     /// Total elements allocated for intermediates and outputs — the
@@ -374,7 +376,8 @@ mod tests {
         inputs.insert(tensors.by_name("B").unwrap(), &tb);
         inputs.insert(tensors.by_name("C").unwrap(), &tc);
         inputs.insert(tensors.by_name("D").unwrap(), &td);
-        let mut interp = Interpreter::new(&built.program, &space, &inputs, &HashMap::new());
+        let mut interp =
+            Interpreter::new(&built.program, &space, &inputs, &HashMap::new()).unwrap();
         interp.run(&mut NoSink);
         let expect = reference(&space, &[&ta, &tb, &tc, &td]);
         assert!(interp.output().approx_eq(&expect, 1e-9));
@@ -398,7 +401,8 @@ mod tests {
         inputs.insert(tensors.by_name("B").unwrap(), &tb);
         inputs.insert(tensors.by_name("C").unwrap(), &tc);
         inputs.insert(tensors.by_name("D").unwrap(), &td);
-        let mut interp = Interpreter::new(&built.program, &space, &inputs, &HashMap::new());
+        let mut interp =
+            Interpreter::new(&built.program, &space, &inputs, &HashMap::new()).unwrap();
         interp.run(&mut NoSink);
         let expect = reference(&space, &[&ta, &tb, &tc, &td]);
         assert!(interp.output().approx_eq(&expect, 1e-9));
@@ -423,7 +427,7 @@ mod tests {
         let mut funcs = HashMap::new();
         funcs.insert("f1".to_string(), IntegralFn::new(100, 1));
         funcs.insert("f2".to_string(), IntegralFn::new(100, 2));
-        let mut interp = Interpreter::new(&built.program, &space, &HashMap::new(), &funcs);
+        let mut interp = Interpreter::new(&built.program, &space, &HashMap::new(), &funcs).unwrap();
         interp.run(&mut NoSink);
         let first = interp.output().get(&[]);
         assert_eq!(interp.stats.func_evals, 2 * 16);
@@ -467,7 +471,7 @@ mod tests {
         });
         let mut funcs = HashMap::new();
         funcs.insert("g".to_string(), IntegralFn::new(10, 9));
-        let mut interp = Interpreter::new(&p, &space, &HashMap::new(), &funcs);
+        let mut interp = Interpreter::new(&p, &space, &HashMap::new(), &funcs).unwrap();
         interp.run(&mut NoSink);
         // 2 tiles × 4 intra = 8 iterations, 2 skipped.
         assert_eq!(interp.stats.func_evals, 6);
@@ -478,11 +482,26 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no binding for input")]
-    fn missing_input_binding_panics() {
+    fn missing_input_binding_is_a_typed_error() {
         let (space, tensors, tree) = fig1(2);
         let built = unfused_program(&tree, &space, &tensors, "S");
-        let _ = Interpreter::new(&built.program, &space, &HashMap::new(), &HashMap::new());
+        let err = Interpreter::new(&built.program, &space, &HashMap::new(), &HashMap::new())
+            .map(|_| ())
+            .unwrap_err();
+        assert!(
+            matches!(err, ExecError::MissingInput { ref name } if name == "B"),
+            "{err}"
+        );
+        // Wrong shape is reported too.
+        let bad = Tensor::random(&[2; 3], 1);
+        let mut inputs = HashMap::new();
+        for nm in ["A", "B", "C", "D"] {
+            inputs.insert(tensors.by_name(nm).unwrap(), &bad);
+        }
+        let err = Interpreter::new(&built.program, &space, &inputs, &HashMap::new())
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, ExecError::InputShapeMismatch { .. }), "{err}");
     }
 
     #[test]
@@ -501,7 +520,8 @@ mod tests {
         for nm in ["A", "B", "C", "D"] {
             inputs.insert(tensors.by_name(nm).unwrap(), &t);
         }
-        let mut interp = Interpreter::new(&built.program, &space, &inputs, &HashMap::new());
+        let mut interp =
+            Interpreter::new(&built.program, &space, &inputs, &HashMap::new()).unwrap();
         let mut sink = Count(0);
         interp.run(&mut sink);
         // 3 accesses per Accum iteration × 3 nests of 2^6 iterations.

@@ -3,9 +3,12 @@
 //! Runs synthesized programs on real data: the loop-program interpreter
 //! with operation/access counters ([`interp`]) — the semantic oracle every
 //! transformation is verified against — the LRU memory-hierarchy simulator
-//! validating the §6 locality cost model ([`cache`]), and the direct
+//! validating the §6 locality cost model ([`cache`]), the direct
 //! (array-at-a-time, optionally parallel) operator-tree executor
-//! ([`treeexec`]).
+//! ([`treeexec`]), and the fused-slice executor ([`fusedexec`]) that
+//! realizes memory-minimization configurations with sliced GETT kernel
+//! calls at the model-predicted peak live-set.  Binding and validation
+//! failures are reported as typed [`ExecError`]s.
 //!
 //! ```
 //! use std::collections::HashMap;
@@ -28,7 +31,7 @@
 //! let data = Tensor::random(&[4, 4], 7);
 //! let mut inputs = HashMap::new();
 //! inputs.insert(a, &data);
-//! let mut interp = Interpreter::new(&built.program, &sp, &inputs, &HashMap::new());
+//! let mut interp = Interpreter::new(&built.program, &sp, &inputs, &HashMap::new()).unwrap();
 //! interp.run(&mut NoSink);
 //! assert!((interp.output().get(&[]) - data.sum()).abs() < 1e-12);
 //! ```
@@ -36,10 +39,14 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod error;
+pub mod fusedexec;
 pub mod interp;
 pub mod treeexec;
 
 pub use cache::{CacheSink, LruCache};
+pub use error::ExecError;
+pub use fusedexec::{execute_tree_fused, FusedExecReport};
 pub use interp::{AccessSink, ExecStats, Interpreter, NoSink};
 pub use treeexec::{
     execute_tree, execute_tree_distributed, execute_tree_opts, parallel_contract, ExecOptions,

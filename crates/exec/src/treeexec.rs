@@ -10,6 +10,7 @@
 //! oracle for the loop-program interpreter and as the default executor
 //! for the pipeline and the benchmark harnesses.
 
+use crate::error::ExecError;
 use std::collections::HashMap;
 use tce_ir::{IndexSpace, IndexVar, Leaf, NodeId, OpKind, OpTree, TensorId};
 use tce_par::parallel_chunks_mut;
@@ -57,7 +58,7 @@ pub fn execute_tree_opts(
     inputs: &HashMap<TensorId, &Tensor>,
     funcs: &HashMap<String, IntegralFn>,
     opts: &ExecOptions,
-) -> Tensor {
+) -> Result<Tensor, ExecError> {
     execute_tree(tree, space, inputs, funcs, opts.threads)
 }
 
@@ -84,13 +85,14 @@ pub fn execute_tree_distributed(
 ///
 /// `threads = 1` runs sequentially; larger values parallelize function
 /// materialization and the contraction kernels' output-tile loops.
+/// Missing bindings and shape mismatches return an [`ExecError`].
 pub fn execute_tree(
     tree: &OpTree,
     space: &IndexSpace,
     inputs: &HashMap<TensorId, &Tensor>,
     funcs: &HashMap<String, IntegralFn>,
     threads: usize,
-) -> Tensor {
+) -> Result<Tensor, ExecError> {
     let _span = tce_trace::span("exec.tree");
     let traced = tce_trace::enabled();
     let bytes_of = |t: &Tensor| (t.len() * std::mem::size_of::<f64>()) as u64;
@@ -98,18 +100,24 @@ pub fn execute_tree(
     for id in tree.postorder() {
         let value = match &tree.node(id).kind {
             OpKind::Leaf(Leaf::Input { tensor, indices }) => {
-                let t = inputs
-                    .get(tensor)
-                    .unwrap_or_else(|| panic!("no binding for input tensor {tensor:?}"));
+                let t = inputs.get(tensor).ok_or_else(|| ExecError::MissingInput {
+                    name: format!("#{}", tensor.0),
+                })?;
                 let expect: Vec<usize> = indices.iter().map(|&v| space.extent(v)).collect();
-                assert_eq!(t.shape(), &expect[..], "input shape mismatch");
+                if t.shape() != &expect[..] {
+                    return Err(ExecError::InputShapeMismatch {
+                        name: format!("#{}", tensor.0),
+                        expect,
+                        got: t.shape().to_vec(),
+                    });
+                }
                 (*t).clone()
             }
             OpKind::Leaf(Leaf::One) => Tensor::from_elem(&[], 1.0),
             OpKind::Leaf(Leaf::Func { name, indices, .. }) => {
                 let f = funcs
                     .get(name)
-                    .unwrap_or_else(|| panic!("no binding for function `{name}`"));
+                    .ok_or_else(|| ExecError::MissingFunction { name: name.clone() })?;
                 materialize_func(f, indices, space, threads)
             }
             OpKind::Contract { left, right } => {
@@ -139,7 +147,7 @@ pub fn execute_tree(
     if traced {
         tce_trace::mem_free(bytes_of(&root));
     }
-    root
+    Ok(root)
 }
 
 /// Materialize a function leaf over its full index space, in parallel over
@@ -252,8 +260,8 @@ mod tests {
         inputs.insert(tc, &vc);
         inputs.insert(td, &vd);
 
-        let seq = execute_tree(&tree, &space, &inputs, &HashMap::new(), 1);
-        let par = execute_tree(&tree, &space, &inputs, &HashMap::new(), 4);
+        let seq = execute_tree(&tree, &space, &inputs, &HashMap::new(), 1).unwrap();
+        let par = execute_tree(&tree, &space, &inputs, &HashMap::new(), 4).unwrap();
         assert!(seq.approx_eq(&par, 1e-9));
 
         // Reference via einsum.
@@ -318,7 +326,47 @@ mod tests {
         let va = Tensor::random(&[5], 31);
         let mut inputs = HashMap::new();
         inputs.insert(ta, &va);
-        let out = execute_tree(&tree, &space, &inputs, &HashMap::new(), 1);
+        let out = execute_tree(&tree, &space, &inputs, &HashMap::new(), 1).unwrap();
         assert!((out.get(&[]) - va.sum()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_bindings_are_typed_errors() {
+        let mut space = IndexSpace::new();
+        let r = space.add_range("N", 4);
+        let i = space.add_var("i", r);
+        let mut tensors = TensorTable::new();
+        let ta = tensors.add(TensorDecl::dense("A", vec![r]));
+        let mut tree = OpTree::new();
+        let la = tree.leaf_input(ta, vec![i]);
+        let lf = tree.leaf_func("g", vec![i], 10);
+        tree.contract(la, lf, IndexSet::EMPTY);
+
+        // No input binding.
+        let err = execute_tree(&tree, &space, &HashMap::new(), &HashMap::new(), 1).unwrap_err();
+        assert!(
+            matches!(err, crate::ExecError::MissingInput { .. }),
+            "{err}"
+        );
+
+        // Input bound, function missing.
+        let va = Tensor::random(&[4], 1);
+        let mut inputs = HashMap::new();
+        inputs.insert(ta, &va);
+        let err = execute_tree(&tree, &space, &inputs, &HashMap::new(), 1).unwrap_err();
+        assert!(
+            matches!(err, crate::ExecError::MissingFunction { ref name } if name == "g"),
+            "{err}"
+        );
+
+        // Wrong input shape.
+        let bad = Tensor::random(&[5], 1);
+        let mut inputs = HashMap::new();
+        inputs.insert(ta, &bad);
+        let err = execute_tree(&tree, &space, &inputs, &HashMap::new(), 1).unwrap_err();
+        assert!(
+            matches!(err, crate::ExecError::InputShapeMismatch { .. }),
+            "{err}"
+        );
     }
 }

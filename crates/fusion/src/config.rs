@@ -173,7 +173,7 @@ impl FusionConfig {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use tce_ir::{IndexSpace, TensorDecl, TensorTable};
 

@@ -37,6 +37,7 @@ pub mod config;
 pub mod graph;
 pub mod memmin;
 pub mod nest;
+pub mod schedule;
 
 pub use chains::{chains_of, check_chainwise, Chain};
 pub use codegen::fused_program;
@@ -46,3 +47,4 @@ pub use memmin::{
     enumerate_legal_configs, memmin_bruteforce, memmin_dp, patterns_comparable, MemMinResult,
 };
 pub use nest::{derive_child_states, encode_state, NestState};
+pub use schedule::{fusion_schedule, FusionSchedule, ScheduleStep};

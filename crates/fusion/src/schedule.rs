@@ -1,0 +1,387 @@
+//! Executable schedules for fused trees: the loop/zero/produce skeleton of
+//! the fused program, without scalar statements.
+//!
+//! [`crate::codegen`] lowers a [`FusionConfig`] all the way to a scalar
+//! loop program for the interpreter.  The fused *executor*
+//! (`tce_exec::fusedexec`) instead wants only the outer fused chain loops —
+//! each node's private loops stay inside a single high-performance sliced
+//! GETT call (the BLAS-slicing strategy of Peise et al.).  This module
+//! compiles a configuration into that skeleton: a [`FusionSchedule`] whose
+//! steps are the fused chain loops ([`ScheduleStep::Loop`]), per-iteration
+//! re-initializations of accumulating intermediates ([`ScheduleStep::Zero`])
+//! and node productions ([`ScheduleStep::Produce`]).
+//!
+//! The placement rules are identical to codegen (and therefore validated
+//! transitively by the interpreter differential tests):
+//!
+//! * a node's production sits inside every chain whose scope contains the
+//!   node — those chain indices are the node's *pinned* set, fixed by the
+//!   surrounding loops while the production runs on slices;
+//! * the zero-initialization of an accumulating intermediate sits inside
+//!   exactly the chains running through the node's parent edge;
+//! * within any loop body, components are ordered by the highest
+//!   evaluation rank they contain (producers before consumers).
+
+use crate::chains::{chains_of, Chain};
+use crate::config::{is_fusable_producer, FusionConfig};
+use std::collections::HashMap;
+use tce_ir::{IndexSet, IndexVar, NodeId, OpKind, OpTree};
+
+/// One step of a fused execution schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleStep {
+    /// A fused chain loop over all values of `index`.
+    Loop {
+        /// The source index this loop iterates.
+        index: IndexVar,
+        /// Steps executed once per iteration.
+        body: Vec<ScheduleStep>,
+    },
+    /// Re-zero the (reduced) array of an accumulating contraction node.
+    Zero(NodeId),
+    /// Run the node's contraction (or function evaluation) for the current
+    /// values of its pinned indices, on slices of its operands.
+    Produce(NodeId),
+}
+
+/// A compiled fused schedule: the step tree plus, per node, the set of
+/// indices pinned by enclosing fused loops at its production site.
+#[derive(Debug, Clone)]
+pub struct FusionSchedule {
+    /// Top-level steps, in execution order.
+    pub steps: Vec<ScheduleStep>,
+    /// `pinned[n]` = indices of the chains whose scope contains node `n`
+    /// (empty for nodes that are not fusable producers).  These are
+    /// exactly the loop variables in scope at the node's `Produce` step.
+    pub pinned: Vec<IndexSet>,
+}
+
+/// Compile `config` into an executable fused schedule for `tree`.
+///
+/// Returns an error if the configuration is illegal for the tree.
+pub fn fusion_schedule(tree: &OpTree, config: &FusionConfig) -> Result<FusionSchedule, String> {
+    config.check(tree)?;
+    let parents = tree.parents();
+    let rank: Vec<usize> = {
+        let mut r = vec![0usize; tree.len()];
+        for (i, id) in tree.postorder().into_iter().enumerate() {
+            r[id.0 as usize] = i;
+        }
+        r
+    };
+
+    // Fusion groups: connected components over fused edges.
+    let mut group_of: Vec<usize> = (0..tree.len()).collect();
+    fn find(uf: &mut [usize], mut i: usize) -> usize {
+        while uf[i] != i {
+            uf[i] = uf[uf[i]];
+            i = uf[i];
+        }
+        i
+    }
+    for id in tree.postorder() {
+        if id != tree.root && !config.get(id).is_empty() {
+            let u = parents[id.0 as usize].unwrap();
+            let (a, b) = (
+                find(&mut group_of, id.0 as usize),
+                find(&mut group_of, u.0 as usize),
+            );
+            group_of[a] = b;
+        }
+    }
+    let mut groups: HashMap<usize, Vec<NodeId>> = HashMap::new();
+    for id in tree.postorder() {
+        if is_fusable_producer(tree, id) {
+            let g = find(&mut group_of, id.0 as usize);
+            groups.entry(g).or_default().push(id);
+        }
+    }
+    let mut group_list: Vec<Vec<NodeId>> = groups.into_values().collect();
+    group_list.sort_by_key(|g| g.iter().map(|n| rank[n.0 as usize]).max().unwrap());
+
+    let chains = chains_of(tree, config);
+    let mut pinned = vec![IndexSet::EMPTY; tree.len()];
+    for chain in &chains {
+        for &n in &chain.scope {
+            pinned[n.0 as usize] = pinned[n.0 as usize].union(chain.index.singleton());
+        }
+    }
+
+    let mut steps = Vec::new();
+    for group in group_list {
+        schedule_group(tree, &chains, &group, &rank, &parents, &mut steps);
+    }
+    Ok(FusionSchedule { steps, pinned })
+}
+
+/// An emission item: a production or initialization at a laminar position.
+struct Item {
+    /// (evaluation rank, 0 = init / 1 = production) — ordering by it places
+    /// initializations and producers before consumers.
+    key: (usize, u8),
+    /// Chains that must be open around this item.
+    chain_set: Vec<usize>,
+    step: ScheduleStep,
+}
+
+fn schedule_group(
+    tree: &OpTree,
+    all_chains: &[Chain],
+    group: &[NodeId],
+    rank: &[usize],
+    parents: &[Option<NodeId>],
+    out: &mut Vec<ScheduleStep>,
+) {
+    let in_group = |n: NodeId| group.contains(&n);
+    let chains: Vec<usize> = all_chains
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.scope.iter().any(|&n| in_group(n)))
+        .map(|(ci, _)| ci)
+        .collect();
+    let chain_contains = |ci: usize, n: NodeId| all_chains[ci].scope.contains(&n);
+
+    // --- build items ---
+    let mut items: Vec<Item> = Vec::new();
+    for &v in group {
+        let cv: Vec<usize> = chains
+            .iter()
+            .copied()
+            .filter(|&ci| chain_contains(ci, v))
+            .collect();
+        items.push(Item {
+            key: (rank[v.0 as usize], 1),
+            chain_set: cv.clone(),
+            step: ScheduleStep::Produce(v),
+        });
+        // Initialization of accumulating intermediates (contractions): the
+        // chains through v's parent edge.  Empty (top of a group, or the
+        // root) → a single zero-fill before the group.
+        if matches!(tree.node(v).kind, OpKind::Contract { .. }) {
+            let init_chains: Vec<usize> = match parents[v.0 as usize] {
+                Some(u) if v != tree.root => cv
+                    .iter()
+                    .copied()
+                    .filter(|&ci| chain_contains(ci, u))
+                    .collect(),
+                _ => Vec::new(),
+            };
+            items.push(Item {
+                key: (rank[v.0 as usize], 0),
+                chain_set: init_chains,
+                step: ScheduleStep::Zero(v),
+            });
+        }
+    }
+
+    // --- laminar forest over the group's chains (same rules as codegen) ---
+    let mut order: Vec<usize> = chains.clone();
+    order.sort_by_key(|&ci| {
+        (
+            std::cmp::Reverse(all_chains[ci].scope.len()),
+            all_chains[ci].index,
+        )
+    });
+    let mut forest_parent: HashMap<usize, Option<usize>> = HashMap::new();
+    for (pos, &ci) in order.iter().enumerate() {
+        let mut best: Option<usize> = None;
+        for &cj in order[..pos].iter() {
+            let scope_i = &all_chains[ci].scope;
+            let scope_j = &all_chains[cj].scope;
+            if scope_i.iter().all(|n| scope_j.contains(n)) {
+                best = Some(match best {
+                    None => cj,
+                    // Later-placed equal scopes win, so equal scopes form a
+                    // path rather than siblings.
+                    Some(b) if scope_j.len() <= all_chains[b].scope.len() => cj,
+                    Some(b) => b,
+                });
+            }
+        }
+        forest_parent.insert(ci, best);
+    }
+    let mut depth: HashMap<usize, usize> = HashMap::new();
+    for &ci in &order {
+        let mut d = 0;
+        let mut cur = forest_parent[&ci];
+        while let Some(c) = cur {
+            d += 1;
+            cur = forest_parent[&c];
+        }
+        depth.insert(ci, d);
+    }
+
+    // --- attach items and emit recursively ---
+    enum Node {
+        Chain(usize),
+        Item(usize),
+    }
+    let mut children: HashMap<Option<usize>, Vec<Node>> = HashMap::new();
+    for &ci in &order {
+        children
+            .entry(forest_parent[&ci])
+            .or_default()
+            .push(Node::Chain(ci));
+    }
+    for (ii, item) in items.iter().enumerate() {
+        let pos = item.chain_set.iter().copied().max_by_key(|ci| depth[ci]);
+        children.entry(pos).or_default().push(Node::Item(ii));
+    }
+
+    fn max_key(
+        pos: Option<usize>,
+        children: &HashMap<Option<usize>, Vec<Node>>,
+        items: &[Item],
+    ) -> (usize, u8) {
+        let mut best = (0usize, 0u8);
+        if let Some(nodes) = children.get(&pos) {
+            for n in nodes {
+                let k = match n {
+                    Node::Item(ii) => items[*ii].key,
+                    Node::Chain(ci) => max_key(Some(*ci), children, items),
+                };
+                if k > best {
+                    best = k;
+                }
+            }
+        }
+        best
+    }
+
+    fn emit(
+        pos: Option<usize>,
+        children: &HashMap<Option<usize>, Vec<Node>>,
+        items: &[Item],
+        all_chains: &[Chain],
+    ) -> Vec<ScheduleStep> {
+        let mut ordered: Vec<(&Node, (usize, u8))> = children
+            .get(&pos)
+            .map(|ns| {
+                ns.iter()
+                    .map(|n| {
+                        let k = match n {
+                            Node::Item(ii) => items[*ii].key,
+                            Node::Chain(ci) => max_key(Some(*ci), children, items),
+                        };
+                        (n, k)
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        ordered.sort_by_key(|&(_, k)| k);
+        let mut out = Vec::new();
+        for (n, _) in ordered {
+            match n {
+                Node::Item(ii) => out.push(items[*ii].step.clone()),
+                Node::Chain(ci) => out.push(ScheduleStep::Loop {
+                    index: all_chains[*ci].index,
+                    body: emit(Some(*ci), children, items, all_chains),
+                }),
+            }
+        }
+        out
+    }
+
+    out.extend(emit(None, &children, &items, all_chains));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::tests::fig1;
+    use crate::memmin::memmin_dp;
+    use tce_ir::IndexSpace;
+
+    /// Render a schedule compactly for structural assertions.
+    fn render(steps: &[ScheduleStep], space: &IndexSpace, out: &mut String) {
+        for s in steps {
+            match s {
+                ScheduleStep::Loop { index, body } => {
+                    out.push_str(&format!("for {} {{ ", space.var_name(*index)));
+                    render(body, space, out);
+                    out.push_str("} ");
+                }
+                ScheduleStep::Zero(n) => out.push_str(&format!("zero {} ", n.0)),
+                ScheduleStep::Produce(n) => out.push_str(&format!("produce {} ", n.0)),
+            }
+        }
+    }
+
+    #[test]
+    fn fig1c_schedule_matches_codegen_structure() {
+        let (space, tree, t1, t2) = fig1(4);
+        let mut cfg = FusionConfig::unfused(&tree);
+        cfg.set(t1, space.parse_set("b,c,d,f").unwrap());
+        cfg.set(t2, space.parse_set("b,c").unwrap());
+        let sched = fusion_schedule(&tree, &cfg).unwrap();
+        let mut text = String::new();
+        render(&sched.steps, &space, &mut text);
+        // Mirror of codegen's Fig 1(c) program, private loops elided:
+        //   S = 0; for b,c { T2 = 0; for d,f { T1 = 0; T1 += …; T2 += … };
+        //   S += … }
+        let expect = format!(
+            "zero {root} for b {{ for c {{ zero {t2} for d {{ for f {{ \
+             zero {t1} produce {t1} produce {t2} }} }} produce {root} }} }} ",
+            root = tree.root.0,
+            t1 = t1.0,
+            t2 = t2.0
+        );
+        assert_eq!(text, expect);
+        assert_eq!(
+            sched.pinned[t1.0 as usize],
+            space.parse_set("b,c,d,f").unwrap()
+        );
+        assert_eq!(
+            sched.pinned[t2.0 as usize],
+            space.parse_set("b,c,d,f").unwrap()
+        );
+        assert_eq!(
+            sched.pinned[tree.root.0 as usize],
+            space.parse_set("b,c").unwrap()
+        );
+    }
+
+    #[test]
+    fn unfused_schedule_is_flat_in_rank_order() {
+        let (_space, tree, t1, t2) = fig1(3);
+        let cfg = FusionConfig::unfused(&tree);
+        let sched = fusion_schedule(&tree, &cfg).unwrap();
+        let expect = vec![
+            ScheduleStep::Zero(t1),
+            ScheduleStep::Produce(t1),
+            ScheduleStep::Zero(t2),
+            ScheduleStep::Produce(t2),
+            ScheduleStep::Zero(tree.root),
+            ScheduleStep::Produce(tree.root),
+        ];
+        assert_eq!(sched.steps, expect);
+        assert!(sched.pinned.iter().all(|s| s.is_empty()));
+    }
+
+    #[test]
+    fn memmin_schedule_is_legal_and_pins_fused_indices() {
+        let (space, tree, t1, t2) = fig1(5);
+        let r = memmin_dp(&tree, &space);
+        let sched = fusion_schedule(&tree, &r.config).unwrap();
+        // Every fused index of a node must be pinned at its production.
+        for id in tree.postorder() {
+            if id != tree.root && is_fusable_producer(&tree, id) {
+                assert!(
+                    r.config.get(id).is_subset(sched.pinned[id.0 as usize]),
+                    "node {} fused set not pinned",
+                    id.0
+                );
+            }
+        }
+        let _ = (t1, t2);
+    }
+
+    #[test]
+    fn illegal_config_is_rejected() {
+        let (space, tree, t1, t2) = fig1(3);
+        let mut cfg = FusionConfig::unfused(&tree);
+        cfg.set(t2, space.parse_set("b,c,j,k").unwrap());
+        cfg.set(t1, space.parse_set("b,c,d,f").unwrap());
+        assert!(fusion_schedule(&tree, &cfg).is_err());
+    }
+}

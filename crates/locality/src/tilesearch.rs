@@ -175,6 +175,42 @@ pub fn tile_nest(
     out
 }
 
+/// Whether `nest` can be blocked: the statement at `nest.body_index` is a
+/// chain of single-statement loops over exactly `nest.vars`, and every
+/// loop variable ranges over a full (untiled) source index.  Already-tiled
+/// programs (e.g. space-time codegen output) and degenerate nests —
+/// scalar or fully-fused programs whose "nests" carry tile/intra ranges —
+/// fail this test; the searches below then return the untiled program
+/// instead of panicking inside [`tile_nest`].
+pub fn nest_is_tileable(p: &LoopProgram, nest: &PerfectNest) -> bool {
+    if nest.vars.is_empty() || nest.body_index >= p.body.len() {
+        return false;
+    }
+    if nest
+        .vars
+        .iter()
+        .any(|&v| !matches!(p.var(v).range, VarRange::Full(_)))
+    {
+        return false;
+    }
+    let mut cur = &p.body[nest.body_index];
+    for (depth, &v) in nest.vars.iter().enumerate() {
+        match cur {
+            Stmt::Loop { var, body } if *var == v => {
+                if depth + 1 == nest.vars.len() {
+                    return true;
+                }
+                if body.len() != 1 {
+                    return false;
+                }
+                cur = &body[0];
+            }
+            _ => return false,
+        }
+    }
+    true
+}
+
 /// Outcome of the tile-size search for one nest.
 #[derive(Debug, Clone)]
 pub struct TileSearchResult {
@@ -202,13 +238,22 @@ fn candidates(extent: usize) -> Vec<usize> {
 }
 
 /// Search tile sizes for one perfect nest, minimizing the §6 cost model
-/// for a cache of `cache_elements`.
+/// for a cache of `cache_elements`.  Untileable nests (already tiled, or
+/// degenerate — see [`nest_is_tileable`]) are skipped gracefully: the
+/// untiled program itself is the search result.
 pub fn search_nest_tiles(
     p: &LoopProgram,
     space: &IndexSpace,
     nest: &PerfectNest,
     cache_elements: u128,
 ) -> TileSearchResult {
+    if !nest_is_tileable(p, nest) {
+        return TileSearchResult {
+            blocks: HashMap::new(),
+            program: p.clone(),
+            cost: access_cost(p, space, cache_elements),
+        };
+    }
     let extents: Vec<usize> = nest.vars.iter().map(|&v| p.var(v).extent(space)).collect();
     let mut best: Option<TileSearchResult> = None;
     let mut blocks: HashMap<LoopVarId, usize> = HashMap::new();
@@ -362,6 +407,13 @@ pub fn search_nest_tiles_hierarchy(
     nest: &PerfectNest,
     hierarchy: &crate::model::MemoryHierarchy,
 ) -> HierarchyTileResult {
+    if !nest_is_tileable(p, nest) {
+        return HierarchyTileResult {
+            blocks: HashMap::new(),
+            program: p.clone(),
+            cost: hierarchy.cost(p, space),
+        };
+    }
     let extents: Vec<usize> = nest.vars.iter().map(|&v| p.var(v).extent(space)).collect();
     let mut best: Option<HierarchyTileResult> = None;
     let mut blocks: HashMap<LoopVarId, usize> = HashMap::new();
@@ -552,6 +604,60 @@ mod tests {
         let cache_only = search_nest_tiles(&p, &space, &nest, 64);
         assert!(r.cost <= hier.cost(&cache_only.program, &space) + 1e-9);
         r.program.validate().unwrap();
+    }
+
+    #[test]
+    fn already_tiled_programs_are_skipped_gracefully() {
+        // Tile the matmul once, then run the search over the *tiled*
+        // program's nest (whose vars include Tile/Intra ranges) — this
+        // used to panic with "can only tile Full-range loops".
+        let (space, p, nest) = matmul(8);
+        let mut blocks = HashMap::new();
+        blocks.insert(nest.vars[1], 4usize);
+        blocks.insert(nest.vars[2], 4usize);
+        let tiled = tile_nest(&p, &space, &nest, &blocks);
+        let found = perfect_nests(&tiled);
+        assert_eq!(found.len(), 1);
+        assert!(!nest_is_tileable(&tiled, &found[0]));
+        let r = search_nest_tiles(&tiled, &space, &found[0], 64);
+        assert!(r.blocks.is_empty());
+        assert_eq!(r.program, tiled);
+        assert_eq!(r.cost, access_cost(&tiled, &space, 64));
+        // The hierarchy search skips identically.
+        let hier = crate::model::MemoryHierarchy::cache_and_disk(64, 100_000);
+        let h = search_nest_tiles_hierarchy(&tiled, &space, &found[0], &hier);
+        assert!(h.blocks.is_empty());
+        assert_eq!(h.program, tiled);
+    }
+
+    #[test]
+    fn degenerate_nests_are_skipped_gracefully() {
+        // A nest descriptor that does not match the program shape (wrong
+        // vars) used to panic with "nest shape mismatch"/"not a loop
+        // nest"; it now falls back to the untiled program.
+        let (space, p, nest) = matmul(4);
+        let bogus = PerfectNest {
+            body_index: nest.body_index,
+            vars: vec![nest.vars[1], nest.vars[0], nest.vars[2]],
+        };
+        assert!(!nest_is_tileable(&p, &bogus));
+        let r = search_nest_tiles(&p, &space, &bogus, 16);
+        assert_eq!(r.program, p);
+        // Empty var lists and out-of-range bodies are degenerate too.
+        assert!(!nest_is_tileable(
+            &p,
+            &PerfectNest {
+                body_index: 0,
+                vars: vec![]
+            }
+        ));
+        assert!(!nest_is_tileable(
+            &p,
+            &PerfectNest {
+                body_index: 9,
+                vars: nest.vars.clone()
+            }
+        ));
     }
 
     #[test]

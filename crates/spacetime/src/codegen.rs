@@ -98,13 +98,15 @@ mod tests {
     ) -> f64 {
         let mut inputs = HashMap::new();
         inputs.insert(tensors.by_name("T").unwrap(), amps);
-        tce_exec::execute_tree(tree, space, &inputs, funcs, 1).get(&[])
+        tce_exec::execute_tree(tree, space, &inputs, funcs, 1)
+            .unwrap()
+            .get(&[])
     }
 
     #[test]
     fn every_frontier_point_is_executable_and_correct() {
         let (space, tensors, tree) = a3a(3, 2, 20);
-        let front = spacetime_dp(&tree, &space, usize::MAX);
+        let front = spacetime_dp(&tree, &space, usize::MAX).unwrap();
         let amps = tce_tensor::Tensor::random(&[2, 2, 3, 3], 1);
         let mut funcs = HashMap::new();
         funcs.insert("f1".to_string(), tce_tensor::IntegralFn::new(20, 1));
@@ -115,7 +117,8 @@ mod tests {
         assert!(front.len() >= 3, "need several regimes to exercise");
         for point in front.points() {
             let built = spacetime_program(&tree, &space, &tensors, &point.tag, "E").unwrap();
-            let mut interp = tce_exec::Interpreter::new(&built.program, &space, &inputs, &funcs);
+            let mut interp =
+                tce_exec::Interpreter::new(&built.program, &space, &inputs, &funcs).unwrap();
             interp.run(&mut tce_exec::NoSink);
             let got = interp.output().get(&[]);
             assert!(
@@ -140,7 +143,7 @@ mod tests {
     #[test]
     fn min_memory_point_recomputes_integrals() {
         let (space, tensors, tree) = a3a(3, 2, 20);
-        let front = spacetime_dp(&tree, &space, usize::MAX);
+        let front = spacetime_dp(&tree, &space, usize::MAX).unwrap();
         let min = front.min_mem().unwrap();
         let built = spacetime_program(&tree, &space, &tensors, &min.tag, "E").unwrap();
         let amps = tce_tensor::Tensor::random(&[2, 2, 3, 3], 2);
@@ -149,7 +152,8 @@ mod tests {
         funcs.insert("f2".to_string(), tce_tensor::IntegralFn::new(20, 2));
         let mut inputs = HashMap::new();
         inputs.insert(tensors.by_name("T").unwrap(), &amps);
-        let mut interp = tce_exec::Interpreter::new(&built.program, &space, &inputs, &funcs);
+        let mut interp =
+            tce_exec::Interpreter::new(&built.program, &space, &inputs, &funcs).unwrap();
         interp.run(&mut tce_exec::NoSink);
         // The integrals are recomputed: strictly more evaluations than the
         // reuse-everything count (2·V²·V·O), at most the Fig-3 worst case

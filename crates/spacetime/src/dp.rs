@@ -125,7 +125,15 @@ pub fn redundant_candidates(tree: &OpTree, child: NodeId, parent: NodeId) -> Ind
 /// Run the fusion/recomputation pareto DP.  `max_points` bounds each
 /// state's frontier (the paper notes pruning keeps solution sets small);
 /// pass `usize::MAX` for exact frontiers on small trees.
-pub fn spacetime_dp(tree: &OpTree, space: &IndexSpace, max_points: usize) -> SpaceTimeFrontier {
+///
+/// Returns an error (instead of panicking) if the traceback cannot
+/// reconstruct a configuration for a frontier point — e.g. when frontier
+/// pruning drops the child points a root point was built from.
+pub fn spacetime_dp(
+    tree: &OpTree,
+    space: &IndexSpace,
+    max_points: usize,
+) -> Result<SpaceTimeFrontier, String> {
     // State = (node, nesting state over the *fused* part of the parent
     // label).  The parent's redundant part is transparent (it wraps the
     // whole subtree emission) and enters only through the ops factor the
@@ -253,13 +261,13 @@ pub fn spacetime_dp(tree: &OpTree, space: &IndexSpace, max_points: usize) -> Spa
             point.mem,
             point.ops,
             &mut cfg,
-        );
+        )?;
         // Validate the reconstruction reproduces the point.
         debug_assert_eq!(cfg.temp_memory(tree, space), point.mem);
         debug_assert_eq!(cfg.total_ops(tree, space), point.ops);
         result.insert(point.mem, point.ops, cfg);
     }
-    result
+    Ok(result)
 }
 
 /// Drop transparent (redundant) indices from a derived state (duplicate of
@@ -273,7 +281,8 @@ fn strip(state: &NestState, c: IndexSet) -> NestState {
 }
 
 /// Replay the DP to find the child labels that realize `(mem, ops)` at
-/// state `(u, state, redundant)`, filling `cfg`.
+/// state `(u, state, redundant)`, filling `cfg`.  Errors (naming the
+/// offending node) instead of panicking when no consistent replay exists.
 #[allow(clippy::too_many_arguments)]
 fn trace(
     tree: &OpTree,
@@ -285,17 +294,24 @@ fn trace(
     mem: u128,
     ops: u128,
     cfg: &mut SpaceTimeConfig,
-) {
+) -> Result<(), String> {
     let fused = state.iter().fold(IndexSet::EMPTY, |s, &c| s.union(c));
     cfg.fused[u.0 as usize] = fused;
     cfg.redundant[u.0 as usize] = redundant;
     if let OpKind::Contract { left, right } = tree.node(u).kind {
-        let front = &memo[&(u.0, encode_state(state))];
+        let front = memo
+            .get(&(u.0, encode_state(state)))
+            .ok_or_else(|| format!("spacetime traceback: no memoized frontier at node #{}", u.0))?;
         let point = front
             .points()
             .iter()
             .find(|p| p.mem == mem && p.ops == ops)
-            .expect("traceback point must exist");
+            .ok_or_else(|| {
+                format!(
+                    "spacetime traceback: no frontier point (mem={mem}, ops={ops}) at node #{}",
+                    u.0
+                )
+            })?;
         let (c1, r1, c2, r2) = point.tag;
         let own_mem = if u == tree.root || !is_fusable_producer(tree, u) {
             0
@@ -305,8 +321,12 @@ fn trace(
         let own_ops = tree.node_ops(u, space);
         let f1 = space.iteration_points(r1).max(1);
         let f2 = space.iteration_points(r2).max(1);
-        let (s1, s2) = derive_child_states(state, c1.union(r1), c2.union(r2))
-            .expect("chosen labels must be derivable");
+        let (s1, s2) = derive_child_states(state, c1.union(r1), c2.union(r2)).ok_or_else(|| {
+            format!(
+                "spacetime traceback: chosen labels not derivable at node #{}",
+                u.0
+            )
+        })?;
         let (s1, s2) = (strip(&s1, c1), strip(&s2, c2));
         // Find the child points consistent with this total.
         let p1 = &memo[&(left.0, encode_state(&s1))];
@@ -319,16 +339,22 @@ fn trace(
                         .saturating_add(f2.saturating_mul(b.ops))
                         == ops
                 {
-                    trace(tree, space, memo, left, &s1, r1, a.mem, a.ops, cfg);
-                    trace(tree, space, memo, right, &s2, r2, b.mem, b.ops, cfg);
-                    return;
+                    trace(tree, space, memo, left, &s1, r1, a.mem, a.ops, cfg)?;
+                    trace(tree, space, memo, right, &s2, r2, b.mem, b.ops, cfg)?;
+                    return Ok(());
                 }
             }
         }
-        panic!("traceback failed to find consistent child points");
+        return Err(format!(
+            "spacetime traceback: no consistent child points for (mem={mem}, ops={ops}) \
+             at contraction node #{} (children #{}, #{}) — frontier pruning may have \
+             dropped the realizing points; retry with a larger max_points",
+            u.0, left.0, right.0
+        ));
     }
     // Leaves: nothing further.
     let _ = space;
+    Ok(())
 }
 
 /// Brute-force oracle: enumerate every `(fused, redundant)` label
@@ -431,7 +457,7 @@ mod tests {
     #[test]
     fn frontier_contains_unfused_and_fully_fused_extremes() {
         let (space, tree, t1, t2, y) = a3a_like(4, 2, 100);
-        let front = spacetime_dp(&tree, &space, usize::MAX);
+        let front = spacetime_dp(&tree, &space, usize::MAX).unwrap();
         assert!(!front.is_empty());
         // Max-memory end: everything unfused — memory = T1 + T2 + Y + X.
         let unfused_mem = SpaceTimeConfig::unfused(&tree).temp_memory(&tree, &space);
@@ -457,7 +483,7 @@ mod tests {
         // C_i·V^3·O baseline).
         let (v_ext, o_ext, ci) = (4usize, 2usize, 100u64);
         let (space, tree, t1, t2, _) = a3a_like(v_ext, o_ext, ci);
-        let front = spacetime_dp(&tree, &space, usize::MAX);
+        let front = spacetime_dp(&tree, &space, usize::MAX).unwrap();
         let min = front.min_mem().unwrap();
         let cfg = &min.tag;
         // T1 and T2 fully fused (scalar) with 2 redundant indices each.
@@ -480,7 +506,7 @@ mod tests {
     #[test]
     fn recomputation_indices_collected() {
         let (space, tree, _, _, _) = a3a_like(4, 2, 50);
-        let front = spacetime_dp(&tree, &space, usize::MAX);
+        let front = spacetime_dp(&tree, &space, usize::MAX).unwrap();
         let min = front.min_mem().unwrap();
         // a,f redundant for T1; c,e for T2 → four tiling candidates.
         assert_eq!(min.tag.recomputation_indices().len(), 4);
@@ -489,7 +515,7 @@ mod tests {
     #[test]
     fn frontier_is_monotone() {
         let (space, tree, _, _, _) = a3a_like(3, 2, 10);
-        let front = spacetime_dp(&tree, &space, usize::MAX);
+        let front = spacetime_dp(&tree, &space, usize::MAX).unwrap();
         for w in front.points().windows(2) {
             assert!(w[0].mem < w[1].mem && w[0].ops > w[1].ops);
         }
@@ -503,10 +529,44 @@ mod tests {
     #[test]
     fn width_bound_trims_but_keeps_extremes() {
         let (space, tree, _, _, _) = a3a_like(4, 2, 100);
-        let exact = spacetime_dp(&tree, &space, usize::MAX);
-        let trimmed = spacetime_dp(&tree, &space, 2);
+        let exact = spacetime_dp(&tree, &space, usize::MAX).unwrap();
+        let trimmed = spacetime_dp(&tree, &space, 2).unwrap();
         assert!(trimmed.len() <= exact.len());
         assert_eq!(trimmed.min_mem().unwrap().mem, exact.min_mem().unwrap().mem);
+    }
+
+    #[test]
+    fn traceback_survives_pareto_point_ties() {
+        // Symmetric tree: E = Σ_ij f(i,j)·g(i,j).  Fusing either leaf (or
+        // both) yields coinciding (mem, ops) points, so the frontier holds
+        // tied entries whose tags must still replay consistently — this
+        // shape previously tripped the traceback panic under pruning.
+        let mut space = IndexSpace::new();
+        let n = space.add_range("N", 6);
+        let i = space.add_var("i", n);
+        let j = space.add_var("j", n);
+        let mut tree = OpTree::new();
+        let lf = tree.leaf_func("f", vec![i, j], 3);
+        let lg = tree.leaf_func("g", vec![i, j], 3);
+        tree.contract(lf, lg, IndexSet::EMPTY);
+        let front = spacetime_dp(&tree, &space, usize::MAX).expect("tied points must trace back");
+        assert!(!front.is_empty());
+        for p in front.points() {
+            assert_eq!(p.tag.temp_memory(&tree, &space), p.mem);
+            assert_eq!(p.tag.total_ops(&tree, &space), p.ops);
+        }
+        // Aggressive pruning must degrade to a typed error or a consistent
+        // frontier — never a panic.
+        for width in 1..4 {
+            match spacetime_dp(&tree, &space, width) {
+                Ok(f) => {
+                    for p in f.points() {
+                        assert_eq!(p.tag.temp_memory(&tree, &space), p.mem);
+                    }
+                }
+                Err(e) => assert!(e.contains("traceback"), "unexpected error: {e}"),
+            }
+        }
     }
 
     #[test]
@@ -549,7 +609,7 @@ mod tests {
                 }
                 nodes.push(tree.contract(a, b, keep));
             }
-            let dp = spacetime_dp(&tree, &space, usize::MAX);
+            let dp = spacetime_dp(&tree, &space, usize::MAX).unwrap();
             let bf = spacetime_bruteforce(&tree, &space);
             let dpp: Vec<(u128, u128)> = dp.points().iter().map(|p| (p.mem, p.ops)).collect();
             let bfp: Vec<(u128, u128)> = bf.points().iter().map(|p| (p.mem, p.ops)).collect();

@@ -21,7 +21,7 @@
 //! let f1 = tree.leaf_func("f1", vec![c, e], 100);
 //! let f2 = tree.leaf_func("f2", vec![c, e], 100);
 //! tree.contract(f1, f2, IndexSet::EMPTY);
-//! let front = spacetime_dp(&tree, &sp, usize::MAX);
+//! let front = spacetime_dp(&tree, &sp, usize::MAX).unwrap();
 //! assert_eq!(front.min_mem().unwrap().mem, 2); // two scalars
 //! ```
 

@@ -156,14 +156,16 @@ pub fn search_tiles(
 
 /// The complete space-time trade-off (paper §5): run the
 /// fusion/recomputation pareto DP, tile every frontier configuration, and
-/// return the feasible combination with the fewest operations.  `None`
-/// when no configuration fits in `mem_limit` even fully fused and untiled.
+/// return the feasible combination with the fewest operations.
+/// `Ok(None)` when no configuration fits in `mem_limit` even fully fused
+/// and untiled; `Err` when the DP traceback cannot reconstruct a frontier
+/// configuration.
 pub fn spacetime_optimize(
     tree: &OpTree,
     space: &IndexSpace,
     mem_limit: u128,
-) -> Option<(SpaceTimeConfig, TilingResult)> {
-    let front = spacetime_dp(tree, space, usize::MAX);
+) -> Result<Option<(SpaceTimeConfig, TilingResult)>, String> {
+    let front = spacetime_dp(tree, space, usize::MAX)?;
     let mut best: Option<(SpaceTimeConfig, TilingResult)> = None;
     let mut frontier_points = 0u64;
     for point in front.points() {
@@ -188,7 +190,7 @@ pub fn spacetime_optimize(
             tce_trace::counter_u128("spacetime.memory", t.memory);
         }
     }
-    best
+    Ok(best)
 }
 
 #[cfg(test)]
@@ -320,14 +322,16 @@ mod tests {
         // Generous limit: optimizer should avoid recomputation entirely
         // (ops = base cost).
         let unfused_ops = SpaceTimeConfig::unfused(&tree).total_ops(&tree, &space);
-        let (cfg, t) = spacetime_optimize(&tree, &space, u128::MAX).unwrap();
+        let (cfg, t) = spacetime_optimize(&tree, &space, u128::MAX)
+            .unwrap()
+            .unwrap();
         assert_eq!(t.ops, unfused_ops);
         // Tight limit: must pay recomputation, stays within memory.
-        let (cfg2, t2) = spacetime_optimize(&tree, &space, 50).unwrap();
+        let (cfg2, t2) = spacetime_optimize(&tree, &space, 50).unwrap().unwrap();
         assert!(t2.memory <= 50);
         assert!(t2.ops >= t.ops);
         let _ = (cfg, cfg2);
         // Infeasible limit.
-        assert!(spacetime_optimize(&tree, &space, 2).is_none());
+        assert!(spacetime_optimize(&tree, &space, 2).unwrap().is_none());
     }
 }

@@ -58,14 +58,16 @@ fn optimized_configs_match_untiled_oracle_on_random_extents() {
         let mut inputs = HashMap::new();
         inputs.insert(tensors.by_name("T").unwrap(), &amps);
         // Untiled oracle: dense tree execution, no fusion, no tiling.
-        let expect = tce_exec::execute_tree(&tree, &space, &inputs, &funcs, 1).get(&[]);
+        let expect = tce_exec::execute_tree(&tree, &space, &inputs, &funcs, 1)
+            .unwrap()
+            .get(&[]);
 
         // Recomputation-free op baseline (fully materialized).
         let baseline_ops = tree.total_ops(&space);
 
         let mut found_feasible = 0usize;
         for limit in [2u128, 4, 8, 16, 64, 4096] {
-            let Some((cfg, tiling)) = spacetime_optimize(&tree, &space, limit) else {
+            let Some((cfg, tiling)) = spacetime_optimize(&tree, &space, limit).unwrap() else {
                 continue;
             };
             found_feasible += 1;
@@ -81,7 +83,8 @@ fn optimized_configs_match_untiled_oracle_on_random_extents() {
                 tiling.ops
             );
             let built = spacetime_program(&tree, &space, &tensors, &cfg, "E").unwrap();
-            let mut interp = tce_exec::Interpreter::new(&built.program, &space, &inputs, &funcs);
+            let mut interp =
+                tce_exec::Interpreter::new(&built.program, &space, &inputs, &funcs).unwrap();
             interp.run(&mut tce_exec::NoSink);
             let got = interp.output().get(&[]);
             assert!(
@@ -103,7 +106,7 @@ fn tighter_limits_never_cost_fewer_ops() {
     // Sweeping the limit upward, the optimizer's op count is
     // non-increasing: more memory can only help.
     for limit in [2u128, 4, 8, 16, 64, 4096] {
-        if let Some((_, tiling)) = spacetime_optimize(&tree, &space, limit) {
+        if let Some((_, tiling)) = spacetime_optimize(&tree, &space, limit).unwrap() {
             assert!(
                 tiling.ops <= last_ops,
                 "limit {limit}: ops {} after {last_ops}",

@@ -438,6 +438,60 @@ impl Tensor {
         }
     }
 
+    /// Accumulate `block` into the rectangular region starting at
+    /// `starts` (`self[region] += block`) — the write side of a sliced
+    /// contraction whose outer fused loops carry partial sums.
+    ///
+    /// # Panics
+    /// Panics if the box exceeds the tensor bounds.
+    pub fn add_block(&mut self, starts: &[usize], block: &Tensor) {
+        assert_eq!(starts.len(), self.rank(), "block rank mismatch");
+        assert_eq!(block.rank(), self.rank(), "block rank mismatch");
+        for (d, (&s, &l)) in starts.iter().zip(&block.shape).enumerate() {
+            assert!(s + l <= self.shape[d], "block out of bounds");
+        }
+        if self.rank() == 0 {
+            self.data[0] += block.data[0];
+            return;
+        }
+        if block.shape.contains(&0) {
+            return;
+        }
+        let last = self.rank() - 1;
+        let row = block.shape[last];
+        let outer: usize = block.shape[..last].iter().product();
+        let mut idx = vec![0usize; last];
+        let mut src = 0usize;
+        for _ in 0..outer.max(1) {
+            let mut dst = starts[last] * self.strides[last];
+            for d in 0..last {
+                dst += (starts[d] + idx[d]) * self.strides[d];
+            }
+            for (a, b) in self.data[dst..dst + row]
+                .iter_mut()
+                .zip(&block.data[src..src + row])
+            {
+                *a += b;
+            }
+            src += row;
+            Self::advance(&mut idx, &block.shape[..last]);
+        }
+    }
+
+    /// Reinterpret this (contiguous, row-major) tensor under a new shape
+    /// with the same element count — used to drop or insert unit
+    /// dimensions around sliced kernel calls without copying data.
+    ///
+    /// # Panics
+    /// Panics if the element counts differ.
+    pub fn reshaped(mut self, shape: &[usize]) -> Tensor {
+        let n: usize = shape.iter().product();
+        assert_eq!(self.len(), n, "reshape element count mismatch");
+        self.shape = shape.to_vec();
+        self.strides = row_major_strides(&self.shape);
+        self
+    }
+
     /// Advance a row-major odometer; wraps to all-zeros after the last
     /// index. Public so kernels and the interpreter share one implementation.
     #[inline]
@@ -647,6 +701,61 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn extract_block_rejects_overflow() {
         Tensor::zeros(&[3, 3]).extract_block(&[2, 0], &[2, 3]);
+    }
+
+    #[test]
+    fn add_block_accumulates_into_region() {
+        let mut t = Tensor::from_elem(&[4, 5, 3], 1.0);
+        let b = Tensor::from_fn(&[2, 3, 3], |i| (i[0] * 100 + i[1] * 10 + i[2]) as f64);
+        t.add_block(&[1, 2, 0], &b);
+        t.add_block(&[1, 2, 0], &b);
+        for x in 0..4 {
+            for y in 0..5 {
+                for z in 0..3 {
+                    let inside = (1..3).contains(&x) && (2..5).contains(&y);
+                    let expect = if inside {
+                        1.0 + 2.0 * b.get(&[x - 1, y - 2, z])
+                    } else {
+                        1.0
+                    };
+                    assert_eq!(t.get(&[x, y, z]), expect, "at {x},{y},{z}");
+                }
+            }
+        }
+        // Scalar accumulation.
+        let mut s = Tensor::from_elem(&[], 1.5);
+        s.add_block(&[], &Tensor::from_elem(&[], 2.0));
+        assert_eq!(s.get(&[]), 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn add_block_rejects_overflow() {
+        Tensor::zeros(&[3]).add_block(&[2], &Tensor::zeros(&[2]));
+    }
+
+    #[test]
+    fn reshaped_preserves_row_major_order() {
+        let t = Tensor::from_fn(&[2, 3], |i| (i[0] * 3 + i[1]) as f64);
+        let r = t.clone().reshaped(&[3, 2]);
+        assert_eq!(r.shape(), &[3, 2]);
+        for k in 0..6 {
+            assert_eq!(r.get(&[k / 2, k % 2]), k as f64);
+        }
+        // Unit dimensions insert/drop freely.
+        let u = t.clone().reshaped(&[2, 1, 3, 1]);
+        assert_eq!(u.get(&[1, 0, 2, 0]), 5.0);
+        assert_eq!(u.reshaped(&[2, 3]), t);
+        // Scalar ↔ all-unit shapes.
+        let s = Tensor::from_elem(&[], 7.0).reshaped(&[1, 1]);
+        assert_eq!(s.get(&[0, 0]), 7.0);
+        assert_eq!(s.reshaped(&[]).get(&[]), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "element count mismatch")]
+    fn reshaped_rejects_size_change() {
+        let _ = Tensor::zeros(&[2, 3]).reshaped(&[7]);
     }
 
     #[test]

@@ -47,7 +47,7 @@ fn main() {
     println!("\n== executable scale (V = 8, O = 3, C_i = 500) ==");
 
     println!("\nspace-time pareto frontier (memory elements, flops):");
-    let front = spacetime_dp(&sc.tree, &sc.space, usize::MAX);
+    let front = spacetime_dp(&sc.tree, &sc.space, usize::MAX).unwrap();
     for p in front.points() {
         println!("  mem {:>8}  ops {:>12}", p.mem, p.ops);
     }
@@ -67,7 +67,7 @@ fn main() {
     let mut rows = Vec::new();
     for bb in [1usize, 2, 4, 8] {
         let p = sc.fig4_program(bb);
-        let mut interp = Interpreter::new(&p, &sc.space, &inputs, &funcs);
+        let mut interp = Interpreter::new(&p, &sc.space, &inputs, &funcs).unwrap();
         interp.run(&mut NoSink);
         let stats = interp.stats;
         // Re-run through the LRU "fast memory" simulator.
@@ -77,7 +77,7 @@ fn main() {
             .map(|a| a.elements(&sc.space) as usize)
             .collect();
         let mut sink = CacheSink::new(LruCache::new(600, 1), &sizes);
-        let mut interp2 = Interpreter::new(&p, &sc.space, &inputs, &funcs);
+        let mut interp2 = Interpreter::new(&p, &sc.space, &inputs, &funcs).unwrap();
         interp2.run(&mut sink);
         let misses = sink.cache.misses;
         // Weighted cost: flops + 100 × slow-level misses.

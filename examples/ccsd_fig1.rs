@@ -73,7 +73,7 @@ fn main() {
     for (nm, t) in [("A", &ta), ("B", &tb), ("C", &tc), ("D", &td)] {
         inputs.insert(syn.program.tensors.by_name(nm).unwrap(), t);
     }
-    let got = plan.execute(space, &inputs, &HashMap::new());
+    let got = plan.execute(space, &inputs, &HashMap::new()).unwrap();
     let ops = op_counts(&plan.built.program, space);
     println!(
         "\nexecuted fused program: {} flops (model said {})",
@@ -88,7 +88,8 @@ fn main() {
         &inputs,
         &HashMap::new(),
         tce_core::par::default_threads(),
-    );
+    )
+    .unwrap();
     let diff = got.max_abs_diff(&expect);
     println!("verification: max |fused - unfused| = {diff:.3e}");
     assert!(diff < 1e-8);

@@ -48,7 +48,7 @@ fn main() {
     inputs.insert(syn.program.tensors.by_name("A").unwrap(), &a);
     inputs.insert(syn.program.tensors.by_name("B").unwrap(), &b);
     inputs.insert(syn.program.tensors.by_name("C").unwrap(), &c);
-    let got = plan.execute(space, &inputs, &HashMap::new());
+    let got = plan.execute(space, &inputs, &HashMap::new()).unwrap();
 
     let v = |n: &str| space.var_by_name(n).unwrap();
     let spec = tce_core::tensor::EinsumSpec::new(

@@ -1,6 +1,8 @@
 //! Black-box tests of the `tce` binary: malformed input must produce a
-//! diagnostic on stderr and a nonzero exit status (never a panic), and
-//! the distributed path must report exact measured-vs-modeled agreement.
+//! diagnostic on stderr and a nonzero exit status (never a panic), the
+//! distributed path must report exact measured-vs-modeled agreement, and
+//! the fused path must report an exact measured-vs-modeled peak
+//! intermediate live-set.
 
 use std::process::Command;
 
@@ -18,16 +20,17 @@ fn spec(name: &str) -> String {
 fn malformed_inputs_fail_cleanly() {
     let chain = spec("matrix_chain.tce");
     let cases: Vec<Vec<&str>> = vec![
-        vec![],                               // no spec file
-        vec!["/nonexistent/never.tce"],       // unreadable file
-        vec![&chain, "--cache", "pow"],       // bad --cache
-        vec![&chain, "--grid", "2y4"],        // bad --grid format
-        vec![&chain, "--grid", "0x2"],        // zero grid dimension
-        vec![&chain, "--grid", "x"],          // empty grid dimension
-        vec![&chain, "--threads", "0"],       // zero threads
-        vec![&chain, "--distributed"],        // missing --grid
-        vec![&chain, "--memory-limit", "-3"], // negative limit
-        vec![&chain, "--bogus-flag"],         // unknown flag
+        vec![],                                                    // no spec file
+        vec!["/nonexistent/never.tce"],                            // unreadable file
+        vec![&chain, "--cache", "pow"],                            // bad --cache
+        vec![&chain, "--grid", "2y4"],                             // bad --grid format
+        vec![&chain, "--grid", "0x2"],                             // zero grid dimension
+        vec![&chain, "--grid", "x"],                               // empty grid dimension
+        vec![&chain, "--threads", "0"],                            // zero threads
+        vec![&chain, "--distributed"],                             // missing --grid
+        vec![&chain, "--memory-limit", "-3"],                      // negative limit
+        vec![&chain, "--bogus-flag"],                              // unknown flag
+        vec![&chain, "--fused", "--distributed", "--grid", "2x2"], // conflict
     ];
     for args in &cases {
         let out = tce().args(args).output().expect("spawn tce");
@@ -73,6 +76,124 @@ fn distributed_execution_reports_exact_comm_volumes() {
             "grid {grid}: measured-vs-modeled not exact:\n{stdout}"
         );
     }
+}
+
+#[test]
+fn fused_execution_reports_exact_peak_live_set() {
+    // Acceptance: on the §2 scenario, `tce --fused --trace` reports a peak
+    // intermediate live-set exactly equal to the memmin DP's prediction
+    // (Fig. 1(c) at N=6: T1 scalar + T2 N² = 37 elements).
+    let trace_path =
+        std::env::temp_dir().join(format!("tce_fused_trace_{}.json", std::process::id()));
+    for threads in ["1", "2", "4"] {
+        let out = tce()
+            .args([
+                spec("ccsd_section2.tce").as_str(),
+                "--fused",
+                "--trace",
+                trace_path.to_str().unwrap(),
+                "--threads",
+                threads,
+            ])
+            .output()
+            .expect("spawn tce");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            out.status.success(),
+            "threads {threads} failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            stdout.contains("peak intermediate live-set: measured 37 / modeled 37 (exact)"),
+            "threads {threads}: peak not exact:\n{stdout}"
+        );
+        assert!(!stdout.contains("MISMATCH"), "threads {threads}:\n{stdout}");
+        // The trace carries the fused live-set counter.
+        let trace = std::fs::read_to_string(&trace_path).expect("trace written");
+        assert!(trace.contains("fused.live_elements"), "threads {threads}");
+    }
+    let _ = std::fs::remove_file(&trace_path);
+}
+
+#[test]
+fn fused_and_sequential_sums_agree() {
+    let run = |extra: &[&str]| {
+        let mut args = vec![spec("ccsd_section2.tce"), "--execute".to_string()];
+        args.extend(extra.iter().map(|s| s.to_string()));
+        let out = tce().args(&args).output().expect("spawn tce");
+        assert!(
+            out.status.success(),
+            "{args:?}:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .filter(|l| l.contains("|sum|"))
+            .map(str::to_string)
+            .collect::<Vec<_>>()
+    };
+    let sequential = run(&[]);
+    assert!(!sequential.is_empty());
+    for threads in ["1", "3"] {
+        assert_eq!(
+            sequential,
+            run(&["--fused", "--threads", threads]),
+            "--fused --threads {threads} changed printed sums"
+        );
+    }
+}
+
+#[test]
+fn missing_binding_inside_pipeline_is_a_clean_diagnostic() {
+    // The executors report missing/mismatched bindings as typed errors;
+    // the CLI must surface them as one-line diagnostics, never a panic.
+    // (The CLI binds everything itself, so drive the library path the same
+    // way the CLI does but with an empty binding map.)
+    use std::collections::HashMap;
+    use tce_core::{synthesize, ExecOptions, SynthesisConfig};
+    let src = std::fs::read_to_string(spec("matrix_chain.tce")).unwrap();
+    let syn = synthesize(&src, &SynthesisConfig::default()).unwrap();
+    let err = syn
+        .execute_opts(&HashMap::new(), &HashMap::new(), &ExecOptions::serial())
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("no binding for input tensor"),
+        "unexpected diagnostic: {msg}"
+    );
+    let err = syn
+        .execute_fused_opts(&HashMap::new(), &HashMap::new(), &ExecOptions::serial())
+        .unwrap_err();
+    assert!(err.to_string().contains("no binding for input tensor"));
+}
+
+#[test]
+fn tight_memory_limit_with_cache_does_not_panic_in_tile_search() {
+    // Regression: a tight --memory-limit routes synthesis through the
+    // space-time stage, whose emitted programs carry strip-mined loops;
+    // the locality search must skip those nests gracefully (it previously
+    // panicked on "can only tile Full-range loops").
+    let out = tce()
+        .args([
+            spec("a3a_energy.tce").as_str(),
+            "--memory-limit",
+            "40",
+            "--cache",
+            "64",
+            "--execute",
+            "--threads",
+            "2",
+        ])
+        .output()
+        .expect("spawn tce");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !stderr.contains("panicked"),
+        "tile search panicked:\n{stderr}"
+    );
+    assert!(out.status.success(), "expected success, stderr:\n{stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("OK"), "{stdout}");
 }
 
 #[test]

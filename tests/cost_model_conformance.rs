@@ -61,8 +61,10 @@ fn gett_flops_counter_equals_opmin_prediction_on_section2() {
     let inputs: HashMap<TensorId, &Tensor> = owned.iter().map(|(id, t)| (*id, t)).collect();
     let funcs = HashMap::new();
     // Two threads: per-worker counters must merge to the same exact total.
-    let (results, trace) =
-        traced(|| syn.execute_opts(&inputs, &funcs, &ExecOptions::with_threads(2)));
+    let (results, trace) = traced(|| {
+        syn.execute_opts(&inputs, &funcs, &ExecOptions::with_threads(2))
+            .unwrap()
+    });
     assert_eq!(results.len(), 1);
     assert_eq!(trace.counter_total("gett.flops") as u128, predicted);
 }
@@ -77,7 +79,10 @@ fn interpreter_flops_counter_equals_opmin_prediction_on_section2() {
     let owned = section2_inputs(&syn, n);
     let inputs: HashMap<TensorId, &Tensor> = owned.iter().map(|(id, t)| (*id, t)).collect();
     let funcs = HashMap::new();
-    let (_out, trace) = traced(|| plan.execute_interpreted(&syn.program.space, &inputs, &funcs));
+    let (_out, trace) = traced(|| {
+        plan.execute_interpreted(&syn.program.space, &inputs, &funcs)
+            .unwrap()
+    });
     assert_eq!(trace.counter_total("exec.interp.flops") as u128, predicted);
 }
 
@@ -91,7 +96,7 @@ fn interpreter_flops_match_fig4_analytic_tables() {
     for bb in [1usize, 2, 4] {
         let p = sc.fig4_program(bb);
         let ((), trace) = traced(|| {
-            let mut interp = Interpreter::new(&p, &sc.space, &inputs, &funcs);
+            let mut interp = Interpreter::new(&p, &sc.space, &inputs, &funcs).unwrap();
             interp.run(&mut NoSink);
         });
         // Fig. 4 table rows: X/Y/E are contraction iteration spaces (×2
@@ -120,7 +125,7 @@ fn interpreter_accesses_match_locality_model_on_untiled_fig2() {
     inputs.insert(sc.tensors.by_name("T").unwrap(), &amps);
     let funcs = sc.functions();
     let ((), trace) = traced(|| {
-        let mut interp = Interpreter::new(&built.program, &sc.space, &inputs, &funcs);
+        let mut interp = Interpreter::new(&built.program, &sc.space, &inputs, &funcs).unwrap();
         interp.run(&mut NoSink);
     });
     // With zero cache capacity every loop spills and the model counts one
@@ -140,7 +145,8 @@ fn interpreter_accesses_match_locality_model_on_untiled_section2() {
     let inputs: HashMap<TensorId, &Tensor> = owned.iter().map(|(id, t)| (*id, t)).collect();
     let funcs: HashMap<String, IntegralFn> = HashMap::new();
     let ((), trace) = traced(|| {
-        plan.execute_interpreted(&syn.program.space, &inputs, &funcs);
+        plan.execute_interpreted(&syn.program.space, &inputs, &funcs)
+            .unwrap();
     });
     let predicted = access_cost(&plan.built.program, &syn.program.space, 0);
     let measured = (trace.counter_total("exec.interp.reads")
@@ -159,7 +165,8 @@ fn full_pipeline_trace_has_all_stage_and_kernel_spans() {
         let syn = synthesize(&section2_source(n), &cfg).unwrap();
         let owned = section2_inputs(&syn, n);
         let inputs: HashMap<TensorId, &Tensor> = owned.iter().map(|(id, t)| (*id, t)).collect();
-        syn.execute_opts(&inputs, &HashMap::new(), &ExecOptions::with_threads(2));
+        syn.execute_opts(&inputs, &HashMap::new(), &ExecOptions::with_threads(2))
+            .unwrap();
     });
     for stage in [
         "stage.opmin",
@@ -203,7 +210,8 @@ fn tracing_disabled_records_nothing() {
     let syn = synthesize(&section2_source(n), &SynthesisConfig::default()).unwrap();
     let owned = section2_inputs(&syn, n);
     let inputs: HashMap<TensorId, &Tensor> = owned.iter().map(|(id, t)| (*id, t)).collect();
-    syn.execute_opts(&inputs, &HashMap::new(), &ExecOptions::with_threads(1));
+    syn.execute_opts(&inputs, &HashMap::new(), &ExecOptions::with_threads(1))
+        .unwrap();
     let trace = tce_trace::take();
     assert_eq!(trace.events.len(), 0);
     assert_eq!(trace.mem_peak_bytes, 0);

@@ -23,9 +23,9 @@ fn a3a_scenario_tree_is_bitwise_deterministic() {
     let t_id = sc.tensors.by_name("T").unwrap();
     let mut inputs = HashMap::new();
     inputs.insert(t_id, &amp);
-    let base = execute_tree(&sc.tree, &sc.space, &inputs, &funcs, 1);
+    let base = execute_tree(&sc.tree, &sc.space, &inputs, &funcs, 1).unwrap();
     for threads in THREADS {
-        let got = execute_tree(&sc.tree, &sc.space, &inputs, &funcs, threads);
+        let got = execute_tree(&sc.tree, &sc.space, &inputs, &funcs, threads).unwrap();
         assert_eq!(base, got, "A3A energy changed bits at {threads} threads");
     }
 }
@@ -42,9 +42,13 @@ fn section2_pipeline_is_bitwise_deterministic() {
     for (nm, t) in [("A", &ta), ("B", &tb), ("C", &tc), ("D", &td)] {
         ext.insert(syn.program.tensors.by_name(nm).unwrap(), t);
     }
-    let base = syn.execute_opts(&ext, &HashMap::new(), &ExecOptions::serial());
+    let base = syn
+        .execute_opts(&ext, &HashMap::new(), &ExecOptions::serial())
+        .unwrap();
     for threads in THREADS {
-        let got = syn.execute_opts(&ext, &HashMap::new(), &ExecOptions::with_threads(threads));
+        let got = syn
+            .execute_opts(&ext, &HashMap::new(), &ExecOptions::with_threads(threads))
+            .unwrap();
         assert_eq!(base.len(), got.len());
         for (id, t) in &base {
             assert_eq!(

@@ -93,7 +93,7 @@ fn output_partitioned_sharding_is_bitwise_identical() {
         [("section2", section2_fixture()), ("a3a", a3a_fixture())]
     {
         let inputs: HashMap<TensorId, &Tensor> = owned.iter().map(|(id, t)| (*id, t)).collect();
-        let expect = execute_tree(&tree, &space, &inputs, &funcs, 1);
+        let expect = execute_tree(&tree, &space, &inputs, &funcs, 1).unwrap();
         for dims in GRIDS {
             let machine = Machine::new(ProcessorGrid::new(dims.to_vec()));
             let plan = output_partitioned_plan(&tree, machine.grid.rank());
@@ -122,7 +122,7 @@ fn dp_plans_agree_with_simulator_and_cost_model() {
         [("section2", section2_fixture()), ("a3a", a3a_fixture())]
     {
         let inputs: HashMap<TensorId, &Tensor> = owned.iter().map(|(id, t)| (*id, t)).collect();
-        let expect = execute_tree(&tree, &space, &inputs, &funcs, 1);
+        let expect = execute_tree(&tree, &space, &inputs, &funcs, 1).unwrap();
         for dims in [&[2usize, 2][..], &[2, 4]] {
             let machine = Machine::new(ProcessorGrid::new(dims.to_vec()));
             let plan = optimize_distribution(&tree, &space, &machine);
@@ -212,8 +212,10 @@ fn pipeline_distributed_execution_matches_sequential() {
             ext.insert(syn.program.tensors.by_name(nm).unwrap(), t);
         }
         let opts = ExecOptions::with_threads(4);
-        let sequential = syn.execute_opts(&ext, &HashMap::new(), &opts);
-        let summary = syn.execute_distributed_opts(&ext, &HashMap::new(), &opts);
+        let sequential = syn.execute_opts(&ext, &HashMap::new(), &opts).unwrap();
+        let summary = syn
+            .execute_distributed_opts(&ext, &HashMap::new(), &opts)
+            .unwrap();
         assert_eq!(summary.moved_elements, summary.predicted_move_elements);
         assert_eq!(summary.reduce_words, summary.predicted_reduce_words);
         assert_eq!(summary.per_rank_flops.len(), dims.iter().product::<usize>());

@@ -1,0 +1,224 @@
+//! Differential suite for the fused-slice executor (`tce_exec::fusedexec`).
+//!
+//! Every fusion configuration — the memmin optimum, the unfused baseline,
+//! and partially-fused variants — must execute to the same value as the
+//! operator-tree GETT executor and the scalar loop interpreter, at every
+//! thread count, while the measured peak intermediate live-set equals the
+//! memory-minimization model's `temp_memory` prediction **exactly**.
+//! Exercised on the paper's §2 CCSD term and the A3A scenario behind
+//! Figs. 2–4.
+
+use std::collections::HashMap;
+use tce_core::exec::{execute_tree_fused, execute_tree_opts, ExecOptions};
+use tce_core::fusion::{memmin_dp, FusionConfig};
+use tce_core::ir::{IndexSet, OpTree, TensorId};
+use tce_core::scenarios::{section2_source, A3AScenario};
+use tce_core::tensor::{IntegralFn, Tensor};
+use tce_core::{synthesize, SynthesisConfig};
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+/// Relative agreement within `tol` (scale = max |expect|, at least 1).
+fn rel_close(got: &Tensor, expect: &Tensor, tol: f64) -> bool {
+    let scale = expect.data().iter().fold(1.0f64, |m, x| m.max(x.abs()));
+    got.max_abs_diff(expect) <= tol * scale
+}
+
+/// The memmin optimum, the unfused baseline, and every legal variant
+/// obtained by clearing one producer's fused set from the optimum —
+/// a spread of configurations from scalar temporaries to full arrays.
+fn config_spread(tree: &OpTree, space: &tce_core::ir::IndexSpace) -> Vec<FusionConfig> {
+    let memmin = memmin_dp(tree, space);
+    let mut configs = vec![FusionConfig::unfused(tree), memmin.config.clone()];
+    for id in tree.postorder() {
+        if memmin.config.get(id).is_empty() {
+            continue;
+        }
+        let mut partial = memmin.config.clone();
+        partial.set(id, IndexSet::EMPTY);
+        if partial.check(tree).is_ok() && configs.iter().all(|c| *c != partial) {
+            configs.push(partial);
+        }
+    }
+    assert!(
+        configs.len() >= 3,
+        "need at least three distinct fusion configurations, got {}",
+        configs.len()
+    );
+    configs
+}
+
+#[test]
+fn section2_fused_matches_oracles_across_configs_and_threads() {
+    let syn = synthesize(&section2_source(4), &SynthesisConfig::default()).unwrap();
+    let plan = &syn.plans[0];
+    let space = &syn.program.space;
+    let shape = [4usize; 4];
+    let ta = Tensor::random(&shape, 41);
+    let tb = Tensor::random(&shape, 42);
+    let tc = Tensor::random(&shape, 43);
+    let td = Tensor::random(&shape, 44);
+    let mut inputs: HashMap<TensorId, &Tensor> = HashMap::new();
+    for (nm, t) in [("A", &ta), ("B", &tb), ("C", &tc), ("D", &td)] {
+        inputs.insert(syn.program.tensors.by_name(nm).unwrap(), t);
+    }
+    let funcs = HashMap::new();
+    // Oracle 1: the operator-tree GETT executor.
+    let gett =
+        execute_tree_opts(&plan.tree, space, &inputs, &funcs, &ExecOptions::serial()).unwrap();
+    // Oracle 2: the scalar interpreter over the synthesized fused program.
+    let interpreted = plan.execute_interpreted(space, &inputs, &funcs).unwrap();
+    assert!(rel_close(&interpreted, &gett, 1e-10));
+
+    for config in config_spread(&plan.tree, space) {
+        let modeled = config.temp_memory(&plan.tree, space);
+        let mut per_thread = Vec::new();
+        for threads in THREADS {
+            let report = execute_tree_fused(
+                &plan.tree,
+                space,
+                &config,
+                &inputs,
+                &funcs,
+                &ExecOptions::with_threads(threads),
+            )
+            .unwrap();
+            assert!(
+                rel_close(&report.result, &gett, 1e-10),
+                "threads {threads}: diff {:e}",
+                report.result.max_abs_diff(&gett)
+            );
+            // Measured peak live-set equals the model for EVERY config.
+            assert_eq!(report.peak_live_elements, modeled, "threads {threads}");
+            assert!(report.peak_matches_model());
+            per_thread.push(report.result);
+        }
+        // Bitwise deterministic across thread counts.
+        for r in &per_thread[1..] {
+            assert_eq!(*r, per_thread[0]);
+        }
+    }
+}
+
+#[test]
+fn section2_memmin_peak_equals_dp_prediction() {
+    // Paper Fig. 1(c): at extent N, fused memory = 1 (T1 scalar) + N²
+    // (T2 reduced to {j,k}).
+    let n = 4usize;
+    let syn = synthesize(&section2_source(n), &SynthesisConfig::default()).unwrap();
+    let plan = &syn.plans[0];
+    let space = &syn.program.space;
+    assert_eq!(plan.memmin.memory, 1 + (n as u128).pow(2));
+    let shape = [n; 4];
+    let tensors: Vec<(&str, Tensor)> = ["A", "B", "C", "D"]
+        .iter()
+        .enumerate()
+        .map(|(q, nm)| (*nm, Tensor::random(&shape, 50 + q as u64)))
+        .collect();
+    let mut inputs: HashMap<TensorId, &Tensor> = HashMap::new();
+    for (nm, t) in &tensors {
+        inputs.insert(syn.program.tensors.by_name(nm).unwrap(), t);
+    }
+    let report = execute_tree_fused(
+        &plan.tree,
+        space,
+        &plan.memmin.config,
+        &inputs,
+        &HashMap::new(),
+        &ExecOptions::serial(),
+    )
+    .unwrap();
+    assert_eq!(report.peak_live_elements, plan.memmin.memory);
+    assert_eq!(report.modeled_elements, plan.memmin.memory);
+}
+
+#[test]
+fn a3a_fused_matches_reference_across_configs_and_threads() {
+    // The scenario behind paper Figs. 2–4: E = (Σ T·T)·(Σ f1·f2).
+    let sc = A3AScenario::new(4, 2, 50);
+    let amps = sc.amplitudes(7);
+    let funcs = sc.functions();
+    let mut inputs: HashMap<TensorId, &Tensor> = HashMap::new();
+    inputs.insert(sc.tensors.by_name("T").unwrap(), &amps);
+    let expect = sc.reference_energy(&amps);
+
+    let memmin = memmin_dp(&sc.tree, &sc.space);
+    for config in config_spread(&sc.tree, &sc.space) {
+        let modeled = config.temp_memory(&sc.tree, &sc.space);
+        let mut per_thread = Vec::new();
+        for threads in THREADS {
+            let report = execute_tree_fused(
+                &sc.tree,
+                &sc.space,
+                &config,
+                &inputs,
+                &funcs,
+                &ExecOptions::with_threads(threads),
+            )
+            .unwrap();
+            let got = report.result.get(&[]);
+            assert!(
+                (got - expect).abs() <= 1e-10 * expect.abs().max(1.0),
+                "threads {threads}: {got} vs {expect}"
+            );
+            assert_eq!(report.peak_live_elements, modeled, "threads {threads}");
+            per_thread.push(got);
+        }
+        for g in &per_thread[1..] {
+            assert_eq!(g.to_bits(), per_thread[0].to_bits());
+        }
+    }
+    // The memmin optimum's peak is the DP's predicted element count.
+    let report = execute_tree_fused(
+        &sc.tree,
+        &sc.space,
+        &memmin.config,
+        &inputs,
+        &funcs,
+        &ExecOptions::serial(),
+    )
+    .unwrap();
+    assert_eq!(report.peak_live_elements, memmin.memory);
+}
+
+#[test]
+fn pipeline_fused_execution_agrees_with_direct_on_sequences() {
+    // Statement sequences with dataflow, coefficients and accumulation run
+    // identically through the fused and direct whole-program executors.
+    let src = "
+        range N = 5;
+        index i, j, k : N;
+        tensor A(N, N); tensor B(N, N); tensor T(N, N); tensor S(N, N);
+        T[i,j] = sum[k] A[i,k] * B[k,j];
+        S[i,j] = sum[k] T[i,k] * A[k,j] + 2 * T[i,j] * B[i,j];
+        S[i,j] += sum[k] B[i,k] * B[k,j];
+    ";
+    let syn = synthesize(src, &SynthesisConfig::default()).unwrap();
+    let a = Tensor::random(&[5, 5], 61);
+    let b = Tensor::random(&[5, 5], 62);
+    let mut ext: HashMap<TensorId, &Tensor> = HashMap::new();
+    ext.insert(syn.program.tensors.by_name("A").unwrap(), &a);
+    ext.insert(syn.program.tensors.by_name("B").unwrap(), &b);
+    let funcs: HashMap<String, IntegralFn> = HashMap::new();
+    let direct = syn.execute(&ext, &funcs).unwrap();
+    for threads in THREADS {
+        let fused = syn
+            .execute_fused_opts(&ext, &funcs, &ExecOptions::with_threads(threads))
+            .unwrap();
+        assert!(fused.peak_matches_model(), "threads {threads}");
+        for (id, t) in &direct {
+            assert!(
+                rel_close(&fused.outputs[id], t, 1e-10),
+                "threads {threads}, tensor #{}",
+                id.0
+            );
+        }
+        for term in &fused.per_term {
+            assert_eq!(
+                term.peak_live_elements, term.modeled_elements,
+                "stmt {} term {}",
+                term.stmt_index, term.term_index
+            );
+        }
+    }
+}

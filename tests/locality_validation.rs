@@ -83,7 +83,7 @@ fn run_with_cache(
         .map(|x| x.elements(space) as usize)
         .collect();
     let mut sink = CacheSink::new(LruCache::new(cache_elems, 1), &sizes);
-    let mut interp = Interpreter::new(p, space, &inputs, &HashMap::new());
+    let mut interp = Interpreter::new(p, space, &inputs, &HashMap::new()).unwrap();
     interp.run(&mut sink);
     (interp.output().clone(), sink.cache.misses)
 }
@@ -162,9 +162,9 @@ fn tiling_preserves_semantics() {
         let mut inputs = HashMap::new();
         inputs.insert(tensors.by_name("A").unwrap(), &a);
         inputs.insert(tensors.by_name("B").unwrap(), &b);
-        let mut i1 = Interpreter::new(&p, &space, &inputs, &HashMap::new());
+        let mut i1 = Interpreter::new(&p, &space, &inputs, &HashMap::new()).unwrap();
         i1.run(&mut NoSink);
-        let mut i2 = Interpreter::new(&tiled, &space, &inputs, &HashMap::new());
+        let mut i2 = Interpreter::new(&tiled, &space, &inputs, &HashMap::new()).unwrap();
         i2.run(&mut NoSink);
         assert!(i2.output().approx_eq(i1.output(), 1e-9));
         // Tiling never changes the flop count (ragged iterations skip).

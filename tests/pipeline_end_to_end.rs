@@ -29,7 +29,7 @@ fn verify_single_term(src: &str, seed: u64) {
         }
     }
     let inputs: HashMap<_, _> = owned.iter().map(|(id, t)| (*id, t)).collect();
-    let got = plan.execute(space, &inputs, &HashMap::new());
+    let got = plan.execute(space, &inputs, &HashMap::new()).unwrap();
 
     // Reference einsum in factor order.
     let operands: Vec<&Tensor> = stmt.terms[0]
@@ -124,7 +124,7 @@ fn function_statement_executes() {
     let mut funcs = HashMap::new();
     funcs.insert("f1".to_string(), IntegralFn::new(200, 11));
     funcs.insert("f2".to_string(), IntegralFn::new(200, 22));
-    let got = plan.execute(space, &HashMap::new(), &funcs);
+    let got = plan.execute(space, &HashMap::new(), &funcs).unwrap();
 
     // Reference: direct double loop.
     let (f1, f2) = (IntegralFn::new(200, 11), IntegralFn::new(200, 22));
@@ -156,8 +156,12 @@ fn multi_term_plans_execute_independently() {
     let mut inputs = HashMap::new();
     inputs.insert(syn.program.tensors.by_name("A").unwrap(), &a);
     inputs.insert(syn.program.tensors.by_name("B").unwrap(), &b);
-    let r0 = syn.plans[0].execute(space, &inputs, &HashMap::new());
-    let r1 = syn.plans[1].execute(space, &inputs, &HashMap::new());
+    let r0 = syn.plans[0]
+        .execute(space, &inputs, &HashMap::new())
+        .unwrap();
+    let r1 = syn.plans[1]
+        .execute(space, &inputs, &HashMap::new())
+        .unwrap();
     // Sum of the two term results equals the direct two-term evaluation.
     for i in 0..6 {
         for j in 0..6 {
@@ -218,8 +222,11 @@ fn full_pipeline_with_all_stages_enabled() {
         &syn.program.space,
         &inputs,
         &HashMap::new(),
-    );
+    )
+    .unwrap();
     interp.run(&mut tce_core::exec::NoSink);
-    let expect = plan.execute(&syn.program.space, &inputs, &HashMap::new());
+    let expect = plan
+        .execute(&syn.program.space, &inputs, &HashMap::new())
+        .unwrap();
     assert!(interp.output().approx_eq(&expect, 1e-9));
 }

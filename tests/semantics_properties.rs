@@ -138,7 +138,8 @@ fn opmin_is_exact_and_semantics_preserving() {
             .zip(&data)
             .map(|((t, _), d)| (*t, d))
             .collect();
-        let got = tce_core::exec::execute_tree(&dp.tree, &p.space, &inputs, &HashMap::new(), 1);
+        let got =
+            tce_core::exec::execute_tree(&dp.tree, &p.space, &inputs, &HashMap::new(), 1).unwrap();
         let expect = reference(&p, &data);
         // Result dims: canonical ascending order — same as the reference.
         assert!(
@@ -173,7 +174,8 @@ fn memmin_is_exact_and_fused_code_is_correct() {
             .zip(&data)
             .map(|((t, _), d)| (*t, d))
             .collect();
-        let mut interp = Interpreter::new(&built.program, &p.space, &inputs, &HashMap::new());
+        let mut interp =
+            Interpreter::new(&built.program, &p.space, &inputs, &HashMap::new()).unwrap();
         interp.run(&mut NoSink);
         let expect = reference(&p, &data);
         assert!(interp.output().approx_eq(&expect, 1e-8));
@@ -208,7 +210,8 @@ fn every_legal_config_is_executable() {
         for (config, mem) in configs.iter().take(12) {
             assert!(check_chainwise(&tree, config).is_ok());
             let built = fused_program(&tree, &p.space, &p.tensors, config, "OUT");
-            let mut interp = Interpreter::new(&built.program, &p.space, &inputs, &HashMap::new());
+            let mut interp =
+                Interpreter::new(&built.program, &p.space, &inputs, &HashMap::new()).unwrap();
             interp.run(&mut NoSink);
             assert!(
                 interp.output().approx_eq(&expect, 1e-8),
@@ -349,7 +352,7 @@ fn func_leaf_problems_are_semantics_preserving() {
         picked.push(&dp.config);
         for config in picked {
             let built = fused_program(&tree, &p.space, &p.tensors, config, "OUT");
-            let mut interp = Interpreter::new(&built.program, &p.space, &inputs, &funcs);
+            let mut interp = Interpreter::new(&built.program, &p.space, &inputs, &funcs).unwrap();
             interp.run(&mut NoSink);
             assert!(
                 interp.output().approx_eq(&expect, 1e-8),
@@ -392,8 +395,8 @@ fn deep_chain_fusion_cascades() {
     let inputs: HashMap<TensorId, &Tensor> = (0..4)
         .map(|s| (tensors.by_name(&format!("M{s}")).unwrap(), &data[s]))
         .collect();
-    let mut interp = Interpreter::new(&built.program, &space, &inputs, &HashMap::new());
+    let mut interp = Interpreter::new(&built.program, &space, &inputs, &HashMap::new()).unwrap();
     interp.run(&mut NoSink);
-    let expect = tce_core::exec::execute_tree(&tree, &space, &inputs, &HashMap::new(), 1);
+    let expect = tce_core::exec::execute_tree(&tree, &space, &inputs, &HashMap::new(), 1).unwrap();
     assert!(interp.output().approx_eq(&expect, 1e-9));
 }
