@@ -10,17 +10,24 @@
 //! ```text
 //! cargo run --release --bin exp_kernels [-- --max-threads T] [--out PATH]
 //!                                       [--trace TRACE.json]
+//!                                       [--kernel scalar|sse2|avx2]
 //! ```
 //!
 //! With `--trace`, one extra (untimed) traced pass of every case runs at
 //! the top thread count after the sweep; the chrome://tracing event file
 //! and a `ProfileReport` summary come from that pass, so tracing never
 //! perturbs the timed numbers.
+//!
+//! The dispatched SIMD kernel variant (and its cache-derived MC/NC/KC
+//! blocks) is recorded per case; `--kernel` (or `TCE_KERNEL`) pins a
+//! variant for A/B comparisons.  On a single-hardware-thread host the
+//! multi-thread sweep is skipped — scaling numbers there would only
+//! measure scheduler noise.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 use tce_core::ir::{IndexSpace, IndexVar};
-use tce_core::tensor::{contract_gemm, contract_gett, BinaryContraction, Tensor};
+use tce_core::tensor::{contract_gemm, contract_gett, kernels, BinaryContraction, Tensor};
 
 /// Best-of-`reps` wall time of `f`, in seconds.
 fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
@@ -108,14 +115,39 @@ fn main() {
             }
             "--out" => out_path = args.next().expect("--out needs a path"),
             "--trace" => trace_path = Some(args.next().expect("--trace needs a path")),
+            "--kernel" => {
+                let name = args.next().unwrap_or_else(|| {
+                    eprintln!("exp_kernels: --kernel needs a variant name");
+                    std::process::exit(2);
+                });
+                let v = kernels::KernelVariant::parse(&name)
+                    .and_then(|v| kernels::set_override(Some(v)).map(|()| v))
+                    .unwrap_or_else(|e| {
+                        eprintln!("exp_kernels: {e}");
+                        std::process::exit(2);
+                    });
+                let _ = v;
+            }
             other => panic!("unknown argument `{other}`"),
         }
     }
+    // Validate TCE_KERNEL up front: a clean one-line diagnostic instead
+    // of a panic inside the first contraction.
+    if let Err(e) = kernels::env_requested() {
+        eprintln!("exp_kernels: {e}");
+        std::process::exit(2);
+    }
+    let hw_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // On a single-hardware-thread host the scaling sweep only measures
+    // scheduler noise; run the 1-thread point and say why.
+    let sweep_skipped = hw_threads == 1;
     let mut threads_sweep = vec![1usize];
-    let mut t = 2;
-    while t <= max_threads {
-        threads_sweep.push(t);
-        t *= 2;
+    if !sweep_skipped {
+        let mut t = 2;
+        while t <= max_threads {
+            threads_sweep.push(t);
+            t *= 2;
+        }
     }
 
     let cases = [
@@ -125,20 +157,28 @@ fn main() {
         matmul_case(384),
     ];
 
+    let variant = kernels::active();
     println!(
-        "exp_kernels: GETT throughput sweep (host parallelism {}, sweep {:?})\n",
-        tce_core::par::default_threads(),
-        threads_sweep
+        "exp_kernels: GETT throughput sweep (host parallelism {hw_threads}, \
+         kernel {variant}, sweep {threads_sweep:?}{})\n",
+        if sweep_skipped {
+            " — thread sweep skipped: single hardware thread"
+        } else {
+            ""
+        }
     );
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"kernels\",");
-    let _ = writeln!(
-        json,
-        "  \"host_parallelism\": {},",
-        tce_core::par::default_threads()
-    );
+    let _ = writeln!(json, "  \"host_parallelism\": {hw_threads},");
+    let _ = writeln!(json, "  \"kernel_variant\": \"{variant}\",");
+    if sweep_skipped {
+        let _ = writeln!(
+            json,
+            "  \"thread_sweep\": \"skipped (single hardware thread)\","
+        );
+    }
     let _ = writeln!(json, "  \"cases\": [");
     for (ci, case) in cases.iter().enumerate() {
         let reps = if case.flops > 400_000_000 { 3 } else { 5 };
@@ -169,9 +209,18 @@ fn main() {
             );
             runs.push((threads, secs, gflops(secs), speedup));
         }
+        // These specs have no exclusive summation indices, so the plan
+        // for `case.spec` is exactly what `contract_gett` executed.
+        let cfg = *tce_core::tensor::plan_for(&case.spec, &case.space).kernel_config();
         let _ = writeln!(json, "    {{");
         let _ = writeln!(json, "      \"name\": \"{}\",", case.name);
         let _ = writeln!(json, "      \"flops\": {},", case.flops);
+        let _ = writeln!(json, "      \"kernel_variant\": \"{}\",", cfg.variant);
+        let _ = writeln!(
+            json,
+            "      \"blocks\": {{\"mc\": {}, \"nc\": {}, \"kc\": {}}},",
+            cfg.blocks.mc, cfg.blocks.nc, cfg.blocks.kc
+        );
         let _ = writeln!(json, "      \"scalar_gemm_secs\": {scalar_secs:.6},");
         let _ = writeln!(
             json,

@@ -4,6 +4,7 @@
 //! tce SPEC.tce [--memory-limit N] [--cache N] [--grid PxQx…]
 //!              [--word-cost N] [--execute] [--fused] [--distributed]
 //!              [--seed S] [--threads T] [--trace OUT.json]
+//!              [--kernel scalar|sse2|avx2]
 //! ```
 //!
 //! Reads a tensor-contraction specification, runs the full optimization
@@ -15,7 +16,10 @@
 //! available parallelism); results are bitwise identical either way.
 //! `--trace OUT.json` enables the `tce-trace` observability layer
 //! (implies `--execute`), writes a chrome://tracing-compatible event
-//! file, and prints a profile report.  `--distributed` (requires
+//! file, and prints a profile report.  `--kernel` pins the contraction
+//! engine's SIMD micro-kernel variant (default: best the host supports,
+//! overridable via `TCE_KERNEL`; `scalar` reproduces pre-dispatch
+//! results bit for bit).  `--distributed` (requires
 //! `--grid`, implies `--execute`) runs the statement sequence on the
 //! sharded distributed machine and prints measured vs. modeled
 //! communication volumes.  `--fused` (implies `--execute`) runs every
@@ -43,6 +47,7 @@ struct Args {
     seed: u64,
     threads: Option<usize>,
     trace: Option<String>,
+    kernel: Option<tce_core::tensor::KernelVariant>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -58,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 42,
         threads: None,
         trace: None,
+        kernel: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -120,6 +126,13 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.threads = Some(t);
             }
+            "--kernel" => {
+                let name = it.next().ok_or("--kernel needs a variant name")?;
+                args.kernel = Some(
+                    tce_core::tensor::KernelVariant::parse(&name)
+                        .map_err(|e| format!("bad --kernel: {e}"))?,
+                );
+            }
             "--seed" => {
                 args.seed = it
                     .next()
@@ -131,7 +144,7 @@ fn parse_args() -> Result<Args, String> {
                 return Err("usage: tce SPEC.tce [--memory-limit N] [--cache N] \
                             [--grid PxQ] [--word-cost N] [--execute] [--fused] \
                             [--distributed] [--seed S] [--threads T] \
-                            [--trace OUT.json]"
+                            [--trace OUT.json] [--kernel scalar|sse2|avx2]"
                     .to_string())
             }
             other if args.spec_path.is_empty() && !other.starts_with('-') => {
@@ -160,6 +173,19 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Apply --kernel (CPUID-checked), then validate TCE_KERNEL up front
+    // so a bad value is a one-line diagnostic, not a panic inside the
+    // first contraction.
+    if let Err(e) = tce_core::tensor::kernels::set_override(args.kernel) {
+        eprintln!("bad --kernel: {e}");
+        return ExitCode::FAILURE;
+    }
+    if args.kernel.is_none() {
+        if let Err(e) = tce_core::tensor::kernels::env_requested() {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
     let src = match std::fs::read_to_string(&args.spec_path) {
         Ok(s) => s,
         Err(e) => {

@@ -75,24 +75,57 @@ fn copy_box(
         }
     }
     // Leaf: odometer over the outer dims, contiguous-ish run over the
-    // innermost output dimension.
+    // innermost output dimension.  Two vectorized specializations (both
+    // pure copies, so results are bitwise identical to the generic loop):
+    // aligned innermost dims become straight vector copies; a
+    // transpose-structured leaf (source-contiguous dim ≠ output-innermost
+    // dim) runs in-register transpose tiles instead of strided scalar
+    // accesses.
     let last = rank - 1;
     let n_last = hi[last] - lo[last];
     let (s_last, d_last) = (sstr[last], dstr[last]);
+    let variant = crate::kernels::active();
+    // Output dim that is unit-stride in the *source* (if any, with width
+    // worth tiling) — the transpose partner of the output-innermost dim.
+    let trans_u = if d_last == 1 && s_last != 1 {
+        (0..last).find(|&u| sstr[u] == 1 && hi[u] - lo[u] > 1)
+    } else {
+        None
+    };
     let mut idx = lo.to_vec();
     loop {
         let s0: usize = idx.iter().zip(sstr).map(|(&i, &s)| i * s).sum();
         let d0: usize = idx.iter().zip(dstr).map(|(&i, &s)| i * s).sum::<usize>() - dst_base;
-        for t in 0..n_last {
-            dst[d0 + t * d_last] = src[s0 + t * s_last];
+        if let Some(u) = trans_u {
+            crate::kernels::transpose_tile(
+                variant,
+                src,
+                dst,
+                s0,
+                d0,
+                hi[u] - lo[u],
+                n_last,
+                s_last,
+                dstr[u],
+            );
+        } else if s_last == 1 && d_last == 1 {
+            crate::kernels::copy_f64(variant, &mut dst[d0..d0 + n_last], &src[s0..s0 + n_last]);
+        } else {
+            for t in 0..n_last {
+                dst[d0 + t * d_last] = src[s0 + t * s_last];
+            }
         }
-        // Advance the outer odometer within the box.
+        // Advance the outer odometer within the box (the transpose path
+        // also skips dim `u`: the tile covered its whole extent).
         let mut d = last;
         loop {
             if d == 0 {
                 return;
             }
             d -= 1;
+            if Some(d) == trans_u {
+                continue;
+            }
             idx[d] += 1;
             if idx[d] < hi[d] {
                 break;

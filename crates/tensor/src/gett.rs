@@ -13,35 +13,35 @@
 //! * a [`ContractionPlan`] classifies the contraction's indices into
 //!   batch/M/N/K groups and precomputes flat-offset tables mapping each
 //!   group coordinate to element offsets in `a`, `b` and the output — all
-//!   shape-dependent work happens once per (spec, extents) signature and
-//!   is memoized in a process-wide cache ([`plan_for`]);
+//!   shape-dependent work happens once per (spec, extents, kernel)
+//!   signature and is memoized in a process-wide cache ([`plan_for`]);
+//! * the plan also selects its [`kernels::KernelConfig`]: the
+//!   runtime-dispatched SIMD micro-kernel variant (AVX2+FMA / SSE2 /
+//!   scalar, see [`crate::kernels`]) and cache-derived MC/NC/KC macro
+//!   blocks, so autotuned parameters ride the plan LRU;
 //! * macro-loops tile M×N; each (batch, M-tile, N-tile) task packs A and
-//!   B panels for one K-block at a time and feeds an 8×4 register-blocked
-//!   micro-kernel;
+//!   B panels for one K-block at a time — vectorized contiguous copies
+//!   when the M/N group is unit-stride in the operand, gather otherwise —
+//!   and feeds the variant's register-blocked micro-kernel;
 //! * parallelism partitions the *output* tiles: every task owns a
 //!   disjoint block of C and accumulates K-blocks in a fixed ascending
-//!   order, so the result is bitwise identical for every thread count.
+//!   order, so the result is bitwise identical for every thread count
+//!   (for a fixed kernel variant; variants differ in rounding by design).
 //!
 //! [`contract_gett`] is the entry point the executor uses for every
 //! contraction node.
 
 use crate::contract::{reduce_exclusive, BinaryContraction};
 use crate::dense::Tensor;
+use crate::kernels::{self, KernelConfig, KernelVariant};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use tce_ir::{IndexSpace, IndexVar};
 
-/// Micro-kernel register block: rows of A per strip.
-pub const MR: usize = 8;
-/// Micro-kernel register block: columns of B per strip.
-pub const NR: usize = 4;
-/// Macro-tile height (M direction); multiple of `MR`.
-const MC: usize = 64;
-/// Macro-tile width (N direction); multiple of `NR`.
-const NC: usize = 64;
-/// K-block depth: one A panel is `MC×KC`, one B panel `KC×NC`.
-const KC: usize = 192;
+/// Upper bound on `MR*NR` across all kernel variants (accumulator
+/// scratch size).
+const MAX_ACC: usize = 64;
 
 /// Row-major strides for a shape (same convention as [`Tensor`]).
 fn strides_of(shape: &[usize]) -> Vec<usize> {
@@ -88,12 +88,21 @@ fn offset_table(
     out
 }
 
+/// `true` when an offset table is the identity (`off[i] == i`): the
+/// group is unit-stride and contiguous in the operand, so panel packing
+/// can use straight vector copies instead of gathers.
+fn is_unit_stride(table: &[usize]) -> bool {
+    table.iter().enumerate().all(|(i, &o)| o == i)
+}
+
 /// Precomputed execution plan for one binary contraction signature.
 ///
 /// Holds the batch/M/N/K classification and, for each group, the flat
 /// element offsets into `a`, `b` and the output array.  With these tables
 /// the kernel addresses arbitrary-rank strided operands as if they were
-/// matrices, without materializing any transpose.
+/// matrices, without materializing any transpose.  The plan also carries
+/// its kernel configuration — dispatched SIMD variant plus cache-derived
+/// MC/NC/KC — chosen once at construction and reused on every execution.
 #[derive(Debug)]
 pub struct ContractionPlan {
     /// Batch extent (output indices shared by both operands).
@@ -118,13 +127,30 @@ pub struct ContractionPlan {
     c_batch_off: Vec<usize>,
     c_m_off: Vec<usize>,
     c_n_off: Vec<usize>,
+    /// M group is unit-stride in `a` (pack A by vector copy).
+    a_m_unit: bool,
+    /// N group is unit-stride in `b` (pack B by vector copy).
+    b_n_unit: bool,
+    /// Dispatched micro-kernel and macro-block sizes.
+    kernel: KernelConfig,
 }
 
 impl ContractionPlan {
-    /// Build a plan for `spec` (which must already be free of summation
-    /// indices exclusive to one operand — [`contract_gett`] pre-reduces
-    /// those).
+    /// Build a plan for `spec` using the process-wide active kernel
+    /// variant (see [`kernels::active`]).  `spec` must already be free
+    /// of summation indices exclusive to one operand —
+    /// [`contract_gett`] pre-reduces those.
     pub fn new(spec: &BinaryContraction, space: &IndexSpace) -> Self {
+        Self::new_with_variant(spec, space, kernels::active())
+    }
+
+    /// [`ContractionPlan::new`] with an explicit kernel variant (the
+    /// differential tests pit variants against each other in-process).
+    pub fn new_with_variant(
+        spec: &BinaryContraction,
+        space: &IndexSpace,
+        variant: KernelVariant,
+    ) -> Self {
         spec.validate().expect("invalid contraction");
         let sa = tce_ir::IndexSet::from_vars(spec.a.iter().copied());
         let sb = tce_ir::IndexSet::from_vars(spec.b.iter().copied());
@@ -155,24 +181,35 @@ impl ContractionPlan {
         let b_strides = strides_of(&b_shape);
         let c_strides = strides_of(&out_shape);
 
+        let (nb, m, n, k) = (ext(&batch_v), ext(&m_v), ext(&n_v), ext(&k_v));
+        let a_m_off = offset_table(&m_v, space, &spec.a, &a_strides);
+        let b_n_off = offset_table(&n_v, space, &spec.b, &b_strides);
         Self {
-            nb: ext(&batch_v),
-            m: ext(&m_v),
-            n: ext(&n_v),
-            k: ext(&k_v),
+            nb,
+            m,
+            n,
+            k,
             a_batch_off: offset_table(&batch_v, space, &spec.a, &a_strides),
-            a_m_off: offset_table(&m_v, space, &spec.a, &a_strides),
             a_k_off: offset_table(&k_v, space, &spec.a, &a_strides),
             b_batch_off: offset_table(&batch_v, space, &spec.b, &b_strides),
             b_k_off: offset_table(&k_v, space, &spec.b, &b_strides),
-            b_n_off: offset_table(&n_v, space, &spec.b, &b_strides),
             c_batch_off: offset_table(&batch_v, space, &spec.out, &c_strides),
             c_m_off: offset_table(&m_v, space, &spec.out, &c_strides),
             c_n_off: offset_table(&n_v, space, &spec.out, &c_strides),
+            a_m_unit: is_unit_stride(&a_m_off),
+            b_n_unit: is_unit_stride(&b_n_off),
+            a_m_off,
+            b_n_off,
+            kernel: KernelConfig::select(variant, m, n, k),
             out_shape,
             a_shape,
             b_shape,
         }
+    }
+
+    /// The kernel configuration (variant + block sizes) this plan runs.
+    pub fn kernel_config(&self) -> &KernelConfig {
+        &self.kernel
     }
 
     /// Execute the plan: `out[o…] = Σ_K a·b` with `threads`-way
@@ -188,16 +225,19 @@ impl ContractionPlan {
         let _exec_span = tce_trace::span("gett.execute");
         let mut out = Tensor::zeros(&self.out_shape);
         let (nb, m, n) = (self.nb, self.m, self.n);
-        let mt = m.div_ceil(MC);
-        let nt = n.div_ceil(NC);
+        let cfg = self.kernel;
+        let (mc, nc, kc) = (cfg.blocks.mc, cfg.blocks.nc, cfg.blocks.kc);
+        let mt = m.div_ceil(mc);
+        let nt = n.div_ceil(nc);
         let tasks = nb * mt * nt;
         let a_data = a.data();
         let b_data = b.data();
         let c_ptr = SendPtr(out.data_mut().as_mut_ptr());
         tce_par::parallel_for(tasks, threads, |range| {
             // Panel buffers are reused across the tiles this worker owns.
-            let mut apack = vec![0.0f64; MC * KC];
-            let mut bpack = vec![0.0f64; KC * NC];
+            let mut apack = vec![0.0f64; mc * kc];
+            let mut bpack = vec![0.0f64; kc * nc];
+            let mut acc = [0.0f64; MAX_ACC];
             // Per-worker pack/kernel nanoseconds, flushed once per range.
             let mut phase_ns = [0u64; 2];
             for t in range {
@@ -209,10 +249,11 @@ impl ContractionPlan {
                     b_data,
                     &c_ptr,
                     bi,
-                    it * MC..((it + 1) * MC).min(m),
-                    jt * NC..((jt + 1) * NC).min(n),
+                    it * mc..((it + 1) * mc).min(m),
+                    jt * nc..((jt + 1) * nc).min(n),
                     &mut apack,
                     &mut bpack,
+                    &mut acc,
                     traced.then_some(&mut phase_ns),
                 );
             }
@@ -223,6 +264,17 @@ impl ContractionPlan {
         });
         if traced {
             tce_trace::counter_u128("gett.flops", self.flops());
+            tce_trace::counter(
+                match cfg.variant {
+                    KernelVariant::Scalar => "gett.kernel_variant.scalar",
+                    KernelVariant::Sse2 => "gett.kernel_variant.sse2",
+                    KernelVariant::Avx2 => "gett.kernel_variant.avx2",
+                },
+                1,
+            );
+            tce_trace::counter("gett.mc", mc as u64);
+            tce_trace::counter("gett.nc", nc as u64);
+            tce_trace::counter("gett.kc", kc as u64);
         }
         out
     }
@@ -239,69 +291,91 @@ impl ContractionPlan {
         nj: std::ops::Range<usize>,
         apack: &mut [f64],
         bpack: &mut [f64],
+        acc: &mut [f64; MAX_ACC],
         mut timing: Option<&mut [u64; 2]>,
     ) {
         let (i0, i1) = (mi.start, mi.end);
         let (j0, j1) = (nj.start, nj.end);
+        let cfg = &self.kernel;
+        let (mr, nr, kc) = (cfg.mr, cfg.nr, cfg.blocks.kc);
+        let variant = cfg.variant;
         let a_base = self.a_batch_off[bi];
         let b_base = self.b_batch_off[bi];
         let c_base = self.c_batch_off[bi];
-        let m_strips = (i1 - i0).div_ceil(MR);
-        let n_strips = (j1 - j0).div_ceil(NR);
+        let m_strips = (i1 - i0).div_ceil(mr);
+        let n_strips = (j1 - j0).div_ceil(nr);
 
         let mut pc = 0;
         while pc < self.k {
-            let kb = KC.min(self.k - pc);
+            let kb = kc.min(self.k - pc);
             let t_pack = timing.as_ref().map(|_| tce_trace::now_ns());
-            // Pack A: strip-major, `MR` consecutive rows per k column —
-            // the micro-kernel reads `MR` contiguous values per step.
+            // Pack A: strip-major, `mr` consecutive rows per k column —
+            // the micro-kernel reads `mr` contiguous values per step.
+            // Full strips of a unit-stride M group copy with vector
+            // moves; edges and strided layouts gather through the offset
+            // table (zero-padding partial strips; 0·b adds nothing).
             for s in 0..m_strips {
-                let strip = &mut apack[s * kb * MR..(s + 1) * kb * MR];
-                for (kk, col) in strip.chunks_exact_mut(MR).enumerate() {
-                    let k_off = self.a_k_off[pc + kk];
-                    for (r, slot) in col.iter_mut().enumerate() {
-                        let i = i0 + s * MR + r;
-                        *slot = if i < i1 {
-                            a_data[a_base + self.a_m_off[i] + k_off]
-                        } else {
-                            0.0 // pad partial strips; 0·b adds nothing
-                        };
+                let strip = &mut apack[s * kb * mr..(s + 1) * kb * mr];
+                let i_base = i0 + s * mr;
+                if self.a_m_unit && i_base + mr <= i1 {
+                    for (kk, col) in strip.chunks_exact_mut(mr).enumerate() {
+                        let src = a_base + self.a_k_off[pc + kk] + i_base;
+                        kernels::copy_f64(variant, col, &a_data[src..src + mr]);
+                    }
+                } else {
+                    for (kk, col) in strip.chunks_exact_mut(mr).enumerate() {
+                        let k_off = self.a_k_off[pc + kk];
+                        for (r, slot) in col.iter_mut().enumerate() {
+                            let i = i_base + r;
+                            *slot = if i < i1 {
+                                a_data[a_base + self.a_m_off[i] + k_off]
+                            } else {
+                                0.0
+                            };
+                        }
                     }
                 }
             }
-            // Pack B: strip-major, `NR` consecutive columns per k row.
+            // Pack B: strip-major, `nr` consecutive columns per k row.
             for s in 0..n_strips {
-                let strip = &mut bpack[s * kb * NR..(s + 1) * kb * NR];
-                for (kk, row) in strip.chunks_exact_mut(NR).enumerate() {
-                    let k_off = self.b_k_off[pc + kk];
-                    for (c, slot) in row.iter_mut().enumerate() {
-                        let j = j0 + s * NR + c;
-                        *slot = if j < j1 {
-                            b_data[b_base + k_off + self.b_n_off[j]]
-                        } else {
-                            0.0
-                        };
+                let strip = &mut bpack[s * kb * nr..(s + 1) * kb * nr];
+                let j_base = j0 + s * nr;
+                if self.b_n_unit && j_base + nr <= j1 {
+                    for (kk, row) in strip.chunks_exact_mut(nr).enumerate() {
+                        let src = b_base + self.b_k_off[pc + kk] + j_base;
+                        kernels::copy_f64(variant, row, &b_data[src..src + nr]);
+                    }
+                } else {
+                    for (kk, row) in strip.chunks_exact_mut(nr).enumerate() {
+                        let k_off = self.b_k_off[pc + kk];
+                        for (c, slot) in row.iter_mut().enumerate() {
+                            let j = j_base + c;
+                            *slot = if j < j1 {
+                                b_data[b_base + k_off + self.b_n_off[j]]
+                            } else {
+                                0.0
+                            };
+                        }
                     }
                 }
             }
             let t_kernel = timing.as_ref().map(|_| tce_trace::now_ns());
             // Micro-kernel sweep over the tile's register blocks.
             for ns in 0..n_strips {
-                let bp = &bpack[ns * kb * NR..(ns + 1) * kb * NR];
+                let bp = &bpack[ns * kb * nr..(ns + 1) * kb * nr];
                 for ms in 0..m_strips {
-                    let ap = &apack[ms * kb * MR..(ms + 1) * kb * MR];
-                    let mut acc = [[0.0f64; NR]; MR];
-                    microkernel(ap, bp, kb, &mut acc);
+                    let ap = &apack[ms * kb * mr..(ms + 1) * kb * mr];
+                    kernels::microkernel(cfg, ap, bp, kb, acc);
                     // Scatter the register block through the output
                     // offset tables (writes are disjoint across tasks).
-                    for (r, acc_row) in acc.iter().enumerate() {
-                        let i = i0 + ms * MR + r;
+                    for r in 0..mr {
+                        let i = i0 + ms * mr + r;
                         if i >= i1 {
                             break;
                         }
                         let row_base = c_base + self.c_m_off[i];
-                        for (c, &v) in acc_row.iter().enumerate() {
-                            let j = j0 + ns * NR + c;
+                        for (c, &v) in acc[r * nr..(r + 1) * nr].iter().enumerate() {
+                            let j = j0 + ns * nr + c;
                             if j >= j1 {
                                 break;
                             }
@@ -314,7 +388,7 @@ impl ContractionPlan {
                     }
                 }
             }
-            if let Some(acc) = timing.as_deref_mut() {
+            if let Some(acc_ns) = timing.as_deref_mut() {
                 let (t0, t1, t2) = (
                     t_pack.expect("set when timing"),
                     t_kernel.expect("set when timing"),
@@ -322,8 +396,8 @@ impl ContractionPlan {
                 );
                 tce_trace::span_at("gett.pack", t0, t1);
                 tce_trace::span_at("gett.kernel", t1, t2);
-                acc[0] += t1 - t0;
-                acc[1] += t2 - t1;
+                acc_ns[0] += t1 - t0;
+                acc_ns[1] += t2 - t1;
             }
             pc += kb;
         }
@@ -335,41 +409,25 @@ impl ContractionPlan {
     }
 }
 
-/// 8×4 register-blocked inner kernel: `acc += Ap·Bp` over `kb` steps.
-/// Plain mul+add so the compiler auto-vectorizes without relying on a
-/// fused-multiply-add target feature (keeping results identical across
-/// builds).
-#[inline]
-fn microkernel(ap: &[f64], bp: &[f64], kb: usize, acc: &mut [[f64; NR]; MR]) {
-    for kk in 0..kb {
-        let a_col: &[f64; MR] = ap[kk * MR..(kk + 1) * MR].try_into().expect("MR chunk");
-        let b_row: &[f64; NR] = bp[kk * NR..(kk + 1) * NR].try_into().expect("NR chunk");
-        for r in 0..MR {
-            let av = a_col[r];
-            for c in 0..NR {
-                acc[r][c] += av * b_row[c];
-            }
-        }
-    }
-}
-
 /// Raw output pointer wrapper; tasks write provably disjoint elements.
 struct SendPtr(*mut f64);
 unsafe impl Send for SendPtr {}
 unsafe impl Sync for SendPtr {}
 
-/// Cache key: the contraction signature (index ids per operand slot) plus
-/// every involved extent.
+/// Cache key: the contraction signature (index ids per operand slot),
+/// every involved extent, and the kernel variant the plan was tuned for
+/// (block sizes depend on it, and overrides can change mid-process).
 #[derive(Clone, PartialEq, Eq, Hash)]
 struct PlanKey {
     a: Vec<u8>,
     b: Vec<u8>,
     out: Vec<u8>,
     extents: Vec<usize>,
+    variant: KernelVariant,
 }
 
 impl PlanKey {
-    fn new(spec: &BinaryContraction, space: &IndexSpace) -> Self {
+    fn new(spec: &BinaryContraction, space: &IndexSpace, variant: KernelVariant) -> Self {
         let ids = |vs: &[IndexVar]| vs.iter().map(|v| v.0).collect::<Vec<u8>>();
         let extents = spec
             .a
@@ -383,6 +441,7 @@ impl PlanKey {
             b: ids(&spec.b),
             out: ids(&spec.out),
             extents,
+            variant,
         }
     }
 }
@@ -451,15 +510,25 @@ fn plan_cache() -> &'static Mutex<PlanStore> {
     })
 }
 
-/// The memoized plan for `spec` under `space`'s extents.  Synthesized
-/// programs execute the same handful of contraction shapes thousands of
-/// times (once per tile / per term), so plan construction — index
-/// classification and offset tables — is paid once per signature.  The
-/// cache is LRU-bounded (see [`set_plan_cache_capacity`]); the lock
-/// recovers from poisoning because the store holds only immutable plans —
-/// a worker that panicked mid-lookup cannot leave it inconsistent.
+/// The memoized plan for `spec` under `space`'s extents and the active
+/// kernel variant.  Synthesized programs execute the same handful of
+/// contraction shapes thousands of times (once per tile / per term), so
+/// plan construction — index classification, offset tables, block-size
+/// autotuning — is paid once per signature.  The cache is LRU-bounded
+/// (see [`set_plan_cache_capacity`]); the lock recovers from poisoning
+/// because the store holds only immutable plans — a worker that panicked
+/// mid-lookup cannot leave it inconsistent.
 pub fn plan_for(spec: &BinaryContraction, space: &IndexSpace) -> Arc<ContractionPlan> {
-    let key = PlanKey::new(spec, space);
+    plan_for_variant(spec, space, kernels::active())
+}
+
+/// [`plan_for`] pinned to an explicit kernel variant.
+pub fn plan_for_variant(
+    spec: &BinaryContraction,
+    space: &IndexSpace,
+    variant: KernelVariant,
+) -> Arc<ContractionPlan> {
+    let key = PlanKey::new(spec, space, variant);
     let mut store = plan_cache().lock().unwrap_or_else(|e| e.into_inner());
     if let Some(plan) = store.get(&key) {
         PLAN_HITS.fetch_add(1, Ordering::Relaxed);
@@ -468,7 +537,7 @@ pub fn plan_for(spec: &BinaryContraction, space: &IndexSpace) -> Arc<Contraction
     }
     PLAN_MISSES.fetch_add(1, Ordering::Relaxed);
     tce_trace::counter("plan_cache.misses", 1);
-    let plan = Arc::new(ContractionPlan::new(spec, space));
+    let plan = Arc::new(ContractionPlan::new_with_variant(spec, space, variant));
     store.insert(key, Arc::clone(&plan));
     plan
 }
@@ -513,15 +582,29 @@ pub fn set_plan_cache_capacity(capacity: usize) -> usize {
 }
 
 /// Contract `a` and `b` with the packed GETT engine using `threads`
-/// workers.  Handles every valid [`BinaryContraction`] (summation indices
-/// exclusive to one operand are pre-reduced, as in `contract_gemm`).
-/// Output is bitwise identical for every `threads` value.
+/// workers and the process-wide active kernel variant.  Handles every
+/// valid [`BinaryContraction`] (summation indices exclusive to one
+/// operand are pre-reduced, as in `contract_gemm`).  Output is bitwise
+/// identical for every `threads` value.
 pub fn contract_gett(
     spec: &BinaryContraction,
     space: &IndexSpace,
     a: &Tensor,
     b: &Tensor,
     threads: usize,
+) -> Tensor {
+    contract_gett_with_variant(spec, space, a, b, threads, kernels::active())
+}
+
+/// [`contract_gett`] pinned to an explicit kernel variant — the
+/// differential-test entry point (SIMD vs scalar oracle in one process).
+pub fn contract_gett_with_variant(
+    spec: &BinaryContraction,
+    space: &IndexSpace,
+    a: &Tensor,
+    b: &Tensor,
+    threads: usize,
+    variant: KernelVariant,
 ) -> Tensor {
     spec.validate().expect("invalid contraction");
     let (ar, a_dims) = reduce_exclusive(spec, space, a, true);
@@ -531,7 +614,7 @@ pub fn contract_gett(
         b: b_dims,
         out: spec.out.clone(),
     };
-    let plan = plan_for(&reduced, space);
+    let plan = plan_for_variant(&reduced, space, variant);
     plan.execute(&ar, &br, threads)
 }
 
@@ -555,7 +638,7 @@ mod tests {
 
     #[test]
     fn matmul_matches_naive_at_awkward_sizes() {
-        // Extents straddle the MR/NR/MC/NC boundaries.
+        // Extents straddle the MR/NR/MC/NC boundaries of every variant.
         for (mi, ni, ki) in [
             (1, 1, 1),
             (7, 3, 5),
@@ -578,19 +661,23 @@ mod tests {
             let a = Tensor::random(&[mi, ki], 1);
             let b = Tensor::random(&[ki, ni], 2);
             let naive = contract_naive(&spec, &sp, &a, &b);
-            let fast = contract_gett(&spec, &sp, &a, &b, 2);
-            assert!(
-                naive.approx_eq(&fast, 1e-10),
-                "({mi},{ni},{ki}): diff {:e}",
-                naive.max_abs_diff(&fast)
-            );
+            for variant in kernels::supported_variants() {
+                let fast = contract_gett_with_variant(&spec, &sp, &a, &b, 2, variant);
+                assert!(
+                    naive.approx_eq(&fast, 1e-10),
+                    "{variant} ({mi},{ni},{ki}): diff {:e}",
+                    naive.max_abs_diff(&fast)
+                );
+            }
         }
     }
 
     #[test]
     fn batch_and_transposed_output() {
         // out[p,j,i] = Σ_k a[i,p,k]·b[k,j,p] — batch index in the middle
-        // of a and at the end of b, transposed output.
+        // of a and at the end of b, transposed output.  Neither the M
+        // nor the N group is unit-stride, so this exercises the gather
+        // pack path under every variant.
         let sp = space(&[("p", 3), ("i", 10), ("j", 9), ("k", 17)]);
         let spec = BinaryContraction {
             a: vec![v(&sp, "i"), v(&sp, "p"), v(&sp, "k")],
@@ -600,8 +687,32 @@ mod tests {
         let a = Tensor::random(&[10, 3, 17], 3);
         let b = Tensor::random(&[17, 9, 3], 4);
         let naive = contract_naive(&spec, &sp, &a, &b);
-        let fast = contract_gett(&spec, &sp, &a, &b, 3);
-        assert!(naive.approx_eq(&fast, 1e-10));
+        for variant in kernels::supported_variants() {
+            let fast = contract_gett_with_variant(&spec, &sp, &a, &b, 3, variant);
+            assert!(naive.approx_eq(&fast, 1e-10), "{variant}");
+        }
+    }
+
+    #[test]
+    fn unit_stride_detection_feeds_vector_pack() {
+        // a[k,i], b[k,j]: M innermost in a, N innermost in b — both
+        // unit-stride.
+        let sp = space(&[("i", 9), ("j", 11), ("k", 13)]);
+        let spec = BinaryContraction {
+            a: vec![v(&sp, "k"), v(&sp, "i")],
+            b: vec![v(&sp, "k"), v(&sp, "j")],
+            out: vec![v(&sp, "i"), v(&sp, "j")],
+        };
+        let plan = ContractionPlan::new(&spec, &sp);
+        assert!(plan.a_m_unit && plan.b_n_unit);
+        // a[i,k]: M outermost in a — strided.
+        let spec2 = BinaryContraction {
+            a: vec![v(&sp, "i"), v(&sp, "k")],
+            b: vec![v(&sp, "k"), v(&sp, "j")],
+            out: vec![v(&sp, "i"), v(&sp, "j")],
+        };
+        let plan2 = ContractionPlan::new(&spec2, &sp);
+        assert!(!plan2.a_m_unit && plan2.b_n_unit);
     }
 
     #[test]
@@ -616,9 +727,11 @@ mod tests {
         let a = Tensor::random(&[6, 7], 5);
         let b = Tensor::random(&[7, 5], 6);
         let naive = contract_naive(&spec, &sp, &a, &b);
-        let fast = contract_gett(&spec, &sp, &a, &b, 2);
-        assert_eq!(fast.rank(), 0);
-        assert!((naive.get(&[]) - fast.get(&[])).abs() < 1e-10);
+        for variant in kernels::supported_variants() {
+            let fast = contract_gett_with_variant(&spec, &sp, &a, &b, 2, variant);
+            assert_eq!(fast.rank(), 0);
+            assert!((naive.get(&[]) - fast.get(&[])).abs() < 1e-10, "{variant}");
+        }
     }
 
     #[test]
@@ -632,8 +745,10 @@ mod tests {
         let a = Tensor::random(&[5], 7);
         let b = Tensor::random(&[6], 8);
         let naive = contract_naive(&spec, &sp, &a, &b);
-        let fast = contract_gett(&spec, &sp, &a, &b, 4);
-        assert!(naive.approx_eq(&fast, 1e-12));
+        for variant in kernels::supported_variants() {
+            let fast = contract_gett_with_variant(&spec, &sp, &a, &b, 4, variant);
+            assert!(naive.approx_eq(&fast, 1e-10), "{variant}");
+        }
     }
 
     #[test]
@@ -646,10 +761,12 @@ mod tests {
         };
         let a = Tensor::random(&[2, 9, 6, 7], 9);
         let b = Tensor::random(&[5, 4, 9, 7], 10);
-        let t1 = contract_gett(&spec, &sp, &a, &b, 1);
-        for threads in [2, 3, 7, 16] {
-            let tn = contract_gett(&spec, &sp, &a, &b, threads);
-            assert_eq!(t1, tn, "threads={threads} changed bits");
+        for variant in kernels::supported_variants() {
+            let t1 = contract_gett_with_variant(&spec, &sp, &a, &b, 1, variant);
+            for threads in [2, 3, 7, 16] {
+                let tn = contract_gett_with_variant(&spec, &sp, &a, &b, threads, variant);
+                assert_eq!(t1, tn, "{variant}: threads={threads} changed bits");
+            }
         }
     }
 
@@ -684,6 +801,16 @@ mod tests {
         let _ = plan_for(&spec2, &sp2);
         let (_, m3, _) = plan_cache_stats();
         assert_eq!(m3, m2 + 1);
+        // Same signature under a different kernel variant must NOT hit:
+        // block sizes (and thus results' rounding) are variant-tuned.
+        let other = kernels::supported_variants()
+            .into_iter()
+            .find(|&kv| kv != kernels::active());
+        if let Some(other) = other {
+            let _ = plan_for_variant(&spec2, &sp2, other);
+            let (_, m4, _) = plan_cache_stats();
+            assert_eq!(m4, m3 + 1);
+        }
     }
 
     #[test]
@@ -720,17 +847,25 @@ mod tests {
     }
 
     #[test]
-    fn plan_reports_geometry_and_flops() {
+    fn plan_reports_geometry_flops_and_kernel() {
         let sp = space(&[("p", 3), ("i", 4), ("j", 5), ("k", 6)]);
         let spec = BinaryContraction {
             a: vec![v(&sp, "p"), v(&sp, "i"), v(&sp, "k")],
             b: vec![v(&sp, "p"), v(&sp, "k"), v(&sp, "j")],
             out: vec![v(&sp, "p"), v(&sp, "i"), v(&sp, "j")],
         };
-        let plan = ContractionPlan::new(&spec, &sp);
+        // Capture the variant once: another test may toggle the process
+        // override concurrently, so don't compare two separate reads.
+        let variant = kernels::active();
+        let plan = ContractionPlan::new_with_variant(&spec, &sp, variant);
         assert_eq!((plan.nb, plan.m, plan.n, plan.k), (3, 4, 5, 6));
         assert_eq!(plan.out_shape, vec![3, 4, 5]);
         assert_eq!(plan.flops(), spec.flops(&sp));
+        let cfg = plan.kernel_config();
+        assert_eq!(cfg.variant, variant);
+        assert_eq!(cfg.mr, cfg.variant.mr());
+        assert_eq!(cfg.nr, cfg.variant.nr());
+        assert!(cfg.blocks.mc >= cfg.mr && cfg.blocks.nc >= cfg.nr && cfg.blocks.kc >= 8);
     }
 
     #[test]

@@ -1,0 +1,536 @@
+//! Runtime-dispatched micro-kernels and cache-aware block sizing.
+//!
+//! The GETT engine's inner loops — the register-blocked GEMM kernel, the
+//! panel packing copies, and the blocked permute — come in three
+//! implementations selected once per process by CPUID:
+//!
+//! * [`KernelVariant::Scalar`] — the portable mul+add kernel (8×4
+//!   register tile), bit-for-bit identical to the engine before SIMD
+//!   dispatch existed.  It is the correctness oracle for the differential
+//!   tests and the fallback on non-x86 targets.
+//! * [`KernelVariant::Sse2`] — 128-bit SSE2 kernels (4×4 GEMM tile,
+//!   2×2 in-register transpose).  Baseline for every x86-64 CPU.
+//! * [`KernelVariant::Avx2`] — 256-bit AVX2+FMA kernels (8×6 GEMM tile
+//!   holding twelve of sixteen ymm accumulators, 4×4 in-register
+//!   transpose tiles composed into 8×8 blocks, vectorized unit-stride
+//!   pack copies).
+//!
+//! Selection order: a programmatic override ([`set_override`], fed by the
+//! `--kernel` CLI flag) beats the `TCE_KERNEL` environment variable,
+//! which beats [`detect_best`].  Changing the active variant may change
+//! floating-point rounding (FMA contracts the multiply-add), so results
+//! across variants agree only to ~1e-10 relative; *within* a variant
+//! every kernel stays bitwise deterministic at any thread count.
+//!
+//! On top of dispatch, [`BlockSizes::derive`] picks the GETT macro-tile
+//! parameters MC/NC/KC from the detected cache hierarchy
+//! ([`CacheInfo::detect`]: sysfs on Linux, fixed defaults elsewhere)
+//! following the usual analytical model: the A micro-panel (MR×KC) and B
+//! micro-panel (KC×NR) share L1, the packed A panel (MC×KC) sits in half
+//! of L2, and the packed B panel (KC×NC) in a slice of L3.  The scalar
+//! variant pins the legacy constants (MC=64, NC=64, KC=192) so its
+//! results never move a bit.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+pub mod avx2;
+pub mod scalar;
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+pub mod sse2;
+
+/// Which micro-kernel implementation the GETT engine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum KernelVariant {
+    /// Portable mul+add loops; the bitwise-stable oracle.
+    Scalar,
+    /// 128-bit SSE2 intrinsics.
+    Sse2,
+    /// 256-bit AVX2 + FMA intrinsics.
+    Avx2,
+}
+
+/// All variants, weakest first.
+pub const ALL_VARIANTS: [KernelVariant; 3] = [
+    KernelVariant::Scalar,
+    KernelVariant::Sse2,
+    KernelVariant::Avx2,
+];
+
+impl KernelVariant {
+    /// Stable lower-case name (`scalar`, `sse2`, `avx2`).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelVariant::Scalar => "scalar",
+            KernelVariant::Sse2 => "sse2",
+            KernelVariant::Avx2 => "avx2",
+        }
+    }
+
+    /// Parse a variant name as accepted by `TCE_KERNEL` / `--kernel`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Ok(KernelVariant::Scalar),
+            "sse2" => Ok(KernelVariant::Sse2),
+            "avx2" => Ok(KernelVariant::Avx2),
+            other => Err(format!(
+                "unknown kernel variant `{other}` (expected scalar, sse2 or avx2)"
+            )),
+        }
+    }
+
+    /// GEMM register-tile rows (packed-A strip width).
+    pub fn mr(self) -> usize {
+        match self {
+            KernelVariant::Scalar => 8,
+            KernelVariant::Sse2 => 4,
+            KernelVariant::Avx2 => 8,
+        }
+    }
+
+    /// GEMM register-tile columns (packed-B strip width).
+    pub fn nr(self) -> usize {
+        match self {
+            KernelVariant::Scalar => 4,
+            KernelVariant::Sse2 => 4,
+            KernelVariant::Avx2 => 6,
+        }
+    }
+}
+
+impl std::fmt::Display for KernelVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Whether this host can execute `v`'s instruction set.
+pub fn supported(v: KernelVariant) -> bool {
+    match v {
+        KernelVariant::Scalar => true,
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        KernelVariant::Sse2 => is_x86_feature_detected!("sse2"),
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        KernelVariant::Avx2 => is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"),
+        #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+        _ => false,
+    }
+}
+
+/// The strongest variant this host supports (runtime CPUID).
+pub fn detect_best() -> KernelVariant {
+    ALL_VARIANTS
+        .into_iter()
+        .rev()
+        .find(|&v| supported(v))
+        .unwrap_or(KernelVariant::Scalar)
+}
+
+/// Variants supported on this host, weakest first.
+pub fn supported_variants() -> Vec<KernelVariant> {
+    ALL_VARIANTS.into_iter().filter(|&v| supported(v)).collect()
+}
+
+/// Process-wide override: 0 = none, else variant discriminant + 1.
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+fn code(v: KernelVariant) -> u8 {
+    match v {
+        KernelVariant::Scalar => 1,
+        KernelVariant::Sse2 => 2,
+        KernelVariant::Avx2 => 3,
+    }
+}
+
+fn from_code(c: u8) -> Option<KernelVariant> {
+    match c {
+        1 => Some(KernelVariant::Scalar),
+        2 => Some(KernelVariant::Sse2),
+        3 => Some(KernelVariant::Avx2),
+        _ => None,
+    }
+}
+
+/// Force (or with `None`, clear) the active kernel variant.
+///
+/// Fails with a one-line message when the host cannot execute the
+/// requested variant.  Used by the `--kernel` CLI flags and the
+/// differential tests; takes precedence over `TCE_KERNEL`.
+pub fn set_override(v: Option<KernelVariant>) -> Result<(), String> {
+    match v {
+        None => {
+            OVERRIDE.store(0, Ordering::Relaxed);
+            Ok(())
+        }
+        Some(v) => {
+            if !supported(v) {
+                return Err(unsupported_message(v));
+            }
+            OVERRIDE.store(code(v), Ordering::Relaxed);
+            Ok(())
+        }
+    }
+}
+
+fn unsupported_message(v: KernelVariant) -> String {
+    format!(
+        "kernel variant `{v}` is not supported on this host (best supported: {})",
+        detect_best()
+    )
+}
+
+/// Parse `TCE_KERNEL` without applying it: `Ok(None)` when unset,
+/// `Err` on an unknown name or an unsupported variant.  CLI entry points
+/// call this up front so a bad value is a clean one-line diagnostic
+/// instead of a mid-execution panic.
+pub fn env_requested() -> Result<Option<KernelVariant>, String> {
+    match std::env::var("TCE_KERNEL") {
+        Err(_) => Ok(None),
+        Ok(s) => {
+            let v = KernelVariant::parse(&s).map_err(|e| format!("TCE_KERNEL: {e}"))?;
+            if !supported(v) {
+                return Err(format!("TCE_KERNEL: {}", unsupported_message(v)));
+            }
+            Ok(Some(v))
+        }
+    }
+}
+
+/// Default variant: `TCE_KERNEL` if set (resolved once), else the best
+/// detected.  Panics with the one-line diagnostic on an invalid
+/// `TCE_KERNEL`; binaries pre-validate via [`env_requested`].
+fn default_variant() -> KernelVariant {
+    static DEFAULT: OnceLock<KernelVariant> = OnceLock::new();
+    *DEFAULT.get_or_init(|| match env_requested() {
+        Ok(Some(v)) => v,
+        Ok(None) => detect_best(),
+        Err(e) => panic!("{e}"),
+    })
+}
+
+/// The kernel variant the engine dispatches to right now.
+pub fn active() -> KernelVariant {
+    from_code(OVERRIDE.load(Ordering::Relaxed)).unwrap_or_else(default_variant)
+}
+
+/// Detected (or default) cache capacities in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheInfo {
+    /// L1 data cache per core.
+    pub l1d: usize,
+    /// L2 cache per core.
+    pub l2: usize,
+    /// Last-level cache (shared).
+    pub l3: usize,
+}
+
+/// Conservative defaults when a level cannot be detected.
+const DEFAULT_CACHE: CacheInfo = CacheInfo {
+    l1d: 32 * 1024,
+    l2: 1024 * 1024,
+    l3: 8 * 1024 * 1024,
+};
+
+/// Parse a sysfs cache size string (`48K`, `2048K`, `36M`, `1G`).
+fn parse_cache_size(s: &str) -> Option<usize> {
+    let s = s.trim();
+    let (digits, mult) = match s.as_bytes().last()? {
+        b'K' | b'k' => (&s[..s.len() - 1], 1024),
+        b'M' | b'm' => (&s[..s.len() - 1], 1024 * 1024),
+        b'G' | b'g' => (&s[..s.len() - 1], 1024 * 1024 * 1024),
+        _ => (s, 1),
+    };
+    digits.parse::<usize>().ok().map(|n| n * mult)
+}
+
+impl CacheInfo {
+    /// Detect the hierarchy from `/sys/devices/system/cpu/cpu0/cache` on
+    /// Linux; any level that cannot be read keeps its
+    /// [`DEFAULT_CACHE`] value, so the result is always usable.
+    pub fn detect() -> CacheInfo {
+        let mut info = DEFAULT_CACHE;
+        #[cfg(target_os = "linux")]
+        {
+            let base = std::path::Path::new("/sys/devices/system/cpu/cpu0/cache");
+            let read = |p: std::path::PathBuf| std::fs::read_to_string(p).ok();
+            if let Ok(entries) = std::fs::read_dir(base) {
+                for entry in entries.flatten() {
+                    let dir = entry.path();
+                    if !dir
+                        .file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("index"))
+                    {
+                        continue;
+                    }
+                    let level = read(dir.join("level")).and_then(|s| s.trim().parse::<u8>().ok());
+                    let ctype = read(dir.join("type")).map(|s| s.trim().to_string());
+                    let size = read(dir.join("size")).and_then(|s| parse_cache_size(&s));
+                    let (Some(level), Some(ctype), Some(size)) = (level, ctype, size) else {
+                        continue;
+                    };
+                    if ctype == "Instruction" {
+                        continue;
+                    }
+                    match level {
+                        1 => info.l1d = size,
+                        2 => info.l2 = size,
+                        3 => info.l3 = size,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        info
+    }
+}
+
+/// The process-wide detected cache hierarchy (detected once).
+pub fn cache_info() -> CacheInfo {
+    static INFO: OnceLock<CacheInfo> = OnceLock::new();
+    *INFO.get_or_init(CacheInfo::detect)
+}
+
+/// GETT macro-tile parameters: the M×N macro-tile is `mc`×`nc` and each
+/// packed panel pair covers `kc` summation steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSizes {
+    /// Macro-tile height (multiple of the variant's MR).
+    pub mc: usize,
+    /// Macro-tile width (multiple of the variant's NR).
+    pub nc: usize,
+    /// K-block depth per packed panel.
+    pub kc: usize,
+}
+
+/// Legacy constants the scalar engine shipped with; pinned so
+/// `TCE_KERNEL=scalar` reproduces historical results bit for bit (the
+/// K-grouping of partial sums affects rounding, so KC must not move).
+const SCALAR_BLOCKS: BlockSizes = BlockSizes {
+    mc: 64,
+    nc: 64,
+    kc: 192,
+};
+
+fn round_down(x: usize, q: usize) -> usize {
+    (x / q * q).max(q)
+}
+
+impl BlockSizes {
+    /// Derive block sizes for `variant` from `cache`:
+    ///
+    /// * `KC` keeps one A micro-panel (MR×KC) plus one B micro-panel
+    ///   (KC×NR) inside half of L1 (clamped to 64..=384, multiple of 8);
+    /// * `MC` keeps the packed A panel (MC×KC) inside half of L2
+    ///   (clamped to MR..=512);
+    /// * `NC` keeps the packed B panel (KC×NC) inside a 1/16 slice of
+    ///   the shared L3 (clamped to NR..=1024).
+    pub fn derive(variant: KernelVariant, cache: &CacheInfo) -> BlockSizes {
+        if variant == KernelVariant::Scalar {
+            return SCALAR_BLOCKS;
+        }
+        let w = std::mem::size_of::<f64>();
+        let (mr, nr) = (variant.mr(), variant.nr());
+        let kc = round_down((cache.l1d / 2 / (w * (mr + nr))).clamp(64, 384), 8);
+        let mc = round_down((cache.l2 / 2 / (w * kc)).clamp(mr, 512), mr);
+        let nc = round_down((cache.l3 / 16 / (w * kc)).clamp(nr, 1024), nr);
+        BlockSizes { mc, nc, kc }
+    }
+
+    /// Shrink the blocks to a concrete plan geometry (`m`×`n`×`k`,
+    /// rounded up to whole register strips) so small contractions do not
+    /// allocate full-size pack buffers.  Shrinking MC/NC never changes
+    /// results (tiles partition disjoint output); shrinking KC to ≥ k is
+    /// also exact because the K loop already stops at `k`.
+    pub fn clamp_to(self, variant: KernelVariant, m: usize, n: usize, k: usize) -> BlockSizes {
+        let (mr, nr) = (variant.mr(), variant.nr());
+        BlockSizes {
+            mc: self.mc.min(m.div_ceil(mr).max(1) * mr),
+            nc: self.nc.min(n.div_ceil(nr).max(1) * nr),
+            kc: self.kc.min(k.max(1).div_ceil(8) * 8),
+        }
+    }
+}
+
+/// The full per-plan kernel configuration the GETT engine caches: which
+/// variant, its register tile, and the cache-derived macro blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelConfig {
+    /// Dispatched instruction-set variant.
+    pub variant: KernelVariant,
+    /// Register-tile rows.
+    pub mr: usize,
+    /// Register-tile columns.
+    pub nr: usize,
+    /// Macro-tile blocks.
+    pub blocks: BlockSizes,
+}
+
+impl KernelConfig {
+    /// Select the configuration for `variant` on this host, clamped to
+    /// plan geometry `m`×`n`×`k`.
+    pub fn select(variant: KernelVariant, m: usize, n: usize, k: usize) -> KernelConfig {
+        let blocks = BlockSizes::derive(variant, &cache_info()).clamp_to(variant, m, n, k);
+        KernelConfig {
+            variant,
+            mr: variant.mr(),
+            nr: variant.nr(),
+            blocks,
+        }
+    }
+}
+
+/// `acc[r*nr + c] = Σ_k ap[k*mr + r] · bp[k*nr + c]` for the variant's
+/// (MR, NR) register tile: one micro-kernel invocation over a `kb`-deep
+/// packed panel pair.  `acc` must hold at least `mr*nr` elements; it is
+/// overwritten, not accumulated into.
+#[inline]
+pub fn microkernel(cfg: &KernelConfig, ap: &[f64], bp: &[f64], kb: usize, acc: &mut [f64]) {
+    match cfg.variant {
+        KernelVariant::Scalar => scalar::microkernel_8x4(ap, bp, kb, acc),
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        // SAFETY: the variant was CPUID-checked at selection time.
+        KernelVariant::Sse2 => unsafe { sse2::microkernel_4x4(ap, bp, kb, acc) },
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        // SAFETY: as above.
+        KernelVariant::Avx2 => unsafe { avx2::microkernel_8x6(ap, bp, kb, acc) },
+        #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+        _ => scalar::microkernel_8x4(ap, bp, kb, acc),
+    }
+}
+
+/// Copy `src` into `dst` (equal lengths) with the variant's widest
+/// vector moves — the unit-stride fast path of the pack routines.
+#[inline]
+pub fn copy_f64(variant: KernelVariant, dst: &mut [f64], src: &[f64]) {
+    debug_assert_eq!(dst.len(), src.len());
+    match variant {
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        // SAFETY: CPUID-checked at selection time.
+        KernelVariant::Avx2 => unsafe { avx2::copy_f64(dst, src) },
+        _ => dst.copy_from_slice(src),
+    }
+}
+
+/// Transpose-structured tile copy used by the blocked permute:
+/// `dst[iu*drs + il] = src[iu + il*scs]` for `iu < nu`, `il < nl` —
+/// source columns are unit-stride, destination rows are unit-stride.
+/// AVX2 runs 4×4 in-register transpose tiles (8×8 blocks two at a time),
+/// SSE2 2×2 tiles, scalar a plain loop.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn transpose_tile(
+    variant: KernelVariant,
+    src: &[f64],
+    dst: &mut [f64],
+    s0: usize,
+    d0: usize,
+    nu: usize,
+    nl: usize,
+    scs: usize,
+    drs: usize,
+) {
+    match variant {
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        // SAFETY: CPUID-checked at selection time.
+        KernelVariant::Avx2 => unsafe { avx2::transpose_tile(src, dst, s0, d0, nu, nl, scs, drs) },
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        // SAFETY: as above.
+        KernelVariant::Sse2 => unsafe { sse2::transpose_tile(src, dst, s0, d0, nu, nl, scs, drs) },
+        _ => scalar::transpose_tile(src, dst, s0, d0, nu, nl, scs, drs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_names_round_trip() {
+        for v in ALL_VARIANTS {
+            assert_eq!(KernelVariant::parse(v.name()).unwrap(), v);
+        }
+        assert_eq!(KernelVariant::parse(" AVX2 ").unwrap(), KernelVariant::Avx2);
+        assert!(KernelVariant::parse("avx512").is_err());
+    }
+
+    #[test]
+    fn detect_best_is_supported_and_scalar_always_is() {
+        assert!(supported(KernelVariant::Scalar));
+        assert!(supported(detect_best()));
+        assert!(supported_variants().contains(&KernelVariant::Scalar));
+    }
+
+    #[test]
+    fn override_round_trip() {
+        set_override(Some(KernelVariant::Scalar)).unwrap();
+        assert_eq!(active(), KernelVariant::Scalar);
+        set_override(None).unwrap();
+        assert_eq!(active(), default_variant());
+    }
+
+    #[test]
+    fn cache_size_parsing() {
+        assert_eq!(parse_cache_size("48K"), Some(48 * 1024));
+        assert_eq!(parse_cache_size("2048K"), Some(2048 * 1024));
+        assert_eq!(parse_cache_size("36M\n"), Some(36 << 20));
+        assert_eq!(parse_cache_size("1G"), Some(1 << 30));
+        assert_eq!(parse_cache_size("512"), Some(512));
+        assert_eq!(parse_cache_size("x"), None);
+    }
+
+    #[test]
+    fn scalar_blocks_are_pinned_to_legacy_constants() {
+        let huge = CacheInfo {
+            l1d: 1 << 20,
+            l2: 1 << 24,
+            l3: 1 << 28,
+        };
+        assert_eq!(
+            BlockSizes::derive(KernelVariant::Scalar, &huge),
+            SCALAR_BLOCKS
+        );
+    }
+
+    #[test]
+    fn derived_blocks_respect_cache_budgets_and_tile_multiples() {
+        for cache in [
+            DEFAULT_CACHE,
+            CacheInfo {
+                l1d: 48 * 1024,
+                l2: 2 << 20,
+                l3: 256 << 20,
+            },
+            CacheInfo {
+                l1d: 16 * 1024,
+                l2: 256 * 1024,
+                l3: 1 << 20,
+            },
+        ] {
+            for v in [KernelVariant::Sse2, KernelVariant::Avx2] {
+                let b = BlockSizes::derive(v, &cache);
+                assert_eq!(b.mc % v.mr(), 0, "{v}: mc {} not a multiple of MR", b.mc);
+                assert_eq!(b.nc % v.nr(), 0, "{v}: nc {} not a multiple of NR", b.nc);
+                assert!((64..=384).contains(&b.kc));
+                assert!((v.mr()..=512).contains(&b.mc));
+                assert!((v.nr()..=1024).contains(&b.nc));
+            }
+        }
+    }
+
+    #[test]
+    fn clamp_to_shrinks_to_geometry_only() {
+        let b = BlockSizes {
+            mc: 512,
+            nc: 1020,
+            kc: 216,
+        };
+        let c = b.clamp_to(KernelVariant::Avx2, 10, 7, 20);
+        assert_eq!(c.mc, 16); // two 8-row strips
+        assert_eq!(c.nc, 12); // two 6-column strips
+        assert_eq!(c.kc, 24); // 20 rounded up to a multiple of 8
+        let full = b.clamp_to(KernelVariant::Avx2, 10_000, 10_000, 10_000);
+        assert_eq!(full, b);
+    }
+}

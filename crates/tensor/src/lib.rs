@@ -30,6 +30,7 @@ pub mod dense;
 pub mod einsum;
 pub mod gett;
 pub mod integrals;
+pub mod kernels;
 pub mod packed;
 pub mod sparse;
 
@@ -37,9 +38,10 @@ pub use contract::{contract_gemm, contract_naive, gemm_blocked, BinaryContractio
 pub use dense::Tensor;
 pub use einsum::EinsumSpec;
 pub use gett::{
-    contract_gett, plan_cache_len, plan_cache_stats, plan_for, set_plan_cache_capacity,
-    ContractionPlan,
+    contract_gett, contract_gett_with_variant, plan_cache_len, plan_cache_stats, plan_for,
+    plan_for_variant, set_plan_cache_capacity, ContractionPlan,
 };
 pub use integrals::IntegralFn;
+pub use kernels::{BlockSizes, CacheInfo, KernelConfig, KernelVariant};
 pub use packed::PackedSymmetric;
 pub use sparse::{contract_sparse_dense, sparse_contraction_ops, SparseTensor};

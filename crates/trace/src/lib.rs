@@ -328,6 +328,21 @@ impl Trace {
             .sum()
     }
 
+    /// Largest single increment recorded for the named counter (0 when
+    /// absent).  Gauge-style counters — block sizes, capacities — report
+    /// their value as the delta, so the maximum is the reading.
+    pub fn counter_max(&self, name: &str) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.name == name)
+            .map(|e| match e.kind {
+                EventKind::Counter { delta, .. } => delta,
+                EventKind::Span { .. } => 0,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Number of spans with the given name.
     pub fn span_count(&self, name: &str) -> usize {
         self.events

@@ -39,6 +39,14 @@ pub struct ProfileReport {
     pub plan_cache_hits: u64,
     /// GETT plan-cache misses.
     pub plan_cache_misses: u64,
+    /// GETT plan-cache evictions (inserts past capacity).
+    pub plan_cache_evictions: u64,
+    /// GETT executions per dispatched kernel variant, `(name, count)`;
+    /// normally one entry, more when variants were mixed in-process.
+    pub kernel_variants: Vec<(String, u64)>,
+    /// Largest GETT macro-tile blocks seen, `(mc, nc, kc)`; zero when no
+    /// traced GETT execution ran.
+    pub gett_blocks: (u64, u64, u64),
     /// Worker-pool busy time across workers, ns.
     pub pool_busy_ns: u64,
     /// Worker-pool idle time across workers, ns.
@@ -102,6 +110,27 @@ impl ProfileReport {
             gett_kernel_ns: t.counter_total("gett.kernel_ns"),
             plan_cache_hits: t.counter_total("plan_cache.hits"),
             plan_cache_misses: t.counter_total("plan_cache.misses"),
+            plan_cache_evictions: t.counter_total("plan_cache.evictions"),
+            kernel_variants: {
+                let mut vs: Vec<(String, u64)> = Vec::new();
+                for e in &t.events {
+                    if let Some(name) = e.name.strip_prefix("gett.kernel_variant.") {
+                        if let EventKind::Counter { delta, .. } = e.kind {
+                            match vs.iter_mut().find(|(n, _)| n == name) {
+                                Some((_, c)) => *c += delta,
+                                None => vs.push((name.to_string(), delta)),
+                            }
+                        }
+                    }
+                }
+                vs.sort_by_key(|v| std::cmp::Reverse(v.1));
+                vs
+            },
+            gett_blocks: (
+                t.counter_max("gett.mc"),
+                t.counter_max("gett.nc"),
+                t.counter_max("gett.kc"),
+            ),
             pool_busy_ns: t.counter_total("pool.busy_ns"),
             pool_idle_ns: t.counter_total("pool.idle_ns"),
             mem_peak_bytes: t.mem_peak_bytes,
@@ -182,11 +211,21 @@ impl fmt::Display for ProfileReport {
         if self.permute_bytes > 0 {
             writeln!(f, "  permute traffic: {}", fmt_bytes(self.permute_bytes))?;
         }
+        if !self.kernel_variants.is_empty() {
+            let variants = self
+                .kernel_variants
+                .iter()
+                .map(|(n, c)| format!("{n} x{c}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let (mc, nc, kc) = self.gett_blocks;
+            writeln!(f, "  gett kernel:     {variants} (MC={mc} NC={nc} KC={kc})")?;
+        }
         if self.plan_cache_hits + self.plan_cache_misses > 0 {
             writeln!(
                 f,
-                "  plan cache:      {} hits / {} misses",
-                self.plan_cache_hits, self.plan_cache_misses
+                "  plan cache:      {} hits / {} misses / {} evictions",
+                self.plan_cache_hits, self.plan_cache_misses, self.plan_cache_evictions
             )?;
         }
         if self.pool_busy_ns + self.pool_idle_ns > 0 {
@@ -241,6 +280,14 @@ mod tests {
                 counter_ev("exec.interp.flops", 500),
                 counter_ev("plan_cache.hits", 3),
                 counter_ev("plan_cache.misses", 1),
+                counter_ev("plan_cache.evictions", 2),
+                counter_ev("gett.kernel_variant.avx2", 1),
+                counter_ev("gett.kernel_variant.avx2", 1),
+                counter_ev("gett.kernel_variant.scalar", 1),
+                counter_ev("gett.mc", 64),
+                counter_ev("gett.mc", 512),
+                counter_ev("gett.nc", 1020),
+                counter_ev("gett.kc", 256),
             ],
             mem_peak_bytes: 4096,
         };
@@ -253,11 +300,19 @@ mod tests {
         assert_eq!(r.exec_wall_ns, 1000);
         assert!((r.gflops() - 2.5).abs() < 1e-9);
         assert_eq!(r.plan_cache_hits, 3);
+        assert_eq!(r.plan_cache_evictions, 2);
+        assert_eq!(
+            r.kernel_variants,
+            vec![("avx2".to_string(), 2), ("scalar".to_string(), 1)]
+        );
+        assert_eq!(r.gett_blocks, (512, 1020, 256));
         assert_eq!(r.mem_peak_bytes, 4096);
         let text = r.to_string();
         assert!(text.contains("opmin"));
         assert!(text.contains("GFLOP/s"));
         assert!(text.contains("4.00 KiB"));
+        assert!(text.contains("avx2 x2, scalar x1 (MC=512 NC=1020 KC=256)"));
+        assert!(text.contains("3 hits / 1 misses / 2 evictions"));
     }
 
     #[test]

@@ -31,6 +31,8 @@ fn malformed_inputs_fail_cleanly() {
         vec![&chain, "--memory-limit", "-3"],                      // negative limit
         vec![&chain, "--bogus-flag"],                              // unknown flag
         vec![&chain, "--fused", "--distributed", "--grid", "2x2"], // conflict
+        vec![&chain, "--kernel", "bogus"],                         // unknown kernel
+        vec![&chain, "--kernel"],                                  // missing kernel name
     ];
     for args in &cases {
         let out = tce().args(args).output().expect("spawn tce");
@@ -46,6 +48,45 @@ fn malformed_inputs_fail_cleanly() {
             "tce {args:?} panicked:\n{stderr}"
         );
     }
+}
+
+#[test]
+fn bad_tce_kernel_env_fails_cleanly() {
+    let out = tce()
+        .arg(spec("matrix_chain.tce"))
+        .arg("--execute")
+        .env("TCE_KERNEL", "bogus")
+        .output()
+        .expect("spawn tce");
+    assert!(!out.status.success(), "bad TCE_KERNEL must exit nonzero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("TCE_KERNEL") && stderr.contains("bogus"),
+        "diagnostic should name the bad variable and value:\n{stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "panicked:\n{stderr}");
+}
+
+#[test]
+fn kernel_flag_runs_and_overrides_env() {
+    // --kernel scalar must execute successfully even with a bogus
+    // TCE_KERNEL in the environment (the flag wins and is validated
+    // first; scalar is supported everywhere).
+    let out = tce()
+        .args([&spec("matrix_chain.tce"), "--execute", "--kernel", "scalar"])
+        .env("TCE_KERNEL", "bogus")
+        .output()
+        .expect("spawn tce");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "--kernel scalar should succeed:\nstdout: {stdout}\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains("OK"),
+        "execution summary missing:\n{stdout}"
+    );
 }
 
 #[test]
