@@ -277,14 +277,21 @@ fn main() -> ExitCode {
             opts.threads,
             if opts.threads == 1 { "" } else { "s" }
         );
+        // Hidden test hook: `TCE_FAULT_INJECT=comm|liveset` perturbs the
+        // *measured* side of a conformance comparison so the MISMATCH exit
+        // paths below can be exercised end-to-end (tests/cli.rs).
+        let fault = std::env::var("TCE_FAULT_INJECT").ok();
         let results = if args.distributed {
-            let summary = match syn.execute_distributed_opts(&inputs, &funcs, &opts) {
+            let mut summary = match syn.execute_distributed_opts(&inputs, &funcs, &opts) {
                 Ok(s) => s,
                 Err(e) => {
                     eprintln!("execution failed: {e}");
                     return ExitCode::FAILURE;
                 }
             };
+            if fault.as_deref() == Some("comm") {
+                summary.moved_elements += 1;
+            }
             println!(
                 "  distributed over grid {:?}: {} redistribution{}",
                 syn.machine
@@ -327,13 +334,19 @@ fn main() -> ExitCode {
             }
             summary.outputs
         } else if args.fused {
-            let summary = match syn.execute_fused_opts(&inputs, &funcs, &opts) {
+            let mut summary = match syn.execute_fused_opts(&inputs, &funcs, &opts) {
                 Ok(s) => s,
                 Err(e) => {
                     eprintln!("execution failed: {e}");
                     return ExitCode::FAILURE;
                 }
             };
+            if fault.as_deref() == Some("liveset") {
+                summary.peak_live_elements += 1;
+                if let Some(term) = summary.per_term.first_mut() {
+                    term.peak_live_elements += 1;
+                }
+            }
             println!(
                 "  peak intermediate live-set: measured {} / modeled {}{}",
                 summary.peak_live_elements,

@@ -46,5 +46,5 @@ pub use graph::{FusionEdge, FusionGraph};
 pub use memmin::{
     enumerate_legal_configs, memmin_bruteforce, memmin_dp, patterns_comparable, MemMinResult,
 };
-pub use nest::{derive_child_states, encode_state, NestState};
+pub use nest::{derive_child_state_options, derive_child_states, encode_state, NestState};
 pub use schedule::{fusion_schedule, FusionSchedule, ScheduleStep};

@@ -17,7 +17,7 @@
 //! the oracle in tests.
 
 use crate::config::{fusable_set, is_fusable_producer, FusionConfig};
-use crate::nest::{derive_child_states, encode_state, NestState};
+use crate::nest::{derive_child_state_options, encode_state, NestState};
 use std::collections::HashMap;
 use tce_ir::{IndexSet, IndexSpace, Leaf, NodeId, OpKind, OpTree};
 
@@ -57,20 +57,24 @@ pub fn patterns_comparable(p: IndexSet, c1: IndexSet, c2: IndexSet) -> bool {
 /// ordered partitions), which the paper notes "is small enough" in
 /// practical applications.
 pub fn memmin_dp(tree: &OpTree, space: &IndexSpace) -> MemMinResult {
-    // memo: (node, encoded state) → (memory, chosen c1, c2).
+    // memo: (node, encoded state) → (memory, chosen child states).  The
+    // child states are stored directly (not just the chosen `(c1, c2)`)
+    // because one `(c1, c2)` pair can admit several nesting refinements —
+    // see `derive_child_state_options` — and the traceback must replay the
+    // exact one the minimum was computed with.
     type Key = (u32, Vec<u64>);
-    let mut memo: HashMap<Key, (u128, IndexSet, IndexSet)> = HashMap::new();
+    let mut memo: HashMap<Key, (u128, NestState, NestState)> = HashMap::new();
 
     fn solve(
         tree: &OpTree,
         space: &IndexSpace,
-        memo: &mut HashMap<(u32, Vec<u64>), (u128, IndexSet, IndexSet)>,
+        memo: &mut HashMap<(u32, Vec<u64>), (u128, NestState, NestState)>,
         u: NodeId,
         state: &NestState,
     ) -> u128 {
         let key = (u.0, encode_state(state));
-        if let Some(&(m, _, _)) = memo.get(&key) {
-            return m;
+        if let Some((m, _, _)) = memo.get(&key) {
+            return *m;
         }
         let p = state.iter().fold(IndexSet::EMPTY, |s, &c| s.union(c));
         let own = |p: IndexSet| -> u128 {
@@ -82,48 +86,47 @@ pub fn memmin_dp(tree: &OpTree, space: &IndexSpace) -> MemMinResult {
         };
         let result = match &tree.node(u).kind {
             OpKind::Leaf(Leaf::Input { .. }) | OpKind::Leaf(Leaf::One) => {
-                (0u128, IndexSet::EMPTY, IndexSet::EMPTY)
+                (0u128, NestState::new(), NestState::new())
             }
-            OpKind::Leaf(Leaf::Func { .. }) => (own(p), IndexSet::EMPTY, IndexSet::EMPTY),
+            OpKind::Leaf(Leaf::Func { .. }) => (own(p), NestState::new(), NestState::new()),
             OpKind::Contract { left, right } => {
                 let (l, r) = (*left, *right);
                 let f1 = fusable_set(tree, l, u);
                 let f2 = fusable_set(tree, r, u);
-                let mut best = (u128::MAX, IndexSet::EMPTY, IndexSet::EMPTY);
+                let mut best = (u128::MAX, NestState::new(), NestState::new());
                 for c1 in f1.subsets() {
                     for c2 in f2.subsets() {
-                        let Some((s1, s2)) = derive_child_states(state, c1, c2) else {
-                            continue;
-                        };
-                        let m = solve(tree, space, memo, l, &s1)
-                            .saturating_add(solve(tree, space, memo, r, &s2));
-                        if m < best.0 {
-                            best = (m, c1, c2);
+                        for (s1, s2) in derive_child_state_options(state, c1, c2) {
+                            let m = solve(tree, space, memo, l, &s1)
+                                .saturating_add(solve(tree, space, memo, r, &s2));
+                            if m < best.0 {
+                                best = (m, s1, s2);
+                            }
                         }
                     }
                 }
                 (own(p).saturating_add(best.0), best.1, best.2)
             }
         };
+        let m = result.0;
         memo.insert(key, result);
-        result.0
+        m
     }
 
     let root_state: NestState = Vec::new();
     let memory = solve(tree, space, &mut memo, tree.root, &root_state);
 
-    // Trace back the chosen children sets (re-deriving the states).
+    // Trace back the chosen child states.
     let mut config = FusionConfig::unfused(tree);
     let mut stack: Vec<(NodeId, NestState)> = vec![(tree.root, root_state)];
     while let Some((u, state)) = stack.pop() {
         let p = state.iter().fold(IndexSet::EMPTY, |s, &c| s.union(c));
         config.set(u, p);
         if let OpKind::Contract { left, right } = tree.node(u).kind {
-            let &(_, c1, c2) = memo
+            let (_, s1, s2) = memo
                 .get(&(u.0, encode_state(&state)))
-                .expect("traceback state must have been solved");
-            let (s1, s2) =
-                derive_child_states(&state, c1, c2).expect("chosen states must be derivable");
+                .expect("traceback state must have been solved")
+                .clone();
             stack.push((left, s1));
             stack.push((right, s2));
         }
@@ -305,6 +308,36 @@ mod tests {
             dp.config.check(&tree).unwrap();
             assert_eq!(dp.config.temp_memory(&tree, &space), dp.memory);
         }
+    }
+
+    #[test]
+    fn regression_shared_class_refined_inconsistently() {
+        // tce-fuzz found a tree where the DP returned a configuration that
+        // failed its own legality check: a nesting class flowing into both
+        // children of the root was refined in opposite orders by the two
+        // subtrees, composing into partially overlapping chain scopes.
+        // Minimized repro (all extents 2).
+        let mut space = IndexSpace::new();
+        let r0 = space.add_range("r0", 2);
+        let vs = space.add_vars("x0 x1 x2 x3", r0);
+        let (x0, x1, x2, x3) = (vs[0], vs[1], vs[2], vs[3]);
+        let mut tensors = TensorTable::new();
+        let t0 = tensors.add(TensorDecl::dense("t0", vec![r0; 3]));
+        let mut tree = OpTree::new();
+        let g0 = tree.leaf_func("g0", vec![x3, x2, x0], 2);
+        let one = tree.leaf_one();
+        let n2 = tree.contract(g0, one, IndexSet::from_vars([x0, x2]));
+        let l0 = tree.leaf_input(t0, vec![x0, x2, x1]);
+        let n4 = tree.contract(n2, l0, IndexSet::from_vars([x0, x1, x2]));
+        let g1 = tree.leaf_func("g1", vec![x0, x1], 3);
+        let g2 = tree.leaf_func("g2", vec![x1], 14);
+        let n7 = tree.contract(g1, g2, IndexSet::from_vars([x0, x1]));
+        tree.contract(n4, n7, IndexSet::from_vars([x0, x1, x2]));
+        let dp = memmin_dp(&tree, &space);
+        dp.config.check(&tree).unwrap();
+        let bf = memmin_bruteforce(&tree, &space);
+        assert_eq!(dp.memory, bf.memory);
+        assert_eq!(dp.config.temp_memory(&tree, &space), dp.memory);
     }
 
     #[test]

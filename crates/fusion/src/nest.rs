@@ -26,9 +26,9 @@ pub fn encode_state(state: &NestState) -> Vec<u64> {
     state.iter().map(|s| s.0).collect()
 }
 
-/// Check the choices `(c1, c2)` for a node whose parent-edge fused set has
-/// nesting `state`, and derive the children's nesting states.  Returns
-/// `None` when the combination is illegal.
+/// All legal pairs of child nesting states for the choices `(c1, c2)` at a
+/// node whose parent-edge fused set has nesting `state`.  Empty when the
+/// combination is illegal.
 ///
 /// Legality:
 /// 1. membership patterns over the three incident edges must be pairwise
@@ -36,11 +36,22 @@ pub fn encode_state(state: &NestState) -> Vec<u64> {
 /// 2. a chain in an outer class may not have a pattern strictly contained
 ///    in that of a chain in an inner class (the inherited nesting must be
 ///    respected).
-pub fn derive_child_states(
+///
+/// When a class of two or more chains flows into *both* children, the
+/// relative nesting of its members must be decided here, once, and
+/// identically on both sides — leaving them tied would let each subtree
+/// refine the order independently (left deciding `x ⊃ y` while right
+/// decides `y ⊃ x`), which composes into partially overlapping scopes
+/// globally.  Every strict member order of such a group is one candidate;
+/// no legal configuration is lost because an "inner" chain's scope is
+/// merely bounded by the outer one's — equality stays reachable.  Groups
+/// entering a single child stay whole: any later divergence is confined to
+/// that subtree, where it is checked recursively.
+pub fn derive_child_state_options(
     state: &NestState,
     c1: IndexSet,
     c2: IndexSet,
-) -> Option<(NestState, NestState)> {
+) -> Vec<(NestState, NestState)> {
     let p = state.iter().fold(IndexSet::EMPTY, |s, &c| s.union(c));
     let all = p.union(c1).union(c2);
     // Pattern bits: 1 = parent, 2 = left, 4 = right.
@@ -59,42 +70,109 @@ pub fn derive_child_states(
         for &(_, pb, ib) in &vars[i + 1..] {
             // Comparability.
             if pa & pb != pa && pa & pb != pb {
-                return None;
+                return Vec::new();
             }
             // Inherited nesting: outer class (smaller index) must have a
             // superset pattern.
             if ia < ib && pa & pb != pb {
-                return None; // pb ⊄ pa
+                return Vec::new(); // pb ⊄ pa
             }
             if ib < ia && pa & pb != pa {
-                return None;
+                return Vec::new();
             }
         }
     }
-    // Child states: group the fused indices of each child edge by
-    // (pattern, inherited class); order outermost-first = by pattern
-    // superset (popcount descending — patterns are comparable) then by
-    // inherited class.
-    let child_state = |c: IndexSet, edge_bit: u8| -> NestState {
-        let mut groups: Vec<(u8, usize, IndexSet)> = Vec::new();
-        for &(x, pat, inherit) in &vars {
-            if !c.contains(x) {
-                continue;
-            }
-            debug_assert!(pat & edge_bit != 0);
-            if let Some(g) = groups
-                .iter_mut()
-                .find(|(gp, gi, _)| *gp == pat && *gi == inherit)
-            {
-                g.2.insert(x);
-            } else {
-                groups.push((pat, inherit, x.singleton()));
-            }
+    // Group the chains continuing into at least one child by
+    // (pattern, inherited class); order groups outermost-first = by
+    // pattern superset (popcount descending — patterns are comparable)
+    // then by inherited class.
+    let mut groups: Vec<(u8, usize, Vec<tce_ir::IndexVar>)> = Vec::new();
+    for &(x, pat, inherit) in &vars {
+        if pat & 0b110 == 0 {
+            continue; // chain ends at this node
         }
-        groups.sort_by_key(|&(pat, inherit, _)| (std::cmp::Reverse(pat.count_ones()), inherit));
-        groups.into_iter().map(|(_, _, s)| s).collect()
-    };
-    Some((child_state(c1, 2), child_state(c2, 4)))
+        if let Some(g) = groups
+            .iter_mut()
+            .find(|(gp, gi, _)| *gp == pat && *gi == inherit)
+        {
+            g.2.push(x);
+        } else {
+            groups.push((pat, inherit, vec![x]));
+        }
+    }
+    groups.sort_by_key(|&(pat, inherit, _)| (std::cmp::Reverse(pat.count_ones()), inherit));
+    // Refinement options per group: both-children groups split into one
+    // singleton class per member, in every strict order; others stay as a
+    // single class.
+    let options: Vec<Vec<Vec<IndexSet>>> = groups
+        .iter()
+        .map(|(pat, _, members)| {
+            if pat & 0b110 == 0b110 && members.len() >= 2 {
+                permutations(members)
+                    .into_iter()
+                    .map(|perm| perm.into_iter().map(|x| x.singleton()).collect())
+                    .collect()
+            } else {
+                vec![vec![IndexSet::from_vars(members.iter().copied())]]
+            }
+        })
+        .collect();
+    // Cartesian product over the per-group choices; each combination is
+    // applied identically to both child states.
+    let mut out = Vec::new();
+    let mut choice = vec![0usize; groups.len()];
+    loop {
+        let build = |edge_bit: u8| -> NestState {
+            let mut s = Vec::new();
+            for (g, (pat, _, _)) in groups.iter().enumerate() {
+                if pat & edge_bit != 0 {
+                    s.extend(options[g][choice[g]].iter().copied());
+                }
+            }
+            s
+        };
+        out.push((build(2), build(4)));
+        let mut g = 0;
+        loop {
+            if g == groups.len() {
+                return out;
+            }
+            choice[g] += 1;
+            if choice[g] < options[g].len() {
+                break;
+            }
+            choice[g] = 0;
+            g += 1;
+        }
+    }
+}
+
+/// All orderings of `items` (small groups only — factorial).
+fn permutations(items: &[tce_ir::IndexVar]) -> Vec<Vec<tce_ir::IndexVar>> {
+    if items.len() <= 1 {
+        return vec![items.to_vec()];
+    }
+    let mut out = Vec::new();
+    for i in 0..items.len() {
+        let mut rest = items.to_vec();
+        let head = rest.remove(i);
+        for mut tail in permutations(&rest) {
+            tail.insert(0, head);
+            out.push(tail);
+        }
+    }
+    out
+}
+
+/// First legal child-state pair for `(c1, c2)`, or `None` when illegal —
+/// the single-candidate view of [`derive_child_state_options`] for callers
+/// that only need a legality probe.
+pub fn derive_child_states(
+    state: &NestState,
+    c1: IndexSet,
+    c2: IndexSet,
+) -> Option<(NestState, NestState)> {
+    derive_child_state_options(state, c1, c2).into_iter().next()
 }
 
 #[cfg(test)]
@@ -152,6 +230,30 @@ mod tests {
         // pattern).
         let (s1, _) = derive_child_states(&state, set(&[0, 1, 2]), IndexSet::EMPTY).unwrap();
         assert_eq!(s1, vec![set(&[0]), set(&[1]), set(&[2])]);
+    }
+
+    #[test]
+    fn shared_class_into_both_children_is_ordered_consistently() {
+        // A class entering both children must be refined into a strict
+        // member order, identically on both sides — never left as a tie
+        // each subtree could later refine differently (that composed into
+        // partially overlapping scopes; found by tce-fuzz).
+        let state = vec![set(&[0, 1])];
+        let opts = derive_child_state_options(&state, set(&[0, 1]), set(&[0, 1]));
+        assert_eq!(opts.len(), 2);
+        for (s1, s2) in &opts {
+            assert_eq!(s1, s2);
+            assert_eq!(s1.len(), 2, "no ties: strict singleton classes");
+        }
+        assert!(opts.contains(&(vec![set(&[0]), set(&[1])], vec![set(&[0]), set(&[1])])));
+        assert!(opts.contains(&(vec![set(&[1]), set(&[0])], vec![set(&[1]), set(&[0])])));
+        // Fresh chains starting at this node into both children get the
+        // same treatment.
+        let opts = derive_child_state_options(&vec![], set(&[0, 1]), set(&[0, 1]));
+        assert_eq!(opts.len(), 2);
+        // A class entering a single child stays whole.
+        let opts = derive_child_state_options(&state, set(&[0, 1]), IndexSet::EMPTY);
+        assert_eq!(opts, vec![(vec![set(&[0, 1])], vec![])]);
     }
 
     #[test]

@@ -1,0 +1,194 @@
+//! Campaign driver: generate → check → (on failure) shrink → emit repro.
+//!
+//! Case `i` of a campaign is seeded with `case_seed(seed, i)`, a stateless
+//! splitmix64 mix — so the expression stream is a pure function of the
+//! campaign seed and the case index, independent of the budget (running
+//! 10 cases or 10 000 cases produces the same first 10 programs).
+
+use std::path::{Path, PathBuf};
+
+use tce_ir::rng::{split_seed, Rng};
+use tce_ir::Program;
+
+use crate::checks::{check_program_caught, CaseStats, CheckConfig, CheckKind};
+use crate::gen::{gen_program, GenConfig};
+use crate::shrink::{max_operands, shrink};
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Campaign seed.
+    pub seed: u64,
+    /// Number of cases to generate and check.
+    pub budget: usize,
+    /// Generator shape.
+    pub gen: GenConfig,
+    /// Invariants and their parameters.
+    pub check: CheckConfig,
+    /// Where minimized repro files are written (`None` = don't write).
+    pub repro_dir: Option<PathBuf>,
+    /// Where every generated case is archived as `.tce` source (`None` =
+    /// don't archive).  Used by CI to upload the corpus as an artifact.
+    pub corpus_dir: Option<PathBuf>,
+    /// Candidate budget for the shrinker, per failure.
+    pub max_shrink_attempts: usize,
+    /// Stop the campaign after this many failures.
+    pub max_failures: usize,
+}
+
+impl FuzzConfig {
+    /// Default campaign for `seed`/`budget`: smoke generator, all checks.
+    pub fn new(seed: u64, budget: usize) -> Self {
+        Self {
+            seed,
+            budget,
+            gen: GenConfig::smoke(),
+            check: CheckConfig::default(),
+            repro_dir: None,
+            corpus_dir: None,
+            max_shrink_attempts: 400,
+            max_failures: 5,
+        }
+    }
+}
+
+/// One failing case, with its minimized form.
+#[derive(Debug, Clone)]
+pub struct CaseFailure {
+    /// Case index within the campaign.
+    pub case: usize,
+    /// Per-case seed (`case_seed(campaign_seed, case)`).
+    pub case_seed: u64,
+    /// Failed invariant family.
+    pub kind: CheckKind,
+    /// Divergence description from the original failure.
+    pub detail: String,
+    /// The generated program, unparsed.
+    pub original_src: String,
+    /// The minimized program, unparsed.
+    pub shrunk_src: String,
+    /// Operand count of the minimized repro.
+    pub shrunk_operands: usize,
+    /// Accepted shrink steps.
+    pub shrink_steps: usize,
+    /// Where the repro file was written, when a repro dir was configured.
+    pub repro_path: Option<PathBuf>,
+}
+
+/// Aggregate campaign outcome.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Cases generated and checked.
+    pub cases: usize,
+    /// Coverage totals over passing cases.
+    pub stats: CaseStats,
+    /// Every failure, in case order.
+    pub failures: Vec<CaseFailure>,
+}
+
+impl CampaignReport {
+    /// True when every case passed every configured invariant.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// The per-case seed: budget-independent and decorrelated across cases.
+pub fn case_seed(campaign_seed: u64, case: usize) -> u64 {
+    split_seed(campaign_seed ^ split_seed(case as u64 + 1))
+}
+
+/// Generate the `case`-th program of a campaign.
+pub fn gen_case(campaign_seed: u64, case: usize, gen: &GenConfig) -> Program {
+    gen_program(&mut Rng::new(case_seed(campaign_seed, case)), gen)
+}
+
+/// Self-contained repro source: `#` metadata header (ignored by the
+/// lexer) followed by the minimized program, directly loadable by `tce`
+/// and re-checkable by `tce-fuzz`.
+pub fn repro_source(failure: &CaseFailure, campaign_seed: u64) -> String {
+    format!(
+        "# tce-fuzz repro\n\
+         # campaign seed : {campaign_seed:#x}\n\
+         # case          : {} (case seed {:#x})\n\
+         # failed check  : {}\n\
+         # detail        : {}\n\
+         # shrink        : {} steps, {} operands in minimized form\n\
+         {}",
+        failure.case,
+        failure.case_seed,
+        failure.kind,
+        failure.detail.replace('\n', " "),
+        failure.shrink_steps,
+        failure.shrunk_operands,
+        failure.shrunk_src,
+    )
+}
+
+fn write_file(dir: &Path, name: &str, contents: &str) -> Option<PathBuf> {
+    std::fs::create_dir_all(dir).ok()?;
+    let path = dir.join(name);
+    std::fs::write(&path, contents).ok()?;
+    Some(path)
+}
+
+/// Run a whole campaign.  `progress` is called after every case with
+/// `(case_index, failed_so_far)`.
+pub fn run_campaign_with(
+    cfg: &FuzzConfig,
+    mut progress: impl FnMut(usize, usize),
+) -> CampaignReport {
+    let mut report = CampaignReport {
+        cases: 0,
+        stats: CaseStats::default(),
+        failures: Vec::new(),
+    };
+    for case in 0..cfg.budget {
+        let seed = case_seed(cfg.seed, case);
+        let program = gen_program(&mut Rng::new(seed), &cfg.gen);
+        // Vary the data per case, deterministically.
+        let mut check = cfg.check.clone();
+        check.data_seed = split_seed(check.data_seed ^ seed);
+        if let Some(dir) = &cfg.corpus_dir {
+            write_file(
+                dir,
+                &format!("case_{case:05}.tce"),
+                &tce_lang::unparse(&program),
+            );
+        }
+        report.cases += 1;
+        match check_program_caught(&program, &check) {
+            Ok(stats) => report.stats.add(&stats),
+            Err(f) => {
+                let minimized = shrink(&program, f.kind, &check, cfg.max_shrink_attempts);
+                let mut failure = CaseFailure {
+                    case,
+                    case_seed: seed,
+                    kind: f.kind,
+                    detail: f.detail,
+                    original_src: tce_lang::unparse(&program),
+                    shrunk_src: tce_lang::unparse(&minimized.program),
+                    shrunk_operands: max_operands(&minimized.program),
+                    shrink_steps: minimized.steps,
+                    repro_path: None,
+                };
+                if let Some(dir) = &cfg.repro_dir {
+                    let text = repro_source(&failure, cfg.seed);
+                    failure.repro_path =
+                        write_file(dir, &format!("repro_case_{case:05}.tce"), &text);
+                }
+                report.failures.push(failure);
+                if report.failures.len() >= cfg.max_failures {
+                    break;
+                }
+            }
+        }
+        progress(case, report.failures.len());
+    }
+    report
+}
+
+/// [`run_campaign_with`] without a progress callback.
+pub fn run_campaign(cfg: &FuzzConfig) -> CampaignReport {
+    run_campaign_with(cfg, |_, _| {})
+}

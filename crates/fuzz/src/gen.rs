@@ -1,0 +1,353 @@
+//! Seeded generator of well-formed TCE programs.
+//!
+//! Builds [`tce_ir::Program`]s directly (ranges, index variables, tensor
+//! declarations, statements) from a [`Rng`] stream, so the same seed always
+//! yields the same program.  The output is constrained to the intersection
+//! of what every pipeline stage accepts:
+//!
+//! * every statement validates ([`Program::validate`]);
+//! * the LHS index set is a subset of **every** term's variable union, so
+//!   `OpMinProblem::from_term` succeeds for each term (no broadcasting);
+//! * index variables are declared grouped by range, matching the order the
+//!   unparser regenerates, so `compile(unparse(p))` reproduces the same
+//!   interned ids and the round-trip check can compare statements
+//!   structurally;
+//! * coefficients are exact binary fractions, so unparse→parse is lossless;
+//! * a function symbol always reappears with the same argument ranges and
+//!   cost (the unparser reconstructs one declaration per name).
+
+use tce_ir::rng::Rng;
+use tce_ir::{
+    Assignment, Factor, FuncEval, IndexSet, IndexSpace, IndexVar, Product, Program, RangeId,
+    TensorDecl, TensorId, TensorRef, TensorTable,
+};
+
+/// Tunable shape of the generated programs.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Maximum number of declared ranges (≥ 1).
+    pub max_ranges: usize,
+    /// Inclusive extent bounds per range.
+    pub min_extent: usize,
+    /// Inclusive extent bounds per range.
+    pub max_extent: usize,
+    /// Maximum number of index variables (≥ 2).
+    pub max_vars: usize,
+    /// Maximum statements per program (≥ 1); later statements may read
+    /// earlier results (shared intermediates).
+    pub max_stmts: usize,
+    /// Maximum product terms per statement (≥ 1).
+    pub max_terms: usize,
+    /// Maximum factors per term — the operand arity (≥ 1).
+    pub max_factors: usize,
+    /// Probability a factor is an expensive-function evaluation.
+    pub func_prob: f64,
+    /// Probability a tensor factor reuses an already-declared tensor
+    /// (earlier output or input) instead of declaring a fresh input.
+    pub reuse_prob: f64,
+    /// Probability a statement accumulates (`+=`) into the previous
+    /// statement's target when index structure permits.
+    pub accumulate_prob: f64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        Self {
+            max_ranges: 2,
+            min_extent: 2,
+            max_extent: 4,
+            max_vars: 5,
+            max_stmts: 2,
+            max_terms: 2,
+            max_factors: 3,
+            func_prob: 0.25,
+            reuse_prob: 0.35,
+            accumulate_prob: 0.2,
+        }
+    }
+}
+
+impl GenConfig {
+    /// The CI smoke-corpus shape: small extents, everything enabled.
+    pub fn smoke() -> Self {
+        Self::default()
+    }
+
+    /// Wider programs for extended campaigns: more indices, up to
+    /// four-operand terms and three-statement sequences.
+    pub fn extended() -> Self {
+        Self {
+            max_ranges: 3,
+            max_vars: 6,
+            max_stmts: 3,
+            max_factors: 4,
+            ..Self::default()
+        }
+    }
+}
+
+/// Exact binary fractions survive the `f64 → decimal text → f64` round
+/// trip, keeping the unparse check lossless.
+const COEFFS: [f64; 6] = [1.0, 1.0, 2.0, -1.0, 0.5, -2.0];
+
+/// Generate one well-formed program from the generator stream.
+pub fn gen_program(rng: &mut Rng, cfg: &GenConfig) -> Program {
+    let mut space = IndexSpace::new();
+    let nr = rng.usize_in(1..cfg.max_ranges + 1);
+    let ranges: Vec<RangeId> = (0..nr)
+        .map(|q| {
+            space.add_range(
+                &format!("r{q}"),
+                rng.usize_in(cfg.min_extent..cfg.max_extent + 1),
+            )
+        })
+        .collect();
+    // Assign each variable a range, then declare grouped by range: the
+    // unparser re-emits variables grouped this way, so keeping declaration
+    // order identical preserves interned ids across a round trip.
+    let nv = rng.usize_in(2..cfg.max_vars + 1);
+    let mut var_ranges: Vec<usize> = (0..nv).map(|_| rng.usize_in(0..nr)).collect();
+    var_ranges.sort_unstable();
+    let vars: Vec<IndexVar> = var_ranges
+        .iter()
+        .enumerate()
+        .map(|(q, &r)| space.add_var(&format!("x{q}"), ranges[r]))
+        .collect();
+
+    let mut tensors = TensorTable::new();
+    let mut funcs: Vec<FuncEval> = Vec::new();
+    let mut stmts: Vec<Assignment> = Vec::new();
+    let ns = rng.usize_in(1..cfg.max_stmts + 1);
+    for _ in 0..ns {
+        let stmt = gen_statement(rng, cfg, &space, &vars, &mut tensors, &mut funcs, &stmts);
+        stmts.push(stmt);
+    }
+    let program = Program {
+        space,
+        tensors,
+        stmts,
+    };
+    debug_assert!(
+        program.validate().is_ok(),
+        "generator produced an invalid program: {:?}",
+        program.validate()
+    );
+    program
+}
+
+/// Pick `n` distinct variables, order randomized.
+fn pick_vars(rng: &mut Rng, vars: &[IndexVar], n: usize) -> Vec<IndexVar> {
+    let mut pool: Vec<IndexVar> = vars.to_vec();
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n.min(vars.len()) {
+        let at = rng.usize_in(0..pool.len());
+        out.push(pool.swap_remove(at));
+    }
+    out
+}
+
+fn gen_statement(
+    rng: &mut Rng,
+    cfg: &GenConfig,
+    space: &IndexSpace,
+    vars: &[IndexVar],
+    tensors: &mut TensorTable,
+    funcs: &mut Vec<FuncEval>,
+    prior: &[Assignment],
+) -> Assignment {
+    let nt = rng.usize_in(1..cfg.max_terms + 1);
+    let terms: Vec<Product> = (0..nt)
+        .map(|ti| {
+            let nf = rng.usize_in(1..cfg.max_factors + 1);
+            let factors: Vec<Factor> = (0..nf)
+                .map(|_| gen_factor(rng, cfg, space, vars, tensors, funcs))
+                .collect();
+            Product {
+                coeff: if ti == 0 {
+                    1.0
+                } else {
+                    COEFFS[rng.usize_in(0..COEFFS.len())]
+                },
+                factors,
+            }
+        })
+        .collect();
+
+    // LHS ⊆ every term's variable union, so each term's OpMin problem is
+    // well-posed (no output index missing from every factor).
+    let union_all = terms
+        .iter()
+        .fold(IndexSet::EMPTY, |s, t| s.union(t.index_set()));
+    let inter_all = terms.iter().fold(union_all, |s, t| s.inter(t.index_set()));
+
+    // Accumulate into the previous statement's target when its index set
+    // still fits under every term.
+    if let Some(prev) = prior.last() {
+        if rng.bool_with(cfg.accumulate_prob) && prev.lhs.index_set().is_subset(inter_all) {
+            return Assignment {
+                lhs: prev.lhs.clone(),
+                accumulate: true,
+                sum_indices: union_all.minus(prev.lhs.index_set()),
+                terms,
+            };
+        }
+    }
+
+    let candidates: Vec<IndexVar> = inter_all.iter().collect();
+    let keep = candidates
+        .iter()
+        .filter(|_| rng.bool_with(0.6))
+        .count()
+        .min(candidates.len());
+    let lhs_vars = pick_vars(rng, &candidates, keep);
+    let lhs_set = IndexSet::from_vars(lhs_vars.iter().copied());
+    let dims: Vec<RangeId> = lhs_vars.iter().map(|&v| space.range_of(v)).collect();
+    let id = tensors.add(TensorDecl::dense(&format!("t{}", tensors.len()), dims));
+    Assignment {
+        lhs: TensorRef::new(id, lhs_vars),
+        accumulate: false,
+        sum_indices: union_all.minus(lhs_set),
+        terms,
+    }
+}
+
+fn gen_factor(
+    rng: &mut Rng,
+    cfg: &GenConfig,
+    space: &IndexSpace,
+    vars: &[IndexVar],
+    tensors: &mut TensorTable,
+    funcs: &mut Vec<FuncEval>,
+) -> Factor {
+    let is_func = rng.bool_with(cfg.func_prob);
+    // Ranks 0–3 (0 only for tensors: functions always take ≥ 1 arg).
+    let lo = usize::from(is_func);
+    let arity = rng.usize_in(lo..4).min(vars.len());
+    let idxs = pick_vars(rng, vars, arity);
+
+    if is_func {
+        // Reuse a declared function when one matches the argument ranges;
+        // same name ⇒ same signature and cost, which the unparser assumes.
+        let sig: Vec<RangeId> = idxs.iter().map(|&v| space.range_of(v)).collect();
+        let reusable: Vec<&FuncEval> = funcs
+            .iter()
+            .filter(|f| {
+                f.indices
+                    .iter()
+                    .map(|&v| space.range_of(v))
+                    .collect::<Vec<_>>()
+                    == sig
+            })
+            .collect();
+        if !reusable.is_empty() && rng.bool_with(0.5) {
+            let f = reusable[rng.usize_in(0..reusable.len())];
+            return Factor::Func(FuncEval {
+                name: f.name.clone(),
+                indices: idxs,
+                cost_per_eval: f.cost_per_eval,
+            });
+        }
+        let f = FuncEval {
+            name: format!("g{}", funcs.len()),
+            indices: idxs,
+            cost_per_eval: rng.u64_in(1..20),
+        };
+        funcs.push(f.clone());
+        return Factor::Func(f);
+    }
+
+    // Reuse an existing tensor (shared intermediate or repeated input) when
+    // its dimension ranges can be bound by distinct variables.
+    if rng.bool_with(cfg.reuse_prob) && !tensors.is_empty() {
+        let ids: Vec<TensorId> = tensors.iter().map(|(id, _)| id).collect();
+        let pick = ids[rng.usize_in(0..ids.len())];
+        if let Some(bound) = bind_dims(rng, space, vars, &tensors.get(pick).dims) {
+            return Factor::Tensor(TensorRef::new(pick, bound));
+        }
+    }
+    let dims: Vec<RangeId> = idxs.iter().map(|&v| space.range_of(v)).collect();
+    let id = tensors.add(TensorDecl::dense(&format!("t{}", tensors.len()), dims));
+    Factor::Tensor(TensorRef::new(id, idxs))
+}
+
+/// Bind each dimension range to a distinct variable of that range, or
+/// `None` when the declared shape cannot be covered.
+fn bind_dims(
+    rng: &mut Rng,
+    space: &IndexSpace,
+    vars: &[IndexVar],
+    dims: &[RangeId],
+) -> Option<Vec<IndexVar>> {
+    let mut used = IndexSet::EMPTY;
+    let mut out = Vec::with_capacity(dims.len());
+    for &d in dims {
+        let options: Vec<IndexVar> = vars
+            .iter()
+            .copied()
+            .filter(|&v| space.range_of(v) == d && !used.contains(v))
+            .collect();
+        if options.is_empty() {
+            return None;
+        }
+        let v = options[rng.usize_in(0..options.len())];
+        used.insert(v);
+        out.push(v);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_programs_validate() {
+        for seed in 0..200u64 {
+            let mut rng = Rng::new(seed);
+            let p = gen_program(&mut rng, &GenConfig::default());
+            p.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(!p.stmts.is_empty());
+        }
+    }
+
+    #[test]
+    fn same_seed_same_program() {
+        let a = gen_program(&mut Rng::new(99), &GenConfig::extended());
+        let b = gen_program(&mut Rng::new(99), &GenConfig::extended());
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn lhs_is_subset_of_every_term() {
+        for seed in 0..100u64 {
+            let mut rng = Rng::new(0x5EED ^ seed);
+            let p = gen_program(&mut rng, &GenConfig::extended());
+            for stmt in &p.stmts {
+                for term in &stmt.terms {
+                    assert!(
+                        stmt.lhs.index_set().is_subset(term.index_set()),
+                        "seed {seed}: LHS not covered by term"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vars_declared_in_range_order() {
+        // The round-trip invariant: variable ids must already be grouped by
+        // range in declaration order.
+        for seed in 0..100u64 {
+            let mut rng = Rng::new(0xAB ^ seed);
+            let p = gen_program(&mut rng, &GenConfig::extended());
+            let mut last = None;
+            for v in p.space.vars() {
+                let r = p.space.range_of(v);
+                if let Some(prev) = last {
+                    assert!(r >= prev, "seed {seed}: vars interleaved across ranges");
+                }
+                last = Some(r);
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! `tce-fuzz` — seeded expression generation and pipeline-wide
+//! differential conformance checking.
+//!
+//! The paper's claim is that all six synthesis stages are
+//! semantics-preserving and cost-model-faithful.  This crate checks that
+//! claim *continuously* over the whole grammar instead of a handful of
+//! hand-picked expressions:
+//!
+//! 1. [`gen`] — a seeded (splitmix64, no external deps) generator of
+//!    well-formed programs: multiple ranges and index variables, shared
+//!    intermediates, accumulate statements, expensive-function factors;
+//! 2. [`checks`] — the invariant catalog: every executor (interpreter,
+//!    GETT tree executor at several thread counts and every SIMD kernel
+//!    variant, fused-slice executor, distributed sharded executor on each
+//!    configured grid) cross-checked against an independent einsum oracle
+//!    to ≤ 1e-10, plus model conformance (traced FLOPs == `Σ tree_ops`,
+//!    measured communication == `move_cost`/`reduce_cost`, measured peak
+//!    live-set == the memmin DP) and the unparse→parse round trip;
+//! 3. [`shrink`] — greedy structural minimization of failing programs
+//!    (drop statements/terms/factors, shrink extents, merge indices);
+//! 4. [`driver`] — the campaign loop tying it together, with
+//!    budget-independent per-case seeding and self-contained repro files.
+//!
+//! The `tce-fuzz` binary exposes campaigns on the command line;
+//! `tests/fuzz_conformance.rs` pins a fixed-seed smoke corpus into
+//! `cargo test`.
+
+pub mod checks;
+pub mod driver;
+pub mod gen;
+pub mod shrink;
+
+pub use checks::{
+    check_program, check_program_caught, CaseStats, CheckConfig, CheckKind, CheckSet, Failure,
+    Fault,
+};
+pub use driver::{
+    case_seed, gen_case, repro_source, run_campaign, run_campaign_with, CampaignReport,
+    CaseFailure, FuzzConfig,
+};
+pub use gen::{gen_program, GenConfig};
+pub use shrink::{max_operands, shrink, ShrinkResult};

@@ -1,0 +1,257 @@
+//! Automatic minimization of failing programs.
+//!
+//! Greedy fixed-point shrinking: each round tries a deterministic sequence
+//! of structural mutations (drop a statement, drop a term, drop a factor,
+//! shrink a range extent, merge two same-range index variables) and keeps
+//! the first mutation under which [`check_program`] still fails with the
+//! *same* [`CheckKind`].  Rounds repeat until no mutation applies or the
+//! attempt budget is exhausted.  The result is the small, self-contained
+//! repro a human actually wants to read.
+
+use tce_ir::{Factor, IndexSet, IndexVar, Program};
+
+use crate::checks::{check_program_caught, CheckConfig, CheckKind};
+
+/// Outcome of a shrink run.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The minimized program (still failing with the original kind).
+    pub program: Program,
+    /// Accepted mutations.
+    pub steps: usize,
+    /// Candidate programs evaluated (accepted + rejected).
+    pub attempts: usize,
+}
+
+/// Largest operand count (factors per term) anywhere in the program — the
+/// "N-operand repro" size.
+pub fn max_operands(program: &Program) -> usize {
+    program
+        .stmts
+        .iter()
+        .flat_map(|s| s.terms.iter())
+        .map(|t| t.factors.len())
+        .max()
+        .unwrap_or(0)
+}
+
+/// Minimize `program`, which must currently fail with `kind` under `ck`.
+pub fn shrink(
+    program: &Program,
+    kind: CheckKind,
+    ck: &CheckConfig,
+    max_attempts: usize,
+) -> ShrinkResult {
+    let mut current = program.clone();
+    let mut steps = 0;
+    let mut attempts = 0;
+    'rounds: loop {
+        for candidate in mutations(&current) {
+            if attempts >= max_attempts {
+                break 'rounds;
+            }
+            if candidate.validate().is_err() {
+                continue;
+            }
+            attempts += 1;
+            if matches!(check_program_caught(&candidate, ck), Err(f) if f.kind == kind) {
+                current = candidate;
+                steps += 1;
+                continue 'rounds;
+            }
+        }
+        break;
+    }
+    ShrinkResult {
+        program: current,
+        steps,
+        attempts,
+    }
+}
+
+/// Deterministic candidate stream for one shrink round, ordered from the
+/// most aggressive cut (whole statements) to the gentlest (index merges).
+fn mutations(p: &Program) -> Vec<Program> {
+    let mut out = Vec::new();
+
+    // Drop one statement (keep at least one).  Later readers of a dropped
+    // producer degrade into external inputs, which the harness binds.
+    if p.stmts.len() > 1 {
+        for si in (0..p.stmts.len()).rev() {
+            let mut q = p.clone();
+            q.stmts.remove(si);
+            out.push(q);
+        }
+    }
+
+    // Drop one term (keep at least one per statement).
+    for si in 0..p.stmts.len() {
+        if p.stmts[si].terms.len() > 1 {
+            for ti in (0..p.stmts[si].terms.len()).rev() {
+                let mut q = p.clone();
+                q.stmts[si].terms.remove(ti);
+                refresh_sum(&mut q, si);
+                out.push(q);
+            }
+        }
+    }
+
+    // Drop one factor (keep at least one per term).
+    for si in 0..p.stmts.len() {
+        for ti in 0..p.stmts[si].terms.len() {
+            if p.stmts[si].terms[ti].factors.len() > 1 {
+                for fi in (0..p.stmts[si].terms[ti].factors.len()).rev() {
+                    let mut q = p.clone();
+                    q.stmts[si].terms[ti].factors.remove(fi);
+                    refresh_sum(&mut q, si);
+                    out.push(q);
+                }
+            }
+        }
+    }
+
+    // Shrink a range extent toward 2 (straight to 2, then decrement).
+    for r in 0..p.space.num_ranges() {
+        let rid = tce_ir::RangeId(r as u16);
+        let e = p.space.range_extent(rid);
+        if e > 2 {
+            let mut q = p.clone();
+            q.space.set_extent(rid, 2);
+            out.push(q);
+            let mut q = p.clone();
+            q.space.set_extent(rid, e - 1);
+            out.push(q);
+        }
+    }
+
+    // Merge index variable v into an earlier same-range variable w
+    // (rewrite every use of v to w), skipping merges that would create a
+    // repeated index inside one reference.
+    let vars: Vec<IndexVar> = p.space.vars().collect();
+    for (i, &v) in vars.iter().enumerate() {
+        for &w in &vars[..i] {
+            if p.space.range_of(v) != p.space.range_of(w) {
+                continue;
+            }
+            if let Some(q) = merge_var(p, v, w) {
+                out.push(q);
+            }
+        }
+    }
+
+    out
+}
+
+/// Recompute a statement's summation set after structural edits:
+/// everything its terms use that is not on the LHS.
+fn refresh_sum(p: &mut Program, si: usize) {
+    let stmt = &mut p.stmts[si];
+    let union = stmt
+        .terms
+        .iter()
+        .fold(IndexSet::EMPTY, |s, t| s.union(t.index_set()));
+    stmt.sum_indices = union.minus(stmt.lhs.index_set());
+}
+
+/// Rewrite every use of `v` to `w`; `None` when any reference would end up
+/// with a repeated index.
+fn merge_var(p: &Program, v: IndexVar, w: IndexVar) -> Option<Program> {
+    let rewrite = |indices: &mut Vec<IndexVar>| -> bool {
+        if indices.contains(&v) && indices.contains(&w) {
+            return false;
+        }
+        for x in indices.iter_mut() {
+            if *x == v {
+                *x = w;
+            }
+        }
+        true
+    };
+    let mut q = p.clone();
+    let mut touched = false;
+    for si in 0..q.stmts.len() {
+        let stmt = &mut q.stmts[si];
+        if stmt.lhs.indices.contains(&v) {
+            if !rewrite(&mut stmt.lhs.indices) {
+                return None;
+            }
+            touched = true;
+        }
+        for term in &mut stmt.terms {
+            for factor in &mut term.factors {
+                let idxs = match factor {
+                    Factor::Tensor(r) => &mut r.indices,
+                    Factor::Func(f) => &mut f.indices,
+                };
+                if idxs.contains(&v) {
+                    if !rewrite(idxs) {
+                        return None;
+                    }
+                    touched = true;
+                }
+            }
+        }
+    }
+    if !touched {
+        return None;
+    }
+    for si in 0..q.stmts.len() {
+        refresh_sum(&mut q, si);
+    }
+    Some(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checks::{CheckKind, Failure};
+    use crate::gen::{gen_program, GenConfig};
+    use tce_ir::rng::Rng;
+
+    #[test]
+    fn mutations_keep_programs_valid_or_are_skipped() {
+        for seed in 0..40u64 {
+            let p = gen_program(&mut Rng::new(seed), &GenConfig::extended());
+            for q in mutations(&p) {
+                // Mutations may produce invalid programs (the shrinker
+                // skips those); valid ones must keep the core invariants.
+                if q.validate().is_ok() {
+                    for stmt in &q.stmts {
+                        assert!(stmt.sum_indices.is_disjoint(stmt.lhs.index_set()));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_var_rejects_diagonals() {
+        // A program where both vars appear in one reference: merging them
+        // would create a repeated index, so the mutation must bail.
+        let src = "
+            range r0 = 3;
+            index x0, x1 : r0;
+            tensor t0(r0, r0); tensor t1(r0, r0);
+            t1[x0,x1] = t0[x0,x1];
+        ";
+        let p = tce_lang::compile(src).unwrap();
+        let v0 = p.space.var_by_name("x0").unwrap();
+        let v1 = p.space.var_by_name("x1").unwrap();
+        assert!(merge_var(&p, v1, v0).is_none());
+    }
+
+    #[test]
+    fn shrink_is_a_noop_on_nonreproducing_kind() {
+        // If no mutation reproduces the kind, the original comes back.
+        let p = gen_program(&mut Rng::new(3), &GenConfig::default());
+        let ck = CheckConfig::default();
+        // NonFinite never fires on well-formed generated data.
+        let r = shrink(&p, CheckKind::NonFinite, &ck, 50);
+        assert_eq!(r.steps, 0);
+        assert_eq!(format!("{:?}", r.program.stmts), format!("{:?}", p.stmts));
+        let _ = Failure {
+            kind: CheckKind::NonFinite,
+            detail: String::new(),
+        };
+    }
+}

@@ -15,6 +15,67 @@ pub struct Rng {
     state: u64,
 }
 
+/// One stateless splitmix64 step: hash `x` to a decorrelated 64-bit value.
+/// Used to derive independent sub-seeds (per test case, per tensor) from a
+/// single campaign seed without sharing generator state.
+pub fn split_seed(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The seed a property test should run with: the `TCE_TEST_SEED`
+/// environment variable (decimal or `0x`-prefixed hex) when set and
+/// parseable, otherwise `default`.  Lets any CI failure be reproduced
+/// locally with `TCE_TEST_SEED=<seed> cargo test <name>`.
+pub fn seed_from_env(default: u64) -> u64 {
+    match std::env::var("TCE_TEST_SEED") {
+        Ok(text) => {
+            let text = text.trim();
+            let parsed =
+                if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+                    u64::from_str_radix(hex, 16)
+                } else {
+                    text.parse()
+                };
+            parsed.unwrap_or(default)
+        }
+        Err(_) => default,
+    }
+}
+
+/// Prints the active seed to stderr if the owning test thread panics, so a
+/// failing randomized test always names the seed that reproduces it.
+///
+/// ```ignore
+/// let seed = seed_from_env(0xb001);
+/// let _guard = SeedGuard::new("opmin_property", seed);
+/// let mut rng = Rng::new(seed);
+/// ```
+pub struct SeedGuard {
+    label: &'static str,
+    seed: u64,
+}
+
+impl SeedGuard {
+    /// Guard announcing `label` and `seed` on panic.
+    pub fn new(label: &'static str, seed: u64) -> Self {
+        Self { label, seed }
+    }
+}
+
+impl Drop for SeedGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "note: `{}` failed with seed {:#x} ({}); rerun with TCE_TEST_SEED={}",
+                self.label, self.seed, self.seed, self.seed
+            );
+        }
+    }
+}
+
 impl Rng {
     /// Generator seeded with `seed`; equal seeds give equal streams.
     pub fn new(seed: u64) -> Self {
@@ -123,6 +184,34 @@ mod tests {
             seen[rng.usize_in(0..8)] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn seed_env_parsing() {
+        // The env var is process-global; exercise every branch in one test
+        // to avoid racing parallel test threads on it.
+        std::env::remove_var("TCE_TEST_SEED");
+        assert_eq!(seed_from_env(7), 7);
+        std::env::set_var("TCE_TEST_SEED", "123");
+        assert_eq!(seed_from_env(7), 123);
+        std::env::set_var("TCE_TEST_SEED", " 0xBEEF ");
+        assert_eq!(seed_from_env(7), 0xBEEF);
+        std::env::set_var("TCE_TEST_SEED", "not-a-number");
+        assert_eq!(seed_from_env(7), 7);
+        std::env::remove_var("TCE_TEST_SEED");
+    }
+
+    #[test]
+    fn split_seed_decorrelates() {
+        let a = split_seed(1);
+        let b = split_seed(2);
+        assert_ne!(a, b);
+        assert_eq!(split_seed(1), a);
+    }
+
+    #[test]
+    fn seed_guard_is_silent_without_panic() {
+        let _g = SeedGuard::new("quiet", 42);
     }
 
     #[test]

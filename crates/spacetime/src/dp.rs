@@ -20,7 +20,7 @@
 use crate::pareto::Pareto;
 use std::collections::HashMap;
 use tce_fusion::config::{fusable_set, is_fusable_producer};
-use tce_fusion::nest::{derive_child_states, encode_state, NestState};
+use tce_fusion::nest::{derive_child_state_options, encode_state, NestState};
 use tce_ir::{IndexSet, IndexSpace, NodeId, OpKind, OpTree};
 
 /// A fusion/recomputation configuration: per node, the fused and redundant
@@ -171,26 +171,29 @@ pub fn spacetime_dp(
                 let (l, r) = (*left, *right);
                 for (c1, r1) in edge_labels(tree, l, u) {
                     for (c2, r2) in edge_labels(tree, r, u) {
-                        // Legality over the structural labels c ∪ r.
-                        let Some((s1, s2)) = derive_child_states(state, c1.union(r1), c2.union(r2))
-                        else {
-                            continue;
-                        };
-                        // Children see only the fused part of their label;
-                        // redundant loops are transparent below.
-                        let s1 = strip_transparent(&s1, c1);
-                        let s2 = strip_transparent(&s2, c2);
-                        let f1 = space.iteration_points(r1).max(1);
-                        let f2 = space.iteration_points(r2).max(1);
-                        let p1 = solve(tree, space, memo, l, &s1, max_points);
-                        let p2 = solve(tree, space, memo, r, &s2, max_points);
-                        for a in p1.points() {
-                            for b in p2.points() {
-                                let mem = own_mem.saturating_add(a.mem).saturating_add(b.mem);
-                                let ops = own_ops
-                                    .saturating_add(f1.saturating_mul(a.ops))
-                                    .saturating_add(f2.saturating_mul(b.ops));
-                                out.insert(mem, ops, (c1, r1, c2, r2));
+                        // Legality over the structural labels c ∪ r; a
+                        // label pair can admit several nesting refinements
+                        // (shared classes ordered at this node), each a
+                        // separate DP branch.
+                        for (s1, s2) in
+                            derive_child_state_options(state, c1.union(r1), c2.union(r2))
+                        {
+                            // Children see only the fused part of their
+                            // label; redundant loops are transparent below.
+                            let s1 = strip_transparent(&s1, c1);
+                            let s2 = strip_transparent(&s2, c2);
+                            let f1 = space.iteration_points(r1).max(1);
+                            let f2 = space.iteration_points(r2).max(1);
+                            let p1 = solve(tree, space, memo, l, &s1, max_points);
+                            let p2 = solve(tree, space, memo, r, &s2, max_points);
+                            for a in p1.points() {
+                                for b in p2.points() {
+                                    let mem = own_mem.saturating_add(a.mem).saturating_add(b.mem);
+                                    let ops = own_ops
+                                        .saturating_add(f1.saturating_mul(a.ops))
+                                        .saturating_add(f2.saturating_mul(b.ops));
+                                    out.insert(mem, ops, (c1, r1, c2, r2));
+                                }
                             }
                         }
                     }
@@ -321,27 +324,36 @@ fn trace(
         let own_ops = tree.node_ops(u, space);
         let f1 = space.iteration_points(r1).max(1);
         let f2 = space.iteration_points(r2).max(1);
-        let (s1, s2) = derive_child_states(state, c1.union(r1), c2.union(r2)).ok_or_else(|| {
-            format!(
+        let candidates = derive_child_state_options(state, c1.union(r1), c2.union(r2));
+        if candidates.is_empty() {
+            return Err(format!(
                 "spacetime traceback: chosen labels not derivable at node #{}",
                 u.0
-            )
-        })?;
-        let (s1, s2) = (strip(&s1, c1), strip(&s2, c2));
-        // Find the child points consistent with this total.
-        let p1 = &memo[&(left.0, encode_state(&s1))];
-        let p2 = &memo[&(right.0, encode_state(&s2))];
-        for a in p1.points() {
-            for b in p2.points() {
-                if own_mem.saturating_add(a.mem).saturating_add(b.mem) == mem
-                    && own_ops
-                        .saturating_add(f1.saturating_mul(a.ops))
-                        .saturating_add(f2.saturating_mul(b.ops))
-                        == ops
-                {
-                    trace(tree, space, memo, left, &s1, r1, a.mem, a.ops, cfg)?;
-                    trace(tree, space, memo, right, &s2, r2, b.mem, b.ops, cfg)?;
-                    return Ok(());
+            ));
+        }
+        // The tag records the labels but not which nesting refinement the
+        // point came from; try each candidate against the memo.
+        for (s1, s2) in candidates {
+            let (s1, s2) = (strip(&s1, c1), strip(&s2, c2));
+            let (Some(p1), Some(p2)) = (
+                memo.get(&(left.0, encode_state(&s1))),
+                memo.get(&(right.0, encode_state(&s2))),
+            ) else {
+                continue;
+            };
+            // Find the child points consistent with this total.
+            for a in p1.points() {
+                for b in p2.points() {
+                    if own_mem.saturating_add(a.mem).saturating_add(b.mem) == mem
+                        && own_ops
+                            .saturating_add(f1.saturating_mul(a.ops))
+                            .saturating_add(f2.saturating_mul(b.ops))
+                            == ops
+                    {
+                        trace(tree, space, memo, left, &s1, r1, a.mem, a.ops, cfg)?;
+                        trace(tree, space, memo, right, &s2, r2, b.mem, b.ops, cfg)?;
+                        return Ok(());
+                    }
                 }
             }
         }

@@ -42,9 +42,19 @@ fn a3a(v: usize, o: usize, ci: u64) -> (IndexSpace, TensorTable, OpTree) {
     (space, tensors, tree)
 }
 
+/// Debug builds run a reduced sweep (the tiling search under unoptimized
+/// code dominates the whole workspace's debug test time); release keeps
+/// the full 8-seed × 6-limit sweep.
+const SEEDS: u64 = if cfg!(debug_assertions) { 3 } else { 8 };
+const LIMITS: &[u128] = if cfg!(debug_assertions) {
+    &[2, 8, 4096]
+} else {
+    &[2, 4, 8, 16, 64, 4096]
+};
+
 #[test]
 fn optimized_configs_match_untiled_oracle_on_random_extents() {
-    for seed in 0..8u64 {
+    for seed in 0..SEEDS {
         let mut rng = Rng::new(seed);
         let v = rng.usize_in(2..5);
         let o = rng.usize_in(2..4);
@@ -66,7 +76,7 @@ fn optimized_configs_match_untiled_oracle_on_random_extents() {
         let baseline_ops = tree.total_ops(&space);
 
         let mut found_feasible = 0usize;
-        for limit in [2u128, 4, 8, 16, 64, 4096] {
+        for &limit in LIMITS {
             let Some((cfg, tiling)) = spacetime_optimize(&tree, &space, limit).unwrap() else {
                 continue;
             };

@@ -157,6 +157,79 @@ fn fused_execution_reports_exact_peak_live_set() {
 }
 
 #[test]
+fn comm_volume_mismatch_exits_nonzero() {
+    // When measured communication diverges from the cost model the CLI
+    // must flag the line as a MISMATCH *and* exit nonzero — exact model
+    // conformance is part of the contract, not a cosmetic report.  The
+    // divergence is injected via the hidden TCE_FAULT_INJECT test hook.
+    let out = tce()
+        .args([&spec("ccsd_section2.tce"), "--distributed", "--grid", "2x2"])
+        .env("TCE_FAULT_INJECT", "comm")
+        .output()
+        .expect("spawn tce");
+    assert!(
+        !out.status.success(),
+        "comm mismatch must exit nonzero, got {:?}",
+        out.status
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stdout.contains("MISMATCH"),
+        "mismatch not reported:\n{stdout}"
+    );
+    assert!(
+        stderr.contains("diverged from the cost model"),
+        "missing diagnostic:\n{stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "panicked:\n{stderr}");
+}
+
+#[test]
+fn peak_live_set_mismatch_exits_nonzero() {
+    let out = tce()
+        .args([&spec("ccsd_section2.tce"), "--fused"])
+        .env("TCE_FAULT_INJECT", "liveset")
+        .output()
+        .expect("spawn tce");
+    assert!(
+        !out.status.success(),
+        "live-set mismatch must exit nonzero, got {:?}",
+        out.status
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stdout.contains("MISMATCH"),
+        "mismatch not reported:\n{stdout}"
+    );
+    assert!(
+        stderr.contains("diverged from the memmin model"),
+        "missing diagnostic:\n{stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "panicked:\n{stderr}");
+}
+
+#[test]
+fn fault_hook_does_not_affect_other_modes() {
+    // The hook only touches the branch it names: a fused run under
+    // `comm` and a distributed run under `liveset` still pass exactly.
+    let out = tce()
+        .args([&spec("ccsd_section2.tce"), "--fused"])
+        .env("TCE_FAULT_INJECT", "comm")
+        .output()
+        .expect("spawn tce");
+    assert!(out.status.success());
+    let out = tce()
+        .args([&spec("ccsd_section2.tce"), "--distributed", "--grid", "2x2"])
+        .env("TCE_FAULT_INJECT", "liveset")
+        .output()
+        .expect("spawn tce");
+    assert!(out.status.success());
+    assert!(!String::from_utf8_lossy(&out.stdout).contains("MISMATCH"));
+}
+
+#[test]
 fn fused_and_sequential_sums_agree() {
     let run = |extra: &[&str]| {
         let mut args = vec![spec("ccsd_section2.tce"), "--execute".to_string()];

@@ -1,6 +1,10 @@
 //! Property-based tests: every transformation in the framework is
 //! semantics-preserving and every optimizer matches its oracle, on
 //! randomized instances drawn from the workspace's seeded [`Rng`].
+//!
+//! Set `TCE_TEST_SEED` (decimal or `0x` hex) to replay every property
+//! test under a different campaign seed; the active seed is printed when
+//! a test fails.
 
 use std::collections::HashMap;
 use tce_core::exec::{Interpreter, NoSink};
@@ -9,6 +13,7 @@ use tce_core::fusion::{
     memmin_dp, FusionConfig,
 };
 use tce_core::ir::rng::Rng;
+use tce_core::ir::rng::{seed_from_env, SeedGuard};
 use tce_core::ir::{
     IndexSet, IndexSpace, IndexVar, Leaf, NodeId, OpTree, TensorDecl, TensorId, TensorTable,
 };
@@ -121,7 +126,9 @@ fn make_data(p: &RandomProblem, seed: u64) -> Vec<Tensor> {
 /// the optimized tree evaluates to the same values as the reference.
 #[test]
 fn opmin_is_exact_and_semantics_preserving() {
-    let mut rng = Rng::new(0xb001);
+    let seed = seed_from_env(0xb001);
+    let _guard = SeedGuard::new("opmin_is_exact_and_semantics_preserving", seed);
+    let mut rng = Rng::new(seed);
     for _ in 0..48 {
         let p = arb_problem(&mut rng);
         let seed = rng.u64_in(0..1000);
@@ -155,7 +162,9 @@ fn opmin_is_exact_and_semantics_preserving() {
 /// temporaries.
 #[test]
 fn memmin_is_exact_and_fused_code_is_correct() {
-    let mut rng = Rng::new(0xb002);
+    let seed = seed_from_env(0xb002);
+    let _guard = SeedGuard::new("memmin_is_exact_and_fused_code_is_correct", seed);
+    let mut rng = Rng::new(seed);
     for _ in 0..48 {
         let p = arb_problem(&mut rng);
         let seed = rng.u64_in(0..1000);
@@ -190,7 +199,9 @@ fn memmin_is_exact_and_fused_code_is_correct() {
 /// with the paper's global chain-scope condition.
 #[test]
 fn every_legal_config_is_executable() {
-    let mut rng = Rng::new(0xb003);
+    let seed = seed_from_env(0xb003);
+    let _guard = SeedGuard::new("every_legal_config_is_executable", seed);
+    let mut rng = Rng::new(seed);
     for _ in 0..48 {
         let p = arb_problem(&mut rng);
         let seed = rng.u64_in(0..1000);
@@ -228,7 +239,9 @@ fn every_legal_config_is_executable() {
 /// also fail the global chain condition.
 #[test]
 fn illegal_configs_rejected_by_both_checks() {
-    let mut rng = Rng::new(0xb004);
+    let seed = seed_from_env(0xb004);
+    let _guard = SeedGuard::new("illegal_configs_rejected_by_both_checks", seed);
+    let mut rng = Rng::new(seed);
     for _ in 0..48 {
         let p = arb_problem(&mut rng);
         let picks: Vec<u64> = (0..8).map(|_| rng.u64_in(0..64)).collect();
@@ -269,7 +282,9 @@ fn illegal_configs_rejected_by_both_checks() {
 #[test]
 fn func_leaf_problems_are_semantics_preserving() {
     use tce_core::tensor::IntegralFn;
-    let mut rng = Rng::new(0xb005);
+    let seed = seed_from_env(0xb005);
+    let _guard = SeedGuard::new("func_leaf_problems_are_semantics_preserving", seed);
+    let mut rng = Rng::new(seed);
     for _ in 0..32 {
         let p = arb_problem(&mut rng);
         let fn_mask = rng.u64_in(1..8) as u8;
