@@ -5,6 +5,7 @@
 //!              [--word-cost N] [--execute] [--fused] [--distributed]
 //!              [--seed S] [--threads T] [--trace OUT.json]
 //!              [--kernel scalar|sse2|avx2]
+//! tce serve [--addr HOST:PORT] [--workers N] [--queue N] [--timeout-ms N]
 //! ```
 //!
 //! Reads a tensor-contraction specification, runs the full optimization
@@ -25,14 +26,16 @@
 //! communication volumes.  `--fused` (implies `--execute`) runs every
 //! term through the fused-slice executor at its memory-minimization
 //! configuration and prints the measured vs. modeled peak intermediate
-//! live-set, failing if they differ.
+//! live-set, failing if they differ.  `tce serve` starts the concurrent
+//! compile-and-execute service (see `tce_serve` and `tce_core::serve`):
+//! one warm process answering line-protocol requests with the same
+//! result lines the one-shot `--execute` path prints.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 use tce_core::dist::Machine;
 use tce_core::locality::MemoryHierarchy;
 use tce_core::par::ProcessorGrid;
-use tce_core::tensor::{IntegralFn, Tensor};
 use tce_core::{synthesize, ExecOptions, SynthesisConfig};
 
 struct Args {
@@ -165,7 +168,122 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+fn serve_args() -> Result<tce_serve::ServeConfig, String> {
+    let mut cfg = tce_serve::ServeConfig {
+        addr: "127.0.0.1:7470".to_string(),
+        workers: tce_core::par::default_threads(),
+        ..tce_serve::ServeConfig::default()
+    };
+    let mut it = std::env::args().skip(2);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => cfg.addr = it.next().ok_or("--addr needs HOST:PORT")?,
+            "--workers" => {
+                let w: usize = it
+                    .next()
+                    .ok_or("--workers needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?;
+                if w == 0 {
+                    return Err("--workers must be at least 1".to_string());
+                }
+                cfg.workers = w;
+            }
+            "--queue" => {
+                let q: usize = it
+                    .next()
+                    .ok_or("--queue needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --queue: {e}"))?;
+                if q == 0 {
+                    return Err("--queue must be at least 1".to_string());
+                }
+                cfg.queue_cap = q;
+            }
+            "--timeout-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .ok_or("--timeout-ms needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --timeout-ms: {e}"))?;
+                if ms == 0 {
+                    return Err("--timeout-ms must be at least 1".to_string());
+                }
+                cfg.timeout = std::time::Duration::from_millis(ms);
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: tce serve [--addr HOST:PORT] [--workers N] [--queue N]                      [--timeout-ms N]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown serve argument `{other}` (try --help)")),
+        }
+    }
+    Ok(cfg)
+}
+
+/// Validate every numeric environment knob before any work: a typo'd
+/// `TCE_THREADS=banana` or degenerate `TCE_PLAN_CACHE_CAP=0` is a
+/// one-line diagnostic and a nonzero exit, not a silent clamp or a panic
+/// inside the first contraction.
+fn validate_env() -> Result<(), String> {
+    tce_core::par::threads_env_requested()?;
+    tce_core::tensor::plan_cache_env_requested()?;
+    Ok(())
+}
+
+fn serve_main() -> ExitCode {
+    let cfg = match serve_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = validate_env() {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = tce_core::tensor::kernels::env_requested() {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    tce_serve::server::install_sigterm_drain();
+    let handler = std::sync::Arc::new(tce_core::serve::PipelineHandler::default());
+    let server = match tce_serve::Server::bind(&cfg, handler) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {}: {e}", cfg.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    // The OS-resolved address on its own line so scripts (and the CI
+    // smoke job) can parse the port when `--addr` used port 0.
+    println!("tce-serve listening on {}", server.local_addr());
+    println!(
+        "  {} workers, queue {}, timeout {:?}",
+        cfg.workers, cfg.queue_cap, cfg.timeout
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let handle = server.spawn();
+    let final_stats = handle.join();
+    println!(
+        "tce-serve drained (served {}, errors {}, shed {}, timeouts {}, panics {})",
+        final_stats.served,
+        final_stats.errors,
+        final_stats.shed,
+        final_stats.timeouts,
+        final_stats.panics
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
+    if std::env::args().nth(1).as_deref() == Some("serve") {
+        return serve_main();
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
@@ -173,6 +291,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Err(e) = validate_env() {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
     // Apply --kernel (CPUID-checked), then validate TCE_KERNEL up front
     // so a bad value is a one-line diagnostic, not a panic inside the
     // first contraction.
@@ -221,51 +343,12 @@ fn main() -> ExitCode {
     }
 
     if args.execute {
-        // Bind every tensor that is read before it is written.
-        let mut written: Vec<bool> = vec![false; syn.program.tensors.len()];
-        let mut needed: Vec<tce_core::ir::TensorId> = Vec::new();
-        for stmt in &syn.program.stmts {
-            for term in &stmt.terms {
-                for f in &term.factors {
-                    if let tce_core::ir::Factor::Tensor(r) = f {
-                        if !written[r.tensor.0 as usize] && !needed.contains(&r.tensor) {
-                            needed.push(r.tensor);
-                        }
-                    }
-                }
-            }
-            written[stmt.lhs.tensor.0 as usize] = true;
-        }
-        let mut owned: Vec<(tce_core::ir::TensorId, Tensor)> = Vec::new();
-        for id in needed {
-            let decl = syn.program.tensors.get(id);
-            let shape: Vec<usize> = decl
-                .dims
-                .iter()
-                .map(|&r| syn.program.space.range_extent(r))
-                .collect();
-            owned.push((id, Tensor::random(&shape, args.seed ^ id.0 as u64)));
-        }
+        // Bind deterministic inputs and integrals via the same helpers
+        // `tce serve` uses, so served answers diff clean against this
+        // one-shot path.
+        let owned = tce_core::serve::bind_random_inputs(&syn, args.seed);
         let inputs: HashMap<_, _> = owned.iter().map(|(id, t)| (*id, t)).collect();
-        // Bind every declared function with a deterministic integral.
-        let mut funcs: HashMap<String, IntegralFn> = HashMap::new();
-        for plan in &syn.plans {
-            for node in &plan.tree.nodes {
-                if let tce_core::ir::OpKind::Leaf(tce_core::ir::Leaf::Func {
-                    name,
-                    cost_per_eval,
-                    ..
-                }) = &node.kind
-                {
-                    let seed = name
-                        .bytes()
-                        .fold(args.seed, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
-                    funcs
-                        .entry(name.clone())
-                        .or_insert_with(|| IntegralFn::new(*cost_per_eval, seed));
-                }
-            }
-        }
+        let funcs = tce_core::serve::bind_functions(&syn, args.seed);
 
         let opts = match args.threads {
             Some(t) => ExecOptions::with_threads(t),
@@ -375,17 +458,7 @@ fn main() -> ExitCode {
                 }
             }
         };
-        let mut ordered: Vec<_> = results.iter().collect();
-        ordered.sort_by_key(|(id, _)| id.0);
-        for (id, t) in ordered {
-            let name = &syn.program.tensors.get(*id).name;
-            println!(
-                "  {name}: shape {:?}, |sum| = {:.6e}",
-                t.shape(),
-                t.sum().abs()
-            );
-        }
-        println!("OK");
+        println!("{}", tce_core::serve::format_results(&syn, &results));
     }
 
     if let Some(path) = &args.trace {

@@ -24,6 +24,7 @@
 
 pub mod pipeline;
 pub mod scenarios;
+pub mod serve;
 
 pub use pipeline::{
     synthesize, synthesize_program, CseSummary, DistExecSummary, FusedExecSummary, FusedTermReport,
@@ -41,5 +42,6 @@ pub use tce_locality as locality;
 pub use tce_loops as loops;
 pub use tce_opmin as opmin;
 pub use tce_par as par;
+pub use tce_serve as serving;
 pub use tce_spacetime as spacetime;
 pub use tce_tensor as tensor;

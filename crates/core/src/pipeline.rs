@@ -379,7 +379,7 @@ impl Synthesis {
                     Some(dist) => {
                         let report = tce_exec::execute_tree_distributed(
                             &plan.tree, space, dist, machine, &inputs, funcs, opts,
-                        );
+                        )?;
                         summary.moved_elements += report.moved_elements;
                         summary.predicted_move_elements += report.predicted_move_elements;
                         summary.reduce_words += report.reduce_words;

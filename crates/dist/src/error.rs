@@ -1,0 +1,58 @@
+//! Typed errors for the distributed executors.
+//!
+//! The sharded executor ([`crate::exec`]) and the element-wise simulator
+//! ([`crate::sim`]) walk an operator tree against a [`crate::dp::DistPlan`];
+//! a malformed pairing — a plan that does not assign every contraction, a
+//! missing input or function binding — used to be an `unwrap()` panic deep
+//! in the walk.  It now surfaces as a [`DistError`], which `tce-exec`
+//! converts into its `ExecError` so the pipeline and CLI report it as a
+//! one-line diagnostic (the panic-to-error convention from the fused-slice
+//! executor).
+
+use std::fmt;
+use tce_ir::TensorId;
+
+/// A failure while executing or simulating a distribution plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistError {
+    /// No tensor was bound for an input leaf.
+    MissingInput {
+        /// Id of the unbound input tensor (tce-dist has no name table).
+        tensor: TensorId,
+    },
+    /// No implementation was bound for a function leaf.
+    MissingFunction {
+        /// Name of the unbound function.
+        name: String,
+    },
+    /// The plan does not assign a (γ, reduce-mode) pair to a contraction
+    /// node of the tree.
+    UnassignedContraction {
+        /// Flat node id within the operator tree.
+        node: u32,
+    },
+    /// The plan does not assign a result distribution to the tree root.
+    UnassignedRoot,
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::MissingInput { tensor } => {
+                write!(f, "no binding for input tensor id {}", tensor.0)
+            }
+            DistError::MissingFunction { name } => {
+                write!(f, "no binding for function `{name}`")
+            }
+            DistError::UnassignedContraction { node } => write!(
+                f,
+                "distribution plan assigns no (γ, mode) to contraction node {node}"
+            ),
+            DistError::UnassignedRoot => {
+                write!(f, "distribution plan assigns no distribution to the root")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistError {}

@@ -32,6 +32,7 @@
 
 use crate::cost::{after_reduction, move_cost, reduce_cost, ReduceMode};
 use crate::dp::{DistPlan, Machine};
+use crate::error::DistError;
 use crate::tuple::{DistEntry, DistTuple};
 use std::collections::HashMap;
 use std::ops::Range;
@@ -574,10 +575,10 @@ impl Ctx<'_> {
     }
 
     /// Compute node `u`'s value sharded as `alpha`.
-    fn eval(&mut self, u: NodeId, alpha: &DistTuple) -> ShardedTensor {
+    fn eval(&mut self, u: NodeId, alpha: &DistTuple) -> Result<ShardedTensor, DistError> {
         let grid = &self.machine.grid;
         let indices = self.tree.node(u).indices;
-        match &self.tree.node(u).kind {
+        Ok(match &self.tree.node(u).kind {
             OpKind::Leaf(Leaf::One) => {
                 let tuple = alpha.normalize(IndexSet::EMPTY);
                 let shards = grid
@@ -598,7 +599,10 @@ impl Ctx<'_> {
                 tensor,
                 indices: dims,
             }) => {
-                let global = *self.inputs.get(tensor).expect("input binding");
+                let global = *self
+                    .inputs
+                    .get(tensor)
+                    .ok_or(DistError::MissingInput { tensor: *tensor })?;
                 if alpha.no_replicate(indices) {
                     // Stored inputs start in any non-replicated layout for
                     // free.
@@ -620,7 +624,10 @@ impl Ctx<'_> {
             }) => {
                 // Computed in place under α: replicas recompute, no
                 // communication.
-                let f = self.funcs.get(name).expect("function binding");
+                let f = self
+                    .funcs
+                    .get(name)
+                    .ok_or_else(|| DistError::MissingFunction { name: name.clone() })?;
                 let p = grid.num_processors();
                 let results: Vec<(Option<Tensor>, u128)> =
                     parallel_map(p, self.threads.min(p), |id| {
@@ -655,11 +662,11 @@ impl Ctx<'_> {
                 let (l, r) = (*left, *right);
                 let (gamma, mode) = self.plan.node_gamma[u.0 as usize]
                     .clone()
-                    .expect("plan assigns every contraction");
+                    .ok_or(DistError::UnassignedContraction { node: u.0 })?;
                 let child_l = gamma.project(self.tree.node(l).indices);
                 let child_r = gamma.project(self.tree.node(r).indices);
-                let lv = self.eval(l, &child_l);
-                let rv = self.eval(r, &child_r);
+                let lv = self.eval(l, &child_l)?;
+                let rv = self.eval(r, &child_r)?;
                 let out_dims: Vec<IndexVar> = indices.iter().collect();
                 let (mut value, flops) = contract_sharded(
                     &lv,
@@ -682,7 +689,7 @@ impl Ctx<'_> {
                     reduce_partial_sums(&mut value, sums, self.space, &self.machine.grid, mode);
                 self.account_redistribute(&value, alpha)
             }
-        }
+        })
     }
 }
 
@@ -692,6 +699,10 @@ impl Ctx<'_> {
 /// blocks between shard buffers, and distributed summation indices are
 /// combined with a reduction tree.  The root value is gathered and
 /// returned together with measured-vs-predicted communication volumes.
+///
+/// # Errors
+/// [`DistError`] when a binding is missing or the plan does not cover the
+/// tree (previously a panic deep in the walk).
 #[allow(clippy::too_many_arguments)]
 pub fn execute_plan_sharded(
     tree: &OpTree,
@@ -701,11 +712,11 @@ pub fn execute_plan_sharded(
     inputs: &HashMap<TensorId, &Tensor>,
     funcs: &HashMap<String, IntegralFn>,
     threads: usize,
-) -> ShardExecReport {
+) -> Result<ShardExecReport, DistError> {
     let _span = tce_trace::span("dist.exec");
     let root_alpha = plan.node_dist[tree.root.0 as usize]
         .clone()
-        .expect("root assigned");
+        .ok_or(DistError::UnassignedRoot)?;
     let mut ctx = Ctx {
         tree,
         space,
@@ -721,9 +732,9 @@ pub fn execute_plan_sharded(
         redistributions: 0,
         per_rank_flops: vec![0; machine.grid.num_processors()],
     };
-    let sharded = ctx.eval(tree.root, &root_alpha);
+    let sharded = ctx.eval(tree.root, &root_alpha)?;
     let result = gather(&sharded, space, &machine.grid);
-    ShardExecReport {
+    Ok(ShardExecReport {
         result,
         moved_elements: ctx.moved,
         predicted_move_elements: ctx.predicted,
@@ -731,7 +742,7 @@ pub fn execute_plan_sharded(
         predicted_reduce_words: ctx.predicted_reduce,
         redistributions: ctx.redistributions,
         per_rank_flops: ctx.per_rank_flops,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -29,12 +29,14 @@
 
 pub mod cost;
 pub mod dp;
+pub mod error;
 pub mod exec;
 pub mod sim;
 pub mod tuple;
 
 pub use cost::{after_reduction, calc_cost, move_cost, reduce_cost, ReduceMode};
 pub use dp::{optimize_distribution, state_count, DistPlan, Machine};
+pub use error::DistError;
 pub use exec::{
     contract_sharded, execute_plan_sharded, gather, redistribute, reduce_partial_sums, scatter,
     ShardExecReport, ShardedTensor,

@@ -10,6 +10,7 @@
 //! model predicts communication volume and per-processor work, and this
 //! module is the ground truth those predictions are checked against.
 
+use crate::error::DistError;
 use crate::tuple::{DistEntry, DistTuple};
 use std::collections::HashSet;
 use tce_ir::{IndexSet, IndexSpace, IndexVar};
@@ -177,6 +178,10 @@ pub struct PlanSimReport {
 /// redistribution along the plan is counted both element-by-element and
 /// with the closed-form model, and the assembled result is returned for
 /// comparison against a sequential execution.
+///
+/// # Errors
+/// [`DistError`] when a binding is missing or the plan does not cover the
+/// tree (previously a panic deep in the walk).
 pub fn simulate_plan(
     tree: &tce_ir::OpTree,
     space: &IndexSpace,
@@ -184,7 +189,7 @@ pub fn simulate_plan(
     machine: &crate::dp::Machine,
     inputs: &std::collections::HashMap<tce_ir::TensorId, &Tensor>,
     funcs: &std::collections::HashMap<String, tce_tensor::IntegralFn>,
-) -> PlanSimReport {
+) -> Result<PlanSimReport, DistError> {
     use crate::cost::{after_reduction, move_cost};
     use tce_ir::{Leaf, NodeId, OpKind};
 
@@ -212,15 +217,19 @@ pub fn simulate_plan(
     }
 
     /// Compute node `u`'s value with its result distributed as `alpha`.
-    fn eval(ctx: &mut Ctx, u: NodeId, alpha: &DistTuple) -> Tensor {
+    fn eval(ctx: &mut Ctx, u: NodeId, alpha: &DistTuple) -> Result<Tensor, DistError> {
         let indices = ctx.tree.node(u).indices;
-        match &ctx.tree.node(u).kind {
+        Ok(match &ctx.tree.node(u).kind {
             OpKind::Leaf(Leaf::One) => Tensor::from_elem(&[], 1.0),
             OpKind::Leaf(Leaf::Input {
                 tensor,
                 indices: dims,
             }) => {
-                let value = (*ctx.inputs.get(tensor).expect("input binding")).clone();
+                let value = (*ctx
+                    .inputs
+                    .get(tensor)
+                    .ok_or(DistError::MissingInput { tensor: *tensor })?)
+                .clone();
                 if !alpha.no_replicate(indices) {
                     // Broadcast from the recorded non-replicated source.
                     let beta = ctx.plan.node_input_source[u.0 as usize]
@@ -236,7 +245,10 @@ pub fn simulate_plan(
                 ..
             }) => {
                 // Computed in place (replicas recompute): no communication.
-                let f = ctx.funcs.get(name).expect("function binding");
+                let f = ctx
+                    .funcs
+                    .get(name)
+                    .ok_or_else(|| DistError::MissingFunction { name: name.clone() })?;
                 let shape: Vec<usize> = dims.iter().map(|&v| ctx.space.extent(v)).collect();
                 Tensor::from_fn(&shape, |idx| f.eval(idx))
             }
@@ -244,11 +256,11 @@ pub fn simulate_plan(
                 let (l, r) = (*left, *right);
                 let (gamma, mode) = ctx.plan.node_gamma[u.0 as usize]
                     .clone()
-                    .expect("plan assigns every contraction");
+                    .ok_or(DistError::UnassignedContraction { node: u.0 })?;
                 let child_l = gamma.project(ctx.tree.node(l).indices);
                 let child_r = gamma.project(ctx.tree.node(r).indices);
-                let lv = eval(ctx, l, &child_l);
-                let rv = eval(ctx, r, &child_r);
+                let lv = eval(ctx, l, &child_l)?;
+                let rv = eval(ctx, r, &child_r)?;
                 let dims_of = |n: NodeId| -> Vec<IndexVar> {
                     match &ctx.tree.node(n).kind {
                         OpKind::Leaf(Leaf::Input { indices, .. })
@@ -281,12 +293,12 @@ pub fn simulate_plan(
                 account_move(ctx, &out_dims, &after, alpha);
                 value
             }
-        }
+        })
     }
 
     let root_alpha = plan.node_dist[tree.root.0 as usize]
         .clone()
-        .expect("root assigned");
+        .ok_or(DistError::UnassignedRoot)?;
     let mut ctx = Ctx {
         tree,
         space,
@@ -299,14 +311,14 @@ pub fn simulate_plan(
         reduce_words: 0,
         max_iters: 0,
     };
-    let result = eval(&mut ctx, tree.root, &root_alpha);
-    PlanSimReport {
+    let result = eval(&mut ctx, tree.root, &root_alpha)?;
+    Ok(PlanSimReport {
         result,
         measured_move_elements: ctx.measured,
         predicted_move_elements: ctx.predicted,
         predicted_reduce_words: ctx.reduce_words,
         max_local_iterations: ctx.max_iters,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -464,7 +476,8 @@ mod tests {
                 &machine,
                 &inputs,
                 &std::collections::HashMap::new(),
-            );
+            )
+            .expect("plan covers tree");
             assert!(report.result.approx_eq(&expect, 1e-9));
             assert_eq!(
                 report.measured_move_elements, report.predicted_move_elements,

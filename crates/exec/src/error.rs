@@ -58,3 +58,17 @@ impl fmt::Display for ExecError {
 }
 
 impl std::error::Error for ExecError {}
+
+impl From<tce_dist::DistError> for ExecError {
+    fn from(e: tce_dist::DistError) -> Self {
+        match e {
+            tce_dist::DistError::MissingInput { tensor } => ExecError::MissingInput {
+                name: format!("tensor id {}", tensor.0),
+            },
+            tce_dist::DistError::MissingFunction { name } => ExecError::MissingFunction { name },
+            other => ExecError::InvalidProgram {
+                reason: other.to_string(),
+            },
+        }
+    }
+}

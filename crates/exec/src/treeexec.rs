@@ -69,6 +69,11 @@ pub fn execute_tree_opts(
 /// partial sums are combined by a reduction tree.  Returns the assembled
 /// root value alongside measured-vs-modeled communication volumes (see
 /// [`tce_dist::ShardExecReport`]).
+///
+/// # Errors
+/// A plan that does not cover the tree or a missing binding surfaces as an
+/// [`ExecError`] (converted from [`tce_dist::DistError`]) instead of a
+/// panic.
 pub fn execute_tree_distributed(
     tree: &OpTree,
     space: &IndexSpace,
@@ -77,8 +82,16 @@ pub fn execute_tree_distributed(
     inputs: &HashMap<TensorId, &Tensor>,
     funcs: &HashMap<String, IntegralFn>,
     opts: &ExecOptions,
-) -> tce_dist::ShardExecReport {
-    tce_dist::execute_plan_sharded(tree, space, plan, machine, inputs, funcs, opts.threads)
+) -> Result<tce_dist::ShardExecReport, ExecError> {
+    Ok(tce_dist::execute_plan_sharded(
+        tree,
+        space,
+        plan,
+        machine,
+        inputs,
+        funcs,
+        opts.threads,
+    )?)
 }
 
 /// Evaluate `tree` bottom-up; returns the root value.

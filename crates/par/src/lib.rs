@@ -26,5 +26,5 @@ pub mod pool;
 pub use grid::{myrange, owner_of, ProcessorGrid};
 pub use pool::{
     block_ranges, default_threads, parallel_chunks_mut, parallel_for, parallel_map,
-    parallel_reduce, Pool, SharedCounter,
+    parallel_reduce, threads_env_requested, Pool, SharedCounter,
 };

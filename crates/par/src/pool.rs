@@ -31,6 +31,22 @@ pub fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Validate the `TCE_THREADS` environment variable without applying it:
+/// `Ok(None)` when unset, `Ok(Some(n))` for a positive count, `Err` with
+/// a one-line diagnostic for anything else (`banana`, `0`, …).  The CLI
+/// calls this up front so a bad value fails fast instead of being
+/// silently clamped by [`default_threads`].
+pub fn threads_env_requested() -> Result<Option<usize>, String> {
+    match std::env::var("TCE_THREADS") {
+        Err(_) => Ok(None),
+        Ok(v) => match v.parse::<usize>() {
+            Ok(0) => Err("bad TCE_THREADS `0`: must be at least 1".to_string()),
+            Ok(n) => Ok(Some(n)),
+            Err(e) => Err(format!("bad TCE_THREADS `{v}`: {e}")),
+        },
+    }
+}
+
 /// Split `n` items into at most `parts` contiguous ranges of near-equal
 /// length (the paper's `myrange(z, N, p)` block partitioning, 0-based).
 /// `parts` is capped by `n`, so no returned range is empty (except the
@@ -247,6 +263,21 @@ impl Drop for Pool {
     }
 }
 
+/// RAII registration in the gate's `active` count: deregisters and
+/// notifies the submitter even if the claim loop unwinds, so a panic that
+/// escapes a worker can never strand [`Pool::run`] in its drain wait.
+struct ActiveGuard<'a> {
+    shared: &'a Shared,
+}
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        let mut g = self.shared.gate.lock().unwrap_or_else(|e| e.into_inner());
+        g.active -= 1;
+        self.shared.done.notify_all();
+    }
+}
+
 fn worker_loop(shared: &Shared) {
     let mut seen = 0u64;
     loop {
@@ -269,6 +300,7 @@ fn worker_loop(shared: &Shared) {
             g.active += 1;
             g.job.expect("checked above")
         };
+        let _active = ActiveGuard { shared };
         let t_claim = if tce_trace::enabled() {
             let now = tce_trace::now_ns();
             if let Some(t0) = t_park {
@@ -296,10 +328,9 @@ fn worker_loop(shared: &Shared) {
                 tce_trace::counter("pool.busy_ns", tce_trace::now_ns() - t0);
             }
         }
-        let mut g = shared.gate.lock().unwrap_or_else(|e| e.into_inner());
-        g.active -= 1;
-        shared.done.notify_all();
-        drop(g);
+        // `_active` drops here: deregister from the gate and wake the
+        // submitter (also on the unwind path, via the guard's Drop).
+        drop(_active);
     }
 }
 
@@ -717,6 +748,54 @@ mod tests {
         assert_eq!(total, 100);
         let mapped = parallel_map(10, 4, |i| i + 1);
         assert_eq!(mapped.iter().sum::<usize>(), 55);
+    }
+
+    #[test]
+    fn pool_worker_panic_injection_no_deadlock_no_poison() {
+        // Panic-injection sweep: enough tasks that pool workers (not just
+        // the submitting thread) claim panicking indices, repeated across
+        // jobs.  Every submission must re-raise exactly once, the pool
+        // must never deadlock in the drain wait, and later parallel_map
+        // calls must see a fully functional pool.
+        let pool = Pool::new(4);
+        for round in 0..20u64 {
+            let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.run(64, &|i| {
+                    if i as u64 % 7 == round % 7 {
+                        panic!("injected panic in task {i}");
+                    }
+                });
+            }));
+            assert!(r.is_err(), "round {round}: panic must propagate");
+            // The very next job runs to completion.
+            let c = SharedCounter::new();
+            pool.run(32, &|_| c.add(1));
+            assert_eq!(c.get(), 32, "round {round}: pool degraded after panic");
+        }
+        // parallel_map on the global pool also survives injected panics.
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            parallel_map(50, 4, |i| {
+                if i == 13 {
+                    panic!("boom");
+                }
+                i
+            })
+        }));
+        assert!(r.is_err());
+        let mapped = parallel_map(50, 4, |i| i * 2);
+        assert_eq!(mapped, (0..50).map(|i| i * 2).collect::<Vec<_>>());
+        // Dropping the pool joins all workers even after panicked jobs —
+        // a hang here fails the test by timeout.
+        drop(pool);
+    }
+
+    #[test]
+    fn pool_drop_joins_all_workers() {
+        let pool = Pool::new(3);
+        let c = SharedCounter::new();
+        pool.run(8, &|_| c.add(1));
+        assert_eq!(pool.workers(), 3);
+        drop(pool); // must join all three without hanging
     }
 
     #[test]

@@ -1,0 +1,256 @@
+//! A generic sharded LRU cache.
+//!
+//! The same layout as the GETT plan cache in `tce-tensor`: the key hashes
+//! to one of `S` shards, each shard is an independently locked LRU of
+//! capacity `total/S` (the remainder spread one-per-shard from shard 0),
+//! so concurrent requests for *different* expressions never contend on
+//! one mutex.  The shard lock is held across the miss closure on purpose:
+//! two threads racing on the *same* key run the (expensive) fill once,
+//! while fills for other keys proceed on other shards.
+//!
+//! Values are handed out as `Arc<V>` so a hit never clones the payload
+//! and eviction never invalidates an in-flight user.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Hit/miss/eviction counters for one shard (or the whole cache).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that ran the fill closure.
+    pub misses: u64,
+    /// Entries displaced to respect the capacity bound.
+    pub evictions: u64,
+}
+
+struct LruStore<K, V> {
+    map: HashMap<K, (Arc<V>, u64)>,
+    stamp: u64,
+    capacity: usize,
+}
+
+impl<K: Hash + Eq + Clone, V> LruStore<K, V> {
+    fn evict_oldest(&mut self) {
+        if let Some(victim) = self
+            .map
+            .iter()
+            .min_by_key(|(_, (_, stamp))| *stamp)
+            .map(|(k, _)| k.clone())
+        {
+            self.map.remove(&victim);
+        }
+    }
+}
+
+struct Shard<K, V> {
+    store: Mutex<LruStore<K, V>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// A sharded LRU mapping `K` to `Arc<V>`.
+pub struct ShardedLru<K, V> {
+    shards: Vec<Shard<K, V>>,
+}
+
+impl<K: Hash + Eq + Clone, V> ShardedLru<K, V> {
+    /// Build a cache holding at most `capacity` entries total, split over
+    /// `shards` independently locked shards (both clamped to at least 1).
+    /// Shards whose share of the capacity rounds to zero reject inserts,
+    /// counting them as evictions, so the global bound is strict.
+    #[must_use]
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let built = (0..shards)
+            .map(|i| Shard {
+                store: Mutex::new(LruStore {
+                    map: HashMap::new(),
+                    stamp: 0,
+                    capacity: capacity / shards + usize::from(i < capacity % shards),
+                }),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                evictions: AtomicU64::new(0),
+            })
+            .collect();
+        Self { shards: built }
+    }
+
+    fn shard_for(&self, key: &K) -> &Shard<K, V> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() % self.shards.len() as u64) as usize]
+    }
+
+    /// Look `key` up; on a miss, run `fill` under the shard lock and cache
+    /// the result.  Returns the value and whether it was a hit.
+    pub fn get_or_insert_with<F: FnOnce() -> V>(&self, key: &K, fill: F) -> (Arc<V>, bool) {
+        let shard = self.shard_for(key);
+        let mut store = shard.store.lock().unwrap_or_else(|e| e.into_inner());
+        store.stamp += 1;
+        let stamp = store.stamp;
+        if let Some((value, last)) = store.map.get_mut(key) {
+            *last = stamp;
+            shard.hits.fetch_add(1, Ordering::Relaxed);
+            return (Arc::clone(value), true);
+        }
+        shard.misses.fetch_add(1, Ordering::Relaxed);
+        let value = Arc::new(fill());
+        if store.capacity == 0 {
+            // This shard got no share of the capacity: the fresh value is
+            // handed to the caller but not retained, which counts as an
+            // eviction so `len == misses - evictions` stays an invariant.
+            shard.evictions.fetch_add(1, Ordering::Relaxed);
+            return (value, false);
+        }
+        if store.map.len() >= store.capacity {
+            store.evict_oldest();
+            shard.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        store.map.insert(key.clone(), (Arc::clone(&value), stamp));
+        (value, false)
+    }
+
+    /// Current number of cached entries across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.store.lock().unwrap_or_else(|e| e.into_inner()).map.len())
+            .sum()
+    }
+
+    /// Whether the cache currently holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Aggregated counters over all shards.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.shard_stats()
+            .into_iter()
+            .fold(CacheStats::default(), |a, s| CacheStats {
+                hits: a.hits + s.hits,
+                misses: a.misses + s.misses,
+                evictions: a.evictions + s.evictions,
+            })
+    }
+
+    /// Per-shard counters, in shard order.
+    #[must_use]
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.shards
+            .iter()
+            .map(|s| CacheStats {
+                hits: s.hits.load(Ordering::Relaxed),
+                misses: s.misses.load(Ordering::Relaxed),
+                evictions: s.evictions.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn hit_returns_same_arc_without_refill() {
+        let cache: ShardedLru<String, usize> = ShardedLru::new(8, 4);
+        let fills = AtomicUsize::new(0);
+        let fill = || {
+            fills.fetch_add(1, Ordering::Relaxed);
+            7usize
+        };
+        let (a, hit_a) = cache.get_or_insert_with(&"k".to_string(), fill);
+        let (b, hit_b) = cache.get_or_insert_with(&"k".to_string(), fill);
+        assert!(!hit_a);
+        assert!(hit_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(fills.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
+    }
+
+    #[test]
+    fn capacity_bound_is_global_and_strict() {
+        for shards in [1, 3, 8, 64] {
+            let cache: ShardedLru<u64, u64> = ShardedLru::new(4, shards);
+            for k in 0..100u64 {
+                cache.get_or_insert_with(&k, || k);
+            }
+            assert!(cache.len() <= 4, "{shards} shards: len {} > 4", cache.len());
+            let s = cache.stats();
+            assert_eq!(s.misses - s.evictions, cache.len() as u64);
+        }
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing() {
+        let cache: ShardedLru<u64, u64> = ShardedLru::new(0, 4);
+        for k in 0..10u64 {
+            let (v, hit) = cache.get_or_insert_with(&k, || k * 2);
+            assert_eq!(*v, k * 2);
+            assert!(!hit);
+        }
+        assert!(cache.is_empty());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (0, 10, 10));
+    }
+
+    #[test]
+    fn lru_keeps_the_recently_used_entry() {
+        // One shard so the recency order is deterministic.
+        let cache: ShardedLru<u64, u64> = ShardedLru::new(2, 1);
+        cache.get_or_insert_with(&1, || 1);
+        cache.get_or_insert_with(&2, || 2);
+        cache.get_or_insert_with(&1, || 1); // refresh 1 → 2 is oldest
+        cache.get_or_insert_with(&3, || 3); // evicts 2
+        let (_, hit1) = cache.get_or_insert_with(&1, || 10);
+        assert!(hit1, "recently used entry was evicted");
+        let (_, hit2) = cache.get_or_insert_with(&2, || 20);
+        assert!(!hit2, "LRU victim survived");
+    }
+
+    #[test]
+    fn concurrent_mixed_keys_stay_consistent() {
+        let cache: Arc<ShardedLru<u64, u64>> = Arc::new(ShardedLru::new(16, 8));
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let cache = Arc::clone(&cache);
+                s.spawn(move || {
+                    for i in 0..200u64 {
+                        let k = (t * 7 + i) % 32;
+                        let (v, _) = cache.get_or_insert_with(&k, || k * 3);
+                        assert_eq!(*v, k * 3);
+                    }
+                });
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, 8 * 200);
+        assert_eq!(s.misses - s.evictions, cache.len() as u64);
+        assert!(cache.len() <= 16);
+    }
+}

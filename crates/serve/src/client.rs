@@ -1,0 +1,78 @@
+//! A minimal blocking client for the line protocol — used by the tests,
+//! the `exp_serve` load generator, and `tce serve --probe`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A persistent connection that can carry many request/response rounds.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to `addr` (e.g. `127.0.0.1:7470`).
+    ///
+    /// # Errors
+    /// Connection failure.
+    pub fn connect(addr: &str) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+        // Requests are single small writes; Nagle + delayed ACK would
+        // otherwise add tens of milliseconds per round trip.
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Send one request line (the newline is appended here).
+    ///
+    /// # Errors
+    /// Write failure.
+    pub fn send(&mut self, line: &str) -> std::io::Result<()> {
+        // One write per request: a split payload/newline pair would be
+        // two TCP segments and could stall on the peer's delayed ACK.
+        self.writer.write_all(format!("{line}\n").as_bytes())?;
+        self.writer.flush()
+    }
+
+    /// Read one response line (trailing newline stripped).
+    ///
+    /// # Errors
+    /// Read failure, or a connection closed before a full line arrived.
+    pub fn recv(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed before reply",
+            ));
+        }
+        while line.ends_with(['\n', '\r']) {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    /// [`Client::send`] then [`Client::recv`].
+    ///
+    /// # Errors
+    /// Either half failing.
+    pub fn round_trip(&mut self, line: &str) -> std::io::Result<String> {
+        self.send(line)?;
+        self.recv()
+    }
+}
+
+/// One-shot convenience: connect, send `line`, return the reply.
+///
+/// # Errors
+/// Connection, write, or read failure.
+pub fn request(addr: &str, line: &str) -> std::io::Result<String> {
+    Client::connect(addr)?.round_trip(line)
+}

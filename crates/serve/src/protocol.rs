@@ -1,0 +1,193 @@
+//! The line-delimited wire protocol.
+//!
+//! Every request and every response is exactly one `\n`-terminated line of
+//! UTF-8.  Tokens on the line are space-separated; values that contain
+//! spaces, newlines, or backslashes (program text does) are escaped with
+//! [`escape`] so they stay single tokens.
+//!
+//! Requests:
+//!
+//! ```text
+//! run program=<escaped source> [seed=S] [threads=T] [memory-limit=N] [cache=N]
+//! stats
+//! ping
+//! shutdown
+//! ```
+//!
+//! Responses (framed by the server, not this module):
+//!
+//! ```text
+//! ok <escaped payload>      request served; payload unescapes to the
+//!                           same text the one-shot CLI prints
+//! err <escaped diagnostic>  request failed cleanly (parse error, bad
+//!                           option, execution error, handler panic)
+//! busy                      admission queue full — retry later
+//! timeout                   wall-clock budget exceeded
+//! ```
+
+/// Escape `s` into a single whitespace-free token: `\` → `\\`,
+/// newline → `\n`, carriage return → `\r`, tab → `\t`, space → `\s`.
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            ' ' => out.push_str("\\s"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Invert [`escape`].
+///
+/// # Errors
+/// A trailing lone backslash or an unknown escape sequence.
+pub fn unescape(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('s') => out.push(' '),
+            Some(other) => return Err(format!("unknown escape `\\{other}`")),
+            None => return Err("trailing backslash".to_string()),
+        }
+    }
+    Ok(out)
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Compile (or fetch from the synthesis cache) and execute a program.
+    Run {
+        /// The tensor-contraction specification source text.
+        program: String,
+        /// Remaining `key=value` options, unescaped, in wire order.
+        opts: Vec<(String, String)>,
+    },
+    /// Report server counters and cache statistics.
+    Stats,
+    /// Liveness probe; the server answers `ok pong`.
+    Ping,
+    /// Ask the server to drain its queue and exit.
+    Shutdown,
+}
+
+/// Parse one request line.
+///
+/// # Errors
+/// Unknown command, malformed `key=value` token, bad escape, or a `run`
+/// without a `program`.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let line = line.trim_end_matches(['\r', '\n']);
+    let mut tokens = line.split(' ').filter(|t| !t.is_empty());
+    let cmd = tokens.next().ok_or("empty request")?;
+    match cmd {
+        "ping" => Ok(Request::Ping),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "run" => {
+            let mut program = None;
+            let mut opts = Vec::new();
+            for tok in tokens {
+                let (key, value) = tok
+                    .split_once('=')
+                    .ok_or_else(|| format!("malformed option `{tok}` (expected key=value)"))?;
+                let value = unescape(value).map_err(|e| format!("bad value for `{key}`: {e}"))?;
+                if key == "program" {
+                    program = Some(value);
+                } else {
+                    opts.push((key.to_string(), value));
+                }
+            }
+            let program = program.ok_or("run request without program=...")?;
+            Ok(Request::Run { program, opts })
+        }
+        other => Err(format!(
+            "unknown command `{other}` (expected run|stats|ping|shutdown)"
+        )),
+    }
+}
+
+/// Encode a `run` request line (client side of [`parse_request`]).
+#[must_use]
+pub fn format_run(program: &str, opts: &[(&str, &str)]) -> String {
+    let mut line = format!("run program={}", escape(program));
+    for (k, v) in opts {
+        line.push(' ');
+        line.push_str(k);
+        line.push('=');
+        line.push_str(&escape(v));
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_roundtrips() {
+        for s in [
+            "",
+            "plain",
+            "two words",
+            "line\nbreak\r\n tab\t end",
+            "back\\slash \\n literal",
+            "α β γ unicode",
+        ] {
+            assert_eq!(unescape(&escape(s)).unwrap(), s);
+            assert!(!escape(s).contains([' ', '\n', '\r', '\t']));
+        }
+    }
+
+    #[test]
+    fn unescape_rejects_malformed() {
+        assert!(unescape("trailing\\").is_err());
+        assert!(unescape("bad\\q").is_err());
+    }
+
+    #[test]
+    fn parse_run_roundtrips() {
+        let src = "range N = 4;\nindex i : N;\ntensor A(N);\nA[i] = A[i];";
+        let line = format_run(src, &[("seed", "7"), ("threads", "2")]);
+        let req = parse_request(&line).unwrap();
+        assert_eq!(
+            req,
+            Request::Run {
+                program: src.to_string(),
+                opts: vec![("seed".into(), "7".into()), ("threads".into(), "2".into())],
+            }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(parse_request("").is_err());
+        assert!(parse_request("frobnicate").is_err());
+        assert!(parse_request("run").is_err());
+        assert!(parse_request("run seed=1").is_err());
+        assert!(parse_request("run program=x notakv").is_err());
+        assert!(parse_request("run program=bad\\q").is_err());
+    }
+
+    #[test]
+    fn parse_simple_commands() {
+        assert_eq!(parse_request("ping\n").unwrap(), Request::Ping);
+        assert_eq!(parse_request("stats").unwrap(), Request::Stats);
+        assert_eq!(parse_request("shutdown\r\n").unwrap(), Request::Shutdown);
+    }
+}

@@ -466,8 +466,17 @@ impl PlanStore {
         })
     }
 
-    fn insert(&mut self, key: PlanKey, plan: Arc<ContractionPlan>) {
-        while self.map.len() >= self.capacity.max(1) {
+    /// Insert, evicting least-recently-used entries down to `capacity`.
+    /// A zero-capacity store rejects the entry outright (counted as an
+    /// eviction so `len == misses - evictions` stays an invariant).
+    fn insert(&mut self, key: PlanKey, plan: Arc<ContractionPlan>, stats: &ShardStats) {
+        if self.capacity == 0 {
+            stats.evictions.fetch_add(1, Ordering::Relaxed);
+            PLAN_EVICTIONS.fetch_add(1, Ordering::Relaxed);
+            tce_trace::counter("plan_cache.evictions", 1);
+            return;
+        }
+        while self.map.len() >= self.capacity {
             let oldest = self
                 .map
                 .iter()
@@ -475,11 +484,65 @@ impl PlanStore {
                 .map(|(k, _)| k.clone())
                 .expect("non-empty map over capacity");
             self.map.remove(&oldest);
+            stats.evictions.fetch_add(1, Ordering::Relaxed);
             PLAN_EVICTIONS.fetch_add(1, Ordering::Relaxed);
             tce_trace::counter("plan_cache.evictions", 1);
         }
         self.clock += 1;
         self.map.insert(key, (plan, self.clock));
+    }
+}
+
+/// Per-shard hit/miss/eviction accounting (relaxed atomics: read by the
+/// `stats` endpoint of `tce serve`, never on the contraction hot path).
+#[derive(Default)]
+struct ShardStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// One independently locked slice of the plan cache.
+struct Shard {
+    store: Mutex<PlanStore>,
+    stats: ShardStats,
+}
+
+/// The sharded plan cache: signatures are hashed onto `shards.len()`
+/// independently locked LRU stores, so concurrent requests with distinct
+/// signatures contend only 1/S of the time instead of serializing on one
+/// process-wide mutex.  The configured total capacity is split across
+/// shards (shard `i` gets `cap/S` plus one of the `cap % S` remainders),
+/// so the global entry count never exceeds the configured bound.
+struct ShardedPlanCache {
+    shards: Vec<Shard>,
+}
+
+impl ShardedPlanCache {
+    fn new(capacity: usize, shard_count: usize) -> Self {
+        let shard_count = shard_count.clamp(1, 64);
+        let shards = (0..shard_count)
+            .map(|i| Shard {
+                store: Mutex::new(PlanStore {
+                    map: HashMap::new(),
+                    capacity: Self::shard_capacity(capacity, shard_count, i),
+                    clock: 0,
+                }),
+                stats: ShardStats::default(),
+            })
+            .collect();
+        Self { shards }
+    }
+
+    fn shard_capacity(total: usize, shards: usize, i: usize) -> usize {
+        total / shards + usize::from(i < total % shards)
+    }
+
+    fn shard_for(&self, key: &PlanKey) -> &Shard {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
     }
 }
 
@@ -490,23 +553,51 @@ impl PlanStore {
 /// local extents under varying grids).
 const DEFAULT_PLAN_CACHE_CAP: usize = 512;
 
-static PLAN_CACHE: OnceLock<Mutex<PlanStore>> = OnceLock::new();
+/// Default shard count; override with `TCE_PLAN_CACHE_SHARDS` (clamped to
+/// 1..=64).  Eight shards keep worst-case contention at 1/8 of a single
+/// mutex while leaving per-shard capacities meaningful at small totals.
+const DEFAULT_PLAN_CACHE_SHARDS: usize = 8;
+
+static PLAN_CACHE: OnceLock<ShardedPlanCache> = OnceLock::new();
 static PLAN_HITS: AtomicU64 = AtomicU64::new(0);
 static PLAN_MISSES: AtomicU64 = AtomicU64::new(0);
 static PLAN_EVICTIONS: AtomicU64 = AtomicU64::new(0);
 
-fn plan_cache() -> &'static Mutex<PlanStore> {
+/// Validate `TCE_PLAN_CACHE_CAP` / `TCE_PLAN_CACHE_SHARDS` up front: the
+/// CLI calls this so a malformed value is a one-line diagnostic rather
+/// than being silently ignored.  Returns the requested capacity, if any.
+pub fn plan_cache_env_requested() -> Result<Option<usize>, String> {
+    let mut requested = None;
+    if let Ok(v) = std::env::var("TCE_PLAN_CACHE_CAP") {
+        match v.parse::<usize>() {
+            Ok(c) if c > 0 => requested = Some(c),
+            Ok(_) => return Err("TCE_PLAN_CACHE_CAP must be at least 1".to_string()),
+            Err(e) => return Err(format!("bad TCE_PLAN_CACHE_CAP `{v}`: {e}")),
+        }
+    }
+    if let Ok(v) = std::env::var("TCE_PLAN_CACHE_SHARDS") {
+        match v.parse::<usize>() {
+            Ok(s) if s > 0 => {}
+            Ok(_) => return Err("TCE_PLAN_CACHE_SHARDS must be at least 1".to_string()),
+            Err(e) => return Err(format!("bad TCE_PLAN_CACHE_SHARDS `{v}`: {e}")),
+        }
+    }
+    Ok(requested)
+}
+
+fn plan_cache() -> &'static ShardedPlanCache {
     PLAN_CACHE.get_or_init(|| {
         let capacity = std::env::var("TCE_PLAN_CACHE_CAP")
             .ok()
             .and_then(|s| s.parse::<usize>().ok())
             .filter(|&c| c > 0)
             .unwrap_or(DEFAULT_PLAN_CACHE_CAP);
-        Mutex::new(PlanStore {
-            map: HashMap::new(),
-            capacity,
-            clock: 0,
-        })
+        let shards = std::env::var("TCE_PLAN_CACHE_SHARDS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&s| s > 0)
+            .unwrap_or(DEFAULT_PLAN_CACHE_SHARDS);
+        ShardedPlanCache::new(capacity, shards)
     })
 }
 
@@ -514,10 +605,12 @@ fn plan_cache() -> &'static Mutex<PlanStore> {
 /// kernel variant.  Synthesized programs execute the same handful of
 /// contraction shapes thousands of times (once per tile / per term), so
 /// plan construction — index classification, offset tables, block-size
-/// autotuning — is paid once per signature.  The cache is LRU-bounded
-/// (see [`set_plan_cache_capacity`]); the lock recovers from poisoning
-/// because the store holds only immutable plans — a worker that panicked
-/// mid-lookup cannot leave it inconsistent.
+/// autotuning — is paid once per signature.  The cache is LRU-bounded and
+/// sharded by signature hash (see [`set_plan_cache_capacity`]), so
+/// concurrent callers with distinct signatures do not serialize on one
+/// mutex; each shard lock recovers from poisoning because the store holds
+/// only immutable plans — a worker that panicked mid-lookup cannot leave
+/// it inconsistent.
 pub fn plan_for(spec: &BinaryContraction, space: &IndexSpace) -> Arc<ContractionPlan> {
     plan_for_variant(spec, space, kernels::active())
 }
@@ -529,20 +622,27 @@ pub fn plan_for_variant(
     variant: KernelVariant,
 ) -> Arc<ContractionPlan> {
     let key = PlanKey::new(spec, space, variant);
-    let mut store = plan_cache().lock().unwrap_or_else(|e| e.into_inner());
+    let shard = plan_cache().shard_for(&key);
+    // The shard lock is held across plan construction on a miss: two
+    // concurrent requests for the same signature build it once, and
+    // requests hashing to other shards proceed unimpeded.
+    let mut store = shard.store.lock().unwrap_or_else(|e| e.into_inner());
     if let Some(plan) = store.get(&key) {
+        shard.stats.hits.fetch_add(1, Ordering::Relaxed);
         PLAN_HITS.fetch_add(1, Ordering::Relaxed);
         tce_trace::counter("plan_cache.hits", 1);
         return plan;
     }
+    shard.stats.misses.fetch_add(1, Ordering::Relaxed);
     PLAN_MISSES.fetch_add(1, Ordering::Relaxed);
     tce_trace::counter("plan_cache.misses", 1);
     let plan = Arc::new(ContractionPlan::new_with_variant(spec, space, variant));
-    store.insert(key, Arc::clone(&plan));
+    store.insert(key, Arc::clone(&plan), &shard.stats);
     plan
 }
 
-/// `(hits, misses, evictions)` of the process-wide plan cache.
+/// `(hits, misses, evictions)` of the process-wide plan cache, summed
+/// over all shards.
 pub fn plan_cache_stats() -> (u64, u64, u64) {
     (
         PLAN_HITS.load(Ordering::Relaxed),
@@ -551,34 +651,63 @@ pub fn plan_cache_stats() -> (u64, u64, u64) {
     )
 }
 
-/// Number of plans currently cached.
-pub fn plan_cache_len() -> usize {
+/// Per-shard `(hits, misses, evictions)` — the `tce serve` `stats`
+/// endpoint reports these so shard imbalance is observable.
+pub fn plan_cache_shard_stats() -> Vec<(u64, u64, u64)> {
     plan_cache()
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
-        .map
-        .len()
+        .shards
+        .iter()
+        .map(|s| {
+            (
+                s.stats.hits.load(Ordering::Relaxed),
+                s.stats.misses.load(Ordering::Relaxed),
+                s.stats.evictions.load(Ordering::Relaxed),
+            )
+        })
+        .collect()
 }
 
-/// Set the plan-cache capacity (evicting immediately if over the new
-/// bound) and return the previous capacity.
+/// Number of plans currently cached (summed over all shards).
+pub fn plan_cache_len() -> usize {
+    plan_cache()
+        .shards
+        .iter()
+        .map(|s| s.store.lock().unwrap_or_else(|e| e.into_inner()).map.len())
+        .sum()
+}
+
+/// Number of shards the plan cache is split into.
+pub fn plan_cache_shards() -> usize {
+    plan_cache().shards.len()
+}
+
+/// Set the plan-cache total capacity (evicting immediately if over the
+/// new bound) and return the previous total.  The capacity is split
+/// across shards, so the summed entry count never exceeds `capacity`.
 pub fn set_plan_cache_capacity(capacity: usize) -> usize {
     let capacity = capacity.max(1);
-    let mut store = plan_cache().lock().unwrap_or_else(|e| e.into_inner());
-    let old = store.capacity;
-    store.capacity = capacity;
-    while store.map.len() > capacity {
-        let oldest = store
-            .map
-            .iter()
-            .min_by_key(|(_, (_, stamp))| *stamp)
-            .map(|(k, _)| k.clone())
-            .expect("non-empty map over capacity");
-        store.map.remove(&oldest);
-        PLAN_EVICTIONS.fetch_add(1, Ordering::Relaxed);
-        tce_trace::counter("plan_cache.evictions", 1);
+    let cache = plan_cache();
+    let shard_count = cache.shards.len();
+    let mut old_total = 0;
+    for (i, shard) in cache.shards.iter().enumerate() {
+        let mut store = shard.store.lock().unwrap_or_else(|e| e.into_inner());
+        old_total += store.capacity;
+        let cap = ShardedPlanCache::shard_capacity(capacity, shard_count, i);
+        store.capacity = cap;
+        while store.map.len() > cap {
+            let oldest = store
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty map over capacity");
+            store.map.remove(&oldest);
+            shard.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            PLAN_EVICTIONS.fetch_add(1, Ordering::Relaxed);
+            tce_trace::counter("plan_cache.evictions", 1);
+        }
     }
-    old
+    old_total
 }
 
 /// Contract `a` and `b` with the packed GETT engine using `threads`

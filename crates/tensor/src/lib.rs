@@ -38,8 +38,9 @@ pub use contract::{contract_gemm, contract_naive, gemm_blocked, BinaryContractio
 pub use dense::Tensor;
 pub use einsum::EinsumSpec;
 pub use gett::{
-    contract_gett, contract_gett_with_variant, plan_cache_len, plan_cache_stats, plan_for,
-    plan_for_variant, set_plan_cache_capacity, ContractionPlan,
+    contract_gett, contract_gett_with_variant, plan_cache_env_requested, plan_cache_len,
+    plan_cache_shard_stats, plan_cache_shards, plan_cache_stats, plan_for, plan_for_variant,
+    set_plan_cache_capacity, ContractionPlan,
 };
 pub use integrals::IntegralFn;
 pub use kernels::{BlockSizes, CacheInfo, KernelConfig, KernelVariant};

@@ -333,3 +333,69 @@ fn sequential_and_distributed_sums_agree() {
         );
     }
 }
+
+#[test]
+fn bad_numeric_env_vars_fail_cleanly() {
+    // The numeric-flag audit extends to the environment: a typo'd or
+    // degenerate value is a one-line diagnostic naming the variable and
+    // a nonzero exit — never a silent clamp, never a panic.
+    for (var, value) in [
+        ("TCE_THREADS", "0"),
+        ("TCE_THREADS", "banana"),
+        ("TCE_THREADS", "-2"),
+        ("TCE_PLAN_CACHE_CAP", "0"),
+        ("TCE_PLAN_CACHE_CAP", "many"),
+        ("TCE_PLAN_CACHE_SHARDS", "0"),
+        ("TCE_PLAN_CACHE_SHARDS", "wide"),
+    ] {
+        let out = tce()
+            .arg(spec("matrix_chain.tce"))
+            .arg("--execute")
+            .env(var, value)
+            .output()
+            .expect("spawn tce");
+        assert!(
+            !out.status.success(),
+            "{var}={value} must exit nonzero, got {:?}",
+            out.status
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(var),
+            "{var}={value}: diagnostic should name the variable:\n{stderr}"
+        );
+        assert_eq!(
+            stderr.trim().lines().count(),
+            1,
+            "{var}={value}: diagnostic should be one line:\n{stderr}"
+        );
+        assert!(
+            !stderr.contains("panicked"),
+            "{var}={value} panicked:\n{stderr}"
+        );
+        // The same validation guards the serve subcommand.
+        let out = tce()
+            .args(["serve", "--addr", "127.0.0.1:0"])
+            .env(var, value)
+            .output()
+            .expect("spawn tce serve");
+        assert!(
+            !out.status.success(),
+            "serve with {var}={value} must exit nonzero"
+        );
+    }
+    // Valid values still run.
+    let out = tce()
+        .arg(spec("matrix_chain.tce"))
+        .arg("--execute")
+        .env("TCE_THREADS", "2")
+        .env("TCE_PLAN_CACHE_CAP", "16")
+        .env("TCE_PLAN_CACHE_SHARDS", "4")
+        .output()
+        .expect("spawn tce");
+    assert!(
+        out.status.success(),
+        "valid env rejected: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

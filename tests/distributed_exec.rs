@@ -97,7 +97,8 @@ fn output_partitioned_sharding_is_bitwise_identical() {
         for dims in GRIDS {
             let machine = Machine::new(ProcessorGrid::new(dims.to_vec()));
             let plan = output_partitioned_plan(&tree, machine.grid.rank());
-            let report = execute_plan_sharded(&tree, &space, &plan, &machine, &inputs, &funcs, 4);
+            let report = execute_plan_sharded(&tree, &space, &plan, &machine, &inputs, &funcs, 4)
+                .expect("plan covers tree");
             assert_eq!(
                 report.result, expect,
                 "{name} on grid {dims:?}: sharded result changed bits"
@@ -126,7 +127,8 @@ fn dp_plans_agree_with_simulator_and_cost_model() {
         for dims in [&[2usize, 2][..], &[2, 4]] {
             let machine = Machine::new(ProcessorGrid::new(dims.to_vec()));
             let plan = optimize_distribution(&tree, &space, &machine);
-            let report = execute_plan_sharded(&tree, &space, &plan, &machine, &inputs, &funcs, 4);
+            let report = execute_plan_sharded(&tree, &space, &plan, &machine, &inputs, &funcs, 4)
+                .expect("plan covers tree");
             assert_eq!(
                 report.moved_elements, report.predicted_move_elements,
                 "{name} on grid {dims:?}"
@@ -140,7 +142,8 @@ fn dp_plans_agree_with_simulator_and_cost_model() {
                 "{name} on grid {dims:?}: diff {:e}",
                 report.result.max_abs_diff(&expect)
             );
-            let sim = simulate_plan(&tree, &space, &plan, &machine, &inputs, &funcs);
+            let sim = simulate_plan(&tree, &space, &plan, &machine, &inputs, &funcs)
+                .expect("plan covers tree");
             assert_eq!(
                 report.moved_elements, sim.measured_move_elements,
                 "{name} on grid {dims:?}: block transfers vs element enumeration"
@@ -227,4 +230,56 @@ fn pipeline_distributed_execution_matches_sequential() {
             );
         }
     }
+}
+
+#[test]
+fn malformed_plans_surface_typed_errors_not_panics() {
+    // Bugfix acceptance: a plan that does not cover the tree, or a missing
+    // binding, must come back as a `DistError` (and through tce-exec as an
+    // `ExecError`) instead of panicking mid-walk.
+    use tce_core::dist::DistError;
+
+    let (tree, space, owned, funcs) = section2_fixture();
+    let inputs: HashMap<TensorId, &Tensor> = owned.iter().map(|(id, t)| (*id, t)).collect();
+    let machine = Machine::new(ProcessorGrid::new(vec![2, 2]));
+    let good = output_partitioned_plan(&tree, machine.grid.rank());
+
+    // Root left unassigned.
+    let mut no_root = good.clone();
+    no_root.node_dist[tree.root.0 as usize] = None;
+    for (label, err) in [
+        (
+            "exec",
+            execute_plan_sharded(&tree, &space, &no_root, &machine, &inputs, &funcs, 2)
+                .expect_err("unassigned root must error"),
+        ),
+        (
+            "sim",
+            simulate_plan(&tree, &space, &no_root, &machine, &inputs, &funcs)
+                .expect_err("unassigned root must error"),
+        ),
+    ] {
+        assert_eq!(err, DistError::UnassignedRoot, "{label}");
+    }
+
+    // A contraction node left unassigned.
+    let mut no_gamma = good.clone();
+    let cnode = tree
+        .nodes
+        .iter()
+        .position(|n| matches!(n.kind, OpKind::Contract { .. }))
+        .expect("fixture has a contraction") as u32;
+    no_gamma.node_gamma[cnode as usize] = None;
+    let err = execute_plan_sharded(&tree, &space, &no_gamma, &machine, &inputs, &funcs, 2)
+        .expect_err("unassigned contraction must error");
+    assert_eq!(err, DistError::UnassignedContraction { node: cnode });
+
+    // An input binding withheld.
+    let (missing_id, _) = owned[0];
+    let partial: HashMap<TensorId, &Tensor> = owned[1..].iter().map(|(id, t)| (*id, t)).collect();
+    let err = execute_plan_sharded(&tree, &space, &good, &machine, &partial, &funcs, 2)
+        .expect_err("missing input must error");
+    assert_eq!(err, DistError::MissingInput { tensor: missing_id });
+    // Display strings are the CLI-facing diagnostics; keep them one-line.
+    assert!(!err.to_string().contains('\n'));
 }
