@@ -3,8 +3,8 @@
 //! ```text
 //! tce SPEC.tce [--memory-limit N] [--cache N] [--grid PxQx…]
 //!              [--word-cost N] [--execute] [--fused] [--distributed]
-//!              [--seed S] [--threads T] [--trace OUT.json]
-//!              [--kernel scalar|sse2|avx2]
+//!              [--seed S] [--threads T] [--schedule seq|graph]
+//!              [--trace OUT.json] [--kernel scalar|sse2|avx2]
 //! tce serve [--addr HOST:PORT] [--workers N] [--queue N] [--timeout-ms N]
 //! ```
 //!
@@ -15,6 +15,9 @@
 //! `--threads` sets the worker count for the contraction kernels
 //! (default: the `TCE_THREADS` environment variable, then the machine's
 //! available parallelism); results are bitwise identical either way.
+//! `--schedule graph` runs statements and contraction subtrees through
+//! the dependency-aware task-graph scheduler (independent work overlaps;
+//! results stay bitwise identical to the default `seq` order).
 //! `--trace OUT.json` enables the `tce-trace` observability layer
 //! (implies `--execute`), writes a chrome://tracing-compatible event
 //! file, and prints a profile report.  `--kernel` pins the contraction
@@ -49,6 +52,7 @@ struct Args {
     distributed: bool,
     seed: u64,
     threads: Option<usize>,
+    schedule: tce_core::Schedule,
     trace: Option<String>,
     kernel: Option<tce_core::tensor::KernelVariant>,
 }
@@ -65,6 +69,7 @@ fn parse_args() -> Result<Args, String> {
         distributed: false,
         seed: 42,
         threads: None,
+        schedule: tce_core::Schedule::default(),
         trace: None,
         kernel: None,
     };
@@ -129,6 +134,10 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.threads = Some(t);
             }
+            "--schedule" => {
+                let name = it.next().ok_or("--schedule needs seq|graph")?;
+                args.schedule = name.parse()?;
+            }
             "--kernel" => {
                 let name = it.next().ok_or("--kernel needs a variant name")?;
                 args.kernel = Some(
@@ -147,7 +156,8 @@ fn parse_args() -> Result<Args, String> {
                 return Err("usage: tce SPEC.tce [--memory-limit N] [--cache N] \
                             [--grid PxQ] [--word-cost N] [--execute] [--fused] \
                             [--distributed] [--seed S] [--threads T] \
-                            [--trace OUT.json] [--kernel scalar|sse2|avx2]"
+                            [--schedule seq|graph] [--trace OUT.json] \
+                            [--kernel scalar|sse2|avx2]"
                     .to_string())
             }
             other if args.spec_path.is_empty() && !other.starts_with('-') => {
@@ -230,6 +240,7 @@ fn serve_args() -> Result<tce_serve::ServeConfig, String> {
 fn validate_env() -> Result<(), String> {
     tce_core::par::threads_env_requested()?;
     tce_core::tensor::plan_cache_env_requested()?;
+    tce_core::tensor::bufpool_env_requested()?;
     Ok(())
 }
 
@@ -353,12 +364,14 @@ fn main() -> ExitCode {
         let opts = match args.threads {
             Some(t) => ExecOptions::with_threads(t),
             None => ExecOptions::default(),
-        };
+        }
+        .with_schedule(args.schedule);
         println!(
-            "== execution (seed {}, {} thread{}) ==",
+            "== execution (seed {}, {} thread{}, {} schedule) ==",
             args.seed,
             opts.threads,
-            if opts.threads == 1 { "" } else { "s" }
+            if opts.threads == 1 { "" } else { "s" },
+            opts.schedule
         );
         // Hidden test hook: `TCE_FAULT_INJECT=comm|liveset` perturbs the
         // *measured* side of a conformance comparison so the MISMATCH exit

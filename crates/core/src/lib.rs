@@ -30,7 +30,7 @@ pub use pipeline::{
     synthesize, synthesize_program, CseSummary, DistExecSummary, FusedExecSummary, FusedTermReport,
     Synthesis, SynthesisConfig, SynthesisError, TermPlan,
 };
-pub use tce_exec::{ExecError, ExecOptions};
+pub use tce_exec::{ExecError, ExecOptions, Schedule};
 
 // Re-export the stage crates so downstream users need only one dependency.
 pub use tce_dist as dist;

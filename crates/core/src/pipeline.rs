@@ -19,7 +19,7 @@
 
 use std::collections::HashMap;
 use tce_dist::{optimize_distribution, DistPlan, Machine};
-use tce_exec::{ExecError, ExecOptions};
+use tce_exec::{ExecError, ExecOptions, Schedule};
 use tce_fusion::{fused_program, memmin_dp, MemMinResult};
 use tce_ir::{Assignment, CostPoly, IndexSpace, OpTree, Product, Program, TensorId};
 use tce_lang::LangError;
@@ -222,6 +222,18 @@ impl Synthesis {
         funcs: &HashMap<String, IntegralFn>,
         opts: &ExecOptions,
     ) -> Result<HashMap<TensorId, Tensor>, ExecError> {
+        match opts.schedule {
+            Schedule::Seq => self.execute_stmts_seq(external_inputs, funcs, opts),
+            Schedule::Graph => self.execute_stmts_graph(external_inputs, funcs, opts),
+        }
+    }
+
+    fn execute_stmts_seq(
+        &self,
+        external_inputs: &HashMap<TensorId, &Tensor>,
+        funcs: &HashMap<String, IntegralFn>,
+        opts: &ExecOptions,
+    ) -> Result<HashMap<TensorId, Tensor>, ExecError> {
         let _span = tce_trace::span("stage.exec");
         let space = &self.program.space;
         let mut computed: HashMap<TensorId, Tensor> = HashMap::new();
@@ -249,6 +261,143 @@ impl Synthesis {
                 acc.axpy(plan.coeff, &reordered);
             }
             computed.insert(target, acc);
+        }
+        Ok(computed)
+    }
+
+    /// Statement-level task-graph execution: one task per statement,
+    /// dependencies following the RAW dataflow (each statement depends on
+    /// the last prior writer of every tensor it reads, including its own
+    /// target under `+=`), so independent statements contract concurrently
+    /// on the shared pool.  Admission is bounded by the source-order
+    /// walk's peak live-set, so graph scheduling never holds more
+    /// statement results live *concurrently* than source order would.
+    /// Results are bitwise identical to [`execute_stmts_seq`]
+    /// (Self::execute_stmts_seq): each statement's value is a function of
+    /// its dataflow predecessors only, and every kernel is deterministic
+    /// in isolation.
+    fn execute_stmts_graph(
+        &self,
+        external_inputs: &HashMap<TensorId, &Tensor>,
+        funcs: &HashMap<String, IntegralFn>,
+        opts: &ExecOptions,
+    ) -> Result<HashMap<TensorId, Tensor>, ExecError> {
+        use std::cell::UnsafeCell;
+        use std::sync::Mutex;
+        let _span = tce_trace::span("stage.exec.graph");
+        let space = &self.program.space;
+        let nstmts = self.program.stmts.len();
+
+        // RAW dataflow: statement → (deps, per-read binding source).
+        let mut last_writer: HashMap<TensorId, usize> = HashMap::new();
+        let mut deps: Vec<Vec<usize>> = Vec::with_capacity(nstmts);
+        let mut bindings: Vec<Vec<(TensorId, usize)>> = Vec::with_capacity(nstmts);
+        for (si, stmt) in self.program.stmts.iter().enumerate() {
+            let mut reads: Vec<TensorId> = Vec::new();
+            for plan in self.plans.iter().filter(|p| p.stmt_index == si) {
+                for node in &plan.tree.nodes {
+                    if let tce_ir::OpKind::Leaf(tce_ir::Leaf::Input { tensor, .. }) = &node.kind {
+                        if !reads.contains(tensor) {
+                            reads.push(*tensor);
+                        }
+                    }
+                }
+            }
+            if stmt.accumulate && !reads.contains(&stmt.lhs.tensor) {
+                reads.push(stmt.lhs.tensor);
+            }
+            let mut d = Vec::new();
+            let mut b = Vec::new();
+            for r in reads {
+                if let Some(&w) = last_writer.get(&r) {
+                    if !d.contains(&w) {
+                        d.push(w);
+                    }
+                    b.push((r, w));
+                }
+            }
+            deps.push(d);
+            bindings.push(b);
+            last_writer.insert(stmt.lhs.tensor, si);
+        }
+
+        let mut graph = tce_par::TaskGraph::new();
+        for (si, stmt) in self.program.stmts.iter().enumerate() {
+            let weight = stmt
+                .lhs
+                .indices
+                .iter()
+                .map(|&v| space.extent(v) as u64)
+                .product::<u64>()
+                .max(1);
+            graph.add_task(&deps[si], weight);
+        }
+        let cap = graph.sequential_peak();
+
+        // One result cell per statement; RAW edges serialize every access
+        // (a reader's task only starts after its writer completed).
+        struct Slots(Vec<UnsafeCell<Option<Tensor>>>);
+        unsafe impl Sync for Slots {}
+        let slots = Slots((0..nstmts).map(|_| UnsafeCell::new(None)).collect());
+        let errors: Vec<Mutex<Option<ExecError>>> = (0..nstmts).map(|_| Mutex::new(None)).collect();
+
+        // Capture the `Sync` wrapper itself (precise closure captures
+        // would otherwise grab the inner `Vec<UnsafeCell<..>>` field).
+        let slots = &slots;
+        graph.run(opts.threads, Some(cap), &|si| {
+            let stmt = &self.program.stmts[si];
+            let mut inputs: HashMap<TensorId, &Tensor> = external_inputs.clone();
+            for &(tensor, w) in &bindings[si] {
+                // SAFETY: the RAW edge on `w` orders its write (and the
+                // scheduler's lock publishes it) before this task starts;
+                // nothing writes slot `w` afterwards.
+                match unsafe { &*slots.0[w].get() } {
+                    Some(v) => {
+                        inputs.insert(tensor, v);
+                    }
+                    // The dependency failed; its error is already recorded
+                    // and will be surfaced after the run.
+                    None => return,
+                }
+            }
+            let shape: Vec<usize> = stmt.lhs.indices.iter().map(|&v| space.extent(v)).collect();
+            let mut acc = if stmt.accumulate {
+                inputs
+                    .get(&stmt.lhs.tensor)
+                    .map(|t| (*t).clone())
+                    .unwrap_or_else(|| Tensor::zeros(&shape))
+            } else {
+                Tensor::zeros(&shape)
+            };
+            for plan in self.plans.iter().filter(|p| p.stmt_index == si) {
+                match plan.execute_opts(space, &inputs, funcs, opts) {
+                    Ok(term_value) => {
+                        let reordered = term_value.permute(&lhs_perm(stmt));
+                        acc.axpy(plan.coeff, &reordered);
+                    }
+                    Err(e) => {
+                        *errors[si].lock().unwrap_or_else(|p| p.into_inner()) = Some(e);
+                        return;
+                    }
+                }
+            }
+            // SAFETY: each task writes only its own slot; dependents read
+            // it strictly after completion via their RAW edges.
+            unsafe { *slots.0[si].get() = Some(acc) };
+        });
+
+        // Surface the lowest-index failure — the same statement the
+        // source-order walk would have stopped at.
+        for e in &errors {
+            if let Some(err) = e.lock().unwrap_or_else(|p| p.into_inner()).take() {
+                return Err(err);
+            }
+        }
+        let mut computed = HashMap::new();
+        for (si, stmt) in self.program.stmts.iter().enumerate() {
+            if let Some(v) = unsafe { &mut *slots.0[si].get() }.take() {
+                computed.insert(stmt.lhs.tensor, v);
+            }
         }
         Ok(computed)
     }
@@ -998,6 +1147,57 @@ mod tests {
         // T is also reported.
         let t_id = syn.program.tensors.by_name("T").unwrap();
         assert!(out[&t_id].approx_eq(&t, 1e-9));
+    }
+
+    #[test]
+    fn statement_graph_schedule_matches_source_order_bitwise() {
+        // Mixed dataflow: two independent statements, a join, and an
+        // accumulate — the graph path must reproduce source-order results
+        // bit for bit at every worker count.
+        let src = "
+            range N = 5;
+            index i, j, k : N;
+            tensor A(N, N); tensor B(N, N);
+            tensor T(N, N); tensor U(N, N); tensor S(N, N);
+            T[i,j] = sum[k] A[i,k] * B[k,j];
+            U[i,j] = sum[k] B[i,k] * B[k,j];
+            S[i,j] = sum[k] T[i,k] * U[k,j];
+            S[i,j] += sum[k] U[i,k] * T[k,j];
+        ";
+        let syn = synthesize(src, &SynthesisConfig::default()).unwrap();
+        let a = Tensor::random(&[5, 5], 51);
+        let b = Tensor::random(&[5, 5], 52);
+        let mut ext = HashMap::new();
+        ext.insert(syn.program.tensors.by_name("A").unwrap(), &a);
+        ext.insert(syn.program.tensors.by_name("B").unwrap(), &b);
+        let seq = syn
+            .execute_opts(&ext, &HashMap::new(), &ExecOptions::serial())
+            .unwrap();
+        for threads in [1, 2, 4, 8] {
+            let opts = ExecOptions::with_threads(threads).with_schedule(tce_exec::Schedule::Graph);
+            let graph = syn.execute_opts(&ext, &HashMap::new(), &opts).unwrap();
+            assert_eq!(graph.len(), seq.len());
+            for (id, t) in &seq {
+                assert_eq!(&graph[id], t, "threads={threads} changed bits");
+            }
+        }
+        // A missing binding errors identically under both schedules.
+        let partial: HashMap<_, _> = ext
+            .iter()
+            .filter(|(id, _)| **id != syn.program.tensors.by_name("A").unwrap())
+            .map(|(id, t)| (*id, *t))
+            .collect();
+        let se = syn
+            .execute_opts(&partial, &HashMap::new(), &ExecOptions::serial())
+            .unwrap_err();
+        let ge = syn
+            .execute_opts(
+                &partial,
+                &HashMap::new(),
+                &ExecOptions::with_threads(4).with_schedule(tce_exec::Schedule::Graph),
+            )
+            .unwrap_err();
+        assert_eq!(se.to_string(), ge.to_string());
     }
 
     #[test]

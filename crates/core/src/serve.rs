@@ -15,7 +15,7 @@
 //! [`bind_functions`], [`format_results`]) are shared with the `tce`
 //! binary for exactly that reason: one definition, two entry points.
 
-use crate::{synthesize, ExecOptions, Synthesis, SynthesisConfig};
+use crate::{synthesize, ExecOptions, Schedule, Synthesis, SynthesisConfig};
 use std::collections::HashMap;
 use std::sync::Arc;
 use tce_ir::TensorId;
@@ -31,6 +31,10 @@ pub struct RunOptions {
     /// Worker threads for the contraction kernels (`None`: process
     /// default, i.e. `TCE_THREADS` or the machine's parallelism).
     pub threads: Option<usize>,
+    /// Execution schedule (`seq` runs statements and subtrees in source
+    /// order; `graph` overlaps independent work — results are bitwise
+    /// identical either way).
+    pub schedule: Schedule,
 }
 
 impl Default for RunOptions {
@@ -38,6 +42,7 @@ impl Default for RunOptions {
         Self {
             seed: 42,
             threads: None,
+            schedule: Schedule::default(),
         }
     }
 }
@@ -69,6 +74,9 @@ pub fn parse_run_options(
                     return Err("bad threads `0`: must be at least 1".to_string());
                 }
                 run.threads = Some(t);
+            }
+            "schedule" => {
+                run.schedule = value.parse()?;
             }
             "memory-limit" => {
                 cfg.memory_limit = value
@@ -229,8 +237,8 @@ impl Handler for PipelineHandler {
         let _span = tce_trace::span("serve.pipeline");
         let (cfg, run) = parse_run_options(opts)?;
         let canon = format!(
-            "memory-limit={};cache={:?};seed={};threads={:?}",
-            cfg.memory_limit, cfg.cache_elements, run.seed, run.threads
+            "memory-limit={};cache={:?};seed={};threads={:?};schedule={}",
+            cfg.memory_limit, cfg.cache_elements, run.seed, run.threads, run.schedule
         );
         let response_key = (program.to_string(), canon);
         let (reply, _hit) = self.responses.get_or_insert_with(&response_key, || {
@@ -245,7 +253,8 @@ impl Handler for PipelineHandler {
             let exec_opts = match run.threads {
                 Some(t) => ExecOptions::with_threads(t),
                 None => ExecOptions::default(),
-            };
+            }
+            .with_schedule(run.schedule);
             syn.execute_opts(&inputs, &funcs, &exec_opts)
                 .map_err(|e| format!("execution failed: {e}"))
                 .map(|results| format_results(syn, &results))
@@ -279,6 +288,14 @@ impl Handler for PipelineHandler {
         for (i, (h, m, e)) in tce_tensor::plan_cache_shard_stats().iter().enumerate() {
             out.push((format!("plan_shard{i}"), format!("{h}/{m}/{e}")));
         }
+        let (bh, bm, be) = tce_tensor::bufpool_stats();
+        out.push(("bufpool_hits".to_string(), bh.to_string()));
+        out.push(("bufpool_misses".to_string(), bm.to_string()));
+        out.push(("bufpool_evictions".to_string(), be.to_string()));
+        out.push((
+            "bufpool_retained".to_string(),
+            tce_tensor::bufpool_retained_elements().to_string(),
+        ));
         out
     }
 }
@@ -305,6 +322,19 @@ mod tests {
             .unwrap();
         assert_eq!(served, format_results(&syn, &results));
         assert!(served.ends_with("OK"));
+    }
+
+    #[test]
+    fn graph_schedule_reply_is_byte_identical_to_seq() {
+        let handler = PipelineHandler::default();
+        let src = section2_source(4);
+        let seq = handler.run(&src, &[]).unwrap();
+        let graph = handler
+            .run(&src, &[("schedule".to_string(), "graph".to_string())])
+            .unwrap();
+        assert_eq!(seq, graph);
+        // Distinct schedules are distinct response-memo keys.
+        assert_eq!(handler.responses.stats().misses, 2);
     }
 
     #[test]
@@ -339,6 +369,7 @@ mod tests {
             ("seed", "-1"),
             ("memory-limit", "lots"),
             ("cache", "x"),
+            ("schedule", "bogus"),
             ("no-such-option", "1"),
         ] {
             let err = handler

@@ -537,14 +537,13 @@ impl ShardExecReport {
     }
 }
 
-struct Ctx<'a> {
-    tree: &'a OpTree,
-    space: &'a IndexSpace,
-    plan: &'a DistPlan,
-    machine: &'a Machine,
-    inputs: &'a HashMap<TensorId, &'a Tensor>,
-    funcs: &'a HashMap<String, IntegralFn>,
-    threads: usize,
+/// Mutable measurement state accumulated while walking a plan.  Each
+/// graph-scheduled task owns a private `Counters` so tasks never contend;
+/// per-task counters are [`Counters::merge`]d in ascending task order
+/// afterwards, which reproduces the sequential totals exactly (every field
+/// is an order-independent sum).
+#[derive(Debug, Clone)]
+struct Counters {
     moved: u128,
     predicted: u128,
     reduce_words: u128,
@@ -553,15 +552,56 @@ struct Ctx<'a> {
     per_rank_flops: Vec<u128>,
 }
 
-impl Ctx<'_> {
+impl Counters {
+    fn new(ranks: usize) -> Self {
+        Counters {
+            moved: 0,
+            predicted: 0,
+            reduce_words: 0,
+            predicted_reduce: 0,
+            redistributions: 0,
+            per_rank_flops: vec![0; ranks],
+        }
+    }
+
+    fn merge(&mut self, other: &Counters) {
+        self.moved = self.moved.saturating_add(other.moved);
+        self.predicted = self.predicted.saturating_add(other.predicted);
+        self.reduce_words = self.reduce_words.saturating_add(other.reduce_words);
+        self.predicted_reduce = self.predicted_reduce.saturating_add(other.predicted_reduce);
+        self.redistributions += other.redistributions;
+        for (a, b) in self.per_rank_flops.iter_mut().zip(&other.per_rank_flops) {
+            *a = a.saturating_add(*b);
+        }
+    }
+}
+
+/// The immutable execution environment shared by the sequential walk and
+/// every graph-scheduled task.
+struct Env<'a> {
+    tree: &'a OpTree,
+    space: &'a IndexSpace,
+    plan: &'a DistPlan,
+    machine: &'a Machine,
+    inputs: &'a HashMap<TensorId, &'a Tensor>,
+    funcs: &'a HashMap<String, IntegralFn>,
+    threads: usize,
+}
+
+impl Env<'_> {
     /// Redistribute and account measured + predicted volume.
-    fn account_redistribute(&mut self, value: &ShardedTensor, to: &DistTuple) -> ShardedTensor {
+    fn account_redistribute(
+        &self,
+        c: &mut Counters,
+        value: &ShardedTensor,
+        to: &DistTuple,
+    ) -> ShardedTensor {
         let set = value.index_set();
         if value.tuple.normalize(set) == to.normalize(set) {
             let (out, _) = redistribute(value, to, self.space, &self.machine.grid);
             return out;
         }
-        self.predicted += move_cost(
+        c.predicted += move_cost(
             &value.dims,
             self.space,
             &self.machine.grid,
@@ -569,13 +609,22 @@ impl Ctx<'_> {
             to,
         );
         let (out, moved) = redistribute(value, to, self.space, &self.machine.grid);
-        self.moved += moved;
-        self.redistributions += 1;
+        c.moved += moved;
+        c.redistributions += 1;
         out
     }
 
-    /// Compute node `u`'s value sharded as `alpha`.
-    fn eval(&mut self, u: NodeId, alpha: &DistTuple) -> Result<ShardedTensor, DistError> {
+    /// Compute node `u`'s value sharded as `alpha` from already-evaluated
+    /// children (`lv`/`rv` are `Some` exactly for contraction nodes, each
+    /// sharded as γ's projection onto that child's indices).
+    fn eval_node(
+        &self,
+        c: &mut Counters,
+        u: NodeId,
+        alpha: &DistTuple,
+        lv: Option<ShardedTensor>,
+        rv: Option<ShardedTensor>,
+    ) -> Result<ShardedTensor, DistError> {
         let grid = &self.machine.grid;
         let indices = self.tree.node(u).indices;
         Ok(match &self.tree.node(u).kind {
@@ -614,7 +663,7 @@ impl Ctx<'_> {
                         .clone()
                         .unwrap_or_else(|| DistTuple::all_one(grid.rank()));
                     let staged = scatter(global, dims, &beta, self.space, grid);
-                    self.account_redistribute(&staged, alpha)
+                    self.account_redistribute(c, &staged, alpha)
                 }
             }
             OpKind::Leaf(Leaf::Func {
@@ -649,7 +698,7 @@ impl Ctx<'_> {
                     });
                 let mut shards = Vec::with_capacity(p);
                 for (id, (t, fl)) in results.into_iter().enumerate() {
-                    self.per_rank_flops[id] = self.per_rank_flops[id].saturating_add(fl);
+                    c.per_rank_flops[id] = c.per_rank_flops[id].saturating_add(fl);
                     shards.push(t);
                 }
                 ShardedTensor {
@@ -658,15 +707,12 @@ impl Ctx<'_> {
                     shards,
                 }
             }
-            OpKind::Contract { left, right } => {
-                let (l, r) = (*left, *right);
+            OpKind::Contract { .. } => {
                 let (gamma, mode) = self.plan.node_gamma[u.0 as usize]
                     .clone()
                     .ok_or(DistError::UnassignedContraction { node: u.0 })?;
-                let child_l = gamma.project(self.tree.node(l).indices);
-                let child_r = gamma.project(self.tree.node(r).indices);
-                let lv = self.eval(l, &child_l)?;
-                let rv = self.eval(r, &child_r)?;
+                let lv = lv.expect("contraction children evaluated before the node");
+                let rv = rv.expect("contraction children evaluated before the node");
                 let out_dims: Vec<IndexVar> = indices.iter().collect();
                 let (mut value, flops) = contract_sharded(
                     &lv,
@@ -680,16 +726,73 @@ impl Ctx<'_> {
                 drop(lv);
                 drop(rv);
                 for (id, fl) in flops.into_iter().enumerate() {
-                    self.per_rank_flops[id] = self.per_rank_flops[id].saturating_add(fl);
+                    c.per_rank_flops[id] = c.per_rank_flops[id].saturating_add(fl);
                 }
                 let sums = self.tree.sum_indices(u);
-                self.predicted_reduce +=
+                c.predicted_reduce +=
                     reduce_cost(indices, sums, self.space, &self.machine.grid, &gamma, mode);
-                self.reduce_words +=
+                c.reduce_words +=
                     reduce_partial_sums(&mut value, sums, self.space, &self.machine.grid, mode);
-                self.account_redistribute(&value, alpha)
+                self.account_redistribute(c, &value, alpha)
             }
         })
+    }
+
+    /// Recursive (sequential) evaluation: children left-to-right, then the
+    /// node itself.
+    fn eval(
+        &self,
+        c: &mut Counters,
+        u: NodeId,
+        alpha: &DistTuple,
+    ) -> Result<ShardedTensor, DistError> {
+        if let OpKind::Contract { left, right } = &self.tree.node(u).kind {
+            let (l, r) = (*left, *right);
+            let (gamma, _) = self.plan.node_gamma[u.0 as usize]
+                .clone()
+                .ok_or(DistError::UnassignedContraction { node: u.0 })?;
+            let child_l = gamma.project(self.tree.node(l).indices);
+            let child_r = gamma.project(self.tree.node(r).indices);
+            let lv = self.eval(c, l, &child_l)?;
+            let rv = self.eval(c, r, &child_r)?;
+            self.eval_node(c, u, alpha, Some(lv), Some(rv))
+        } else {
+            self.eval_node(c, u, alpha, None, None)
+        }
+    }
+
+    /// Top-down α pre-pass: the root carries the plan's root distribution,
+    /// and every contraction hands each child γ's projection onto that
+    /// child's indices.  Also validates every binding and plan entry so
+    /// graph-scheduled task bodies are infallible.
+    fn assign_alphas(&self, root_alpha: DistTuple) -> Result<Vec<Option<DistTuple>>, DistError> {
+        let order = self.tree.postorder();
+        let mut alphas: Vec<Option<DistTuple>> = vec![None; self.tree.len()];
+        alphas[self.tree.root.0 as usize] = Some(root_alpha);
+        // Reverse postorder visits parents before children.
+        for &u in order.iter().rev() {
+            match &self.tree.node(u).kind {
+                OpKind::Contract { left, right } => {
+                    let (gamma, _) = self.plan.node_gamma[u.0 as usize]
+                        .clone()
+                        .ok_or(DistError::UnassignedContraction { node: u.0 })?;
+                    alphas[left.0 as usize] = Some(gamma.project(self.tree.node(*left).indices));
+                    alphas[right.0 as usize] = Some(gamma.project(self.tree.node(*right).indices));
+                }
+                OpKind::Leaf(Leaf::Input { tensor, .. }) => {
+                    if !self.inputs.contains_key(tensor) {
+                        return Err(DistError::MissingInput { tensor: *tensor });
+                    }
+                }
+                OpKind::Leaf(Leaf::Func { name, .. }) => {
+                    if !self.funcs.contains_key(name) {
+                        return Err(DistError::MissingFunction { name: name.clone() });
+                    }
+                }
+                OpKind::Leaf(Leaf::One) => {}
+            }
+        }
+        Ok(alphas)
     }
 }
 
@@ -717,7 +820,7 @@ pub fn execute_plan_sharded(
     let root_alpha = plan.node_dist[tree.root.0 as usize]
         .clone()
         .ok_or(DistError::UnassignedRoot)?;
-    let mut ctx = Ctx {
+    let env = Env {
         tree,
         space,
         plan,
@@ -725,24 +828,134 @@ pub fn execute_plan_sharded(
         inputs,
         funcs,
         threads: threads.max(1),
-        moved: 0,
-        predicted: 0,
-        reduce_words: 0,
-        predicted_reduce: 0,
-        redistributions: 0,
-        per_rank_flops: vec![0; machine.grid.num_processors()],
     };
-    let sharded = ctx.eval(tree.root, &root_alpha)?;
+    let mut counters = Counters::new(machine.grid.num_processors());
+    let sharded = env.eval(&mut counters, tree.root, &root_alpha)?;
     let result = gather(&sharded, space, &machine.grid);
-    Ok(ShardExecReport {
+    Ok(report_from(result, counters))
+}
+
+fn report_from(result: Tensor, c: Counters) -> ShardExecReport {
+    ShardExecReport {
         result,
-        moved_elements: ctx.moved,
-        predicted_move_elements: ctx.predicted,
-        reduce_words: ctx.reduce_words,
-        predicted_reduce_words: ctx.predicted_reduce,
-        redistributions: ctx.redistributions,
-        per_rank_flops: ctx.per_rank_flops,
-    })
+        moved_elements: c.moved,
+        predicted_move_elements: c.predicted,
+        reduce_words: c.reduce_words,
+        predicted_reduce_words: c.predicted_reduce,
+        redistributions: c.redistributions,
+        per_rank_flops: c.per_rank_flops,
+    }
+}
+
+/// [`execute_plan_sharded`] under the dependency-aware task-graph
+/// scheduler: one task per tree node, dependencies following the operator
+/// tree, so independent subtrees evaluate concurrently on the shared pool.
+/// Admission is bounded by the sequential walk's peak live-set (in global
+/// output elements), so graph scheduling never holds more node values live
+/// than the recursive evaluation would.
+///
+/// The gathered result is **bitwise identical** to the sequential walk for
+/// every `threads` value: each node's value depends only on its own
+/// subtree and plan entries, every kernel is deterministic in isolation,
+/// and the scheduler orders dependencies before dependents.  Measured and
+/// predicted counter totals also match the sequential walk exactly —
+/// per-task counters merge in ascending node order and every field is an
+/// order-independent sum.
+///
+/// # Errors
+/// Same conditions as [`execute_plan_sharded`]; everything is validated
+/// before any task runs.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_plan_sharded_graph(
+    tree: &OpTree,
+    space: &IndexSpace,
+    plan: &DistPlan,
+    machine: &Machine,
+    inputs: &HashMap<TensorId, &Tensor>,
+    funcs: &HashMap<String, IntegralFn>,
+    threads: usize,
+) -> Result<ShardExecReport, DistError> {
+    use std::sync::Mutex;
+    let _span = tce_trace::span("dist.exec_graph");
+    let root_alpha = plan.node_dist[tree.root.0 as usize]
+        .clone()
+        .ok_or(DistError::UnassignedRoot)?;
+    let env = Env {
+        tree,
+        space,
+        plan,
+        machine,
+        inputs,
+        funcs,
+        threads: threads.max(1),
+    };
+    let alphas = env.assign_alphas(root_alpha)?;
+
+    let order = tree.postorder();
+    let mut graph = tce_par::TaskGraph::new();
+    let mut task_of = vec![usize::MAX; tree.len()];
+    for &u in &order {
+        let deps: Vec<usize> = match &tree.node(u).kind {
+            OpKind::Contract { left, right } => {
+                vec![task_of[left.0 as usize], task_of[right.0 as usize]]
+            }
+            _ => Vec::new(),
+        };
+        let weight: u64 = tree
+            .node(u)
+            .indices
+            .iter()
+            .map(|v| space.extent(v) as u64)
+            .product::<u64>()
+            .max(1);
+        task_of[u.0 as usize] = graph.add_task(&deps, weight);
+    }
+    let cap = graph.sequential_peak();
+
+    let ranks = machine.grid.num_processors();
+    let slots: Vec<Mutex<Option<ShardedTensor>>> = order.iter().map(|_| Mutex::new(None)).collect();
+    let task_counters: Vec<Mutex<Counters>> = order
+        .iter()
+        .map(|_| Mutex::new(Counters::new(ranks)))
+        .collect();
+    graph.run(threads, Some(cap), &|t| {
+        let u = order[t];
+        let alpha = alphas[u.0 as usize]
+            .as_ref()
+            .expect("alpha pre-pass covers every node");
+        let mut c = Counters::new(ranks);
+        let (lv, rv) = match &tree.node(u).kind {
+            OpKind::Contract { left, right } => {
+                let lv = slots[task_of[left.0 as usize]]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take();
+                let rv = slots[task_of[right.0 as usize]]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take();
+                (lv, rv)
+            }
+            _ => (None, None),
+        };
+        let value = env
+            .eval_node(&mut c, u, alpha, lv, rv)
+            .expect("bindings and plan entries validated before scheduling");
+        *slots[t].lock().unwrap_or_else(|e| e.into_inner()) = Some(value);
+        *task_counters[t].lock().unwrap_or_else(|e| e.into_inner()) = c;
+    });
+
+    let mut counters = Counters::new(ranks);
+    for tc in &task_counters {
+        counters.merge(&tc.lock().unwrap_or_else(|e| e.into_inner()));
+    }
+    let sharded = slots[task_of[tree.root.0 as usize]]
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .take()
+        .expect("root task completed");
+    let result = gather(&sharded, space, &machine.grid);
+    Ok(report_from(result, counters))
 }
 
 #[cfg(test)]

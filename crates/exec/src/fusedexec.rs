@@ -34,12 +34,51 @@
 //!   `v`'s parent edge, so consumers always see a complete sum.
 
 use crate::error::ExecError;
-use crate::treeexec::ExecOptions;
+use crate::treeexec::{ExecOptions, Schedule};
+use std::cell::UnsafeCell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use tce_fusion::{fusion_schedule, is_fusable_producer, FusionConfig, ScheduleStep};
 use tce_ir::{IndexSet, IndexSpace, IndexVar, Leaf, NodeId, OpKind, OpTree, TensorId};
-use tce_par::parallel_chunks_mut;
+use tce_par::{parallel_chunks_mut, TaskGraph};
 use tce_tensor::{BinaryContraction, IntegralFn, Tensor};
+
+/// The fused intermediate arrays, shared across schedule steps.
+///
+/// In sequential execution one [`FusedCtx`] owns all access.  Under graph
+/// scheduling, top-level steps run concurrently but the task graph carries
+/// a *hazard edge* between any two steps whose read/write node-sets
+/// conflict, so for every array cell all writes are totally ordered with
+/// each other and with every read (dependency completion happens-before a
+/// dependent starts).  That discipline is exactly the exclusivity
+/// `UnsafeCell` access requires.
+struct SharedArrays(Vec<UnsafeCell<Option<Tensor>>>);
+
+// SAFETY: concurrent access to distinct cells is safe; same-cell access is
+// serialized by the task graph's hazard edges (see type docs).
+unsafe impl Sync for SharedArrays {}
+
+impl SharedArrays {
+    fn new(arrays: Vec<Option<Tensor>>) -> Self {
+        Self(arrays.into_iter().map(UnsafeCell::new).collect())
+    }
+
+    fn into_inner(self) -> Vec<Option<Tensor>> {
+        self.0.into_iter().map(UnsafeCell::into_inner).collect()
+    }
+
+    /// SAFETY: caller must hold step-level exclusivity for cell `i` (the
+    /// sequential walk trivially does; graph tasks do via hazard edges).
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn cell_mut(&self, i: usize) -> &mut Option<Tensor> {
+        unsafe { &mut *self.0[i].get() }
+    }
+
+    /// SAFETY: no concurrent writer for cell `i` (see [`Self::cell_mut`]).
+    unsafe fn cell(&self, i: usize) -> &Option<Tensor> {
+        unsafe { &*self.0[i].get() }
+    }
+}
 
 /// Result of a fused-slice execution, with the measured-vs-modeled
 /// live-set accounting (the same discipline the distributed executor
@@ -109,7 +148,9 @@ pub fn execute_tree_fused(
     // A bare stored-input (or One) root has no producer nest to fuse.
     if !is_fusable_producer(tree, tree.root) {
         let result = match &tree.node(tree.root).kind {
-            OpKind::Leaf(Leaf::Input { tensor, .. }) => (*inputs.get(tensor).unwrap()).clone(),
+            OpKind::Leaf(Leaf::Input { tensor, .. }) => {
+                (*inputs.get(tensor).expect("validated above")).clone()
+            }
             OpKind::Leaf(Leaf::One) => Tensor::from_elem(&[], 1.0),
             _ => unreachable!("non-producer roots are leaves"),
         };
@@ -154,28 +195,35 @@ pub fn execute_tree_fused(
     );
 
     // --- interpret the schedule ---
-    let mut ctx = FusedCtx {
-        tree,
-        space,
-        config,
-        inputs,
-        funcs,
-        arrays,
-        env: vec![0usize; 128],
-        scope: IndexSet::EMPTY,
-        threads: opts.threads.max(1),
-        sliced_contractions: 0,
-        func_evals: 0,
-        pinned: &schedule.pinned,
+    let shared = SharedArrays::new(arrays);
+    let threads = opts.threads.max(1);
+    let (sliced_contractions, func_evals) = match opts.schedule {
+        Schedule::Seq => {
+            let mut ctx = FusedCtx {
+                tree,
+                space,
+                config,
+                inputs,
+                funcs,
+                arrays: &shared,
+                env: vec![0usize; 128],
+                scope: IndexSet::EMPTY,
+                threads,
+                sliced_contractions: 0,
+                func_evals: 0,
+                pinned: &schedule.pinned,
+            };
+            // SAFETY (SharedArrays): one context, sequential steps —
+            // trivially exclusive.
+            ctx.run(&schedule.steps);
+            (ctx.sliced_contractions, ctx.func_evals)
+        }
+        Schedule::Graph => run_steps_graph(
+            tree, space, config, inputs, funcs, &shared, &schedule, threads,
+        ),
     };
-    ctx.run(&schedule.steps);
 
-    let FusedCtx {
-        mut arrays,
-        sliced_contractions,
-        func_evals,
-        ..
-    } = ctx;
+    let mut arrays = shared.into_inner();
     let result = arrays[tree.root.0 as usize].take().expect("root value");
     if traced {
         tce_trace::counter_u128("fused.live_elements", peak_live_elements);
@@ -216,13 +264,124 @@ impl<'t> Operand<'t> {
     }
 }
 
+/// The nodes a schedule step reads and writes, as node-id masks over the
+/// tree — the hazard information graph scheduling serializes on.
+#[derive(Clone)]
+struct StepRw {
+    reads: Vec<bool>,
+    writes: Vec<bool>,
+}
+
+impl StepRw {
+    fn conflicts_with(&self, later: &StepRw) -> bool {
+        self.writes
+            .iter()
+            .zip(later.reads.iter().zip(&later.writes))
+            .any(|(&w_i, (&r_j, &w_j))| w_i && (r_j || w_j))
+            || self
+                .reads
+                .iter()
+                .zip(&later.writes)
+                .any(|(&r_i, &w_j)| r_i && w_j)
+    }
+}
+
+/// Accumulate the read/write node-sets of `step` (recursing through chain
+/// loops).  Reads cover producer operands only — stored inputs are
+/// immutable and never hazard.
+fn step_rw(tree: &OpTree, step: &ScheduleStep, rw: &mut StepRw) {
+    match step {
+        ScheduleStep::Loop { body, .. } => {
+            for s in body {
+                step_rw(tree, s, rw);
+            }
+        }
+        ScheduleStep::Zero(v) => rw.writes[v.0 as usize] = true,
+        ScheduleStep::Produce(v) => {
+            rw.writes[v.0 as usize] = true;
+            if let OpKind::Contract { left, right } = &tree.node(*v).kind {
+                for c in [*left, *right] {
+                    if is_fusable_producer(tree, c) {
+                        rw.reads[c.0 as usize] = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Execute the schedule's top-level steps on a [`TaskGraph`] with hazard
+/// edges: steps whose read/write sets conflict are ordered (so every
+/// array cell sees a serialized access history, upholding the
+/// [`SharedArrays`] contract); independent steps run concurrently.
+/// Interior chain loops stay sequential inside their step's task.  All
+/// arrays are preallocated before any step runs, so graph scheduling
+/// cannot change the measured peak live-set.  Returns
+/// `(sliced_contractions, func_evals)`.
+#[allow(clippy::too_many_arguments)]
+fn run_steps_graph(
+    tree: &OpTree,
+    space: &IndexSpace,
+    config: &FusionConfig,
+    inputs: &HashMap<TensorId, &Tensor>,
+    funcs: &HashMap<String, IntegralFn>,
+    shared: &SharedArrays,
+    schedule: &tce_fusion::FusionSchedule,
+    threads: usize,
+) -> (u64, u64) {
+    let rws: Vec<StepRw> = schedule
+        .steps
+        .iter()
+        .map(|step| {
+            let mut rw = StepRw {
+                reads: vec![false; tree.len()],
+                writes: vec![false; tree.len()],
+            };
+            step_rw(tree, step, &mut rw);
+            rw
+        })
+        .collect();
+    let mut graph = TaskGraph::new();
+    for (j, rw_j) in rws.iter().enumerate() {
+        let deps: Vec<usize> = (0..j).filter(|&i| rws[i].conflicts_with(rw_j)).collect();
+        // Weight 0: every array is already allocated, so steps add no live
+        // storage — the cap is irrelevant here by construction.
+        graph.add_task(&deps, 0);
+    }
+    let sliced = AtomicU64::new(0);
+    let evals = AtomicU64::new(0);
+    graph.run(threads, None, &|t| {
+        let mut ctx = FusedCtx {
+            tree,
+            space,
+            config,
+            inputs,
+            funcs,
+            arrays: shared,
+            env: vec![0usize; 128],
+            scope: IndexSet::EMPTY,
+            threads,
+            sliced_contractions: 0,
+            func_evals: 0,
+            pinned: &schedule.pinned,
+        };
+        ctx.run(std::slice::from_ref(&schedule.steps[t]));
+        sliced.fetch_add(ctx.sliced_contractions, Ordering::Relaxed);
+        evals.fetch_add(ctx.func_evals, Ordering::Relaxed);
+    });
+    (
+        sliced.load(Ordering::Relaxed),
+        evals.load(Ordering::Relaxed),
+    )
+}
+
 struct FusedCtx<'a> {
     tree: &'a OpTree,
     space: &'a IndexSpace,
     config: &'a FusionConfig,
     inputs: &'a HashMap<TensorId, &'a Tensor>,
     funcs: &'a HashMap<String, IntegralFn>,
-    arrays: Vec<Option<Tensor>>,
+    arrays: &'a SharedArrays,
     /// Current value of each pinned index, by `IndexVar.0`.
     env: Vec<usize>,
     /// Indices pinned by the enclosing chain loops.
@@ -247,7 +406,10 @@ impl FusedCtx<'_> {
                     self.scope = outer_scope;
                 }
                 ScheduleStep::Zero(v) => {
-                    self.arrays[v.0 as usize]
+                    // SAFETY: this step writes `v` — exclusivity per the
+                    // SharedArrays contract (sequential walk or hazard
+                    // edges).
+                    unsafe { self.arrays.cell_mut(v.0 as usize) }
                         .as_mut()
                         .expect("allocated")
                         .fill_zero();
@@ -314,7 +476,9 @@ impl FusedCtx<'_> {
             })
             .collect();
         let block = res.reshaped(&block_shape);
-        self.arrays[v.0 as usize]
+        // SAFETY: this step writes `v`; no concurrent reader or writer per
+        // the SharedArrays contract.
+        unsafe { self.arrays.cell_mut(v.0 as usize) }
             .as_mut()
             .expect("allocated")
             .add_block(&starts, &block);
@@ -329,8 +493,12 @@ impl FusedCtx<'_> {
             OpKind::Leaf(Leaf::One) => {
                 return Operand::Owned(Tensor::from_elem(&[], 1.0), Vec::new())
             }
+            // SAFETY: this step reads producer operand `c`; writers of `c`
+            // are ordered before it per the SharedArrays contract.
             _ => (
-                self.arrays[c.0 as usize].as_ref().expect("allocated"),
+                unsafe { self.arrays.cell(c.0 as usize) }
+                    .as_ref()
+                    .expect("allocated"),
                 self.config.array_indices(self.tree, c).iter().collect(),
             ),
         };
@@ -388,7 +556,11 @@ impl FusedCtx<'_> {
             .collect();
         let shape: Vec<usize> = arr_dims.iter().map(|&d| self.space.extent(d)).collect();
         let f = &self.funcs[name];
-        let out = self.arrays[v.0 as usize].as_mut().expect("allocated");
+        // SAFETY: this step writes `v`; exclusivity per the SharedArrays
+        // contract.
+        let out = unsafe { self.arrays.cell_mut(v.0 as usize) }
+            .as_mut()
+            .expect("allocated");
         self.func_evals += out.len() as u64;
         let rank = shape.len();
         let shape_ref = &shape;
@@ -487,6 +659,43 @@ mod tests {
             // T1 scalar + T2 at N².
             assert_eq!(rep.peak_live_elements, 1 + 16);
             assert!(rep.peak_matches_model());
+        }
+    }
+
+    #[test]
+    fn graph_schedule_is_bitwise_identical_and_keeps_model_peak() {
+        let (space, tensors, tree, t1, t2) = fig1(4);
+        let (vals, ids) = bind(&tensors, 4);
+        let mut inputs = HashMap::new();
+        for (id, v) in ids.iter().zip(&vals) {
+            inputs.insert(*id, v);
+        }
+        let mut cfg = FusionConfig::unfused(&tree);
+        cfg.set(t1, space.parse_set("b,c,d,f").unwrap());
+        cfg.set(t2, space.parse_set("b,c").unwrap());
+        let seq = execute_tree_fused(
+            &tree,
+            &space,
+            &cfg,
+            &inputs,
+            &HashMap::new(),
+            &ExecOptions::serial(),
+        )
+        .unwrap();
+        for threads in [1, 2, 4, 8] {
+            let opts = ExecOptions::with_threads(threads).with_schedule(Schedule::Graph);
+            let rep =
+                execute_tree_fused(&tree, &space, &cfg, &inputs, &HashMap::new(), &opts).unwrap();
+            assert_eq!(
+                rep.result, seq.result,
+                "graph schedule diverged at {threads} threads"
+            );
+            // All intermediates are still preallocated up front, so the
+            // measured peak equals the model regardless of scheduling.
+            assert_eq!(rep.peak_live_elements, seq.peak_live_elements);
+            assert!(rep.peak_matches_model());
+            assert_eq!(rep.sliced_contractions, seq.sliced_contractions);
+            assert_eq!(rep.func_evals, seq.func_evals);
         }
     }
 

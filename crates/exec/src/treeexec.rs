@@ -12,27 +12,68 @@
 
 use crate::error::ExecError;
 use std::collections::HashMap;
+use std::sync::Mutex;
 use tce_ir::{IndexSpace, IndexVar, Leaf, NodeId, OpKind, OpTree, TensorId};
-use tce_par::parallel_chunks_mut;
+use tce_par::{parallel_chunks_mut, TaskGraph};
 use tce_tensor::{BinaryContraction, IntegralFn, Tensor};
+
+/// How operation trees are walked by the executors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Schedule {
+    /// Fixed postorder, one node at a time (parallelism lives inside each
+    /// kernel call).
+    #[default]
+    Seq,
+    /// Dependency-aware task graph: independent subtrees contract
+    /// concurrently on [`tce_par::TaskGraph`], bounded by the sequential
+    /// walk's live-set peak.  Bitwise identical to [`Schedule::Seq`] for
+    /// every worker count.
+    Graph,
+}
+
+impl std::str::FromStr for Schedule {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "seq" => Ok(Schedule::Seq),
+            "graph" => Ok(Schedule::Graph),
+            other => Err(format!("bad schedule `{other}`: expected seq|graph")),
+        }
+    }
+}
+
+impl std::fmt::Display for Schedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Schedule::Seq => "seq",
+            Schedule::Graph => "graph",
+        })
+    }
+}
 
 /// Knobs threaded through every execution entry point.
 ///
 /// The default thread count honours the `TCE_THREADS` environment
 /// variable and otherwise uses the machine's available parallelism
-/// (see `tce_par::default_threads`).  Thread count never affects
-/// results: every parallel kernel partitions output disjointly.
+/// (see `tce_par::default_threads`).  Neither thread count nor schedule
+/// ever affects results: every parallel kernel partitions output
+/// disjointly, and graph scheduling only reorders *when* independent
+/// nodes run.
 #[derive(Debug, Clone)]
 pub struct ExecOptions {
     /// Worker threads for contraction kernels, permutes and function
     /// materialization.
     pub threads: usize,
+    /// Tree-walk order (see [`Schedule`]).
+    pub schedule: Schedule,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
         Self {
             threads: tce_par::default_threads(),
+            schedule: Schedule::default(),
         }
     }
 }
@@ -40,18 +81,41 @@ impl Default for ExecOptions {
 impl ExecOptions {
     /// Run everything on the calling thread.
     pub fn serial() -> Self {
-        Self { threads: 1 }
+        Self {
+            threads: 1,
+            schedule: Schedule::default(),
+        }
     }
 
-    /// Use exactly `threads` workers.
+    /// Use exactly `threads` workers.  **Clamps 0 to 1** — an infallible
+    /// convenience for callers that already validated their count; front
+    /// ends that must reject 0 with a diagnostic (as the CLI's
+    /// `--threads` does) should use [`ExecOptions::try_with_threads`].
     pub fn with_threads(threads: usize) -> Self {
         Self {
             threads: threads.max(1),
+            schedule: Schedule::default(),
         }
+    }
+
+    /// Use exactly `threads` workers, rejecting 0 with the same one-line
+    /// diagnostic the CLI prints for `--threads 0`.
+    pub fn try_with_threads(threads: usize) -> Result<Self, String> {
+        if threads == 0 {
+            return Err("--threads must be at least 1".to_string());
+        }
+        Ok(Self::with_threads(threads))
+    }
+
+    /// This options bundle with the given schedule.
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
     }
 }
 
-/// [`execute_tree`] with an [`ExecOptions`] bundle.
+/// [`execute_tree`] with an [`ExecOptions`] bundle; `opts.schedule`
+/// selects the sequential postorder walk or the task-graph scheduler.
 pub fn execute_tree_opts(
     tree: &OpTree,
     space: &IndexSpace,
@@ -59,7 +123,10 @@ pub fn execute_tree_opts(
     funcs: &HashMap<String, IntegralFn>,
     opts: &ExecOptions,
 ) -> Result<Tensor, ExecError> {
-    execute_tree(tree, space, inputs, funcs, opts.threads)
+    match opts.schedule {
+        Schedule::Seq => execute_tree(tree, space, inputs, funcs, opts.threads),
+        Schedule::Graph => execute_tree_graph(tree, space, inputs, funcs, opts.threads),
+    }
 }
 
 /// Evaluate `tree` on the sharded distributed machine following a §7
@@ -83,15 +150,20 @@ pub fn execute_tree_distributed(
     funcs: &HashMap<String, IntegralFn>,
     opts: &ExecOptions,
 ) -> Result<tce_dist::ShardExecReport, ExecError> {
-    Ok(tce_dist::execute_plan_sharded(
-        tree,
-        space,
-        plan,
-        machine,
-        inputs,
-        funcs,
-        opts.threads,
-    )?)
+    Ok(match opts.schedule {
+        Schedule::Seq => {
+            tce_dist::execute_plan_sharded(tree, space, plan, machine, inputs, funcs, opts.threads)?
+        }
+        Schedule::Graph => tce_dist::execute_plan_sharded_graph(
+            tree,
+            space,
+            plan,
+            machine,
+            inputs,
+            funcs,
+            opts.threads,
+        )?,
+    })
 }
 
 /// Evaluate `tree` bottom-up; returns the root value.
@@ -138,14 +210,16 @@ pub fn execute_tree(
                 let rv = values[right.0 as usize].as_ref().expect("postorder");
                 let out = contract_node(tree, space, id, *left, *right, lv, rv, threads);
                 // Each node has exactly one parent, so operand values are
-                // dead as soon as the contraction finishes; dropping them
+                // dead as soon as the contraction finishes; recycling them
                 // here keeps the materialized high-water mark at the live
-                // set rather than the whole formula sequence.
+                // set rather than the whole formula sequence, and feeds
+                // the buffer pool instead of the allocator.
                 for child in [*left, *right] {
                     if let Some(t) = values[child.0 as usize].take() {
                         if traced {
                             tce_trace::mem_free(bytes_of(&t));
                         }
+                        t.recycle();
                     }
                 }
                 out
@@ -160,6 +234,116 @@ pub fn execute_tree(
     if traced {
         tce_trace::mem_free(bytes_of(&root));
     }
+    Ok(root)
+}
+
+/// Evaluate `tree` with the dependency-aware task-graph scheduler:
+/// independent subtrees contract concurrently on up to `threads`
+/// scheduler slots, with admissions bounded by the sequential postorder
+/// walk's live-set peak (so graph scheduling never holds more
+/// intermediate storage than [`execute_tree`] would have).
+///
+/// Bitwise identical to [`execute_tree`] at every thread count: the
+/// scheduler only reorders *when* nodes run, each node's kernel is
+/// deterministic in isolation, and dependency completion happens-before a
+/// dependent starts.
+pub fn execute_tree_graph(
+    tree: &OpTree,
+    space: &IndexSpace,
+    inputs: &HashMap<TensorId, &Tensor>,
+    funcs: &HashMap<String, IntegralFn>,
+    threads: usize,
+) -> Result<Tensor, ExecError> {
+    let _span = tce_trace::span("exec.tree_graph");
+
+    // Validate every binding up front so task bodies are infallible.
+    for id in tree.postorder() {
+        match &tree.node(id).kind {
+            OpKind::Leaf(Leaf::Input { tensor, indices }) => {
+                let t = inputs.get(tensor).ok_or_else(|| ExecError::MissingInput {
+                    name: format!("#{}", tensor.0),
+                })?;
+                let expect: Vec<usize> = indices.iter().map(|&v| space.extent(v)).collect();
+                if t.shape() != &expect[..] {
+                    return Err(ExecError::InputShapeMismatch {
+                        name: format!("#{}", tensor.0),
+                        expect,
+                        got: t.shape().to_vec(),
+                    });
+                }
+            }
+            OpKind::Leaf(Leaf::Func { name, .. }) if !funcs.contains_key(name) => {
+                return Err(ExecError::MissingFunction { name: name.clone() });
+            }
+            _ => {}
+        }
+    }
+
+    // One task per node, in postorder (so dependencies precede
+    // dependents), weighted by output element count — the same accounting
+    // the sequential walk's live set follows.
+    let order: Vec<NodeId> = tree.postorder();
+    let mut task_of = vec![usize::MAX; tree.len()];
+    let mut graph = TaskGraph::new();
+    for (t, &id) in order.iter().enumerate() {
+        let deps: Vec<usize> = match &tree.node(id).kind {
+            OpKind::Contract { left, right } => {
+                vec![task_of[left.0 as usize], task_of[right.0 as usize]]
+            }
+            _ => Vec::new(),
+        };
+        let elements: u64 = tree
+            .node(id)
+            .indices
+            .iter()
+            .map(|v| space.extent(v) as u64)
+            .product::<u64>()
+            .max(1);
+        let added = graph.add_task(&deps, elements);
+        debug_assert_eq!(added, t);
+        task_of[id.0 as usize] = t;
+    }
+    let cap = graph.sequential_peak();
+
+    let slots: Vec<Mutex<Option<Tensor>>> = order.iter().map(|_| Mutex::new(None)).collect();
+    graph.run(threads.max(1), Some(cap), &|t| {
+        let id = order[t];
+        let value = match &tree.node(id).kind {
+            OpKind::Leaf(Leaf::Input { tensor, .. }) => {
+                (*inputs.get(tensor).expect("validated above")).clone()
+            }
+            OpKind::Leaf(Leaf::One) => Tensor::from_elem(&[], 1.0),
+            OpKind::Leaf(Leaf::Func { name, indices, .. }) => {
+                materialize_func(&funcs[name], indices, space, threads)
+            }
+            OpKind::Contract { left, right } => {
+                // Each node has exactly one parent, so taking the operand
+                // values here is safe — and recycling them keeps the live
+                // set at the cap's accounting.
+                let lv = slots[task_of[left.0 as usize]]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("dependency completed");
+                let rv = slots[task_of[right.0 as usize]]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("dependency completed");
+                let out = contract_node(tree, space, id, *left, *right, &lv, &rv, threads);
+                lv.recycle();
+                rv.recycle();
+                out
+            }
+        };
+        *slots[t].lock().unwrap_or_else(|e| e.into_inner()) = Some(value);
+    });
+
+    let root = slots[task_of[tree.root.0 as usize]]
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .take()
+        .expect("root value");
     Ok(root)
 }
 
@@ -341,6 +525,67 @@ mod tests {
         inputs.insert(ta, &va);
         let out = execute_tree(&tree, &space, &inputs, &HashMap::new(), 1).unwrap();
         assert!((out.get(&[]) - va.sum()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn graph_schedule_is_bitwise_identical_to_seq() {
+        let mut space = IndexSpace::new();
+        let n = space.add_range("N", 3);
+        let vs = space.add_vars("a b c d e f i j k l", n);
+        let (a, b, c, d, e, f, i, j, k, l) = (
+            vs[0], vs[1], vs[2], vs[3], vs[4], vs[5], vs[6], vs[7], vs[8], vs[9],
+        );
+        let mut tensors = TensorTable::new();
+        let ta = tensors.add(TensorDecl::dense("A", vec![n; 4]));
+        let tb = tensors.add(TensorDecl::dense("B", vec![n; 4]));
+        let tc = tensors.add(TensorDecl::dense("C", vec![n; 4]));
+        let td = tensors.add(TensorDecl::dense("D", vec![n; 4]));
+        let mut tree = OpTree::new();
+        // Two independent subtrees meeting at the root: the graph
+        // scheduler can overlap them.
+        let lb = tree.leaf_input(tb, vec![b, e, f, l]);
+        let ld = tree.leaf_input(td, vec![c, d, e, l]);
+        let t1 = tree.contract(lb, ld, IndexSet::from_vars([b, c, d, f]));
+        let lc = tree.leaf_input(tc, vec![d, f, j, k]);
+        let la = tree.leaf_input(ta, vec![a, c, i, k]);
+        let t2 = tree.contract(lc, la, IndexSet::from_vars([a, c, f, i, j]));
+        tree.contract(t1, t2, IndexSet::from_vars([a, b, i, j]));
+
+        let shape = [3usize; 4];
+        let va = Tensor::random(&shape, 61);
+        let vb = Tensor::random(&shape, 62);
+        let vc = Tensor::random(&shape, 63);
+        let vd = Tensor::random(&shape, 64);
+        let mut inputs = HashMap::new();
+        inputs.insert(ta, &va);
+        inputs.insert(tb, &vb);
+        inputs.insert(tc, &vc);
+        inputs.insert(td, &vd);
+
+        let seq = execute_tree(&tree, &space, &inputs, &HashMap::new(), 1).unwrap();
+        for threads in [1, 2, 4, 8] {
+            let graph =
+                execute_tree_graph(&tree, &space, &inputs, &HashMap::new(), threads).unwrap();
+            assert_eq!(seq, graph, "graph schedule diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn try_with_threads_rejects_zero_like_the_cli() {
+        let err = ExecOptions::try_with_threads(0).unwrap_err();
+        assert_eq!(err, "--threads must be at least 1");
+        assert_eq!(ExecOptions::try_with_threads(3).unwrap().threads, 3);
+        // The infallible constructor documents (and keeps) the clamp.
+        assert_eq!(ExecOptions::with_threads(0).threads, 1);
+    }
+
+    #[test]
+    fn schedule_parses_and_rejects_garbage() {
+        assert_eq!("seq".parse::<Schedule>().unwrap(), Schedule::Seq);
+        assert_eq!("graph".parse::<Schedule>().unwrap(), Schedule::Graph);
+        let err = "bogus".parse::<Schedule>().unwrap_err();
+        assert!(err.contains("expected seq|graph"), "{err}");
+        assert_eq!(Schedule::Graph.to_string(), "graph");
     }
 
     #[test]

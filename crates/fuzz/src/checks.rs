@@ -19,12 +19,17 @@
 //! * **sparse** — for each ≥2-factor term, the leading binary contraction
 //!   evaluated through `tce_tensor::sparse::contract_sparse_dense` (with
 //!   the zero-structured left operand converted to sparse form) agrees
-//!   with the dense contraction.
+//!   with the dense contraction;
+//! * **sched** — the dependency-aware task-graph schedule
+//!   (`--schedule graph`) agrees with the oracle and is bitwise identical
+//!   to the sequential schedule at every configured thread count.
 
 use std::collections::HashMap;
 use std::sync::Mutex;
 
-use tce_core::{synthesize_program, ExecOptions, Synthesis, SynthesisConfig, SynthesisError};
+use tce_core::{
+    synthesize_program, ExecOptions, Schedule, Synthesis, SynthesisConfig, SynthesisError,
+};
 use tce_ir::rng::{split_seed, Rng};
 use tce_ir::{Assignment, Factor, IndexSet, IndexVar, Program, TensorId};
 use tce_tensor::{
@@ -45,6 +50,9 @@ pub struct CheckSet {
     pub sparse: bool,
     /// Unparse→parse structural round trip.
     pub roundtrip: bool,
+    /// Task-graph schedule: graph execution agrees with the oracle and is
+    /// bitwise identical to the sequential schedule at every thread count.
+    pub sched: bool,
 }
 
 impl CheckSet {
@@ -56,6 +64,7 @@ impl CheckSet {
             dist: true,
             sparse: true,
             roundtrip: true,
+            sched: true,
         }
     }
 
@@ -67,11 +76,12 @@ impl CheckSet {
             dist: false,
             sparse: false,
             roundtrip: false,
+            sched: false,
         }
     }
 
     /// Parse a `--check` argument: `all` or a comma-separated subset of
-    /// `exec,cost,dist,sparse,roundtrip`.
+    /// `exec,cost,dist,sparse,roundtrip,sched`.
     pub fn parse(text: &str) -> Result<Self, String> {
         if text == "all" {
             return Ok(Self::all());
@@ -84,6 +94,7 @@ impl CheckSet {
                 "dist" => set.dist = true,
                 "sparse" => set.sparse = true,
                 "roundtrip" => set.roundtrip = true,
+                "sched" => set.sched = true,
                 other => return Err(format!("unknown check `{other}`")),
             }
         }
@@ -653,6 +664,49 @@ pub fn check_program(program: &Program, ck: &CheckConfig) -> Result<CaseStats, F
                 )?;
                 stats.kernel_variants += 1;
             }
+        }
+    }
+
+    if ck.set.sched {
+        // The task-graph schedule must agree with the oracle and be
+        // bitwise identical to the sequential schedule at 1 thread and at
+        // every configured thread count (scheduling reorders only WHEN
+        // nodes run, never the arithmetic inside a node).
+        let seq = {
+            let mut r = syn
+                .execute_opts(&input_refs, &funcs, &ExecOptions::serial())
+                .map_err(|e| Failure::new(CheckKind::ExecDiff, format!("sched seq: {e}")))?;
+            apply_fault(program, ck, &mut r);
+            r
+        };
+        compare_outputs(
+            program,
+            &seq,
+            &expect,
+            ck.tol,
+            CheckKind::ExecDiff,
+            "sched seq",
+        )?;
+        let mut counts: Vec<usize> = vec![1];
+        counts.extend(ck.threads.iter().copied());
+        for t in counts {
+            let opts = ExecOptions::with_threads(t).with_schedule(Schedule::Graph);
+            let mut got = syn
+                .execute_opts(&input_refs, &funcs, &opts)
+                .map_err(|e| Failure::new(CheckKind::ExecDiff, format!("sched graph({t}): {e}")))?;
+            apply_fault(program, ck, &mut got);
+            for (id, want) in &seq {
+                if got.get(id) != Some(want) {
+                    return Err(Failure::new(
+                        CheckKind::ExecDiff,
+                        format!(
+                            "graph schedule with {t} threads changed bits in `{}`",
+                            program.tensors.get(*id).name
+                        ),
+                    ));
+                }
+            }
+            stats.executor_runs += 1;
         }
     }
 

@@ -1,0 +1,429 @@
+//! Dependency-aware task-graph scheduling on the shared worker pool.
+//!
+//! The executors walk operation trees in a fixed postorder, so independent
+//! subtrees never overlap even when the pool sits idle between GETT calls.
+//! A [`TaskGraph`] makes the dependence structure explicit: tasks are added
+//! in a topological order (every dependency precedes its dependent), and
+//! [`TaskGraph::run`] dispatches ready tasks onto [`crate::Pool`] scheduler
+//! slots, bounded by a *live-set cap* so concurrent execution never holds
+//! more intermediate storage than the caller's memory model allows.
+//!
+//! Accounting model: admitting task `t` makes `weight(t)` units live (its
+//! output buffer); the units are released once **all** of `t`'s dependents
+//! have completed (the last consumer frees the operand).  Tasks with no
+//! dependents — roots whose value is the result — stay live to the end.
+//! [`TaskGraph::sequential_peak`] simulates ascending-index execution under
+//! exactly this accounting, so using it as the cap always admits at least
+//! the sequential order and the scheduler cannot wedge on the bound.  As a
+//! belt-and-braces guarantee, when no task fits under the cap and nothing
+//! is running, the lowest-index ready task is admitted anyway and counted
+//! in [`GraphStats::forced_admissions`].
+//!
+//! Determinism: the scheduler changes only *when* tasks run, never what
+//! they compute.  Task bodies must write disjoint state (the same contract
+//! as [`crate::Pool::run`]); completion of every dependency *happens-before*
+//! a dependent starts (the scheduler mutex orders them), so each task sees
+//! fully written operands.  Bitwise-identical results for every worker
+//! count then follow from each task being deterministic in isolation.
+
+use crate::pool::Pool;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex};
+
+/// Observed scheduling metrics for one [`TaskGraph::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Tasks executed.
+    pub tasks: u64,
+    /// Dependency edges in the graph.
+    pub edges: u64,
+    /// Peak live weight observed under the accounting model.
+    pub peak_live: u64,
+    /// The cap the run was bounded by (`u64::MAX` when unbounded).
+    pub cap: u64,
+    /// Times the forced-progress escape admitted a task over the cap.
+    pub forced_admissions: u64,
+}
+
+/// Scheduler state guarded by one mutex (tasks do their real work outside
+/// the lock; this only orders admissions and completions).
+struct Sched {
+    /// The live-set bound tasks are admitted under.
+    cap: u64,
+    /// Unmet dependency count per task.
+    indegree: Vec<usize>,
+    /// Dependents not yet completed per task (release weight at zero).
+    pending_dependents: Vec<usize>,
+    /// Ready tasks as a min-heap on task index: admission order is the
+    /// topological insertion order whenever there is a choice.
+    ready: BinaryHeap<Reverse<usize>>,
+    live: u64,
+    peak_live: u64,
+    running: usize,
+    completed: usize,
+    forced_admissions: u64,
+    /// A task body panicked; re-raised once after the run drains.
+    panicked: bool,
+}
+
+/// A directed acyclic graph of tasks with weights, executed by
+/// [`TaskGraph::run`].  See the module docs for the scheduling and
+/// live-set accounting model.
+#[derive(Debug, Default)]
+pub struct TaskGraph {
+    deps: Vec<Vec<usize>>,
+    dependents: Vec<Vec<usize>>,
+    weight: Vec<u64>,
+}
+
+impl TaskGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a task depending on `deps` (indices of previously added tasks)
+    /// whose output occupies `weight` live units; returns its index.
+    ///
+    /// # Panics
+    /// Panics if a dependency index is not smaller than the new task's —
+    /// tasks must be added in topological order.
+    pub fn add_task(&mut self, deps: &[usize], weight: u64) -> usize {
+        let id = self.deps.len();
+        for &d in deps {
+            assert!(d < id, "dependency {d} of task {id} not yet added");
+            self.dependents[d].push(id);
+        }
+        self.deps.push(deps.to_vec());
+        self.dependents.push(Vec::new());
+        self.weight.push(weight);
+        id
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.deps.len()
+    }
+
+    /// Whether no tasks were added.
+    pub fn is_empty(&self) -> bool {
+        self.deps.is_empty()
+    }
+
+    /// Number of dependency edges.
+    pub fn edge_count(&self) -> usize {
+        self.deps.iter().map(Vec::len).sum()
+    }
+
+    /// Peak live weight of executing tasks one at a time in ascending
+    /// index order under the run's accounting model — the natural cap for
+    /// [`TaskGraph::run`]: it reproduces the sequential executor's
+    /// high-water mark, so graph scheduling is admitted to exactly the
+    /// memory the sequential walk would have used.
+    pub fn sequential_peak(&self) -> u64 {
+        let mut pending: Vec<usize> = self.dependents.iter().map(Vec::len).collect();
+        let mut live = 0u64;
+        let mut peak = 0u64;
+        for t in 0..self.len() {
+            live += self.weight[t];
+            peak = peak.max(live);
+            for &d in &self.deps[t] {
+                pending[d] -= 1;
+                if pending[d] == 0 {
+                    live -= self.weight[d];
+                }
+            }
+        }
+        peak
+    }
+
+    /// Execute every task on up to `threads` scheduler slots over the
+    /// shared pool, admitting a ready task only while `live + weight ≤
+    /// cap` (no bound when `cap` is `None`).  `body(t)` runs exactly once
+    /// per task, after all of `t`'s dependencies completed.  Panicking
+    /// bodies are recorded and re-raised once after the run drains, like
+    /// [`Pool::run`].
+    pub fn run(
+        &self,
+        threads: usize,
+        cap: Option<u64>,
+        body: &(dyn Fn(usize) + Sync),
+    ) -> GraphStats {
+        let n = self.len();
+        let cap = cap.unwrap_or(u64::MAX);
+        let mut stats = GraphStats {
+            tasks: n as u64,
+            edges: self.edge_count() as u64,
+            peak_live: 0,
+            cap,
+            forced_admissions: 0,
+        };
+        if n == 0 {
+            return stats;
+        }
+        let indegree: Vec<usize> = self.deps.iter().map(Vec::len).collect();
+        let ready: BinaryHeap<Reverse<usize>> = indegree
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == 0)
+            .map(|(t, _)| Reverse(t))
+            .collect();
+        let sched = Mutex::new(Sched {
+            cap,
+            indegree,
+            pending_dependents: self.dependents.iter().map(Vec::len).collect(),
+            ready,
+            live: 0,
+            peak_live: 0,
+            running: 0,
+            completed: 0,
+            forced_admissions: 0,
+            panicked: false,
+        });
+        let wake = Condvar::new();
+
+        let slots = threads.max(1).min(n);
+        let pool = Pool::global();
+        pool.ensure_workers(slots - 1);
+        pool.run(slots, &|_slot| self.scheduler_slot(&sched, &wake, body));
+
+        let s = sched.into_inner().unwrap_or_else(|e| e.into_inner());
+        stats.peak_live = s.peak_live;
+        stats.forced_admissions = s.forced_admissions;
+        if tce_trace::enabled() {
+            tce_trace::counter("sched.tasks", stats.tasks);
+            tce_trace::counter("sched.edges", stats.edges);
+            tce_trace::counter("sched.peak_live", stats.peak_live);
+            tce_trace::counter("sched.forced_admissions", stats.forced_admissions);
+        }
+        if s.panicked {
+            panic!("task-graph body panicked");
+        }
+        stats
+    }
+
+    /// One scheduler slot: admit → execute → retire, until all tasks have
+    /// completed.  Runs concurrently on every pool slot; all bookkeeping
+    /// happens under the `sched` mutex, task bodies run unlocked.
+    fn scheduler_slot(&self, sched: &Mutex<Sched>, wake: &Condvar, body: &(dyn Fn(usize) + Sync)) {
+        let n = self.len();
+        let mut s = sched.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if s.completed == n {
+                wake.notify_all();
+                return;
+            }
+            // Admission: the lowest-index ready task, if it fits under the
+            // cap — or unconditionally when nothing is running (forced
+            // progress; without it an undersized cap could wedge the run).
+            let admit = match s.ready.peek() {
+                Some(&Reverse(t)) => {
+                    if s.live.saturating_add(self.weight[t]) <= s.cap {
+                        Some((t, false))
+                    } else if s.running == 0 {
+                        Some((t, true))
+                    } else {
+                        None
+                    }
+                }
+                None => None,
+            };
+            let Some((t, forced)) = admit else {
+                s = wake.wait(s).unwrap_or_else(|e| e.into_inner());
+                continue;
+            };
+            s.ready.pop();
+            if forced {
+                s.forced_admissions += 1;
+            }
+            s.live += self.weight[t];
+            s.peak_live = s.peak_live.max(s.live);
+            s.running += 1;
+            drop(s);
+
+            if catch_unwind(AssertUnwindSafe(|| body(t))).is_err() {
+                sched.lock().unwrap_or_else(|e| e.into_inner()).panicked = true;
+            }
+
+            s = sched.lock().unwrap_or_else(|e| e.into_inner());
+            s.running -= 1;
+            s.completed += 1;
+            // Retire: operands whose last consumer this was go dead.
+            for &d in &self.deps[t] {
+                s.pending_dependents[d] -= 1;
+                if s.pending_dependents[d] == 0 {
+                    s.live -= self.weight[d];
+                }
+            }
+            // Unblock dependents.
+            for &d in &self.dependents[t] {
+                s.indegree[d] -= 1;
+                if s.indegree[d] == 0 {
+                    s.ready.push(Reverse(d));
+                }
+            }
+            wake.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    /// A diamond: 0 and 1 independent, 2 reads both, 3 reads 2.
+    fn diamond() -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(&[], 10);
+        let b = g.add_task(&[], 10);
+        let c = g.add_task(&[a, b], 5);
+        g.add_task(&[c], 1);
+        g
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once_after_its_deps() {
+        for threads in [1, 2, 4, 8] {
+            let g = diamond();
+            let ran: Vec<AtomicUsize> = (0..g.len()).map(|_| AtomicUsize::new(0)).collect();
+            let order = Mutex::new(Vec::new());
+            let stats = g.run(threads, None, &|t| {
+                ran[t].fetch_add(1, Ordering::SeqCst);
+                order.lock().unwrap().push(t);
+            });
+            assert!(ran.iter().all(|r| r.load(Ordering::SeqCst) == 1));
+            assert_eq!(stats.tasks, 4);
+            assert_eq!(stats.edges, 3);
+            let order = order.into_inner().unwrap();
+            let pos = |t: usize| order.iter().position(|&x| x == t).unwrap();
+            assert!(pos(2) > pos(0) && pos(2) > pos(1));
+            assert!(pos(3) > pos(2));
+        }
+    }
+
+    #[test]
+    fn sequential_peak_matches_hand_accounting() {
+        // Diamond, ascending order: 0 (live 10), 1 (20), 2 (25; then 0 and
+        // 1 retire → 5), 3 (6; 2 retires → 1).  Peak is 25.
+        assert_eq!(diamond().sequential_peak(), 25);
+        // A chain frees each operand as soon as its one consumer finishes.
+        let mut chain = TaskGraph::new();
+        let mut prev = chain.add_task(&[], 7);
+        for _ in 0..5 {
+            prev = chain.add_task(&[prev], 7);
+        }
+        assert_eq!(chain.sequential_peak(), 14);
+    }
+
+    #[test]
+    fn live_set_never_exceeds_sequential_peak_cap() {
+        // Wide fan-in: 8 independent leaves feeding one sink.  Unbounded,
+        // all leaves can be live at once (80); under the sequential-peak
+        // cap the observed peak must stay at or below it.
+        let mut g = TaskGraph::new();
+        let leaves: Vec<usize> = (0..8).map(|_| g.add_task(&[], 10)).collect();
+        g.add_task(&leaves, 1);
+        let cap = g.sequential_peak();
+        assert_eq!(cap, 81); // all leaves live until the sink retires them
+        let mut narrow = TaskGraph::new();
+        let a = narrow.add_task(&[], 10);
+        let b = narrow.add_task(&[a], 10);
+        let c = narrow.add_task(&[], 10);
+        let d = narrow.add_task(&[c], 10);
+        narrow.add_task(&[b, d], 1);
+        // Ascending order: a(10), b(20, frees a→10), c(20), d(30, frees
+        // c→20), sink(21, frees b,d→1) — peak 30.
+        let seq_cap = narrow.sequential_peak();
+        assert_eq!(seq_cap, 30);
+        for threads in [1, 2, 8] {
+            let stats = narrow.run(threads, Some(seq_cap), &|_| {});
+            assert!(
+                stats.peak_live <= seq_cap || stats.forced_admissions > 0,
+                "peak {} over cap {} without forced admission",
+                stats.peak_live,
+                seq_cap
+            );
+        }
+    }
+
+    #[test]
+    fn undersized_cap_forces_progress_instead_of_deadlocking() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(&[], 100);
+        g.add_task(&[a], 100);
+        let stats = g.run(4, Some(1), &|_| {});
+        assert_eq!(stats.tasks, 2);
+        assert!(stats.forced_admissions >= 1);
+    }
+
+    #[test]
+    fn completion_happens_before_dependents_observe_writes() {
+        // Data actually flows along edges: each task sums its deps' slots
+        // plus one.  Any missed happens-before would read a stale zero.
+        let n = 200;
+        let mut g = TaskGraph::new();
+        for t in 0..n {
+            let deps: Vec<usize> = (0..t).filter(|d| t % (d + 2) == 0).collect();
+            g.add_task(&deps, 1);
+        }
+        let expect: Vec<u64> = {
+            let mut v = vec![0u64; n];
+            for t in 0..n {
+                v[t] = 1
+                    + (0..t)
+                        .filter(|d| t % (d + 2) == 0)
+                        .map(|d| v[d])
+                        .sum::<u64>();
+            }
+            v
+        };
+        for threads in [1, 3, 8] {
+            let slots: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            g.run(threads, Some(g.sequential_peak()), &|t| {
+                let sum: u64 = (0..t)
+                    .filter(|d| t % (d + 2) == 0)
+                    .map(|d| slots[d].load(Ordering::Acquire))
+                    .sum();
+                slots[t].store(sum + 1, Ordering::Release);
+            });
+            let got: Vec<u64> = slots.iter().map(|s| s.load(Ordering::SeqCst)).collect();
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_graph_is_a_noop() {
+        let g = TaskGraph::new();
+        let stats = g.run(4, Some(0), &|_| panic!("no tasks"));
+        assert_eq!(stats.tasks, 0);
+    }
+
+    #[test]
+    fn panicking_body_propagates_and_completes_the_run() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(&[], 1);
+        g.add_task(&[a], 1);
+        g.add_task(&[], 1);
+        let hits = AtomicUsize::new(0);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            g.run(2, None, &|t| {
+                hits.fetch_add(1, Ordering::SeqCst);
+                if t == 0 {
+                    panic!("boom");
+                }
+            })
+        }));
+        assert!(r.is_err(), "panic must re-raise after the drain");
+        assert_eq!(hits.load(Ordering::SeqCst), 3, "all tasks still ran");
+    }
+
+    #[test]
+    #[should_panic(expected = "not yet added")]
+    fn forward_dependency_is_rejected() {
+        let mut g = TaskGraph::new();
+        g.add_task(&[3], 1);
+    }
+}

@@ -20,9 +20,11 @@
 
 #![warn(missing_docs)]
 
+pub mod graph;
 pub mod grid;
 pub mod pool;
 
+pub use graph::{GraphStats, TaskGraph};
 pub use grid::{myrange, owner_of, ProcessorGrid};
 pub use pool::{
     block_ranges, default_threads, parallel_chunks_mut, parallel_for, parallel_map,

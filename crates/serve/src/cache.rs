@@ -100,8 +100,14 @@ impl<K: Hash + Eq + Clone, V> ShardedLru<K, V> {
             shard.hits.fetch_add(1, Ordering::Relaxed);
             return (Arc::clone(value), true);
         }
-        shard.misses.fetch_add(1, Ordering::Relaxed);
+        // Count the miss only once `fill` has produced a value: a
+        // panicking fill must leave the counters consistent
+        // (`len == misses - evictions`), not record a miss that never
+        // inserted.  The poisoned shard lock is recovered on the next
+        // access (`unwrap_or_else(into_inner)` above) and the store itself
+        // was not modified, so the shard keeps serving.
         let value = Arc::new(fill());
+        shard.misses.fetch_add(1, Ordering::Relaxed);
         if store.capacity == 0 {
             // This shard got no share of the capacity: the fresh value is
             // handed to the caller but not retained, which counts as an
@@ -231,6 +237,57 @@ mod tests {
         assert!(hit1, "recently used entry was evicted");
         let (_, hit2) = cache.get_or_insert_with(&2, || 20);
         assert!(!hit2, "LRU victim survived");
+    }
+
+    #[test]
+    fn panicking_fill_leaves_shard_serving_with_exact_counters() {
+        // Several threads race misses on the SAME key while the fill
+        // panics for some of them: the shard lock gets poisoned and
+        // recovered, no phantom miss is counted, and the shard keeps
+        // serving hits and misses afterwards.
+        let cache: Arc<ShardedLru<u64, u64>> = Arc::new(ShardedLru::new(8, 2));
+        let panics = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let cache = Arc::clone(&cache);
+                let panics = Arc::clone(&panics);
+                s.spawn(move || {
+                    for i in 0..50u64 {
+                        let k = i % 4;
+                        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            cache.get_or_insert_with(&k, || {
+                                if t % 2 == 0 && i < 8 {
+                                    panic!("injected fill failure");
+                                }
+                                k * 3
+                            })
+                        }));
+                        match r {
+                            Ok((v, _)) => assert_eq!(*v, k * 3),
+                            Err(_) => {
+                                panics.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert!(panics.load(Ordering::Relaxed) > 0, "no fill ever panicked");
+        let s = cache.stats();
+        // Every successful lookup is exactly one hit or one miss; panicked
+        // fills count as neither.
+        assert_eq!(
+            s.hits + s.misses + panics.load(Ordering::Relaxed) as u64,
+            8 * 50
+        );
+        // The counter identity survives the poisoned/recovered lock.
+        assert_eq!(s.misses - s.evictions, cache.len() as u64);
+        // And the shard still serves: a fresh key misses, a repeat hits.
+        let (_, hit) = cache.get_or_insert_with(&99, || 7);
+        assert!(!hit);
+        let (v, hit) = cache.get_or_insert_with(&99, || 7);
+        assert!(hit);
+        assert_eq!(*v, 7);
     }
 
     #[test]

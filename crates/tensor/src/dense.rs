@@ -147,6 +147,26 @@ impl Tensor {
         }
     }
 
+    /// A zero tensor whose backing buffer is drawn from the process-wide
+    /// buffer pool (see [`crate::bufpool`]); semantically identical to
+    /// [`Tensor::zeros`].  Pair with [`Tensor::recycle`] so the buffer is
+    /// reused instead of round-tripping the allocator.
+    pub fn zeros_pooled(shape: &[usize]) -> Self {
+        let len = shape.iter().product::<usize>().max(1);
+        Self {
+            strides: row_major_strides(shape),
+            shape: shape.to_vec(),
+            data: crate::bufpool::acquire(len),
+        }
+    }
+
+    /// Return this tensor's backing buffer to the buffer pool.  Safe on
+    /// any tensor, pooled origin or not — the pool classifies by the
+    /// buffer's actual capacity.
+    pub fn recycle(self) {
+        crate::bufpool::release(self.data);
+    }
+
     /// A tensor filled with `value`.
     pub fn from_elem(shape: &[usize], value: f64) -> Self {
         let mut t = Self::zeros(shape);

@@ -223,7 +223,7 @@ impl ContractionPlan {
         // bool: tiles never touch the atomic flag.
         let traced = tce_trace::enabled();
         let _exec_span = tce_trace::span("gett.execute");
-        let mut out = Tensor::zeros(&self.out_shape);
+        let mut out = Tensor::zeros_pooled(&self.out_shape);
         let (nb, m, n) = (self.nb, self.m, self.n);
         let cfg = self.kernel;
         let (mc, nc, kc) = (cfg.blocks.mc, cfg.blocks.nc, cfg.blocks.kc);
@@ -234,9 +234,10 @@ impl ContractionPlan {
         let b_data = b.data();
         let c_ptr = SendPtr(out.data_mut().as_mut_ptr());
         tce_par::parallel_for(tasks, threads, |range| {
-            // Panel buffers are reused across the tiles this worker owns.
-            let mut apack = vec![0.0f64; mc * kc];
-            let mut bpack = vec![0.0f64; kc * nc];
+            // Panel buffers are reused across the tiles this worker owns
+            // and recycled through the buffer pool across kernel calls.
+            let mut apack = crate::bufpool::acquire(mc * kc);
+            let mut bpack = crate::bufpool::acquire(kc * nc);
             let mut acc = [0.0f64; MAX_ACC];
             // Per-worker pack/kernel nanoseconds, flushed once per range.
             let mut phase_ns = [0u64; 2];
@@ -261,6 +262,8 @@ impl ContractionPlan {
                 tce_trace::counter("gett.pack_ns", phase_ns[0]);
                 tce_trace::counter("gett.kernel_ns", phase_ns[1]);
             }
+            crate::bufpool::release(apack);
+            crate::bufpool::release(bpack);
         });
         if traced {
             tce_trace::counter_u128("gett.flops", self.flops());

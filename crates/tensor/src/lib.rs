@@ -25,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bufpool;
 pub mod contract;
 pub mod dense;
 pub mod einsum;
@@ -34,6 +35,10 @@ pub mod kernels;
 pub mod packed;
 pub mod sparse;
 
+pub use bufpool::{
+    bufpool_env_requested, bufpool_len, bufpool_retained_elements, bufpool_shard_stats,
+    bufpool_stats, set_bufpool_capacity,
+};
 pub use contract::{contract_gemm, contract_naive, gemm_blocked, BinaryContraction};
 pub use dense::Tensor;
 pub use einsum::EinsumSpec;

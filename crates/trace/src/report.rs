@@ -57,6 +57,21 @@ pub struct ProfileReport {
     pub interp_reads: u64,
     /// Interpreter element stores.
     pub interp_writes: u64,
+    /// Task-graph tasks scheduled (summed over all graph runs).
+    pub sched_tasks: u64,
+    /// Task-graph dependency edges.
+    pub sched_edges: u64,
+    /// Largest single-run peak live-set admitted by the scheduler, in
+    /// weight units (elements).
+    pub sched_peak_live: u64,
+    /// Forced admissions (cap too small for any ready task while idle).
+    pub sched_forced_admissions: u64,
+    /// Buffer-pool acquires served from retained buffers.
+    pub bufpool_hits: u64,
+    /// Buffer-pool acquires that allocated fresh.
+    pub bufpool_misses: u64,
+    /// Buffer releases dropped because the pool was at capacity.
+    pub bufpool_evictions: u64,
 }
 
 /// Pipeline stage order for the report (matches the paper's Fig. 5).
@@ -136,6 +151,13 @@ impl ProfileReport {
             mem_peak_bytes: t.mem_peak_bytes,
             interp_reads: t.counter_total("exec.interp.reads"),
             interp_writes: t.counter_total("exec.interp.writes"),
+            sched_tasks: t.counter_total("sched.tasks"),
+            sched_edges: t.counter_total("sched.edges"),
+            sched_peak_live: t.counter_max("sched.peak_live"),
+            sched_forced_admissions: t.counter_total("sched.forced_admissions"),
+            bufpool_hits: t.counter_total("bufpool.hits"),
+            bufpool_misses: t.counter_total("bufpool.misses"),
+            bufpool_evictions: t.counter_total("bufpool.evictions"),
             stages,
         }
     }
@@ -228,6 +250,23 @@ impl fmt::Display for ProfileReport {
                 self.plan_cache_hits, self.plan_cache_misses, self.plan_cache_evictions
             )?;
         }
+        if self.sched_tasks > 0 {
+            writeln!(
+                f,
+                "  task graph:      {} tasks / {} edges, peak live {} elements, {} forced",
+                self.sched_tasks,
+                self.sched_edges,
+                self.sched_peak_live,
+                self.sched_forced_admissions
+            )?;
+        }
+        if self.bufpool_hits + self.bufpool_misses > 0 {
+            writeln!(
+                f,
+                "  buffer pool:     {} hits / {} misses / {} evictions",
+                self.bufpool_hits, self.bufpool_misses, self.bufpool_evictions
+            )?;
+        }
         if self.pool_busy_ns + self.pool_idle_ns > 0 {
             let total = (self.pool_busy_ns + self.pool_idle_ns) as f64;
             writeln!(
@@ -288,6 +327,14 @@ mod tests {
                 counter_ev("gett.mc", 512),
                 counter_ev("gett.nc", 1020),
                 counter_ev("gett.kc", 256),
+                counter_ev("sched.tasks", 7),
+                counter_ev("sched.edges", 6),
+                counter_ev("sched.peak_live", 37),
+                counter_ev("sched.peak_live", 21),
+                counter_ev("sched.forced_admissions", 0),
+                counter_ev("bufpool.hits", 5),
+                counter_ev("bufpool.misses", 2),
+                counter_ev("bufpool.evictions", 1),
             ],
             mem_peak_bytes: 4096,
         };
@@ -307,12 +354,22 @@ mod tests {
         );
         assert_eq!(r.gett_blocks, (512, 1020, 256));
         assert_eq!(r.mem_peak_bytes, 4096);
+        assert_eq!(r.sched_tasks, 7);
+        assert_eq!(r.sched_edges, 6);
+        assert_eq!(r.sched_peak_live, 37, "peak live is a max, not a sum");
+        assert_eq!(r.sched_forced_admissions, 0);
+        assert_eq!(
+            (r.bufpool_hits, r.bufpool_misses, r.bufpool_evictions),
+            (5, 2, 1)
+        );
         let text = r.to_string();
         assert!(text.contains("opmin"));
         assert!(text.contains("GFLOP/s"));
         assert!(text.contains("4.00 KiB"));
         assert!(text.contains("avx2 x2, scalar x1 (MC=512 NC=1020 KC=256)"));
         assert!(text.contains("3 hits / 1 misses / 2 evictions"));
+        assert!(text.contains("7 tasks / 6 edges, peak live 37 elements, 0 forced"));
+        assert!(text.contains("5 hits / 2 misses / 1 evictions"));
     }
 
     #[test]

@@ -1,0 +1,100 @@
+//! Multi-threaded stress of the size-class buffer pool: N threads
+//! round-tripping tensor buffers through acquire/release against a tight
+//! element cap must not deadlock, must keep every counter consistent, and
+//! must never retain more elements than the cap allows.
+//!
+//! The pool is process-global, so this file holds exactly one test —
+//! parallel tests in the same binary would race on the capacity.
+
+use tce_core::tensor::{
+    bufpool_len, bufpool_retained_elements, bufpool_shard_stats, bufpool_stats,
+    set_bufpool_capacity, Tensor,
+};
+
+#[test]
+fn tight_cap_under_contention_keeps_counters_and_bound() {
+    // Cap at 4096 elements: the mixed working set below wants far more,
+    // so threads constantly race hits, misses, and cap-overflow evictions.
+    let old_cap = set_bufpool_capacity(4096);
+    let before = bufpool_stats();
+    let retained_before = bufpool_retained_elements();
+
+    let threads = 8;
+    let rounds = 200;
+    // Mixed shapes across several size classes (16, 64, 512, 1024, 4096
+    // element buffers) so multiple shards are in play.
+    let shapes: &[&[usize]] = &[&[4, 4], &[8, 8], &[8, 8, 8], &[32, 32], &[16, 16, 16]];
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            s.spawn(move || {
+                for r in 0..rounds {
+                    let shape = shapes[(t + r) % shapes.len()];
+                    let mut tensor = Tensor::zeros_pooled(shape);
+                    // Recycled buffers must come back zeroed no matter how
+                    // the previous owner dirtied them.
+                    assert!(
+                        tensor.data().iter().all(|&x| x == 0.0),
+                        "pooled buffer not zeroed"
+                    );
+                    tensor.data_mut().iter_mut().for_each(|x| *x = t as f64);
+                    tensor.recycle();
+                }
+            });
+        }
+    });
+
+    // Every acquire was counted exactly once, as a hit or a miss.
+    let after = bufpool_stats();
+    let (d_hits, d_misses) = (after.0 - before.0, after.1 - before.1);
+    assert_eq!(
+        d_hits + d_misses,
+        (threads * rounds) as u64,
+        "every concurrent acquire must be counted exactly once"
+    );
+    assert!(d_hits > 0, "a hot loop over 5 shapes never hit the pool");
+    // The cap is a hard bound on what the pool retains.
+    assert!(
+        bufpool_retained_elements() <= 4096,
+        "retained {} elements > cap 4096",
+        bufpool_retained_elements()
+    );
+    // Per-shard counters sum to the globals.
+    let sums = bufpool_shard_stats()
+        .iter()
+        .fold((0, 0, 0), |a, s| (a.0 + s.0, a.1 + s.1, a.2 + s.2));
+    assert_eq!(sums, after, "shard counters disagree with the global sums");
+
+    // Shrinking the cap to 0 drops everything retained and disables
+    // pooling: acquires become counted misses, releases plain drops.
+    set_bufpool_capacity(0);
+    assert_eq!(bufpool_retained_elements(), 0);
+    assert_eq!(bufpool_len(), 0);
+    let before_disabled = bufpool_stats();
+    let t = Tensor::zeros_pooled(&[8, 8]);
+    t.recycle();
+    let after_disabled = bufpool_stats();
+    assert_eq!(after_disabled.0, before_disabled.0, "disabled pool hit");
+    assert_eq!(
+        after_disabled.1,
+        before_disabled.1 + 1,
+        "disabled acquire must still count as a miss"
+    );
+    assert_eq!(
+        after_disabled.2, before_disabled.2,
+        "a drop with pooling disabled is not an eviction"
+    );
+    assert_eq!(bufpool_retained_elements(), 0);
+
+    // Re-enable and verify the pool serves again after the reset.
+    set_bufpool_capacity(4096);
+    let a = Tensor::zeros_pooled(&[8, 8]);
+    a.recycle();
+    let before_hit = bufpool_stats();
+    let b = Tensor::zeros_pooled(&[8, 8]);
+    let after_hit = bufpool_stats();
+    assert_eq!(after_hit.0, before_hit.0 + 1, "recycled buffer not reused");
+    b.recycle();
+
+    set_bufpool_capacity(old_cap);
+    let _ = retained_before;
+}

@@ -33,6 +33,8 @@ fn malformed_inputs_fail_cleanly() {
         vec![&chain, "--fused", "--distributed", "--grid", "2x2"], // conflict
         vec![&chain, "--kernel", "bogus"],                         // unknown kernel
         vec![&chain, "--kernel"],                                  // missing kernel name
+        vec![&chain, "--schedule", "bogus"],                       // unknown schedule
+        vec![&chain, "--schedule"],                                // missing schedule name
     ];
     for args in &cases {
         let out = tce().args(args).output().expect("spawn tce");
@@ -258,6 +260,62 @@ fn fused_and_sequential_sums_agree() {
 }
 
 #[test]
+fn graph_schedule_cli_matches_sequential_sums() {
+    // `--schedule graph` is purely a performance knob: the printed sums
+    // must match the default sequential schedule exactly at every thread
+    // count, and the execution header must name the active schedule.
+    let run = |extra: &[&str]| {
+        let mut args = vec![spec("ccsd_section2.tce"), "--execute".to_string()];
+        args.extend(extra.iter().map(|s| s.to_string()));
+        let out = tce().args(&args).output().expect("spawn tce");
+        assert!(
+            out.status.success(),
+            "{args:?}:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    let sums = |stdout: &str| {
+        stdout
+            .lines()
+            .filter(|l| l.contains("|sum|"))
+            .map(str::to_string)
+            .collect::<Vec<_>>()
+    };
+    let sequential = run(&[]);
+    assert!(
+        sequential.contains("seq schedule"),
+        "header should name the default schedule:\n{sequential}"
+    );
+    for threads in ["1", "2", "4"] {
+        let graph = run(&["--schedule", "graph", "--threads", threads]);
+        assert!(
+            graph.contains("graph schedule"),
+            "--schedule graph header missing at {threads} threads:\n{graph}"
+        );
+        assert_eq!(
+            sums(&sequential),
+            sums(&graph),
+            "--schedule graph --threads {threads} changed printed sums"
+        );
+    }
+}
+
+#[test]
+fn zero_threads_is_rejected_by_cli_but_clamped_by_library() {
+    // Regression for the CLI/library asymmetry: the CLI refuses
+    // `--threads 0` with a one-line diagnostic (covered above in
+    // `malformed_inputs_fail_cleanly`), while the library builder
+    // documents a clamp to 1 — and the two must stay consistent through
+    // the fallible constructor the CLI actually uses.
+    use tce_core::ExecOptions;
+    let err = ExecOptions::try_with_threads(0).unwrap_err();
+    assert_eq!(err, "--threads must be at least 1");
+    assert_eq!(ExecOptions::with_threads(0).threads, 1, "documented clamp");
+    assert_eq!(ExecOptions::try_with_threads(3).unwrap().threads, 3);
+}
+
+#[test]
 fn missing_binding_inside_pipeline_is_a_clean_diagnostic() {
     // The executors report missing/mismatched bindings as typed errors;
     // the CLI must surface them as one-line diagnostics, never a panic.
@@ -347,6 +405,8 @@ fn bad_numeric_env_vars_fail_cleanly() {
         ("TCE_PLAN_CACHE_CAP", "many"),
         ("TCE_PLAN_CACHE_SHARDS", "0"),
         ("TCE_PLAN_CACHE_SHARDS", "wide"),
+        ("TCE_BUFPOOL_CAP", "lots"),
+        ("TCE_BUFPOOL_CAP", "-1"),
     ] {
         let out = tce()
             .arg(spec("matrix_chain.tce"))
@@ -391,6 +451,7 @@ fn bad_numeric_env_vars_fail_cleanly() {
         .env("TCE_THREADS", "2")
         .env("TCE_PLAN_CACHE_CAP", "16")
         .env("TCE_PLAN_CACHE_SHARDS", "4")
+        .env("TCE_BUFPOOL_CAP", "0") // 0 is valid: pooling disabled
         .output()
         .expect("spawn tce");
     assert!(

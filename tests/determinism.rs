@@ -7,13 +7,17 @@
 //! fixed, so not a single ulp may move.
 
 use std::collections::HashMap;
-use tce_core::exec::{execute_tree, ExecOptions};
+use tce_core::exec::{execute_tree, execute_tree_graph, ExecOptions, Schedule};
 use tce_core::ir::rng::Rng;
 use tce_core::scenarios::{section2_source, A3AScenario};
 use tce_core::tensor::{contract_gett, BinaryContraction, Tensor};
 use tce_core::{synthesize, SynthesisConfig};
 
 const THREADS: [usize; 3] = [2, 3, 7];
+
+/// Worker counts for the task-graph schedule sweep (1 exercises the
+/// inline fallback, the rest the concurrent ready-queue).
+const GRAPH_WORKERS: [usize; 4] = [1, 2, 4, 8];
 
 #[test]
 fn a3a_scenario_tree_is_bitwise_deterministic() {
@@ -55,6 +59,95 @@ fn section2_pipeline_is_bitwise_deterministic() {
                 t,
                 &got[id],
                 "tensor {:?} changed bits at {threads} threads",
+                syn.program.tensors.get(*id).name
+            );
+        }
+    }
+}
+
+#[test]
+fn a3a_graph_schedule_is_bitwise_deterministic() {
+    // The dependency-aware task graph over the A3A operator tree must
+    // reproduce the sequential walk bit for bit at every worker count:
+    // scheduling reorders WHEN nodes contract, never the arithmetic
+    // inside a node.
+    let sc = A3AScenario::new(10, 4, 25);
+    let amp = sc.amplitudes(77);
+    let funcs = sc.functions();
+    let t_id = sc.tensors.by_name("T").unwrap();
+    let mut inputs = HashMap::new();
+    inputs.insert(t_id, &amp);
+    let seq = execute_tree(&sc.tree, &sc.space, &inputs, &funcs, 1).unwrap();
+    for workers in GRAPH_WORKERS {
+        let got = execute_tree_graph(&sc.tree, &sc.space, &inputs, &funcs, workers).unwrap();
+        assert_eq!(seq, got, "graph schedule changed bits at {workers} workers");
+    }
+}
+
+#[test]
+fn multi_statement_graph_schedule_is_bitwise_deterministic() {
+    // A statement sequence with independent chains and a diamond join:
+    // T and U depend only on inputs (run concurrently under the graph
+    // schedule), S joins them, and the accumulate extends S's chain.
+    let src = "
+        range N = 6;
+        index i, j, k, l : N;
+        tensor A(N, N); tensor B(N, N);
+        tensor T(N, N); tensor U(N, N); tensor S(N, N);
+        T[i,j] = sum[k] A[i,k] * B[k,j];
+        U[i,j] = sum[k] B[i,k] * B[k,j];
+        S[i,j] = sum[k] T[i,k] * U[k,j];
+        S[i,j] += sum[k,l] U[i,k] * A[k,l] * T[l,j];
+    ";
+    let syn = synthesize(src, &SynthesisConfig::default()).unwrap();
+    let ta = Tensor::random(&[6, 6], 11);
+    let tb = Tensor::random(&[6, 6], 12);
+    let mut ext = HashMap::new();
+    ext.insert(syn.program.tensors.by_name("A").unwrap(), &ta);
+    ext.insert(syn.program.tensors.by_name("B").unwrap(), &tb);
+    let funcs = HashMap::new();
+    let seq = syn
+        .execute_opts(&ext, &funcs, &ExecOptions::serial())
+        .unwrap();
+    for workers in GRAPH_WORKERS {
+        let opts = ExecOptions::with_threads(workers).with_schedule(Schedule::Graph);
+        let got = syn.execute_opts(&ext, &funcs, &opts).unwrap();
+        assert_eq!(seq.len(), got.len());
+        for (id, t) in &seq {
+            assert_eq!(
+                t,
+                &got[id],
+                "tensor {:?} changed bits under the graph schedule at {workers} workers",
+                syn.program.tensors.get(*id).name
+            );
+        }
+    }
+}
+
+#[test]
+fn section2_graph_schedule_is_bitwise_deterministic() {
+    let syn = synthesize(&section2_source(5), &SynthesisConfig::default()).unwrap();
+    let shape = [5usize; 4];
+    let ta = Tensor::random(&shape, 1);
+    let tb = Tensor::random(&shape, 2);
+    let tc = Tensor::random(&shape, 3);
+    let td = Tensor::random(&shape, 4);
+    let mut ext = HashMap::new();
+    for (nm, t) in [("A", &ta), ("B", &tb), ("C", &tc), ("D", &td)] {
+        ext.insert(syn.program.tensors.by_name(nm).unwrap(), t);
+    }
+    let funcs = HashMap::new();
+    let seq = syn
+        .execute_opts(&ext, &funcs, &ExecOptions::serial())
+        .unwrap();
+    for workers in GRAPH_WORKERS {
+        let opts = ExecOptions::with_threads(workers).with_schedule(Schedule::Graph);
+        let got = syn.execute_opts(&ext, &funcs, &opts).unwrap();
+        for (id, t) in &seq {
+            assert_eq!(
+                t,
+                &got[id],
+                "tensor {:?} changed bits under the graph schedule at {workers} workers",
                 syn.program.tensors.get(*id).name
             );
         }

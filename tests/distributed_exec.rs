@@ -155,6 +155,53 @@ fn dp_plans_agree_with_simulator_and_cost_model() {
 }
 
 #[test]
+fn graph_schedule_matches_sequential_walk_bitwise_with_exact_counters() {
+    // Task-graph scheduling only changes *when* independent subtrees run,
+    // never what each node computes: results must be bit-identical to the
+    // recursive walk and every measured/predicted counter must agree, for
+    // every worker count.
+    use tce_core::dist::execute_plan_sharded_graph;
+
+    for (name, (tree, space, owned, funcs)) in
+        [("section2", section2_fixture()), ("a3a", a3a_fixture())]
+    {
+        let inputs: HashMap<TensorId, &Tensor> = owned.iter().map(|(id, t)| (*id, t)).collect();
+        for dims in [&[2usize, 2][..], &[2, 4]] {
+            let machine = Machine::new(ProcessorGrid::new(dims.to_vec()));
+            for plan in [
+                output_partitioned_plan(&tree, machine.grid.rank()),
+                optimize_distribution(&tree, &space, &machine),
+            ] {
+                let seq = execute_plan_sharded(&tree, &space, &plan, &machine, &inputs, &funcs, 1)
+                    .expect("plan covers tree");
+                for threads in [1, 2, 4, 8] {
+                    let g = execute_plan_sharded_graph(
+                        &tree, &space, &plan, &machine, &inputs, &funcs, threads,
+                    )
+                    .expect("plan covers tree");
+                    assert_eq!(
+                        g.result, seq.result,
+                        "{name} grid {dims:?} threads {threads}: graph result changed bits"
+                    );
+                    assert_eq!(g.moved_elements, seq.moved_elements, "{name} {dims:?}");
+                    assert_eq!(
+                        g.predicted_move_elements, seq.predicted_move_elements,
+                        "{name} {dims:?}"
+                    );
+                    assert_eq!(g.reduce_words, seq.reduce_words, "{name} {dims:?}");
+                    assert_eq!(
+                        g.predicted_reduce_words, seq.predicted_reduce_words,
+                        "{name} {dims:?}"
+                    );
+                    assert_eq!(g.redistributions, seq.redistributions, "{name} {dims:?}");
+                    assert_eq!(g.per_rank_flops, seq.per_rank_flops, "{name} {dims:?}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn paper_redistribution_cases_measure_exactly() {
     // Paper §7 on the 2×4×8 grid: T2 ⟨j,*,1⟩ → ⟨j,t,1⟩ moves nothing
     // (every destination block is already replicated locally), while

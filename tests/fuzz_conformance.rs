@@ -113,6 +113,7 @@ fn injected_bug_is_caught_and_shrunk() {
         dist: false,
         sparse: false,
         roundtrip: false,
+        sched: false,
     };
     cfg.check.fault = Some(Fault::TreeExecBias);
     let report = run_campaign(&cfg);
@@ -206,7 +207,9 @@ fn generated_corpus_is_structurally_diverse() {
 fn check_parsing_matches_cli_contract() {
     assert_eq!(CheckSet::parse("all").unwrap(), CheckSet::all());
     let s = CheckSet::parse("exec,cost").unwrap();
-    assert!(s.exec && s.cost && !s.dist && !s.sparse && !s.roundtrip);
+    assert!(s.exec && s.cost && !s.dist && !s.sparse && !s.roundtrip && !s.sched);
+    let s = CheckSet::parse("sched").unwrap();
+    assert!(s.sched && !s.exec && !s.cost && !s.dist && !s.sparse && !s.roundtrip);
     assert!(CheckSet::parse("bogus").is_err());
     assert!(CheckSet::parse("").is_err());
     let _ = CheckConfig::default();
