@@ -24,6 +24,7 @@ fn bench(c: &mut Criterion) {
             grid: ProcessorGrid::new(vec![2, 2]),
             word_cost: 1,
         }),
+        calibration: None,
     };
     c.bench_function("synthesize_section2_all_stages", |b| {
         b.iter(|| synthesize(black_box(&src), &full).unwrap())

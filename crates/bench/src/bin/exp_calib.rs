@@ -1,0 +1,142 @@
+//! exp_calib — calibration-model prediction error per pipeline stage.
+//!
+//! Calibrates the host with a short probe budget, then compiles and
+//! executes the §2 CCSD term and the A3A energy example under the
+//! measured rates, recording the calibrated cost model's predicted
+//! execution time against the measured wall time, plus per-stage
+//! compile-time wall clock for context.  Writes the measurements to
+//! `BENCH_calib.json`.
+//!
+//! ```text
+//! exp_calib [--out BENCH_calib.json] [--budget-ms N] [--threads T]
+//! ```
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+use tce_core::calib::probe::{run_probes, ProbeOptions};
+use tce_core::scenarios::section2_source;
+use tce_core::serve::{bind_functions, bind_random_inputs};
+use tce_core::{synthesize, ExecOptions, SynthesisConfig};
+
+fn a3a_source() -> String {
+    "
+    range V = 8;
+    range O = 4;
+    index a, c, e, f, b1 : V;
+    index i1, j1, k1 : O;
+    tensor T(O, O, V, V);
+    tensor X(V, V, V, V);
+    tensor Y(V, V, V, V);
+    tensor E();
+    function f1(V, V, V, O) cost 1000;
+    function f2(V, V, V, O) cost 1000;
+    X[a,e,c,f] = sum[i1,j1] T[i1,j1,a,e] * T[i1,j1,c,f];
+    Y[c,e,a,f] = sum[b1,k1] f1(c,e,b1,k1) * f2(a,f,b1,k1);
+    E = sum[a,c,e,f] X[a,e,c,f] * Y[c,e,a,f];
+    "
+    .to_string()
+}
+
+fn main() {
+    let mut out_path = "BENCH_calib.json".to_string();
+    let mut budget_ms = 300u64;
+    let mut threads = tce_core::par::default_threads();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--budget-ms" => {
+                budget_ms = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--budget-ms needs a positive integer");
+            }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a positive integer");
+            }
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+
+    println!("exp_calib: predicted vs. measured execution under measured rates\n");
+    let calib_started = Instant::now();
+    let profile = run_probes(&ProbeOptions {
+        budget_ms,
+        ..ProbeOptions::default()
+    });
+    let calib_ns = calib_started.elapsed().as_nanos();
+    let variant = tce_core::tensor::kernels::active().name();
+    let rates = profile.rates(variant);
+    println!(
+        "calibrated in {:.1} ms (variant {variant}, flop {:.3}/{:.3}/{:.3} ns, copy {:.3} ns/elem)",
+        calib_ns as f64 / 1e6,
+        rates.flop_ns_small,
+        rates.flop_ns_medium,
+        rates.flop_ns_large,
+        rates.copy_ns
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"calib\",");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"budget_ms\": {budget_ms},");
+    let _ = writeln!(json, "  \"variant\": \"{variant}\",");
+    let _ = writeln!(json, "  \"calibrate_ns\": {calib_ns},");
+    let _ = writeln!(json, "  \"cases\": [");
+
+    let cases: Vec<(&str, String)> = vec![
+        ("ccsd_section2_n6", section2_source(6)),
+        ("ccsd_section2_n10", section2_source(10)),
+        ("a3a_energy", a3a_source()),
+    ];
+    let n_cases = cases.len();
+    for (ci, (name, src)) in cases.into_iter().enumerate() {
+        let cfg = SynthesisConfig {
+            calibration: Some(rates.clone()),
+            ..SynthesisConfig::default()
+        };
+        let compile_started = Instant::now();
+        let syn = synthesize(&src, &cfg).expect("synthesis");
+        let compile_ns = compile_started.elapsed().as_nanos();
+
+        let owned = bind_random_inputs(&syn, 42);
+        let inputs: HashMap<_, _> = owned.iter().map(|(id, t)| (*id, t)).collect();
+        let funcs = bind_functions(&syn, 42);
+        let opts = ExecOptions::with_threads(threads);
+        // Warm-up (plan cache, buffer pool, worker pool), then measure.
+        syn.execute_opts(&inputs, &funcs, &opts).expect("execute");
+        let exec_started = Instant::now();
+        syn.execute_opts(&inputs, &funcs, &opts).expect("execute");
+        let measured_ns = exec_started.elapsed().as_nanos() as f64;
+        let predicted_ns = syn.predicted_exec_ns(&rates);
+        let ratio = predicted_ns / measured_ns.max(1.0);
+
+        println!(
+            "{name}: compile {:.2} ms, predicted {:.3} ms / measured {:.3} ms (ratio {ratio:.3})",
+            compile_ns as f64 / 1e6,
+            predicted_ns / 1e6,
+            measured_ns / 1e6
+        );
+
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"name\": \"{name}\",");
+        let _ = writeln!(json, "      \"compile_ns\": {compile_ns},");
+        let _ = writeln!(json, "      \"predicted_ns\": {:.0},", predicted_ns);
+        let _ = writeln!(json, "      \"measured_ns\": {:.0},", measured_ns);
+        let _ = writeln!(json, "      \"ratio\": {ratio}");
+        let _ = writeln!(json, "    }}{}", if ci + 1 < n_cases { "," } else { "" });
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {out_path}");
+}

@@ -25,6 +25,7 @@ fn main() {
             grid: ProcessorGrid::new(vec![2, 2]),
             word_cost: 1,
         }),
+        calibration: None,
     };
     let syn = synthesize(&section2_source(6), &cfg).expect("synthesis");
     let plan = &syn.plans[0];

@@ -246,7 +246,10 @@ fn main() {
     let _ = writeln!(json, "  ]");
     let _ = writeln!(json, "}}");
 
-    std::fs::write(&out_path, &json).expect("write BENCH_kernels.json");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
     println!("\nwrote {out_path}");
 
     if let Some(trace_path) = trace_path {
@@ -266,7 +269,10 @@ fn main() {
         }
         tce_trace::set_enabled(false);
         let trace = tce_trace::take();
-        std::fs::write(&trace_path, trace.to_chrome_json()).expect("write trace");
+        if let Err(e) = std::fs::write(&trace_path, trace.to_chrome_json()) {
+            eprintln!("cannot write trace {trace_path}: {e}");
+            std::process::exit(1);
+        }
         println!("{}", trace.report());
         println!("wrote {trace_path}");
     }

@@ -215,6 +215,9 @@ fn main() {
     let _ = writeln!(json, "{}", sweep_json.join(",\n"));
     let _ = writeln!(json, "  ]");
     let _ = writeln!(json, "}}");
-    std::fs::write(&out_path, &json).expect("write json");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
     println!("wrote {out_path}");
 }

@@ -1,0 +1,300 @@
+//! A minimal recursive-descent JSON reader — just enough to parse the
+//! calibration profile (objects, arrays, numbers, strings, booleans,
+//! null) without external dependencies.  Strings support the standard
+//! escapes; numbers parse through `str::parse::<f64>`.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always carried as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, entries in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("invalid JSON at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .src
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.src[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.src.get(self.pos).copied() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .src
+                        .get(self.pos)
+                        .copied()
+                        .ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .src
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(b) => {
+                    // Copy a run of plain bytes (keeps UTF-8 intact).
+                    let start = self.pos;
+                    let mut end = self.pos;
+                    while self.src.get(end).is_some_and(|&c| c != b'"' && c != b'\\') {
+                        end += 1;
+                    }
+                    let run = std::str::from_utf8(&self.src[start..end])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(run);
+                    self.pos = end;
+                    let _ = b;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .src
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err(&format!("invalid number `{text}`")))
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.expect(b':')?;
+                    entries.push((key, self.value()?));
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(entries));
+                        }
+                        _ => return Err(self.err("expected `,` or `}`")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(self.err("expected `,` or `]`")),
+                    }
+                }
+            }
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+        }
+    }
+}
+
+impl Json {
+    /// Parse a complete JSON document (trailing garbage is an error).
+    pub fn parse(src: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            src: src.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        if p.peek().is_some() {
+            return Err(p.err("trailing data after document"));
+        }
+        Ok(v)
+    }
+
+    /// Object member by key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The entries of an object, in source order.
+    pub fn entries(&self) -> Result<&[(String, Json)], String> {
+        match self {
+            Json::Obj(entries) => Ok(entries),
+            other => Err(format!("expected an object, got {other:?}")),
+        }
+    }
+
+    /// This value as a finite number.
+    pub fn as_f64(&self) -> Result<f64, String> {
+        match self {
+            Json::Num(n) => Ok(*n),
+            other => Err(format!("expected a number, got {other:?}")),
+        }
+    }
+
+    /// Member `key` as a number.
+    pub fn get_f64(&self, key: &str) -> Result<f64, String> {
+        self.get(key)
+            .ok_or_else(|| format!("missing `{key}`"))?
+            .as_f64()
+            .map_err(|e| format!("`{key}`: {e}"))
+    }
+
+    /// Member `key` as a non-negative integer.
+    pub fn get_u64(&self, key: &str) -> Result<u64, String> {
+        let n = self.get_f64(key)?;
+        if n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 {
+            Ok(n as u64)
+        } else {
+            Err(format!("`{key}` must be a non-negative integer, got {n}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let doc =
+            Json::parse(r#"{"a": 1.5, "b": {"c": [1, 2, 3], "d": "x\ny"}, "e": true, "f": null}"#)
+                .unwrap();
+        assert_eq!(doc.get_f64("a").unwrap(), 1.5);
+        assert_eq!(
+            doc.get("b").unwrap().get("d"),
+            Some(&Json::Str("x\ny".into()))
+        );
+        assert_eq!(
+            doc.get("b").unwrap().get("c"),
+            Some(&Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Num(2.0),
+                Json::Num(3.0)
+            ]))
+        );
+        assert_eq!(doc.get("e"), Some(&Json::Bool(true)));
+        assert_eq!(doc.get("f"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn scientific_notation_and_negatives() {
+        let doc = Json::parse(r#"{"x": -2.5e-3, "y": 1e9}"#).unwrap();
+        assert_eq!(doc.get_f64("x").unwrap(), -2.5e-3);
+        assert_eq!(doc.get_f64("y").unwrap(), 1e9);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse(r#"{"a": }"#).is_err());
+        assert!(Json::parse(r#"{"a": 1} extra"#).is_err());
+        assert!(Json::parse("nope").is_err());
+        assert!(Json::parse(r#"{"a": 1 "b": 2}"#).is_err());
+    }
+
+    #[test]
+    fn get_u64_validates_integrality() {
+        let doc = Json::parse(r#"{"n": 3, "x": 3.5, "neg": -1}"#).unwrap();
+        assert_eq!(doc.get_u64("n").unwrap(), 3);
+        assert!(doc.get_u64("x").is_err());
+        assert!(doc.get_u64("neg").is_err());
+        assert!(doc.get_u64("missing").is_err());
+    }
+}

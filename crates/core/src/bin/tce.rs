@@ -5,7 +5,9 @@
 //!              [--word-cost N] [--execute] [--fused] [--distributed]
 //!              [--seed S] [--threads T] [--schedule seq|graph]
 //!              [--trace OUT.json] [--kernel scalar|sse2|avx2]
+//!              [--calibration PROFILE.json]
 //! tce serve [--addr HOST:PORT] [--workers N] [--queue N] [--timeout-ms N]
+//! tce calibrate --out PROFILE.json [--budget-ms N] [--seed S] [--threads T]
 //! ```
 //!
 //! Reads a tensor-contraction specification, runs the full optimization
@@ -32,7 +34,15 @@
 //! live-set, failing if they differ.  `tce serve` starts the concurrent
 //! compile-and-execute service (see `tce_serve` and `tce_core::serve`):
 //! one warm process answering line-protocol requests with the same
-//! result lines the one-shot `--execute` path prints.
+//! result lines the one-shot `--execute` path prints.  `tce calibrate`
+//! runs the seeded microbenchmark probes of `tce_calib` and writes a
+//! versioned JSON profile of measured hardware rates; loading it back
+//! with `--calibration FILE` (or the `TCE_CALIBRATION` environment
+//! variable, which also applies to `tce serve`) switches the space-time,
+//! locality, and distribution cost models from the paper's abstract unit
+//! costs to measured time-based rates and prints a predicted-vs-measured
+//! wall-time line after `--execute`.  Without a profile every plan choice
+//! is bit-identical to the uncalibrated pipeline.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -55,6 +65,7 @@ struct Args {
     schedule: tce_core::Schedule,
     trace: Option<String>,
     kernel: Option<tce_core::tensor::KernelVariant>,
+    calibration: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -72,6 +83,7 @@ fn parse_args() -> Result<Args, String> {
         schedule: tce_core::Schedule::default(),
         trace: None,
         kernel: None,
+        calibration: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -152,12 +164,15 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --seed: {e}"))?;
             }
+            "--calibration" => {
+                args.calibration = Some(it.next().ok_or("--calibration needs a profile path")?);
+            }
             "--help" | "-h" => {
                 return Err("usage: tce SPEC.tce [--memory-limit N] [--cache N] \
                             [--grid PxQ] [--word-cost N] [--execute] [--fused] \
                             [--distributed] [--seed S] [--threads T] \
                             [--schedule seq|graph] [--trace OUT.json] \
-                            [--kernel scalar|sse2|avx2]"
+                            [--kernel scalar|sse2|avx2] [--calibration FILE]"
                     .to_string())
             }
             other if args.spec_path.is_empty() && !other.starts_with('-') => {
@@ -241,7 +256,114 @@ fn validate_env() -> Result<(), String> {
     tce_core::par::threads_env_requested()?;
     tce_core::tensor::plan_cache_env_requested()?;
     tce_core::tensor::bufpool_env_requested()?;
+    tce_core::calib::calibration_env_requested()?;
     Ok(())
+}
+
+struct CalibrateArgs {
+    out: String,
+    budget_ms: u64,
+    seed: u64,
+    threads: Option<usize>,
+}
+
+fn calibrate_args() -> Result<CalibrateArgs, String> {
+    let mut args = CalibrateArgs {
+        out: String::new(),
+        budget_ms: tce_core::calib::probe::ProbeOptions::default().budget_ms,
+        seed: tce_core::calib::probe::ProbeOptions::default().seed,
+        threads: None,
+    };
+    let mut it = std::env::args().skip(2);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => args.out = it.next().ok_or("--out needs a file path")?,
+            "--budget-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .ok_or("--budget-ms needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --budget-ms: {e}"))?;
+                if ms == 0 {
+                    return Err("--budget-ms must be at least 1".to_string());
+                }
+                args.budget_ms = ms;
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--threads" => {
+                let t: usize = it
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+                if t == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                args.threads = Some(t);
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: tce calibrate --out PROFILE.json [--budget-ms N] [--seed S] \
+                     [--threads T]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown calibrate argument `{other}` (try --help)")),
+        }
+    }
+    if args.out.is_empty() {
+        return Err("tce calibrate needs --out PROFILE.json (try --help)".to_string());
+    }
+    Ok(args)
+}
+
+fn calibrate_main() -> ExitCode {
+    let args = match calibrate_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = validate_env() {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = tce_core::tensor::kernels::env_requested() {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    let opts = tce_core::calib::probe::ProbeOptions {
+        seed: args.seed,
+        budget_ms: args.budget_ms,
+        threads: args.threads.unwrap_or_else(tce_core::par::default_threads),
+    };
+    let profile = tce_core::calib::probe::run_probes(&opts);
+    if let Err(e) = std::fs::write(&args.out, profile.to_json()) {
+        eprintln!("cannot write profile {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    for (variant, rates) in &profile.gemm_gfs {
+        println!(
+            "  gemm {variant}: {:.2} / {:.2} / {:.2} GF/s (small/medium/large)",
+            rates.small, rates.medium, rates.large
+        );
+    }
+    println!(
+        "  copy {:.2} GB/s, permute {:.2} GB/s, dispatch {:.1} ns/task",
+        profile.copy_gbs, profile.permute_gbs, profile.dispatch_ns
+    );
+    for (level, gbs) in &profile.mem_gbs {
+        println!("  {level}: {gbs:.2} GB/s");
+    }
+    println!("calibration profile written to {}", args.out);
+    ExitCode::SUCCESS
 }
 
 fn serve_main() -> ExitCode {
@@ -261,7 +383,18 @@ fn serve_main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     tce_serve::server::install_sigterm_drain();
-    let handler = std::sync::Arc::new(tce_core::serve::PipelineHandler::default());
+    // `TCE_CALIBRATION` (validated above) applies measured cost rates to
+    // every request this service compiles.
+    let calibration = match tce_core::calib::calibration_env_requested() {
+        Ok(p) => p.map(|p| p.rates(tce_core::tensor::kernels::active().name())),
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let handler = std::sync::Arc::new(
+        tce_core::serve::PipelineHandler::default().with_calibration(calibration),
+    );
     let server = match tce_serve::Server::bind(&cfg, handler) {
         Ok(s) => s,
         Err(e) => {
@@ -292,8 +425,10 @@ fn serve_main() -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    if std::env::args().nth(1).as_deref() == Some("serve") {
-        return serve_main();
+    match std::env::args().nth(1).as_deref() {
+        Some("serve") => return serve_main(),
+        Some("calibrate") => return calibrate_main(),
+        _ => {}
     }
     let args = match parse_args() {
         Ok(a) => a,
@@ -332,6 +467,29 @@ fn main() -> ExitCode {
         tce_trace::set_enabled(true);
     }
 
+    // Resolve the calibration profile: the `--calibration` flag wins, then
+    // `TCE_CALIBRATION` (already validated by `validate_env`).  Rates are
+    // taken for the kernel variant that will actually run.
+    let profile = match &args.calibration {
+        Some(path) => match tce_core::calib::Profile::load(path) {
+            Ok(p) => Some(p),
+            Err(e) => {
+                eprintln!("bad --calibration `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => match tce_core::calib::calibration_env_requested() {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let rates = profile
+        .as_ref()
+        .map(|p| p.rates(tce_core::tensor::kernels::active().name()));
+
     let cfg = SynthesisConfig {
         memory_limit: args.memory_limit,
         cache_elements: args.cache,
@@ -340,6 +498,7 @@ fn main() -> ExitCode {
             grid: ProcessorGrid::new(dims),
             word_cost: args.word_cost,
         }),
+        calibration: rates.clone(),
     };
     let syn = match synthesize(&src, &cfg) {
         Ok(s) => s,
@@ -377,6 +536,7 @@ fn main() -> ExitCode {
         // *measured* side of a conformance comparison so the MISMATCH exit
         // paths below can be exercised end-to-end (tests/cli.rs).
         let fault = std::env::var("TCE_FAULT_INJECT").ok();
+        let exec_started = std::time::Instant::now();
         let results = if args.distributed {
             let mut summary = match syn.execute_distributed_opts(&inputs, &funcs, &opts) {
                 Ok(s) => s,
@@ -471,6 +631,20 @@ fn main() -> ExitCode {
                 }
             }
         };
+        // Close the calibration loop: price the synthesized plans with the
+        // measured rates and report predicted vs. measured wall time (also
+        // recorded as `calib.*` trace counters for `--trace` reports).
+        if let Some(rates) = &rates {
+            let measured_ns = exec_started.elapsed().as_nanos() as f64;
+            let predicted_ns = syn.predicted_exec_ns(rates);
+            tce_core::record_prediction(predicted_ns, measured_ns);
+            println!(
+                "  calibration: predicted {:.3} ms / measured {:.3} ms (ratio {:.2})",
+                predicted_ns / 1e6,
+                measured_ns / 1e6,
+                predicted_ns / measured_ns.max(1.0)
+            );
+        }
         println!("{}", tce_core::serve::format_results(&syn, &results));
     }
 

@@ -27,12 +27,14 @@ pub mod scenarios;
 pub mod serve;
 
 pub use pipeline::{
-    synthesize, synthesize_program, CseSummary, DistExecSummary, FusedExecSummary, FusedTermReport,
-    Synthesis, SynthesisConfig, SynthesisError, TermPlan,
+    hierarchy_from_rates, record_prediction, synthesize, synthesize_program, CseSummary,
+    DistExecSummary, FusedExecSummary, FusedTermReport, Synthesis, SynthesisConfig, SynthesisError,
+    TermPlan,
 };
 pub use tce_exec::{ExecError, ExecOptions, Schedule};
 
 // Re-export the stage crates so downstream users need only one dependency.
+pub use tce_calib as calib;
 pub use tce_dist as dist;
 pub use tce_exec as exec;
 pub use tce_fusion as fusion;

@@ -18,15 +18,19 @@
 //! iterative loop.
 
 use std::collections::HashMap;
+use tce_calib::CostRates;
 use tce_dist::{optimize_distribution, DistPlan, Machine};
 use tce_exec::{ExecError, ExecOptions, Schedule};
 use tce_fusion::{fused_program, memmin_dp, MemMinResult};
 use tce_ir::{Assignment, CostPoly, IndexSpace, OpTree, Product, Program, TensorId};
 use tce_lang::LangError;
-use tce_locality::{perfect_nests, search_nest_tiles, MemoryHierarchy, TileSearchResult};
+use tce_locality::{
+    perfect_nests, search_nest_tiles, search_nest_tiles_hierarchy, MemoryHierarchy,
+    TileSearchResult,
+};
 use tce_loops::{memory_report, op_counts, pretty, BuiltProgram};
 use tce_opmin::{optimize_assignment, optimize_pareto, OpMinProblem};
-use tce_spacetime::{spacetime_optimize, SpaceTimeConfig, TilingResult};
+use tce_spacetime::{spacetime_optimize, spacetime_optimize_rated, SpaceTimeConfig, TilingResult};
 use tce_tensor::{IntegralFn, Tensor};
 
 /// Pipeline configuration.
@@ -42,6 +46,14 @@ pub struct SynthesisConfig {
     pub hierarchy: MemoryHierarchy,
     /// Target parallel machine (`None` = sequential).
     pub machine: Option<Machine>,
+    /// Measured hardware cost rates from a calibration profile
+    /// (`tce calibrate`).  `None` keeps every stage on the paper's
+    /// abstract unit costs — plan choices and outputs are then
+    /// bit-identical to the uncalibrated pipeline.  `Some(rates)`
+    /// switches the space-time frontier selection, the locality tile
+    /// search, and (for a machine left at the default word cost) the
+    /// distribution DP onto time-based costs.
+    pub calibration: Option<CostRates>,
 }
 
 impl Default for SynthesisConfig {
@@ -51,7 +63,26 @@ impl Default for SynthesisConfig {
             cache_elements: None,
             hierarchy: MemoryHierarchy::cache_and_disk(64 * 1024, 1 << 30),
             machine: None,
+            calibration: None,
         }
+    }
+}
+
+/// The multi-level [`MemoryHierarchy`] a calibration profile induces:
+/// level capacities from the measured cache geometry, per-element miss
+/// costs in nanoseconds from the measured per-level bandwidth.  The
+/// locality stage searches tiles against this hierarchy when calibrated.
+pub fn hierarchy_from_rates(rates: &CostRates) -> MemoryHierarchy {
+    MemoryHierarchy {
+        levels: rates
+            .levels
+            .iter()
+            .map(|l| tce_locality::MemoryLevel {
+                name: l.name.clone(),
+                capacity_elements: l.capacity_elements,
+                miss_cost: l.ns_per_element,
+            })
+            .collect(),
     }
 }
 
@@ -553,6 +584,46 @@ impl Synthesis {
         summary.outputs = computed;
         Ok(summary)
     }
+
+    /// Predicted wall-clock nanoseconds for executing this synthesis on
+    /// the GETT tree path under measured `rates`: each term's flops
+    /// priced at the shape-class GEMM rate, per-contraction operand and
+    /// output elements priced as one pass of pack/permute traffic, and
+    /// one pool dispatch per contraction node.  This is a first-order
+    /// model — it ignores pack reuse factors and cache effects — and is
+    /// held to the generous tolerance band `tests/calib_conformance.rs`
+    /// documents, not to benchmark accuracy.
+    pub fn predicted_exec_ns(&self, rates: &CostRates) -> f64 {
+        let space = &self.program.space;
+        let mut total = 0.0f64;
+        for plan in &self.plans {
+            total += plan.tree_ops as f64 * rates.flop_ns_for(plan.tree_ops);
+            for node in &plan.tree.nodes {
+                if let tce_ir::OpKind::Contract { left, right } = node.kind {
+                    let elems = space
+                        .iteration_points(plan.tree.node(left).indices)
+                        .saturating_add(space.iteration_points(plan.tree.node(right).indices))
+                        .saturating_add(space.iteration_points(node.indices));
+                    total += elems as f64 * rates.copy_ns;
+                    total += rates.dispatch_ns;
+                }
+            }
+        }
+        total
+    }
+}
+
+/// Record a predicted-vs-measured execution-time pair as trace counters:
+/// `calib.predicted_ns`, `calib.measured_ns`, and `calib.ratio_milli`
+/// (1000 × predicted/measured, rounded).  `ProfileReport` surfaces the
+/// triple as its calibration-conformance line.
+pub fn record_prediction(predicted_ns: f64, measured_ns: f64) {
+    tce_trace::counter("calib.predicted_ns", predicted_ns.round().max(0.0) as u64);
+    tce_trace::counter("calib.measured_ns", measured_ns.round().max(0.0) as u64);
+    if measured_ns > 0.0 {
+        let ratio = (predicted_ns / measured_ns * 1000.0).round().max(0.0) as u64;
+        tce_trace::counter("calib.ratio_milli", ratio);
+    }
 }
 
 /// Permutation taking a term plan's output (LHS indices in canonical
@@ -679,10 +750,24 @@ fn plan_term(
             chosen = Some((rank, tree, memmin, None));
             break;
         }
-        // Stage 3: space-time trade-off.
+        // Stage 3: space-time trade-off.  Calibrated rates price the
+        // frontier in predicted nanoseconds (compute at the measured GEMM
+        // rate, temporaries at the measured memory bandwidth); without a
+        // profile the unit-cost selection is untouched.
         let st = {
             let _s = tce_trace::span("stage.spacetime");
-            spacetime_optimize(&tree, space, cfg.memory_limit).map_err(SynthesisError::Stage)?
+            match &cfg.calibration {
+                Some(rates) => spacetime_optimize_rated(
+                    &tree,
+                    space,
+                    cfg.memory_limit,
+                    rates.flop_ns_for(tree.total_ops(space)),
+                    rates.word_ns,
+                )
+                .map_err(SynthesisError::Stage)?,
+                None => spacetime_optimize(&tree, space, cfg.memory_limit)
+                    .map_err(SynthesisError::Stage)?,
+            }
         };
         if let Some(r) = st {
             chosen = Some((rank, tree, memmin, Some(r)));
@@ -716,15 +801,32 @@ fn plan_term(
         tce_trace::mark("stage.spacetime");
     }
 
-    // Stage 4: data locality (blocking of perfect nests).
+    // Stage 4: data locality (blocking of perfect nests).  With a
+    // calibration profile the tile search minimizes the measured-latency
+    // weighted multi-level cost (nanoseconds) over the profile's cache
+    // geometry instead of unit misses in a single abstract cache.
     let locality = {
         let _s = tce_trace::span("stage.locality");
-        let locality: Vec<TileSearchResult> = match cfg.cache_elements {
-            Some(cache) => perfect_nests(&built.program)
+        let locality: Vec<TileSearchResult> = match (cfg.cache_elements, &cfg.calibration) {
+            (Some(_), Some(rates)) => {
+                let hier = hierarchy_from_rates(rates);
+                perfect_nests(&built.program)
+                    .iter()
+                    .map(|nest| {
+                        let h = search_nest_tiles_hierarchy(&built.program, space, nest, &hier);
+                        TileSearchResult {
+                            blocks: h.blocks,
+                            program: h.program,
+                            cost: h.cost.round().max(0.0) as u128,
+                        }
+                    })
+                    .collect()
+            }
+            (Some(cache), None) => perfect_nests(&built.program)
                 .iter()
                 .map(|nest| search_nest_tiles(&built.program, space, nest, cache))
                 .collect(),
-            None => Vec::new(),
+            (None, _) => Vec::new(),
         };
         // With tracing on, also evaluate the hierarchy model on the emitted
         // program so per-level `locality.accesses.*` counters appear.
@@ -734,12 +836,21 @@ fn plan_term(
         locality
     };
 
-    // Stage 5: data distribution.
+    // Stage 5: data distribution.  A machine left at the abstract
+    // default word cost adopts the measured flops-per-word rate when a
+    // profile is loaded; an explicit non-default word cost always wins.
     let distribution = {
         let _s = tce_trace::span("stage.distribution");
-        cfg.machine
-            .as_ref()
-            .map(|m| optimize_distribution(&tree, space, m))
+        cfg.machine.as_ref().map(|m| match &cfg.calibration {
+            Some(rates) if m.word_cost == tce_dist::DEFAULT_WORD_COST => {
+                let calibrated = Machine {
+                    grid: m.grid.clone(),
+                    word_cost: rates.word_cost_flops(),
+                };
+                optimize_distribution(&tree, space, &calibrated)
+            }
+            _ => optimize_distribution(&tree, space, m),
+        })
     };
 
     Ok(TermPlan {

@@ -188,6 +188,11 @@ pub struct PipelineHandler {
     /// bitwise-guaranteed to produce the same reply — caching it is
     /// semantically invisible and turns a warm repeat into a lookup.
     responses: ShardedLru<SynthKey, Result<String, String>>,
+    /// Measured cost rates applied to every request's compilation
+    /// (`TCE_CALIBRATION` at service start); `None` keeps the paper's
+    /// abstract unit costs.  Part of both cache keys via
+    /// [`tce_calib::CostRates::canon`].
+    calibration: Option<tce_calib::CostRates>,
 }
 
 /// Synthesis-cache sizing defaults: enough distinct (program, options)
@@ -211,7 +216,16 @@ impl PipelineHandler {
         Self {
             cache: ShardedLru::new(capacity, shards),
             responses: ShardedLru::new(capacity.saturating_mul(4), shards),
+            calibration: None,
         }
+    }
+
+    /// Apply measured cost rates to every request compiled by this
+    /// handler (the served analogue of `tce --calibration FILE`).
+    #[must_use]
+    pub fn with_calibration(mut self, rates: Option<tce_calib::CostRates>) -> Self {
+        self.calibration = rates;
+        self
     }
 
     /// Compile `program` under `cfg`, memoized.  Returns the cached
@@ -223,8 +237,10 @@ impl PipelineHandler {
         cfg: &SynthesisConfig,
     ) -> (Arc<Result<Synthesis, String>>, bool) {
         let canon = format!(
-            "memory-limit={};cache={:?}",
-            cfg.memory_limit, cfg.cache_elements
+            "memory-limit={};cache={:?};calib={:?}",
+            cfg.memory_limit,
+            cfg.cache_elements,
+            cfg.calibration.as_ref().map(tce_calib::CostRates::canon)
         );
         let key = (program.to_string(), canon);
         self.cache
@@ -235,10 +251,16 @@ impl PipelineHandler {
 impl Handler for PipelineHandler {
     fn run(&self, program: &str, opts: &[(String, String)]) -> Result<String, String> {
         let _span = tce_trace::span("serve.pipeline");
-        let (cfg, run) = parse_run_options(opts)?;
+        let (mut cfg, run) = parse_run_options(opts)?;
+        cfg.calibration = self.calibration.clone();
         let canon = format!(
-            "memory-limit={};cache={:?};seed={};threads={:?};schedule={}",
-            cfg.memory_limit, cfg.cache_elements, run.seed, run.threads, run.schedule
+            "memory-limit={};cache={:?};seed={};threads={:?};schedule={};calib={:?}",
+            cfg.memory_limit,
+            cfg.cache_elements,
+            run.seed,
+            run.threads,
+            run.schedule,
+            cfg.calibration.as_ref().map(tce_calib::CostRates::canon)
         );
         let response_key = (program.to_string(), canon);
         let (reply, _hit) = self.responses.get_or_insert_with(&response_key, || {

@@ -26,6 +26,12 @@ use std::collections::HashMap;
 use tce_ir::{IndexSet, IndexSpace, IndexVar, Leaf, NodeId, OpKind, OpTree};
 use tce_par::ProcessorGrid;
 
+/// The conventional abstract communication price: moving one word costs
+/// as much as 100 flops.  A machine still carrying this default adopts a
+/// measured rate when a calibration profile is loaded; an explicit
+/// non-default `word_cost` always wins.
+pub const DEFAULT_WORD_COST: u128 = 100;
+
 /// Machine model: the grid plus the cost (in flop units) of moving one
 /// array element between processors.
 #[derive(Debug, Clone)]
@@ -37,11 +43,12 @@ pub struct Machine {
 }
 
 impl Machine {
-    /// Conventional model: communication 100× the cost of a flop.
+    /// Conventional model: communication [`DEFAULT_WORD_COST`]× the cost
+    /// of a flop.
     pub fn new(grid: ProcessorGrid) -> Self {
         Self {
             grid,
-            word_cost: 100,
+            word_cost: DEFAULT_WORD_COST,
         }
     }
 }

@@ -430,6 +430,7 @@ pub fn search_nest_tiles_hierarchy(
         best: &mut Option<HierarchyTileResult>,
     ) {
         if i == nest.vars.len() {
+            tce_trace::counter("locality.tile_candidates", 1);
             let tiled = tile_nest(p, space, nest, blocks);
             let cost = hierarchy.cost(&tiled, space);
             let better = best.as_ref().map(|b| cost < b.cost).unwrap_or(true);

@@ -309,6 +309,12 @@ fn worker_loop(state: &Arc<State>) {
     }
 }
 
+/// How long a drain waits for the rest of a request whose first bytes
+/// have already arrived.  An idle connection closes immediately; one with
+/// a partial line in flight gets this long to finish the line and receive
+/// its reply before the socket closes.
+const DRAIN_GRACE: Duration = Duration::from_secs(2);
+
 /// Serve every request line on one connection until EOF or shutdown.
 fn serve_connection(stream: TcpStream, state: &Arc<State>) {
     // A finite read timeout lets the worker notice a drain even when the
@@ -324,13 +330,26 @@ fn serve_connection(stream: TcpStream, state: &Arc<State>) {
         line.clear();
         // Retry timed-out reads: `read_line` keeps partial data in `line`,
         // so resuming after a poll tick loses nothing.
+        let mut drain_deadline: Option<std::time::Instant> = None;
         let eof = loop {
             match reader.read_line(&mut line) {
                 Ok(0) => break true,
                 Ok(_) => break false,
                 Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                     if state.draining() {
-                        return;
+                        // An idle connection closes now, but a request
+                        // whose bytes have started arriving was already
+                        // admitted — dropping it would lose an in-flight
+                        // request, so let it complete within the grace
+                        // window and answer it before closing.
+                        if line.is_empty() {
+                            return;
+                        }
+                        let deadline = *drain_deadline
+                            .get_or_insert_with(|| std::time::Instant::now() + DRAIN_GRACE);
+                        if std::time::Instant::now() >= deadline {
+                            return;
+                        }
                     }
                 }
                 Err(_) => return,
@@ -512,6 +531,41 @@ mod tests {
             client::request(&addr, "ping").is_err(),
             "listener still accepting after shutdown"
         );
+    }
+
+    #[test]
+    fn drain_completes_partially_received_request() {
+        use std::io::{Read, Write};
+        let (handle, addr) = start(&ServeConfig::default());
+        let mut partial = std::net::TcpStream::connect(&addr).unwrap();
+        partial.set_nodelay(true).unwrap();
+        // First half of a request, no newline: the worker owning this
+        // connection is mid-line when the drain starts.
+        partial.write_all(b"run program=sl").unwrap();
+        std::thread::sleep(Duration::from_millis(250));
+        assert_eq!(client::request(&addr, "shutdown").unwrap(), "ok bye");
+        std::thread::sleep(Duration::from_millis(250));
+        // The rest arrives within the grace window: the reply must be
+        // complete, not a dropped socket.
+        partial.write_all(b"ow\n").unwrap();
+        partial
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut reply = String::new();
+        let mut buf = [0u8; 256];
+        loop {
+            let n = partial.read(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            reply.push_str(std::str::from_utf8(&buf[..n]).unwrap());
+            if reply.ends_with('\n') {
+                break;
+            }
+        }
+        assert_eq!(reply.trim_end(), format!("ok {}", escape("ran: slow")));
+        let stats = handle.join();
+        assert_eq!(stats.served, 1);
     }
 
     #[test]

@@ -36,6 +36,6 @@ pub use codegen::spacetime_program;
 pub use dp::{redundant_candidates, spacetime_dp, SpaceTimeConfig, SpaceTimeFrontier};
 pub use pareto::{Pareto, ParetoPoint};
 pub use tiling::{
-    block_of, doubling_candidates, search_tiles, spacetime_optimize, tiled_memory, tiled_ops,
-    Blocks, TilingResult,
+    block_of, doubling_candidates, search_tiles, spacetime_optimize, spacetime_optimize_rated,
+    tiled_memory, tiled_ops, Blocks, TilingResult,
 };

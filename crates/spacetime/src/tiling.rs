@@ -193,6 +193,53 @@ pub fn spacetime_optimize(
     Ok(best)
 }
 
+/// [`spacetime_optimize`] under a calibrated objective: instead of the
+/// fewest abstract operations, pick the feasible frontier configuration
+/// with the smallest *predicted time* `ops · flop_ns + memory · mem_ns`
+/// (nanoseconds) — compute priced at the measured GEMM rate, temporary
+/// storage priced at the measured memory bandwidth.  Tie-breaks fall
+/// back to fewer ops, then less memory, so the choice is deterministic.
+/// With no calibration profile loaded callers must keep using
+/// [`spacetime_optimize`]; the unit-cost path stays bit-identical.
+pub fn spacetime_optimize_rated(
+    tree: &OpTree,
+    space: &IndexSpace,
+    mem_limit: u128,
+    flop_ns: f64,
+    mem_ns: f64,
+) -> Result<Option<(SpaceTimeConfig, TilingResult)>, String> {
+    let front = spacetime_dp(tree, space, usize::MAX)?;
+    let mut best: Option<(f64, SpaceTimeConfig, TilingResult)> = None;
+    let mut frontier_points = 0u64;
+    for point in front.points() {
+        frontier_points += 1;
+        if let Some(t) = search_tiles(tree, space, &point.tag, mem_limit) {
+            let time = t.ops as f64 * flop_ns + t.memory as f64 * mem_ns;
+            let better = match &best {
+                None => true,
+                Some((bt, _, b)) => {
+                    time < *bt
+                        || (time == *bt
+                            && (t.ops < b.ops || (t.ops == b.ops && t.memory < b.memory)))
+                }
+            };
+            if better {
+                best = Some((time, point.tag.clone(), t));
+            }
+        }
+    }
+    if tce_trace::enabled() {
+        tce_trace::counter("spacetime.frontier_points", frontier_points);
+        if let Some((time, cfg, t)) = &best {
+            let base = cfg.total_ops_with(tree, space, &|_| 1);
+            tce_trace::counter_u128("spacetime.recomputation_ops", t.ops.saturating_sub(base));
+            tce_trace::counter_u128("spacetime.memory", t.memory);
+            tce_trace::counter("spacetime.rated_ns", time.round().max(0.0) as u64);
+        }
+    }
+    Ok(best.map(|(_, cfg, t)| (cfg, t)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -244,16 +244,65 @@ fn parse_cache_size(s: &str) -> Option<usize> {
     digits.parse::<usize>().ok().map(|n| n * mult)
 }
 
+/// Plausibility window for a detected cache level, in bytes.  A sysfs
+/// entry outside its window (a `0K` size from a stripped-down container,
+/// a corrupt string, a hypervisor reporting nonsense) is treated as
+/// undetected so the level keeps its [`DEFAULT_CACHE`] value and the
+/// derived MC/KC/NC blocks stay sane.
+fn plausible_level_size(level: u8, size: usize) -> bool {
+    match level {
+        1 => (4 << 10..=1 << 20).contains(&size),
+        2 => (64 << 10..=64 << 20).contains(&size),
+        3 => (256 << 10..=4 << 30).contains(&size),
+        _ => false,
+    }
+}
+
 impl CacheInfo {
-    /// Detect the hierarchy from `/sys/devices/system/cpu/cpu0/cache` on
-    /// Linux; any level that cannot be read keeps its
-    /// [`DEFAULT_CACHE`] value, so the result is always usable.
-    pub fn detect() -> CacheInfo {
+    /// Build a hierarchy from raw sysfs-style `(level, type, size)`
+    /// string triples, one per `indexN` directory.  Any entry that is
+    /// missing, unparsable, an instruction cache, or has an implausible
+    /// size (zero, or wildly out of range for its level) is skipped and
+    /// that level keeps its [`DEFAULT_CACHE`] value, so the result is
+    /// always usable.  Exposed so the fallback path is unit-testable
+    /// with injected geometry strings.
+    pub fn from_sysfs_entries<'a, I>(entries: I) -> CacheInfo
+    where
+        I: IntoIterator<Item = (Option<&'a str>, Option<&'a str>, Option<&'a str>)>,
+    {
         let mut info = DEFAULT_CACHE;
+        for (level, ctype, size) in entries {
+            let level = level.and_then(|s| s.trim().parse::<u8>().ok());
+            let size = size.and_then(parse_cache_size);
+            let (Some(level), Some(ctype), Some(size)) = (level, ctype, size) else {
+                continue;
+            };
+            if ctype.trim() == "Instruction" {
+                continue;
+            }
+            if !plausible_level_size(level, size) {
+                continue;
+            }
+            match level {
+                1 => info.l1d = size,
+                2 => info.l2 = size,
+                3 => info.l3 = size,
+                _ => {}
+            }
+        }
+        info
+    }
+
+    /// Detect the hierarchy from `/sys/devices/system/cpu/cpu0/cache` on
+    /// Linux; when sysfs is absent or malformed every undetectable level
+    /// falls back to its [`DEFAULT_CACHE`] value (see
+    /// [`CacheInfo::from_sysfs_entries`]), so the result is always
+    /// usable.
+    pub fn detect() -> CacheInfo {
         #[cfg(target_os = "linux")]
         {
             let base = std::path::Path::new("/sys/devices/system/cpu/cpu0/cache");
-            let read = |p: std::path::PathBuf| std::fs::read_to_string(p).ok();
+            let mut raw: Vec<(Option<String>, Option<String>, Option<String>)> = Vec::new();
             if let Ok(entries) = std::fs::read_dir(base) {
                 for entry in entries.flatten() {
                     let dir = entry.path();
@@ -264,25 +313,17 @@ impl CacheInfo {
                     {
                         continue;
                     }
-                    let level = read(dir.join("level")).and_then(|s| s.trim().parse::<u8>().ok());
-                    let ctype = read(dir.join("type")).map(|s| s.trim().to_string());
-                    let size = read(dir.join("size")).and_then(|s| parse_cache_size(&s));
-                    let (Some(level), Some(ctype), Some(size)) = (level, ctype, size) else {
-                        continue;
-                    };
-                    if ctype == "Instruction" {
-                        continue;
-                    }
-                    match level {
-                        1 => info.l1d = size,
-                        2 => info.l2 = size,
-                        3 => info.l3 = size,
-                        _ => {}
-                    }
+                    let read = |name: &str| std::fs::read_to_string(dir.join(name)).ok();
+                    raw.push((read("level"), read("type"), read("size")));
                 }
             }
+            CacheInfo::from_sysfs_entries(
+                raw.iter()
+                    .map(|(l, t, s)| (l.as_deref(), t.as_deref(), s.as_deref())),
+            )
         }
-        info
+        #[cfg(not(target_os = "linux"))]
+        DEFAULT_CACHE
     }
 }
 
@@ -478,6 +519,67 @@ mod tests {
         assert_eq!(parse_cache_size("1G"), Some(1 << 30));
         assert_eq!(parse_cache_size("512"), Some(512));
         assert_eq!(parse_cache_size("x"), None);
+    }
+
+    #[test]
+    fn sysfs_fallback_on_absent_geometry() {
+        // No index directories at all (non-Linux hosts, stripped
+        // containers): every level keeps its default.
+        assert_eq!(CacheInfo::from_sysfs_entries(Vec::new()), DEFAULT_CACHE);
+        // Files missing inside the index directories.
+        assert_eq!(
+            CacheInfo::from_sysfs_entries([(None, None, None), (Some("1"), Some("Data"), None)]),
+            DEFAULT_CACHE
+        );
+    }
+
+    #[test]
+    fn sysfs_fallback_on_malformed_geometry() {
+        // Zero sizes ("0K"), garbage strings and absurd values must not
+        // reach BlockSizes::derive; each malformed level falls back to
+        // its default independently.
+        let info = CacheInfo::from_sysfs_entries([
+            (Some("1"), Some("Data"), Some("0K")),       // degenerate zero
+            (Some("2"), Some("Unified"), Some("lots")),  // unparsable
+            (Some("3"), Some("Unified"), Some("4096G")), // implausibly huge
+            (Some("x"), Some("Unified"), Some("1M")),    // bad level
+            (Some("1"), Some("Instruction"), Some("64K")), // wrong cache kind
+        ]);
+        assert_eq!(info, DEFAULT_CACHE);
+        // And the derived blocks are the same sane ones as the default
+        // geometry — no division-by-zero, no degenerate tiles.
+        for v in [KernelVariant::Sse2, KernelVariant::Avx2] {
+            assert_eq!(
+                BlockSizes::derive(v, &info),
+                BlockSizes::derive(v, &DEFAULT_CACHE)
+            );
+        }
+    }
+
+    #[test]
+    fn sysfs_well_formed_geometry_is_honoured() {
+        let info = CacheInfo::from_sysfs_entries([
+            (Some("1\n"), Some("Data\n"), Some("48K\n")),
+            (Some("1"), Some("Instruction"), Some("32K")),
+            (Some("2"), Some("Unified"), Some("2048K")),
+            (Some("3"), Some("Unified"), Some("36M")),
+        ]);
+        assert_eq!(
+            info,
+            CacheInfo {
+                l1d: 48 << 10,
+                l2: 2048 << 10,
+                l3: 36 << 20,
+            }
+        );
+        // A partially valid report only overrides the valid levels.
+        let partial = CacheInfo::from_sysfs_entries([
+            (Some("1"), Some("Data"), Some("64K")),
+            (Some("2"), Some("Unified"), Some("0K")),
+        ]);
+        assert_eq!(partial.l1d, 64 << 10);
+        assert_eq!(partial.l2, DEFAULT_CACHE.l2);
+        assert_eq!(partial.l3, DEFAULT_CACHE.l3);
     }
 
     #[test]

@@ -72,6 +72,13 @@ pub struct ProfileReport {
     pub bufpool_misses: u64,
     /// Buffer releases dropped because the pool was at capacity.
     pub bufpool_evictions: u64,
+    /// Calibration-model predicted execution wall time, ns (0 when no
+    /// calibration profile was loaded).
+    pub calib_predicted_ns: u64,
+    /// Measured execution wall time paired with the prediction, ns.
+    pub calib_measured_ns: u64,
+    /// Predicted/measured ratio in milli-units (1000 = exact).
+    pub calib_ratio_milli: u64,
 }
 
 /// Pipeline stage order for the report (matches the paper's Fig. 5).
@@ -158,6 +165,9 @@ impl ProfileReport {
             bufpool_hits: t.counter_total("bufpool.hits"),
             bufpool_misses: t.counter_total("bufpool.misses"),
             bufpool_evictions: t.counter_total("bufpool.evictions"),
+            calib_predicted_ns: t.counter_total("calib.predicted_ns"),
+            calib_measured_ns: t.counter_total("calib.measured_ns"),
+            calib_ratio_milli: t.counter_max("calib.ratio_milli"),
             stages,
         }
     }
@@ -277,6 +287,15 @@ impl fmt::Display for ProfileReport {
                 100.0 * self.pool_busy_ns as f64 / total
             )?;
         }
+        if self.calib_measured_ns > 0 {
+            writeln!(
+                f,
+                "  calibration:     predicted {} / measured {} (ratio {:.2})",
+                fmt_ns(self.calib_predicted_ns),
+                fmt_ns(self.calib_measured_ns),
+                self.calib_ratio_milli as f64 / 1000.0
+            )?;
+        }
         writeln!(f, "  mem high-water:  {}", fmt_bytes(self.mem_peak_bytes))?;
         Ok(())
     }
@@ -370,6 +389,37 @@ mod tests {
         assert!(text.contains("3 hits / 1 misses / 2 evictions"));
         assert!(text.contains("7 tasks / 6 edges, peak live 37 elements, 0 forced"));
         assert!(text.contains("5 hits / 2 misses / 1 evictions"));
+    }
+
+    #[test]
+    fn calibration_counters_surface() {
+        let t = Trace {
+            events: vec![
+                counter_ev("calib.predicted_ns", 2_000_000),
+                counter_ev("calib.measured_ns", 4_000_000),
+                counter_ev("calib.ratio_milli", 500),
+            ],
+            mem_peak_bytes: 0,
+        };
+        let r = t.report();
+        assert_eq!(
+            (
+                r.calib_predicted_ns,
+                r.calib_measured_ns,
+                r.calib_ratio_milli
+            ),
+            (2_000_000, 4_000_000, 500)
+        );
+        let text = r.to_string();
+        assert!(
+            text.contains("calibration:     predicted 2.000 ms / measured 4.000 ms (ratio 0.50)"),
+            "{text}"
+        );
+        // No calibration counters → no line.
+        assert!(!Trace::default()
+            .report()
+            .to_string()
+            .contains("calibration"));
     }
 
     #[test]

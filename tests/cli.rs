@@ -460,3 +460,163 @@ fn bad_numeric_env_vars_fail_cleanly() {
         String::from_utf8_lossy(&out.stderr)
     );
 }
+
+#[test]
+fn bad_calibration_env_and_flag_fail_cleanly() {
+    let chain = spec("matrix_chain.tce");
+    // A garbage profile: unreadable path, then readable-but-not-a-profile.
+    let dir = std::env::temp_dir().join(format!("tce-cli-calib-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let garbage = dir.join("garbage.json");
+    std::fs::write(&garbage, "this is not a calibration profile").unwrap();
+    let wrong_version = dir.join("version99.json");
+    std::fs::write(&wrong_version, "{\"version\": 99}").unwrap();
+
+    for path in [
+        "/nonexistent/profile.json",
+        garbage.to_str().unwrap(),
+        wrong_version.to_str().unwrap(),
+    ] {
+        // Via the environment: diagnostic names TCE_CALIBRATION, one line.
+        let out = tce()
+            .arg(&chain)
+            .env("TCE_CALIBRATION", path)
+            .output()
+            .expect("spawn tce");
+        assert!(
+            !out.status.success(),
+            "TCE_CALIBRATION={path} must exit nonzero"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("TCE_CALIBRATION"),
+            "diagnostic should name the variable:\n{stderr}"
+        );
+        assert_eq!(
+            stderr.trim().lines().count(),
+            1,
+            "diagnostic should be one line:\n{stderr}"
+        );
+        assert!(!stderr.contains("panicked"), "panicked:\n{stderr}");
+        // The same validation guards the serve subcommand.
+        let out = tce()
+            .args(["serve", "--addr", "127.0.0.1:0"])
+            .env("TCE_CALIBRATION", path)
+            .output()
+            .expect("spawn tce serve");
+        assert!(
+            !out.status.success(),
+            "serve with TCE_CALIBRATION={path} must exit nonzero"
+        );
+        // Via the flag: same failure, flag-shaped diagnostic.
+        let out = tce()
+            .args([chain.as_str(), "--calibration", path])
+            .output()
+            .expect("spawn tce");
+        assert!(
+            !out.status.success(),
+            "--calibration {path} must exit nonzero"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("--calibration") || stderr.contains("calibration"),
+            "diagnostic should mention the flag:\n{stderr}"
+        );
+        assert!(!stderr.contains("panicked"), "panicked:\n{stderr}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn calibrate_writes_a_loadable_profile_and_audits_failures() {
+    let dir = std::env::temp_dir().join(format!("tce-cli-calibrate-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out_path = dir.join("profile.json");
+
+    // A tiny-budget calibrate must produce a complete, loadable profile.
+    let out = tce()
+        .args([
+            "calibrate",
+            "--out",
+            out_path.to_str().unwrap(),
+            "--budget-ms",
+            "20",
+            "--seed",
+            "7",
+        ])
+        .output()
+        .expect("spawn tce calibrate");
+    assert!(
+        out.status.success(),
+        "calibrate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let profile = tce_core::calib::Profile::load(out_path.to_str().unwrap())
+        .expect("written profile must load");
+    assert_eq!(profile.version, tce_core::calib::PROFILE_VERSION);
+
+    // The profile round-trips through `--calibration` on a real run and
+    // surfaces the predicted-vs-measured line.
+    let out = tce()
+        .args([
+            spec("matrix_chain.tce").as_str(),
+            "--execute",
+            "--calibration",
+            out_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn tce");
+    assert!(
+        out.status.success(),
+        "calibrated run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("calibration: predicted"),
+        "missing prediction line:\n{stdout}"
+    );
+
+    // Write failures are a one-line diagnostic and a nonzero exit.
+    let out = tce()
+        .args([
+            "calibrate",
+            "--out",
+            "/nonexistent-dir/profile.json",
+            "--budget-ms",
+            "1",
+        ])
+        .output()
+        .expect("spawn tce calibrate");
+    assert!(!out.status.success(), "unwritable --out must exit nonzero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cannot write profile"),
+        "diagnostic:\n{stderr}"
+    );
+    assert_eq!(
+        stderr.trim().lines().count(),
+        1,
+        "diagnostic should be one line:\n{stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "panicked:\n{stderr}");
+
+    // Flag audit: missing --out, degenerate budget, unknown flag.
+    for args in [
+        vec!["calibrate"],
+        vec!["calibrate", "--out"],
+        vec!["calibrate", "--out", "x.json", "--budget-ms", "0"],
+        vec!["calibrate", "--out", "x.json", "--budget-ms", "soon"],
+        vec!["calibrate", "--out", "x.json", "--threads", "0"],
+        vec!["calibrate", "--bogus"],
+    ] {
+        let out = tce().args(&args).output().expect("spawn tce calibrate");
+        assert!(!out.status.success(), "tce {args:?} should exit nonzero");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            !stderr.is_empty() && !stderr.contains("panicked"),
+            "{args:?}: {stderr}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -203,6 +203,7 @@ fn full_pipeline_with_all_stages_enabled() {
             grid: tce_core::par::ProcessorGrid::new(vec![2, 2]),
             word_cost: 1,
         }),
+        calibration: None,
     };
     let syn = synthesize(src, &cfg).unwrap();
     let plan = &syn.plans[0];

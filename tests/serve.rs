@@ -205,6 +205,52 @@ fn shutdown_request_drains_and_listener_closes() {
 }
 
 #[test]
+fn slow_request_racing_shutdown_gets_a_complete_reply() {
+    use std::io::{Read, Write};
+    let spec = spec_path("matrix_chain.tce");
+    let program = std::fs::read_to_string(&spec).unwrap();
+    let expect = cli_result_block(&spec, 11, 1);
+
+    let (handle, addr) = start(&ServeConfig::default());
+    // Send only the first half of the request line, so the worker that
+    // owns this connection is mid-read when the drain begins.
+    let line = format!("{}\n", format_run(&program, &[("seed", "11")]));
+    let (head, tail) = line.split_at(line.len() / 2);
+    let mut racer = std::net::TcpStream::connect(&addr).unwrap();
+    racer.set_nodelay(true).unwrap();
+    racer.write_all(head.as_bytes()).unwrap();
+    std::thread::sleep(Duration::from_millis(250));
+    assert_eq!(client::request(&addr, "shutdown").unwrap(), "ok bye");
+    std::thread::sleep(Duration::from_millis(250));
+    // The rest of the request arrives during the drain: it must still be
+    // compiled, executed, and answered in full before the socket closes.
+    racer.write_all(tail.as_bytes()).unwrap();
+    racer
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut reply = String::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        let n = racer.read(&mut buf).unwrap();
+        if n == 0 {
+            break;
+        }
+        reply.push_str(std::str::from_utf8(&buf[..n]).unwrap());
+        if reply.ends_with('\n') {
+            break;
+        }
+    }
+    let payload = reply
+        .trim_end()
+        .strip_prefix("ok ")
+        .unwrap_or_else(|| panic!("drained reply not ok: {reply:?}"))
+        .to_string();
+    assert_eq!(unescape(&payload).unwrap(), expect);
+    let stats = handle.join();
+    assert_eq!(stats.served, 1);
+}
+
+#[test]
 fn serve_cli_flags_are_audited() {
     for args in [
         vec!["serve", "--workers", "0"],
